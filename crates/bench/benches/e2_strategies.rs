@@ -1,0 +1,38 @@
+//! E2 — strategy crossover (paper §4, §5).
+//!
+//! Compares the evaluation strategies (pruned enumeration, ILP, local search)
+//! on the meal-plan query as the relation grows, reproducing the claim that
+//! "each of the evaluation techniques ... have different strengths and
+//! weaknesses".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packagebuilder::config::Strategy;
+use pb_bench::{recipe_engine, run, MEAL_PLAN_QUERY};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_strategies");
+    group.sample_size(10);
+    for &n in &[50usize, 200, 800] {
+        for (label, strategy) in [
+            ("ilp", Strategy::Ilp),
+            ("local_search", Strategy::LocalSearch),
+        ] {
+            let engine = recipe_engine(n, strategy);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(run(&engine, MEAL_PLAN_QUERY).best_objective()))
+            });
+        }
+        // Enumeration only at sizes where it terminates in reasonable time.
+        if n <= 50 {
+            let engine = recipe_engine(n, Strategy::PrunedEnumeration);
+            group.bench_with_input(BenchmarkId::new("pruned_enumeration", n), &n, |b, _| {
+                b.iter(|| black_box(run(&engine, MEAL_PLAN_QUERY).best_objective()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E8 — adaptive exploration (paper §3.3).
+//!
+//! Measures one refinement round (lock a tuple, re-sample the rest) of an
+//! exploration session, which must stay at interactive latency, and the cost
+//! of inferring constraints from the locked tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use packagebuilder::config::Strategy;
+use packagebuilder::explore::ExplorationSession;
+use pb_bench::{recipe_engine, MEAL_PLAN_QUERY};
+use std::hint::black_box;
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_explore");
+    group.sample_size(10);
+    for &n in &[500usize, 5_000] {
+        let engine = recipe_engine(n, Strategy::Ilp);
+        let query = paql::parse(MEAL_PLAN_QUERY).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("refine_round", n), &n, |b, _| {
+            // Setup outside the timed closure: draw an initial sample and
+            // lock one tuple of it.
+            let mut session = ExplorationSession::new(query.clone());
+            session.sample(&engine).unwrap();
+            let keep = session.current().unwrap().tuple_ids()[0];
+            session.lock(keep).unwrap();
+            b.iter(|| black_box(session.refine(&engine).unwrap().len()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("inferred_constraints", n), &n, |b, _| {
+            let mut session = ExplorationSession::new(query.clone());
+            session.sample(&engine).unwrap();
+            for t in session.current().unwrap().tuple_ids() {
+                session.lock(t).unwrap();
+            }
+            b.iter(|| black_box(session.inferred_constraints(&engine).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

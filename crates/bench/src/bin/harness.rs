@@ -1,0 +1,423 @@
+//! The experiment harness: runs every experiment of `EXPERIMENTS.md` at a
+//! laptop-friendly scale and prints one markdown table per experiment.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pb-bench --bin harness            # all experiments
+//! cargo run --release -p pb-bench --bin harness -- e1 e3   # a subset
+//! ```
+
+use std::time::Instant;
+
+use lp_solver::SolverConfig;
+use minidb::TupleId;
+use packagebuilder::config::Strategy;
+use packagebuilder::diversity::{diversity_score, select_diverse};
+use packagebuilder::enumerate::{enumerate, EnumerationOptions};
+use packagebuilder::explore::ExplorationSession;
+use packagebuilder::ilp::solve_ilp;
+use packagebuilder::local_search::{local_search, single_replacement_query, LocalSearchOptions};
+use packagebuilder::package::Package;
+use packagebuilder::pruning::{derive_bounds, search_space};
+use packagebuilder::spec::PackageSpec;
+use packagebuilder::suggest::{suggest, Highlight};
+use packagebuilder::summary::summarize;
+use pb_bench::{
+    ms, print_header, print_row, recipe_engine, recipe_table, run, MEAL_PLAN_QUERY,
+    MEAL_PLAN_QUERY_NO_FILTER,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    println!("PackageBuilder reproduction — experiment harness");
+    println!("(one markdown table per experiment; see EXPERIMENTS.md for the claim each row checks)\n");
+
+    if want("e1") {
+        e1_pruning();
+    }
+    if want("e2") {
+        e2_strategies();
+    }
+    if want("e3") {
+        e3_replacement();
+    }
+    if want("e4") {
+        e4_mealplan();
+    }
+    if want("e5") {
+        e5_interface();
+    }
+    if want("e6") {
+        e6_multiple();
+    }
+    if want("e7") {
+        e7_repeat();
+    }
+    if want("e8") {
+        e8_explore();
+    }
+}
+
+fn e1_pruning() {
+    println!("## E1 — cardinality-based pruning (§4.1)\n");
+    let widths = [4, 14, 14, 16, 12, 14, 12];
+    print_header(
+        &["n", "space 2^n", "space pruned", "reduction (log2)", "nodes full", "nodes pruned", "same optimum"],
+        &widths,
+    );
+    for n in [12usize, 16, 20, 24] {
+        let table = recipe_table(n);
+        let analyzed = paql::compile(MEAL_PLAN_QUERY_NO_FILTER, table.schema()).unwrap();
+        let spec = PackageSpec::build(&analyzed, &table).unwrap();
+        let bounds = derive_bounds(&spec);
+        let space = search_space(&spec, &bounds);
+        let pruned = enumerate(&spec, EnumerationOptions { prune: true, keep: 1, ..Default::default() }).unwrap();
+        let full = enumerate(&spec, EnumerationOptions { prune: false, keep: 1, ..Default::default() }).unwrap();
+        let same = match (pruned.packages.first(), full.packages.first()) {
+            (None, None) => "yes (both empty)".to_string(),
+            (Some((_, a)), Some((_, b))) => {
+                if (a.unwrap_or(0.0) - b.unwrap_or(0.0)).abs() < 1e-6 {
+                    "yes".to_string()
+                } else {
+                    "NO".to_string()
+                }
+            }
+            _ => "NO".to_string(),
+        };
+        print_row(
+            &[
+                n.to_string(),
+                format!("{:.3e}", space.unpruned()),
+                format!("{:.3e}", space.pruned().unwrap_or(f64::NAN)),
+                format!("{:.1}", space.reduction_log2().unwrap_or(f64::NAN)),
+                full.nodes.to_string(),
+                pruned.nodes.to_string(),
+                same,
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e2_strategies() {
+    println!("## E2 — strategy crossover (§4, §5)\n");
+    let widths = [6, 20, 12, 14, 14, 10];
+    print_header(&["n", "strategy", "time (ms)", "objective", "opt gap (%)", "optimal?"], &widths);
+    for n in [20usize, 50, 200, 1000, 3000] {
+        // The ILP optimum is the reference for the gap column.
+        let ilp_engine = recipe_engine(n, Strategy::Ilp);
+        let t0 = Instant::now();
+        let ilp = run(&ilp_engine, MEAL_PLAN_QUERY);
+        let ilp_time = t0.elapsed();
+        let opt = ilp.best_objective();
+
+        let mut rows: Vec<(String, std::time::Duration, Option<f64>, bool)> =
+            vec![("ilp".into(), ilp_time, opt, true)];
+
+        if n <= 24 {
+            for (label, strat) in [("exhaustive", Strategy::Exhaustive), ("pruned-enum", Strategy::PrunedEnumeration)] {
+                let engine = recipe_engine(n, strat);
+                let t0 = Instant::now();
+                let r = run(&engine, MEAL_PLAN_QUERY);
+                rows.push((label.into(), t0.elapsed(), r.best_objective(), r.optimal));
+            }
+        } else if n <= 60 {
+            let engine = recipe_engine(n, Strategy::PrunedEnumeration);
+            let t0 = Instant::now();
+            let r = run(&engine, MEAL_PLAN_QUERY);
+            rows.push(("pruned-enum".into(), t0.elapsed(), r.best_objective(), r.optimal));
+        }
+        let ls_engine = recipe_engine(n, Strategy::LocalSearch);
+        let t0 = Instant::now();
+        let ls = run(&ls_engine, MEAL_PLAN_QUERY);
+        rows.push(("local-search".into(), t0.elapsed(), ls.best_objective(), false));
+
+        for (label, time, obj, optimal) in rows {
+            let gap = match (obj, opt) {
+                (Some(o), Some(best)) if best > 0.0 => format!("{:.2}", 100.0 * (best - o) / best),
+                _ => "-".to_string(),
+            };
+            print_row(
+                &[
+                    n.to_string(),
+                    label,
+                    ms(time),
+                    obj.map(|o| format!("{o:.1}")).unwrap_or_else(|| "-".into()),
+                    gap,
+                    if optimal { "yes".into() } else { "no".into() },
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+}
+
+fn e3_replacement() {
+    println!("## E3 — k-tuple replacement neighbourhood (§4.2)\n");
+    let widths = [6, 26, 14, 16];
+    print_header(&["n", "operation", "time (ms)", "result size"], &widths);
+    for n in [100usize, 400, 1600, 6400] {
+        let table = recipe_table(n);
+        let analyzed = paql::compile(MEAL_PLAN_QUERY_NO_FILTER, table.schema()).unwrap();
+        let spec = PackageSpec::build(&analyzed, &table).unwrap();
+        // Pick the three recipes closest to 900 kcal: the package lands a few
+        // hundred calories over the 2,500 budget, so single-tuple repairs exist
+        // (mirroring the paper's 3,000-calorie example).
+        let mut by_cal = spec.candidates.clone();
+        by_cal.sort_by(|a, b| {
+            let da = (table.value_f64(*a, "calories").unwrap() - 900.0).abs();
+            let db = (table.value_f64(*b, "calories").unwrap() - 900.0).abs();
+            da.total_cmp(&db)
+        });
+        let package = Package::from_ids(by_cal.iter().copied().take(3));
+        let total: f64 = package
+            .members()
+            .map(|(id, m)| table.value_f64(id, "calories").unwrap() * m as f64)
+            .sum();
+        let t0 = Instant::now();
+        let rel =
+            single_replacement_query(&table, &package, &spec.candidates, "calories", total, 2500.0).unwrap();
+        print_row(
+            &[
+                n.to_string(),
+                "1-replacement query".into(),
+                ms(t0.elapsed()),
+                format!("{} pairs", rel.len()),
+            ],
+            &widths,
+        );
+    }
+    // Local search with k = 1 vs k = 2 at fixed n: neighbourhood blow-up.
+    let table = recipe_table(300);
+    let analyzed = paql::compile(MEAL_PLAN_QUERY_NO_FILTER, table.schema()).unwrap();
+    let spec = PackageSpec::build(&analyzed, &table).unwrap();
+    for k in [1usize, 2] {
+        let t0 = Instant::now();
+        let out = local_search(
+            &spec,
+            &LocalSearchOptions { k, restarts: 2, max_moves: 100, ..Default::default() },
+        )
+        .unwrap();
+        print_row(
+            &[
+                "300".into(),
+                format!("local search k={k}"),
+                ms(t0.elapsed()),
+                format!("{} evals", out.evaluations),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e4_mealplan() {
+    println!("## E4 — meal-plan query end to end (§2, §7)\n");
+    let widths = [6, 14, 14, 16, 16, 14];
+    print_header(
+        &["n", "ilp (ms)", "ls (ms)", "ilp objective", "ls objective", "ls/opt (%)"],
+        &widths,
+    );
+    for n in [100usize, 500, 2000, 5000] {
+        let ilp_engine = recipe_engine(n, Strategy::Ilp);
+        let t0 = Instant::now();
+        let ilp = run(&ilp_engine, MEAL_PLAN_QUERY);
+        let ilp_time = t0.elapsed();
+        let ls_engine = recipe_engine(n, Strategy::LocalSearch);
+        let t0 = Instant::now();
+        let ls = run(&ls_engine, MEAL_PLAN_QUERY);
+        let ls_time = t0.elapsed();
+        let ratio = match (ls.best_objective(), ilp.best_objective()) {
+            (Some(a), Some(b)) if b > 0.0 => format!("{:.1}", 100.0 * a / b),
+            _ => "-".to_string(),
+        };
+        print_row(
+            &[
+                n.to_string(),
+                ms(ilp_time),
+                ms(ls_time),
+                ilp.best_objective().map(|o| format!("{o:.1}")).unwrap_or("-".into()),
+                ls.best_objective().map(|o| format!("{o:.1}")).unwrap_or("-".into()),
+                ratio,
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e5_interface() {
+    println!("## E5 — interface backends (§3.1–3.2, Fig. 1)\n");
+    let widths = [8, 28, 14, 14];
+    print_header(&["size", "operation", "time (ms)", "output"], &widths);
+    for n in [1_000usize, 10_000, 50_000] {
+        let table = recipe_table(n);
+        let t0 = Instant::now();
+        let s = suggest(&table, "P", &Highlight::Cell { tuple: TupleId(0), column: "fat".into() }).unwrap();
+        print_row(
+            &[n.to_string(), "suggest (cell highlight)".into(), ms(t0.elapsed()), format!("{} suggestions", s.len())],
+            &widths,
+        );
+        let t0 = Instant::now();
+        let s = suggest(&table, "P", &Highlight::Column { column: "calories".into() }).unwrap();
+        print_row(
+            &[n.to_string(), "suggest (column highlight)".into(), ms(t0.elapsed()), format!("{} suggestions", s.len())],
+            &widths,
+        );
+    }
+    let query = paql::parse(MEAL_PLAN_QUERY).unwrap();
+    let t0 = Instant::now();
+    let text = paql::pretty::describe_query(&query);
+    print_row(
+        &["-".into(), "natural-language description".into(), ms(t0.elapsed()), format!("{} chars", text.len())],
+        &widths,
+    );
+    let table = recipe_table(2_000);
+    let analyzed = paql::compile(MEAL_PLAN_QUERY, table.schema()).unwrap();
+    let spec = PackageSpec::build(&analyzed, &table).unwrap();
+    for m in [100usize, 1_000, 10_000] {
+        let packages: Vec<Package> = (0..m)
+            .map(|i| {
+                Package::from_ids(
+                    spec.candidates
+                        .iter()
+                        .copied()
+                        .cycle()
+                        .skip(i % spec.candidates.len())
+                        .take(3),
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        let summary = summarize(&spec, &packages, Some(0)).unwrap();
+        print_row(
+            &[m.to_string(), "2-D package-space summary".into(), ms(t0.elapsed()), format!("{} glyphs", summary.glyphs.len())],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e6_multiple() {
+    println!("## E6 — multiple & diverse packages (§5)\n");
+    let widths = [6, 26, 14, 16];
+    print_header(&["p", "method", "time (ms)", "result"], &widths);
+    let table = recipe_table(200);
+    let q = "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1500 MAXIMIZE SUM(P.protein)";
+    let analyzed = paql::compile(q, table.schema()).unwrap();
+    let spec = PackageSpec::build(&analyzed, &table).unwrap();
+    for p in [1usize, 5, 10, 20] {
+        let t0 = Instant::now();
+        let out = solve_ilp(&spec, &SolverConfig::default(), p).unwrap();
+        print_row(
+            &[
+                p.to_string(),
+                "ilp + no-good cuts".into(),
+                ms(t0.elapsed()),
+                format!("{} packages", out.packages.len()),
+            ],
+            &widths,
+        );
+    }
+    // Diversity: top-k by objective vs max-min diverse selection.
+    let small = recipe_table(18);
+    let analyzed = paql::compile(q, small.schema()).unwrap();
+    let small_spec = PackageSpec::build(&analyzed, &small).unwrap();
+    let pool: Vec<Package> = enumerate(&small_spec, EnumerationOptions { keep: 5_000, ..Default::default() })
+        .unwrap()
+        .packages
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+    for k in [5usize, 10] {
+        let topk: Vec<Package> = pool.iter().take(k).cloned().collect();
+        let t0 = Instant::now();
+        let diverse = select_diverse(&pool, k);
+        print_row(
+            &[
+                k.to_string(),
+                "max-min diverse selection".into(),
+                ms(t0.elapsed()),
+                format!("div {:.2} vs top-k {:.2}", diversity_score(&diverse), diversity_score(&topk)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e7_repeat() {
+    println!("## E7 — REPEAT multiplicities (§2)\n");
+    let widths = [8, 14, 16, 18];
+    print_header(&["repeat", "time (ms)", "objective", "max multiplicity"], &widths);
+    let engine = recipe_engine(300, Strategy::Ilp);
+    let mut last = f64::NEG_INFINITY;
+    for k in [1u32, 2, 3, 4] {
+        let q = format!(
+            "SELECT PACKAGE(R) AS P FROM recipes R REPEAT {k} \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+             MAXIMIZE SUM(P.protein)"
+        );
+        let t0 = Instant::now();
+        let r = run(&engine, &q);
+        let obj = r.best_objective().unwrap_or(f64::NAN);
+        let monotone = if obj + 1e-6 >= last { "" } else { "  (NOT monotone!)" };
+        last = obj;
+        print_row(
+            &[
+                k.to_string(),
+                ms(t0.elapsed()),
+                format!("{obj:.1}{monotone}"),
+                r.best().map(|p| p.max_multiplicity().to_string()).unwrap_or("-".into()),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn e8_explore() {
+    println!("## E8 — adaptive exploration (§3.3)\n");
+    let widths = [6, 8, 14, 18, 20];
+    print_header(&["n", "round", "time (ms)", "locked kept?", "inferred constraints"], &widths);
+    for n in [500usize, 5_000] {
+        let engine = recipe_engine(n, Strategy::Ilp);
+        let query = paql::parse(MEAL_PLAN_QUERY).unwrap();
+        let mut session = ExplorationSession::new(query);
+        let t0 = Instant::now();
+        session.sample(&engine).unwrap();
+        print_row(
+            &[n.to_string(), "0".into(), ms(t0.elapsed()), "-".into(), "-".into()],
+            &widths,
+        );
+        // Lock one tuple per round and refine.
+        for round in 1..=3usize {
+            let keep = session.current().unwrap().tuple_ids()[0];
+            session.lock(keep).unwrap();
+            let t0 = Instant::now();
+            let r = session.refine(&engine).unwrap();
+            let kept = r
+                .best()
+                .map(|p| session.locked().all(|t| p.multiplicity(t) > 0))
+                .unwrap_or(false);
+            let inferred = session.inferred_constraints(&engine).unwrap().len();
+            print_row(
+                &[
+                    n.to_string(),
+                    round.to_string(),
+                    ms(t0.elapsed()),
+                    if kept { "yes".into() } else { "NO".into() },
+                    inferred.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,90 @@
+//! Shared workload definitions for the experiment benches and the `harness`
+//! binary. Every experiment in `EXPERIMENTS.md` builds its inputs through
+//! this crate so the Criterion benches and the table-printing harness measure
+//! exactly the same configurations.
+
+use datagen::{recipes, Seed};
+use minidb::{Catalog, Table};
+use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::{PackageEngine, PackageResult, PbResult};
+
+/// The paper's running example (Section 2): the athlete's daily meal plan.
+pub const MEAL_PLAN_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    WHERE R.gluten = 'free' \
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+    MAXIMIZE SUM(P.protein)";
+
+/// A meal-plan variant without the gluten filter, used where the experiments
+/// need the candidate count to equal the relation size exactly.
+pub const MEAL_PLAN_QUERY_NO_FILTER: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+    MAXIMIZE SUM(P.protein)";
+
+/// Default seed for all experiment workloads.
+pub const BENCH_SEED: u64 = 20140901; // VLDB 2014
+
+/// Builds an engine over a recipes table of `n` rows.
+pub fn recipe_engine(n: usize, strategy: Strategy) -> PackageEngine {
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(n, Seed(BENCH_SEED)));
+    PackageEngine::with_config(catalog, EngineConfig::with_strategy(strategy).with_seed(BENCH_SEED))
+}
+
+/// Builds just the recipes table of `n` rows (for spec-level experiments).
+pub fn recipe_table(n: usize) -> Table {
+    recipes(n, Seed(BENCH_SEED))
+}
+
+/// Runs a query on an engine and panics with context on error — benches want
+/// loud failures, not silently skipped measurements.
+pub fn run(engine: &PackageEngine, query: &str) -> PackageResult {
+    match engine.execute_paql(query) {
+        Ok(r) => r,
+        Err(e) => panic!("benchmark query failed: {e}\nquery: {query}"),
+    }
+}
+
+/// Runs a query, returning the error instead of panicking (used by harness
+/// rows that probe intractable configurations).
+pub fn try_run(engine: &PackageEngine, query: &str) -> PbResult<PackageResult> {
+    engine.execute_paql(query)
+}
+
+/// Formats a duration in milliseconds with three decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a fixed-width table row for the harness output.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Prints a table header and separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_run_the_meal_plan_query() {
+        let engine = recipe_engine(120, Strategy::Auto);
+        let r = run(&engine, MEAL_PLAN_QUERY);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn ms_formats_three_decimals() {
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.000");
+    }
+}

@@ -1,0 +1,126 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+use lp_solver::SolverConfig;
+
+/// Which evaluation strategy to use for a package query.
+///
+/// The paper's engine "heuristically combines all of them to efficiently
+/// derive packages" (Section 5); [`Strategy::Auto`] implements that policy,
+/// while the explicit variants exist for experiments and for the ablation
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Let the engine pick (ILP when the query is linear and conjunctive,
+    /// enumeration for tiny candidate sets, local search otherwise).
+    Auto,
+    /// Translate to an integer linear program and call the solver.
+    Ilp,
+    /// Enumerate candidate packages with cardinality and partial-sum pruning.
+    PrunedEnumeration,
+    /// Enumerate all candidate packages without pruning (baseline).
+    Exhaustive,
+    /// Greedy construction plus k-tuple-replacement local search.
+    LocalSearch,
+}
+
+/// Tunable engine parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Strategy selection.
+    pub strategy: Strategy,
+    /// How many packages to return (best first). Values above 1 use no-good
+    /// cuts (ILP, binary multiplicities), top-k tracking (enumeration) or
+    /// restarts (local search).
+    pub num_packages: usize,
+    /// Solver limits for the ILP strategy.
+    pub solver: SolverConfig,
+    /// Maximum number of search nodes the enumeration strategies may expand.
+    pub max_enumeration_nodes: u64,
+    /// Candidate-set size at or below which `Auto` prefers pruned enumeration
+    /// over the solver (enumeration is exact and has no solver overhead for
+    /// tiny inputs).
+    pub enumeration_threshold: usize,
+    /// Local search: neighbourhood size (how many tuples a single move may
+    /// replace). The paper notes k-replacements need a 2k-way join and
+    /// "quickly become intractable"; 1 or 2 are the practical values.
+    pub replacement_k: usize,
+    /// Local search: maximum number of moves per restart.
+    pub max_local_moves: usize,
+    /// Local search: number of random restarts.
+    pub local_restarts: usize,
+    /// Seed for the randomized components (starting packages, restarts).
+    pub seed: u64,
+    /// Overall wall-clock budget for one query evaluation (None = unlimited).
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: Strategy::Auto,
+            num_packages: 1,
+            solver: SolverConfig::default(),
+            max_enumeration_nodes: 20_000_000,
+            enumeration_threshold: 22,
+            replacement_k: 1,
+            max_local_moves: 10_000,
+            local_restarts: 8,
+            seed: 42,
+            time_budget: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration forcing a specific strategy.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        EngineConfig { strategy, ..Default::default() }
+    }
+
+    /// Sets the number of packages to return.
+    pub fn packages(mut self, n: usize) -> Self {
+        self.num_packages = n.max(1);
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-query wall-clock budget (also forwarded to the solver).
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self.solver.time_limit = Some(budget);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = EngineConfig::default();
+        assert_eq!(c.strategy, Strategy::Auto);
+        assert_eq!(c.num_packages, 1);
+        assert!(c.enumeration_threshold >= 10);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = EngineConfig::with_strategy(Strategy::Ilp)
+            .packages(5)
+            .with_seed(7)
+            .with_time_budget(Duration::from_millis(100));
+        assert_eq!(c.strategy, Strategy::Ilp);
+        assert_eq!(c.num_packages, 5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.solver.time_limit, Some(Duration::from_millis(100)));
+        assert_eq!(EngineConfig::default().packages(0).num_packages, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Diverse package results (paper Section 5).
+//!
+//! "The number of solutions to a package query can potentially be extremely
+//! large ... We plan to devise techniques to present the user with the most
+//! diverse and potentially interesting packages." This module implements the
+//! standard max-min dispersion greedy over package supports: starting from
+//! the best package, it repeatedly adds the candidate package that maximizes
+//! the minimum distance to the already-selected set.
+
+use crate::package::Package;
+
+/// Jaccard distance between the supports of two packages
+/// (1 − |A ∩ B| / |A ∪ B|, treating multiplicities as set membership).
+pub fn jaccard_distance(a: &Package, b: &Package) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let sa: Vec<_> = a.tuple_ids();
+    let sb: Vec<_> = b.tuple_ids();
+    let mut intersection = 0usize;
+    let mut i = 0;
+    let mut j = 0;
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Equal => {
+                intersection += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let union = sa.len() + sb.len() - intersection;
+    1.0 - intersection as f64 / union as f64
+}
+
+/// Selects up to `k` diverse packages from `candidates` (assumed sorted best
+/// first). The first (best) package is always kept; subsequent picks maximize
+/// the minimum Jaccard distance to the picks so far, breaking ties in favour
+/// of better-ranked packages.
+pub fn select_diverse(candidates: &[Package], k: usize) -> Vec<Package> {
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut selected: Vec<Package> = vec![candidates[0].clone()];
+    let mut remaining: Vec<&Package> = candidates.iter().skip(1).collect();
+    while selected.len() < k && !remaining.is_empty() {
+        let mut best_idx = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (idx, cand) in remaining.iter().enumerate() {
+            let score = selected
+                .iter()
+                .map(|s| jaccard_distance(s, cand))
+                .fold(f64::INFINITY, f64::min);
+            if score > best_score + 1e-12 {
+                best_score = score;
+                best_idx = idx;
+            }
+        }
+        selected.push(remaining.remove(best_idx).clone());
+    }
+    selected
+}
+
+/// Average pairwise Jaccard distance of a set of packages (a simple diversity
+/// score used by experiment E6).
+pub fn diversity_score(packages: &[Package]) -> f64 {
+    if packages.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..packages.len() {
+        for j in i + 1..packages.len() {
+            total += jaccard_distance(&packages[i], &packages[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::TupleId;
+
+    fn pkg(ids: &[u32]) -> Package {
+        Package::from_ids(ids.iter().map(|&i| TupleId(i)))
+    }
+
+    #[test]
+    fn jaccard_distance_basics() {
+        assert_eq!(jaccard_distance(&pkg(&[1, 2, 3]), &pkg(&[1, 2, 3])), 0.0);
+        assert_eq!(jaccard_distance(&pkg(&[1, 2]), &pkg(&[3, 4])), 1.0);
+        let d = jaccard_distance(&pkg(&[1, 2, 3]), &pkg(&[2, 3, 4]));
+        assert!((d - 0.5).abs() < 1e-9);
+        assert_eq!(jaccard_distance(&Package::new(), &Package::new()), 0.0);
+        assert_eq!(jaccard_distance(&Package::new(), &pkg(&[1])), 1.0);
+    }
+
+    #[test]
+    fn select_diverse_prefers_disjoint_packages() {
+        let candidates = vec![
+            pkg(&[1, 2, 3]), // best
+            pkg(&[1, 2, 4]), // near-duplicate of best
+            pkg(&[7, 8, 9]), // disjoint
+            pkg(&[1, 3, 4]),
+        ];
+        let picked = select_diverse(&candidates, 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], candidates[0]);
+        assert_eq!(picked[1], candidates[2], "should pick the disjoint package second");
+        // Diversity of the picked pair beats the top-2 prefix.
+        assert!(diversity_score(&picked) > diversity_score(&candidates[..2].to_vec()));
+    }
+
+    #[test]
+    fn select_diverse_handles_small_inputs() {
+        assert!(select_diverse(&[], 3).is_empty());
+        let one = vec![pkg(&[1])];
+        assert_eq!(select_diverse(&one, 3).len(), 1);
+        assert_eq!(select_diverse(&one, 0).len(), 0);
+    }
+
+    #[test]
+    fn diversity_score_ranges() {
+        assert_eq!(diversity_score(&[pkg(&[1])]), 0.0);
+        let all_disjoint = vec![pkg(&[1]), pkg(&[2]), pkg(&[3])];
+        assert!((diversity_score(&all_disjoint) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,298 @@
+//! The package query engine: strategy selection and the public API.
+
+use minidb::Catalog;
+use paql::{analyze, parse, AnalyzedQuery, PaqlQuery};
+
+use crate::config::{EngineConfig, Strategy};
+use crate::enumerate::{enumerate, EnumerationOptions};
+use crate::error::PbError;
+use crate::ilp::{linearization_obstacle, solve_ilp};
+use crate::local_search::{local_search, LocalSearchOptions};
+use crate::result::PackageResult;
+use crate::spec::PackageSpec;
+use crate::PbResult;
+
+/// The PackageBuilder query engine.
+///
+/// "PackageBuilder is an external module which communicates with the DBMS,
+/// where the data resides, via SQL" (Section 4); here the [`Catalog`] plays
+/// the role of that DBMS connection. The engine parses PaQL, evaluates base
+/// constraints against the catalog, and picks an evaluation strategy:
+/// the paper's system "heuristically combines" SQL-based generate-and-validate,
+/// constraint solvers, pruning and local search — [`Strategy::Auto`] encodes
+/// that policy.
+#[derive(Debug, Clone)]
+pub struct PackageEngine {
+    catalog: Catalog,
+    config: EngineConfig,
+}
+
+impl PackageEngine {
+    /// Creates an engine with default configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        PackageEngine { catalog, config: EngineConfig::default() }
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(catalog: Catalog, config: EngineConfig) -> Self {
+        PackageEngine { catalog, config }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (to register new relations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// Parses, analyzes and evaluates a PaQL query.
+    pub fn execute_paql(&self, text: &str) -> PbResult<PackageResult> {
+        let query = parse(text)?;
+        self.execute(&query)
+    }
+
+    /// Analyzes and evaluates an already-parsed query.
+    pub fn execute(&self, query: &PaqlQuery) -> PbResult<PackageResult> {
+        let analyzed = self.analyze(query)?;
+        let table = self.relation(&analyzed.query)?;
+        let spec = PackageSpec::build(&analyzed, table)?;
+        self.execute_spec(&spec)
+    }
+
+    /// Analyzes a query against the catalog (resolving the relation schema).
+    pub fn analyze(&self, query: &PaqlQuery) -> PbResult<AnalyzedQuery> {
+        let table = self.relation(query)?;
+        Ok(analyze(query, table.schema())?)
+    }
+
+    /// Looks up the base relation of a query.
+    pub fn relation(&self, query: &PaqlQuery) -> PbResult<&minidb::Table> {
+        self.catalog
+            .table(&query.relation)
+            .ok_or_else(|| PbError::UnknownRelation(query.relation.clone()))
+    }
+
+    /// Builds the executable spec for a query (exposed for the interface
+    /// layers: exploration, suggestion, summaries).
+    pub fn build_spec<'a>(&'a self, query: &PaqlQuery) -> PbResult<PackageSpec<'a>> {
+        let analyzed = self.analyze(query)?;
+        let table = self.relation(&analyzed.query)?;
+        PackageSpec::build(&analyzed, table)
+    }
+
+    /// Evaluates a spec with the configured strategy.
+    pub fn execute_spec(&self, spec: &PackageSpec<'_>) -> PbResult<PackageResult> {
+        let strategy = self.resolve_strategy(spec);
+        self.execute_with_strategy(spec, strategy)
+    }
+
+    /// The `Auto` policy: ILP when the query is linear and conjunctive,
+    /// pruned enumeration for tiny candidate sets or non-linear queries that
+    /// still fit, local search otherwise.
+    pub fn resolve_strategy(&self, spec: &PackageSpec<'_>) -> Strategy {
+        match self.config.strategy {
+            Strategy::Auto => {
+                let n = spec.candidate_count();
+                if n <= self.config.enumeration_threshold {
+                    return Strategy::PrunedEnumeration;
+                }
+                if linearization_obstacle(spec).is_none() {
+                    Strategy::Ilp
+                } else {
+                    Strategy::LocalSearch
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Evaluates a spec with an explicit strategy (used by the experiments).
+    pub fn execute_with_strategy(&self, spec: &PackageSpec<'_>, strategy: Strategy) -> PbResult<PackageResult> {
+        match strategy {
+            Strategy::Auto => self.execute_spec(spec),
+            Strategy::Ilp => {
+                let out = solve_ilp(spec, &self.config.solver, self.config.num_packages)?;
+                Ok(PackageResult::from_pairs(out.packages, true, out.stats))
+            }
+            Strategy::PrunedEnumeration | Strategy::Exhaustive => {
+                let out = enumerate(
+                    spec,
+                    EnumerationOptions {
+                        prune: strategy == Strategy::PrunedEnumeration,
+                        max_nodes: self.config.max_enumeration_nodes,
+                        keep: self.config.num_packages,
+                    },
+                )?;
+                let complete = out.complete;
+                Ok(PackageResult::from_pairs(out.packages, complete, out.stats))
+            }
+            Strategy::LocalSearch => {
+                let out = local_search(
+                    spec,
+                    &LocalSearchOptions {
+                        k: self.config.replacement_k,
+                        max_moves: self.config.max_local_moves,
+                        restarts: self.config.local_restarts,
+                        seed: self.config.seed,
+                        keep: self.config.num_packages,
+                    },
+                )?;
+                Ok(PackageResult::from_pairs(out.packages, false, out.stats))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::StrategyUsed;
+    use datagen::{recipes, standard_catalog, Seed};
+
+    const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+    fn small_engine(n: usize, seed: u64) -> PackageEngine {
+        let mut catalog = Catalog::new();
+        catalog.register(recipes(n, Seed(seed)));
+        PackageEngine::new(catalog)
+    }
+
+    #[test]
+    fn executes_the_paper_query_end_to_end() {
+        let engine = small_engine(300, 1);
+        let result = engine.execute_paql(MEAL_QUERY).unwrap();
+        assert!(!result.is_empty());
+        let best = result.best().unwrap();
+        assert_eq!(best.cardinality(), 3);
+        assert!(result.best_objective().unwrap() > 0.0);
+        assert!(result.optimal);
+        let table = engine.catalog().table("recipes").unwrap();
+        assert!(result.describe(table).contains("objective value"));
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let engine = small_engine(10, 2);
+        let err = engine
+            .execute_paql("SELECT PACKAGE(X) AS P FROM missing X SUCH THAT COUNT(*) = 1")
+            .unwrap_err();
+        assert!(matches!(err, PbError::UnknownRelation(r) if r == "missing"));
+    }
+
+    #[test]
+    fn auto_uses_enumeration_for_tiny_inputs() {
+        let engine = small_engine(15, 3);
+        let result = engine
+            .execute_paql("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 MAXIMIZE SUM(P.protein)")
+            .unwrap();
+        assert_eq!(result.stats.strategy, StrategyUsed::PrunedEnumeration);
+        assert!(result.optimal);
+    }
+
+    #[test]
+    fn auto_uses_ilp_for_linear_queries_on_larger_inputs() {
+        let engine = small_engine(200, 4);
+        let result = engine.execute_paql(MEAL_QUERY).unwrap();
+        assert_eq!(result.stats.strategy, StrategyUsed::Ilp);
+    }
+
+    #[test]
+    fn auto_falls_back_to_local_search_for_non_linear_queries() {
+        let engine = small_engine(200, 5);
+        let result = engine
+            .execute_paql(
+                "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+                 SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+                 MAXIMIZE SUM(P.protein)",
+            )
+            .unwrap();
+        assert_eq!(result.stats.strategy, StrategyUsed::LocalSearch);
+        if let Some(best) = result.best() {
+            // The heuristic result must still be a valid package.
+            let spec = engine
+                .build_spec(&paql::parse(
+                    "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+                     SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+                     MAXIMIZE SUM(P.protein)",
+                ).unwrap())
+                .unwrap();
+            assert!(spec.is_valid(best).unwrap());
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_the_optimal_objective() {
+        let engine = small_engine(60, 6);
+        let query = paql::parse(
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1200 MAXIMIZE SUM(P.protein)",
+        )
+        .unwrap();
+        let spec = engine.build_spec(&query).unwrap();
+        let ilp = engine.execute_with_strategy(&spec, Strategy::Ilp).unwrap();
+        let pruned = engine.execute_with_strategy(&spec, Strategy::PrunedEnumeration).unwrap();
+        let ls = engine.execute_with_strategy(&spec, Strategy::LocalSearch).unwrap();
+        let opt = ilp.best_objective().unwrap();
+        assert!((pruned.best_objective().unwrap() - opt).abs() < 1e-6);
+        // Local search is heuristic but must not exceed the optimum.
+        assert!(ls.best_objective().unwrap() <= opt + 1e-6);
+    }
+
+    #[test]
+    fn multiple_packages_are_returned_best_first() {
+        let mut catalog = Catalog::new();
+        catalog.register(recipes(80, Seed(7)));
+        let engine = PackageEngine::with_config(catalog, EngineConfig::default().packages(5));
+        let result = engine
+            .execute_paql(
+                "SELECT PACKAGE(R) AS P FROM recipes R \
+                 SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1500 MAXIMIZE SUM(P.protein)",
+            )
+            .unwrap();
+        assert_eq!(result.len(), 5);
+        for w in result.objectives.windows(2) {
+            assert!(w[0].unwrap() >= w[1].unwrap() - 1e-6);
+        }
+    }
+
+    #[test]
+    fn standard_catalog_queries_run_on_every_scenario_relation() {
+        let engine = PackageEngine::new(standard_catalog(Seed(8)));
+        // Vacation: flights + hotels under $2000.
+        let vacation = engine
+            .execute_paql(
+                "SELECT PACKAGE(T) AS P FROM travel_options T \
+                 SUCH THAT COUNT(*) FILTER (WHERE T.kind = 'flight') = 1 AND \
+                           COUNT(*) FILTER (WHERE T.kind = 'hotel') = 1 AND \
+                           COUNT(*) FILTER (WHERE T.kind = 'car') <= 1 AND \
+                           SUM(P.price) <= 2000 \
+                 MAXIMIZE SUM(P.comfort)",
+            )
+            .unwrap();
+        assert!(!vacation.is_empty());
+        // Portfolio: budget + 30% technology.
+        let portfolio = engine
+            .execute_paql(
+                "SELECT PACKAGE(S) AS P FROM stocks S \
+                 SUCH THAT SUM(P.price) <= 50000 AND \
+                           SUM(P.price) FILTER (WHERE S.sector = 'technology') >= 0.3 * SUM(P.price) \
+                 MAXIMIZE SUM(P.expected_return)",
+            )
+            .unwrap();
+        assert!(!portfolio.is_empty());
+    }
+}

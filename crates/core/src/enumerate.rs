@@ -1,0 +1,436 @@
+//! Enumeration strategies: exhaustive and pruned candidate-package search.
+//!
+//! This is the "generate and validate candidate packages" strategy of
+//! Section 4, made practical by two bounding rules applied during the
+//! depth-first search over candidate multiplicities:
+//!
+//! * **cardinality bounds** from [`crate::pruning`] — branches whose
+//!   cardinality can no longer land inside `[l, u]` are cut;
+//! * **partial-sum bounds** — for every linearizable conjunctive constraint
+//!   the search keeps the running sum plus the best/worst contribution still
+//!   reachable from the remaining candidates, and cuts branches that cannot
+//!   possibly re-enter the feasible interval.
+//!
+//! Exhaustive mode disables both rules and is used as the brute-force
+//! baseline of experiments E1/E2.
+
+use std::time::Instant;
+
+use lp_solver::ConstraintOp;
+use paql::ObjectiveDirection;
+
+use crate::error::PbError;
+use crate::ilp::{linearize_expr, linearize_formula, LinearConstraint};
+use crate::package::Package;
+use crate::pruning::{derive_bounds, CardinalityBounds};
+use crate::result::{EvalStats, StrategyUsed};
+use crate::spec::PackageSpec;
+use crate::PbResult;
+
+/// Options for the enumeration strategies.
+#[derive(Debug, Clone)]
+pub struct EnumerationOptions {
+    /// Apply cardinality and partial-sum pruning.
+    pub prune: bool,
+    /// Maximum number of search nodes to expand before giving up.
+    pub max_nodes: u64,
+    /// Number of best packages to keep (all feasible ones when the query has
+    /// no objective, up to this many).
+    pub keep: usize,
+}
+
+impl Default for EnumerationOptions {
+    fn default() -> Self {
+        EnumerationOptions { prune: true, max_nodes: 20_000_000, keep: 1 }
+    }
+}
+
+/// Outcome of an enumeration run.
+pub struct EnumerationOutcome {
+    /// Best packages found (best first under the objective, insertion order
+    /// otherwise), with objective values.
+    pub packages: Vec<(Package, Option<f64>)>,
+    /// True when the whole (pruned) space was explored, i.e. the best package
+    /// is provably optimal.
+    pub complete: bool,
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// Number of feasible packages encountered.
+    pub feasible_found: u64,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+struct Searcher<'a, 's> {
+    spec: &'s PackageSpec<'a>,
+    opts: EnumerationOptions,
+    bounds: CardinalityBounds,
+    linear: Vec<LinearConstraint>,
+    /// Per-constraint suffix arrays: the maximum / minimum additional
+    /// contribution obtainable from candidates `i..n`.
+    suffix_max: Vec<Vec<f64>>,
+    suffix_min: Vec<Vec<f64>>,
+    objective: Option<(ObjectiveDirection, Vec<f64>)>,
+    current: Vec<u32>,
+    sums: Vec<f64>,
+    cardinality: u64,
+    nodes: u64,
+    feasible: u64,
+    best: Vec<(Package, Option<f64>)>,
+    aborted: bool,
+}
+
+impl<'a, 's> Searcher<'a, 's> {
+    fn new(spec: &'s PackageSpec<'a>, opts: EnumerationOptions) -> Self {
+        let n = spec.candidate_count();
+        let r = spec.max_multiplicity as f64;
+        let bounds = if opts.prune {
+            derive_bounds(spec).clamp_to(n as u64 * spec.max_multiplicity as u64)
+        } else {
+            CardinalityBounds::unbounded().clamp_to(n as u64 * spec.max_multiplicity as u64)
+        };
+        // Linear constraints power the partial-sum bound; they are only an
+        // accelerator, feasibility is always re-checked exactly.
+        let linear = if opts.prune {
+            spec.formula
+                .as_ref()
+                .and_then(|f| linearize_formula(spec, f).ok())
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let mut suffix_max = Vec::with_capacity(linear.len());
+        let mut suffix_min = Vec::with_capacity(linear.len());
+        for lc in &linear {
+            let mut smax = vec![0.0; n + 1];
+            let mut smin = vec![0.0; n + 1];
+            for i in (0..n).rev() {
+                let c = lc.coeffs[i] * r;
+                smax[i] = smax[i + 1] + c.max(0.0);
+                smin[i] = smin[i + 1] + c.min(0.0);
+            }
+            suffix_max.push(smax);
+            suffix_min.push(smin);
+        }
+        let objective = spec.objective.as_ref().and_then(|o| {
+            linearize_expr(spec, &o.expr)
+                .ok()
+                .map(|lin| (o.direction, lin.coeffs))
+        });
+        Searcher {
+            spec,
+            bounds,
+            linear,
+            suffix_max,
+            suffix_min,
+            objective,
+            current: vec![0; n],
+            sums: Vec::new(),
+            cardinality: 0,
+            nodes: 0,
+            feasible: 0,
+            best: Vec::new(),
+            aborted: false,
+            opts,
+        }
+    }
+
+    fn record_if_feasible(&mut self) -> PbResult<()> {
+        let package = Package::from_members(
+            self.current
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m > 0)
+                .map(|(i, &m)| (self.spec.candidates[i], m)),
+        );
+        if !self.spec.is_valid(&package)? {
+            return Ok(());
+        }
+        self.feasible += 1;
+        let objective = self.spec.objective_value(&package)?;
+        let entry = (package, objective);
+        match &self.objective {
+            None => {
+                if self.best.len() < self.opts.keep {
+                    self.best.push(entry);
+                }
+            }
+            Some((direction, _)) => {
+                self.best.push(entry);
+                let dir = *direction;
+                self.best.sort_by(|a, b| {
+                    let cmp = match (a.1, b.1) {
+                        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                        (Some(_), None) => std::cmp::Ordering::Greater,
+                        (None, Some(_)) => std::cmp::Ordering::Less,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    };
+                    match dir {
+                        ObjectiveDirection::Maximize => cmp.reverse(),
+                        ObjectiveDirection::Minimize => cmp,
+                    }
+                });
+                self.best.truncate(self.opts.keep);
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the subtree rooted at position `idx` cannot contain a
+    /// feasible package.
+    fn prune_subtree(&self, idx: usize) -> bool {
+        if !self.opts.prune {
+            return false;
+        }
+        let n = self.spec.candidate_count() as u64;
+        let r = self.spec.max_multiplicity as u64;
+        // Cardinality window.
+        let remaining_capacity = (n - idx as u64) * r;
+        if self.cardinality > self.bounds.upper.unwrap_or(u64::MAX) {
+            return true;
+        }
+        if self.cardinality + remaining_capacity < self.bounds.lower {
+            return true;
+        }
+        // Partial-sum windows.
+        for (c, lc) in self.linear.iter().enumerate() {
+            let cur = self.sums[c];
+            let max_additional = self.suffix_max[c][idx];
+            let min_additional = self.suffix_min[c][idx];
+            match lc.op {
+                ConstraintOp::Le => {
+                    if cur + min_additional > lc.rhs + 1e-9 {
+                        return true;
+                    }
+                }
+                ConstraintOp::Ge => {
+                    if cur + max_additional < lc.rhs - 1e-9 {
+                        return true;
+                    }
+                }
+                ConstraintOp::Eq => {
+                    if cur + min_additional > lc.rhs + 1e-9 || cur + max_additional < lc.rhs - 1e-9 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn dfs(&mut self, idx: usize) -> PbResult<()> {
+        if self.aborted {
+            return Ok(());
+        }
+        self.nodes += 1;
+        if self.nodes > self.opts.max_nodes {
+            self.aborted = true;
+            return Ok(());
+        }
+        if self.prune_subtree(idx) {
+            return Ok(());
+        }
+        if idx == self.spec.candidate_count() {
+            // A leaf is a complete multiplicity assignment.
+            if !self.opts.prune
+                || (self.cardinality >= self.bounds.lower
+                    && self.cardinality <= self.bounds.upper.unwrap_or(u64::MAX))
+            {
+                self.record_if_feasible()?;
+            }
+            return Ok(());
+        }
+        for mult in 0..=self.spec.max_multiplicity {
+            self.current[idx] = mult;
+            self.cardinality += mult as u64;
+            for (c, lc) in self.linear.iter().enumerate() {
+                self.sums[c] += lc.coeffs[idx] * mult as f64;
+            }
+            self.dfs(idx + 1)?;
+            for (c, lc) in self.linear.iter().enumerate() {
+                self.sums[c] -= lc.coeffs[idx] * mult as f64;
+            }
+            self.cardinality -= mult as u64;
+            self.current[idx] = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates packages for a spec.
+pub fn enumerate(spec: &PackageSpec<'_>, opts: EnumerationOptions) -> PbResult<EnumerationOutcome> {
+    let start = Instant::now();
+    if spec.candidate_count() > 64 && !opts.prune {
+        // 2^64 leaves is never going to finish; refuse instead of spinning.
+        return Err(PbError::Unsupported(format!(
+            "exhaustive enumeration over {} candidates is intractable; use pruning, the solver or local search",
+            spec.candidate_count()
+        )));
+    }
+    let prune = opts.prune;
+    let mut searcher = Searcher::new(spec, opts);
+    searcher.sums = vec![0.0; searcher.linear.len()];
+    if searcher.bounds.is_empty() {
+        // Contradictory cardinality bounds: provably no valid package.
+        return Ok(EnumerationOutcome {
+            packages: Vec::new(),
+            complete: true,
+            nodes: 0,
+            feasible_found: 0,
+            stats: EvalStats {
+                strategy: if prune { StrategyUsed::PrunedEnumeration } else { StrategyUsed::Exhaustive },
+                candidates: spec.candidate_count(),
+                nodes: 0,
+                iterations: 0,
+                elapsed: start.elapsed(),
+            },
+        });
+    }
+    searcher.dfs(0)?;
+    let complete = !searcher.aborted;
+    Ok(EnumerationOutcome {
+        packages: searcher.best.clone(),
+        complete,
+        nodes: searcher.nodes,
+        feasible_found: searcher.feasible,
+        stats: EvalStats {
+            strategy: if prune { StrategyUsed::PrunedEnumeration } else { StrategyUsed::Exhaustive },
+            candidates: spec.candidate_count(),
+            nodes: searcher.nodes,
+            iterations: searcher.feasible,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{recipes, uniform_table, Seed};
+    use lp_solver::SolverConfig;
+    use minidb::Table;
+    use paql::compile;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    const SMALL_QUERY: &str = "SELECT PACKAGE(T) AS P FROM t T \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.w) BETWEEN 30 AND 40 MAXIMIZE SUM(P.v)";
+
+    #[test]
+    fn pruned_and_exhaustive_agree_on_the_optimum() {
+        let t = uniform_table("t", 14, 5.0, 20.0, Seed(1));
+        let spec = spec_for(&t, SMALL_QUERY);
+        let pruned = enumerate(&spec, EnumerationOptions { prune: true, ..Default::default() }).unwrap();
+        let exhaustive = enumerate(&spec, EnumerationOptions { prune: false, ..Default::default() }).unwrap();
+        assert!(pruned.complete && exhaustive.complete);
+        match (pruned.packages.first(), exhaustive.packages.first()) {
+            (None, None) => {}
+            (Some((_, a)), Some((_, b))) => {
+                assert!((a.unwrap() - b.unwrap()).abs() < 1e-9, "pruning changed the optimum");
+            }
+            other => panic!("pruning changed feasibility: {other:?}"),
+        }
+        assert!(
+            pruned.nodes <= exhaustive.nodes,
+            "pruning should not expand more nodes ({} vs {})",
+            pruned.nodes,
+            exhaustive.nodes
+        );
+    }
+
+    #[test]
+    fn pruning_matches_the_ilp_optimum() {
+        let t = recipes(18, Seed(2));
+        let q = "SELECT PACKAGE(R) AS P FROM recipes R \
+                 SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1200 AND 2500 \
+                 MAXIMIZE SUM(P.protein)";
+        let spec = spec_for(&t, q);
+        let enumerated = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        let ilp = crate::ilp::solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let a = enumerated.packages.first().map(|(_, o)| o.unwrap());
+        let b = ilp.packages.first().map(|(_, o)| o.unwrap());
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6, "enumeration {x} vs ilp {y}"),
+            (None, None) => {}
+            other => panic!("strategies disagree on feasibility: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_feasible_packages_without_objective() {
+        let t = uniform_table("t", 10, 5.0, 10.0, Seed(3));
+        let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2");
+        let out = enumerate(&spec, EnumerationOptions { keep: 100, ..Default::default() }).unwrap();
+        assert_eq!(out.feasible_found, 45); // C(10,2)
+        assert_eq!(out.packages.len(), 45);
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn node_budget_aborts_cleanly() {
+        let t = uniform_table("t", 30, 5.0, 10.0, Seed(4));
+        let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 5");
+        let out = enumerate(
+            &spec,
+            EnumerationOptions { prune: true, max_nodes: 1000, keep: 1 },
+        )
+        .unwrap();
+        assert!(!out.complete);
+        assert!(out.nodes <= 1001);
+    }
+
+    #[test]
+    fn exhaustive_over_large_inputs_is_refused() {
+        let t = uniform_table("t", 80, 5.0, 10.0, Seed(5));
+        let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2");
+        assert!(matches!(
+            enumerate(&spec, EnumerationOptions { prune: false, ..Default::default() }),
+            Err(PbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn contradictory_bounds_short_circuit() {
+        let t = uniform_table("t", 25, 5.0, 10.0, Seed(6));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) >= 5 AND COUNT(*) <= 3",
+        );
+        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        assert!(out.packages.is_empty());
+        assert!(out.complete);
+        assert_eq!(out.nodes, 0);
+    }
+
+    #[test]
+    fn repeat_multiplicities_are_enumerated() {
+        let t = uniform_table("t", 6, 5.0, 10.0, Seed(7));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T REPEAT 2 SUCH THAT COUNT(*) = 4 MAXIMIZE SUM(P.v)",
+        );
+        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        let (best, _) = out.packages.first().unwrap();
+        assert_eq!(best.cardinality(), 4);
+        // The optimum should repeat the highest-value tuples.
+        assert!(best.max_multiplicity() <= 2);
+    }
+
+    #[test]
+    fn non_linear_formulas_still_enumerate_correctly() {
+        // AVG is not linearizable, so no partial-sum pruning applies, but the
+        // enumeration must still validate exactly.
+        let t = uniform_table("t", 12, 5.0, 10.0, Seed(8));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2 AND AVG(P.w) <= 7 MAXIMIZE SUM(P.v)",
+        );
+        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        for (p, _) in &out.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+}

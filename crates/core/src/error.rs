@@ -1,0 +1,79 @@
+//! Engine error type.
+
+use std::fmt;
+
+use lp_solver::LpError;
+use minidb::DbError;
+use paql::PaqlError;
+
+/// Errors produced by the package query engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbError {
+    /// Error from the relational substrate.
+    Db(DbError),
+    /// Error from the PaQL front end.
+    Paql(PaqlError),
+    /// Error from the LP/MILP solver substrate.
+    Solver(LpError),
+    /// The query references a relation that is not in the catalog.
+    UnknownRelation(String),
+    /// The query (or the requested strategy) cannot be evaluated by the
+    /// chosen method, e.g. a non-linear global constraint sent to the ILP
+    /// translator.
+    Unsupported(String),
+    /// The evaluation budget (time, nodes, restarts) was exhausted before a
+    /// valid package was found. This does not imply the query is infeasible.
+    BudgetExhausted(String),
+    /// Any other engine-level invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for PbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbError::Db(e) => write!(f, "database error: {e}"),
+            PbError::Paql(e) => write!(f, "PaQL error: {e}"),
+            PbError::Solver(e) => write!(f, "solver error: {e}"),
+            PbError::UnknownRelation(r) => write!(f, "unknown relation '{r}'"),
+            PbError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            PbError::BudgetExhausted(m) => write!(f, "evaluation budget exhausted: {m}"),
+            PbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PbError {}
+
+impl From<DbError> for PbError {
+    fn from(e: DbError) -> Self {
+        PbError::Db(e)
+    }
+}
+
+impl From<PaqlError> for PbError {
+    fn from(e: PaqlError) -> Self {
+        PbError::Paql(e)
+    }
+}
+
+impl From<LpError> for PbError {
+    fn from(e: LpError) -> Self {
+        PbError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PbError = DbError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("unknown column"));
+        let e: PbError = PaqlError::Semantic("bad".into()).into();
+        assert!(e.to_string().contains("PaQL"));
+        let e: PbError = LpError::IterationLimit.into();
+        assert!(e.to_string().contains("solver"));
+        assert!(PbError::UnknownRelation("meals".into()).to_string().contains("meals"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Greedy construction of starting packages for the local search.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ilp::linearize_expr;
+use crate::package::Package;
+use crate::pruning::derive_bounds;
+use crate::spec::PackageSpec;
+
+/// How to pick the tuples of a starting package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartHeuristic {
+    /// Highest objective coefficient first (density-ordered greedy).
+    Greedy,
+    /// Uniformly random candidates ("which can be constructed, for example,
+    /// at random" — Section 4.2).
+    Random,
+}
+
+/// Builds a starting package of a plausible cardinality: the lower
+/// cardinality bound when one is known (the smallest package that could
+/// possibly be feasible), otherwise a small constant.
+pub fn starting_package(
+    spec: &PackageSpec<'_>,
+    heuristic: StartHeuristic,
+    rng: &mut StdRng,
+) -> Package {
+    let n = spec.candidate_count();
+    if n == 0 {
+        return Package::new();
+    }
+    let bounds = derive_bounds(spec).clamp_to(n as u64 * spec.max_multiplicity as u64);
+    let target = starting_cardinality(spec, bounds.lower, bounds.upper);
+
+    // Order candidates by the chosen heuristic.
+    let mut order: Vec<usize> = (0..n).collect();
+    match heuristic {
+        StartHeuristic::Random => order.shuffle(rng),
+        StartHeuristic::Greedy => {
+            let coeffs = spec
+                .objective
+                .as_ref()
+                .and_then(|o| linearize_expr(spec, &o.expr).ok().map(|l| l.coeffs));
+            match coeffs {
+                Some(c) => {
+                    let maximize = matches!(
+                        spec.objective.as_ref().map(|o| o.direction),
+                        Some(paql::ObjectiveDirection::Maximize) | None
+                    );
+                    order.sort_by(|&a, &b| {
+                        let x = c[a];
+                        let y = c[b];
+                        if maximize {
+                            y.total_cmp(&x)
+                        } else {
+                            x.total_cmp(&y)
+                        }
+                    });
+                }
+                None => order.shuffle(rng),
+            }
+        }
+    }
+
+    let mut package = Package::new();
+    let mut placed = 0u64;
+    'outer: for round in 0..spec.max_multiplicity {
+        for &i in &order {
+            if placed >= target {
+                break 'outer;
+            }
+            // First pass adds each tuple once; later passes add repetitions
+            // (only relevant for REPEAT queries).
+            let _ = round;
+            if package.multiplicity(spec.candidates[i]) < spec.max_multiplicity {
+                package.add(spec.candidates[i], 1);
+                placed += 1;
+            }
+        }
+        if spec.max_multiplicity == 1 {
+            break;
+        }
+    }
+    package
+}
+
+fn starting_cardinality(spec: &PackageSpec<'_>, lower: u64, upper: Option<u64>) -> u64 {
+    let capacity = spec.candidate_count() as u64 * spec.max_multiplicity as u64;
+    let fallback = 3u64.min(capacity);
+    let target = if lower > 0 {
+        lower
+    } else {
+        match upper {
+            Some(u) if u < fallback => u,
+            _ => fallback,
+        }
+    };
+    target.min(capacity)
+}
+
+/// Generates a random cardinality inside the pruning bounds, used by restart
+/// rounds so different restarts explore different package sizes.
+pub fn random_cardinality(spec: &PackageSpec<'_>, rng: &mut StdRng) -> u64 {
+    let capacity = (spec.candidate_count() as u64 * spec.max_multiplicity as u64).max(1);
+    let bounds = derive_bounds(spec).clamp_to(capacity);
+    let lo = bounds.lower.max(1).min(capacity);
+    let hi = bounds.upper.unwrap_or(lo + 4).clamp(lo, capacity);
+    rng.random_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{recipes, Seed};
+    use minidb::Table;
+    use paql::compile;
+    use rand::SeedableRng;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    #[test]
+    fn greedy_start_prefers_high_objective_tuples() {
+        let t = recipes(100, Seed(1));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)",
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = starting_package(&spec, StartHeuristic::Greedy, &mut rng);
+        assert_eq!(p.cardinality(), 3);
+        // The greedy start should contain the single highest-protein recipe.
+        let schema = t.schema();
+        let best = spec
+            .candidates
+            .iter()
+            .max_by(|a, b| {
+                t.value_f64(**a, "protein").unwrap().total_cmp(&t.value_f64(**b, "protein").unwrap())
+            })
+            .copied()
+            .unwrap();
+        assert!(p.multiplicity(best) >= 1, "{}", p.render(&t));
+        let _ = schema;
+    }
+
+    #[test]
+    fn random_start_respects_cardinality_and_multiplicity() {
+        let t = recipes(60, Seed(2));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 5 AND SUM(P.calories) <= 4000",
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = starting_package(&spec, StartHeuristic::Random, &mut rng);
+        assert_eq!(p.cardinality(), 5);
+        assert!(p.max_multiplicity() <= 1);
+    }
+
+    #[test]
+    fn repeat_queries_can_exceed_distinct_candidates() {
+        let t = recipes(2, Seed(3));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 3 SUCH THAT COUNT(*) = 5",
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = starting_package(&spec, StartHeuristic::Greedy, &mut rng);
+        assert_eq!(p.cardinality(), 5);
+        assert!(p.max_multiplicity() <= 3);
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_empty_package() {
+        let t = recipes(20, Seed(4));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.calories < 0 SUCH THAT COUNT(*) = 3",
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(starting_package(&spec, StartHeuristic::Greedy, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_cardinality_stays_in_bounds() {
+        let t = recipes(50, Seed(5));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) >= 2 AND COUNT(*) <= 6",
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let c = random_cardinality(&spec, &mut rng);
+            assert!((2..=6).contains(&c), "cardinality {c} out of bounds");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `packagebuilder` — the package query evaluation engine.
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! system that "extends database systems to support package queries". A
+//! *package* is a multiset of tuples that individually satisfy *base
+//! constraints* and collectively satisfy *global constraints*, optionally
+//! optimizing a per-package objective (paper Sections 1–2).
+//!
+//! The engine evaluates [`paql`] queries over [`minidb`] relations using the
+//! strategies described in Section 4:
+//!
+//! * **ILP translation** ([`ilp`]): the query is translated into an integer
+//!   linear program (one integer variable per candidate tuple, bounded by the
+//!   `REPEAT` multiplicity) and solved with the [`lp_solver`] substrate.
+//! * **Cardinality-based pruning** ([`pruning`]): global constraints imply
+//!   lower/upper bounds on the package cardinality, shrinking the candidate
+//!   space from `2^n` to `Σ_k C(n,k)` without losing solutions (Section 4.1).
+//! * **Pruned enumeration** ([`enumerate`]): the "generate and validate with
+//!   SQL" strategy, made practical by the cardinality and partial-sum bounds.
+//! * **Heuristic local search** ([`local_search`]): greedy construction plus
+//!   k-tuple replacements found through a selection over a Cartesian product,
+//!   exactly the single-SQL-query neighbourhood of Section 4.2.
+//!
+//! On top of query evaluation, the crate implements the interface backends of
+//! Section 3: constraint suggestion ([`suggest`]), the 2-D package-space
+//! summary ([`summary`]), adaptive exploration sessions ([`explore`]) and
+//! diverse package selection ([`diversity`], Section 5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use packagebuilder::PackageEngine;
+//! use datagen::{recipes, Seed};
+//! use minidb::Catalog;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(recipes(300, Seed(7)));
+//! let engine = PackageEngine::new(catalog);
+//! let result = engine
+//!     .execute_paql(
+//!         "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+//!          SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+//!          MAXIMIZE SUM(P.protein)",
+//!     )
+//!     .unwrap();
+//! let best = result.best().expect("a 3-meal plan exists");
+//! assert_eq!(best.cardinality(), 3);
+//! ```
+
+pub mod config;
+pub mod diversity;
+pub mod engine;
+pub mod enumerate;
+pub mod error;
+pub mod explore;
+pub mod greedy;
+pub mod ilp;
+pub mod local_search;
+pub mod package;
+pub mod pruning;
+pub mod result;
+pub mod spec;
+pub mod suggest;
+pub mod summary;
+
+pub use config::{EngineConfig, Strategy};
+pub use engine::PackageEngine;
+pub use error::PbError;
+pub use package::Package;
+pub use result::{EvalStats, PackageResult, StrategyUsed};
+pub use spec::PackageSpec;
+
+/// Result alias for engine operations.
+pub type PbResult<T> = std::result::Result<T, PbError>;

@@ -1,0 +1,485 @@
+//! Heuristic local search (paper Section 4.2).
+//!
+//! "Given a starting package P0 (which can be constructed, for example, at
+//! random), PackageBuilder identifies all possible k-tuple replacements that
+//! can lead to a valid package, by using a single SQL query." The search
+//! below implements exactly that neighbourhood: a move removes `k` members
+//! and inserts `k` candidate tuples, and the candidate generation for `k = 1`
+//! is also exposed as a literal relational query (selection over a Cartesian
+//! product) in [`single_replacement_query`], which experiment E3 uses to
+//! reproduce the paper's scaling argument.
+//!
+//! Moves are accepted when they lexicographically improve
+//! `(constraint violation, objective)`, so the search first repairs
+//! feasibility and then climbs the objective. As the paper notes, the method
+//! is a heuristic: "there is no guarantee that all valid solutions will be
+//! found".
+
+use std::time::Instant;
+
+use minidb::ops::{cross_join, filter, scan, Relation};
+use minidb::{BinaryOp, Expr, Table, TupleId};
+use paql::ObjectiveDirection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::greedy::{random_cardinality, starting_package, StartHeuristic};
+use crate::package::Package;
+use crate::result::{EvalStats, StrategyUsed};
+use crate::spec::PackageSpec;
+use crate::PbResult;
+
+/// Options for the local-search strategy.
+#[derive(Debug, Clone)]
+pub struct LocalSearchOptions {
+    /// Number of tuples replaced per move (the paper's `k`). `k = 1` is the
+    /// efficient regime; larger values grow the neighbourhood combinatorially.
+    pub k: usize,
+    /// Maximum accepted moves per restart.
+    pub max_moves: usize,
+    /// Number of restarts (the first uses the greedy start, the rest random).
+    pub restarts: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// How many distinct feasible packages to keep (best first).
+    pub keep: usize,
+}
+
+impl Default for LocalSearchOptions {
+    fn default() -> Self {
+        LocalSearchOptions { k: 1, max_moves: 10_000, restarts: 8, seed: 42, keep: 1 }
+    }
+}
+
+/// Outcome of the local-search strategy.
+pub struct LocalSearchOutcome {
+    /// Feasible packages found (best first), with objective values.
+    pub packages: Vec<(Package, Option<f64>)>,
+    /// Accepted moves across all restarts.
+    pub moves: u64,
+    /// Neighbour evaluations across all restarts.
+    pub evaluations: u64,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+/// Runs the local search for a spec.
+pub fn local_search(spec: &PackageSpec<'_>, opts: &LocalSearchOptions) -> PbResult<LocalSearchOutcome> {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut best: Vec<(Package, Option<f64>)> = Vec::new();
+    let mut moves = 0u64;
+    let mut evaluations = 0u64;
+
+    let direction = spec
+        .objective
+        .as_ref()
+        .map(|o| o.direction)
+        .unwrap_or(ObjectiveDirection::Maximize);
+
+    for restart in 0..opts.restarts.max(1) {
+        if spec.candidate_count() == 0 {
+            break;
+        }
+        let mut current = if restart == 0 {
+            starting_package(spec, StartHeuristic::Greedy, &mut rng)
+        } else {
+            let target = random_cardinality(spec, &mut rng);
+            let mut p = starting_package(spec, StartHeuristic::Random, &mut rng);
+            // Resize the random start towards the sampled cardinality.
+            resize_to(spec, &mut p, target, &mut rng);
+            p
+        };
+        let mut current_score = score(spec, &current)?;
+        record(spec, &current, current_score, &mut best, direction, opts.keep)?;
+
+        for _ in 0..opts.max_moves {
+            let (neighbour, neighbour_score, evals) =
+                best_neighbour(spec, &current, current_score, opts.k, direction)?;
+            evaluations += evals;
+            match neighbour {
+                Some(p) if lex_better(neighbour_score, current_score, direction) => {
+                    current = p;
+                    current_score = neighbour_score;
+                    moves += 1;
+                    record(spec, &current, current_score, &mut best, direction, opts.keep)?;
+                }
+                _ => break, // local optimum
+            }
+        }
+    }
+
+    Ok(LocalSearchOutcome {
+        packages: best,
+        moves,
+        evaluations,
+        stats: EvalStats {
+            strategy: StrategyUsed::LocalSearch,
+            candidates: spec.candidate_count(),
+            nodes: moves,
+            iterations: evaluations,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// `(violation, objective)` score of a package.
+fn score(spec: &PackageSpec<'_>, p: &Package) -> PbResult<(f64, Option<f64>)> {
+    Ok((spec.violation(p)?, spec.objective_value(p)?))
+}
+
+fn lex_better(a: (f64, Option<f64>), b: (f64, Option<f64>), direction: ObjectiveDirection) -> bool {
+    if a.0 + 1e-9 < b.0 {
+        return true;
+    }
+    if a.0 > b.0 + 1e-9 {
+        return false;
+    }
+    Package::better_objective(direction, a.1, b.1)
+}
+
+fn record(
+    spec: &PackageSpec<'_>,
+    p: &Package,
+    s: (f64, Option<f64>),
+    best: &mut Vec<(Package, Option<f64>)>,
+    direction: ObjectiveDirection,
+    keep: usize,
+) -> PbResult<()> {
+    if s.0 > 0.0 || !spec.is_valid(p)? {
+        return Ok(());
+    }
+    if best.iter().any(|(q, _)| q == p) {
+        return Ok(());
+    }
+    best.push((p.clone(), s.1));
+    best.sort_by(|a, b| {
+        let ord = match (a.1, b.1) {
+            (Some(x), Some(y)) => x.total_cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (None, None) => std::cmp::Ordering::Equal,
+        };
+        match direction {
+            ObjectiveDirection::Maximize => ord.reverse(),
+            ObjectiveDirection::Minimize => ord,
+        }
+    });
+    best.truncate(keep.max(1));
+    Ok(())
+}
+
+/// Finds the best move in the k-replacement neighbourhood (plus add/remove
+/// moves when the cardinality is allowed to change). Returns the best
+/// neighbour, its score and how many neighbours were evaluated.
+fn best_neighbour(
+    spec: &PackageSpec<'_>,
+    current: &Package,
+    current_score: (f64, Option<f64>),
+    k: usize,
+    direction: ObjectiveDirection,
+) -> PbResult<(Option<Package>, (f64, Option<f64>), u64)> {
+    let mut best: Option<Package> = None;
+    let mut best_score = current_score;
+    let mut evaluations = 0u64;
+
+    let members: Vec<TupleId> = current.tuple_ids();
+
+    // Single-tuple replacements (k = 1), always explored.
+    for &out in &members {
+        for &inn in &spec.candidates {
+            if inn == out {
+                continue;
+            }
+            if current.multiplicity(inn) >= spec.max_multiplicity {
+                continue;
+            }
+            let mut p = current.clone();
+            p.remove(out, 1);
+            p.add(inn, 1);
+            evaluations += 1;
+            let s = score(spec, &p)?;
+            if lex_better(s, best_score, direction) {
+                best_score = s;
+                best = Some(p);
+            }
+        }
+    }
+
+    // Pairwise replacements (k = 2): the paper's 2k-way join. The
+    // neighbourhood is |P|²·n² in the worst case, so it is only explored when
+    // requested and when no single replacement improves.
+    if k >= 2 && best.is_none() && members.len() >= 2 {
+        for (ai, &out_a) in members.iter().enumerate() {
+            for &out_b in members.iter().skip(ai + 1) {
+                for (ci, &in_a) in spec.candidates.iter().enumerate() {
+                    if current.multiplicity(in_a) >= spec.max_multiplicity && in_a != out_a && in_a != out_b {
+                        continue;
+                    }
+                    for &in_b in spec.candidates.iter().skip(ci) {
+                        let mut p = current.clone();
+                        p.remove(out_a, 1);
+                        p.remove(out_b, 1);
+                        p.add(in_a, 1);
+                        if p.multiplicity(in_b) < spec.max_multiplicity {
+                            p.add(in_b, 1);
+                        } else {
+                            continue;
+                        }
+                        if p.max_multiplicity() > spec.max_multiplicity {
+                            continue;
+                        }
+                        evaluations += 1;
+                        let s = score(spec, &p)?;
+                        if lex_better(s, best_score, direction) {
+                            best_score = s;
+                            best = Some(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cardinality-changing moves: add one candidate / drop one member. These
+    // help when the starting cardinality guess was off.
+    for &inn in &spec.candidates {
+        if current.multiplicity(inn) >= spec.max_multiplicity {
+            continue;
+        }
+        let mut p = current.clone();
+        p.add(inn, 1);
+        evaluations += 1;
+        let s = score(spec, &p)?;
+        if lex_better(s, best_score, direction) {
+            best_score = s;
+            best = Some(p);
+        }
+    }
+    for &out in &members {
+        let mut p = current.clone();
+        p.remove(out, 1);
+        evaluations += 1;
+        let s = score(spec, &p)?;
+        if lex_better(s, best_score, direction) {
+            best_score = s;
+            best = Some(p);
+        }
+    }
+
+    Ok((best, best_score, evaluations))
+}
+
+fn resize_to(spec: &PackageSpec<'_>, p: &mut Package, target: u64, rng: &mut StdRng) {
+    use rand::seq::IndexedRandom;
+    while p.cardinality() > target {
+        let ids = p.tuple_ids();
+        if let Some(&victim) = ids.choose(rng) {
+            p.remove(victim, 1);
+        } else {
+            break;
+        }
+    }
+    while p.cardinality() < target {
+        if let Some(&extra) = spec.candidates.choose(rng) {
+            if p.multiplicity(extra) < spec.max_multiplicity {
+                p.add(extra, 1);
+            } else if spec.candidates.iter().all(|&c| p.multiplicity(c) >= spec.max_multiplicity) {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+/// The paper's single-tuple replacement query, built literally as a relational
+/// plan: a selection over the Cartesian product of the current package (as a
+/// relation `P0`) and the candidate relation `R`.
+///
+/// For a budget constraint `SUM(col) <= budget` and a package whose current
+/// total is `current_total`, the returned relation contains one row per
+/// `(outgoing member, incoming candidate)` pair such that swapping them lands
+/// the total within budget — the literal translation of
+///
+/// ```sql
+/// SELECT P0.id, R.id FROM P0, R
+/// WHERE current_total − P0.col + R.col <= budget
+/// ```
+pub fn single_replacement_query(
+    table: &Table,
+    package: &Package,
+    candidates: &[TupleId],
+    column: &str,
+    current_total: f64,
+    budget: f64,
+) -> PbResult<Relation> {
+    // Materialize the package as relation P0 (with its source ids projected in).
+    let ids: Vec<TupleId> = package.tuple_ids();
+    let p0_table = table.subset("P0", &ids)?;
+    let p0 = scan(&p0_table);
+    let candidate_table = table.subset("R", candidates)?;
+    let r = scan(&candidate_table);
+    let joined = cross_join(&p0, &r, "R");
+    // current_total - P0.col + R.col <= budget
+    let qualified = format!("R.{column}");
+    let rhs_col = if joined.schema.index_of(&qualified).is_some() {
+        qualified
+    } else {
+        column.to_string()
+    };
+    let predicate = Expr::binary(
+        BinaryOp::LtEq,
+        Expr::binary(
+            BinaryOp::Add,
+            Expr::binary(BinaryOp::Sub, Expr::lit(current_total), Expr::col(column)),
+            Expr::col(rhs_col),
+        ),
+        Expr::lit(budget),
+    );
+    Ok(filter(&joined, &predicate)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{recipes, Seed};
+    use lp_solver::SolverConfig;
+    use paql::compile;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn finds_a_feasible_meal_plan() {
+        let t = recipes(300, Seed(1));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let out = local_search(&spec, &LocalSearchOptions::default()).unwrap();
+        assert!(!out.packages.is_empty(), "local search found no feasible package");
+        let (p, obj) = &out.packages[0];
+        assert!(spec.is_valid(p).unwrap());
+        assert_eq!(p.cardinality(), 3);
+        assert!(obj.unwrap() > 0.0);
+        assert!(out.moves > 0 || out.evaluations > 0);
+    }
+
+    #[test]
+    fn quality_is_close_to_the_ilp_optimum() {
+        let t = recipes(200, Seed(2));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let exact = crate::ilp::solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let heuristic = local_search(&spec, &LocalSearchOptions { restarts: 6, ..Default::default() }).unwrap();
+        let opt = exact.packages[0].1.unwrap();
+        let found = heuristic.packages[0].1.unwrap();
+        assert!(found <= opt + 1e-6, "heuristic cannot beat the optimum");
+        assert!(
+            found >= 0.75 * opt,
+            "local search quality too low: {found} vs optimal {opt}"
+        );
+    }
+
+    #[test]
+    fn handles_minimization_objectives() {
+        let t = recipes(150, Seed(3));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.protein) >= 60 MINIMIZE SUM(P.price)",
+        );
+        let out = local_search(&spec, &LocalSearchOptions::default()).unwrap();
+        assert!(!out.packages.is_empty());
+        let (p, _) = &out.packages[0];
+        assert!(spec.is_valid(p).unwrap());
+    }
+
+    #[test]
+    fn infeasible_specs_return_empty() {
+        let t = recipes(50, Seed(4));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) >= 1000000",
+        );
+        let out = local_search(&spec, &LocalSearchOptions { restarts: 2, max_moves: 200, ..Default::default() })
+            .unwrap();
+        assert!(out.packages.is_empty());
+    }
+
+    #[test]
+    fn keep_returns_multiple_distinct_packages() {
+        let t = recipes(120, Seed(5));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let out = local_search(
+            &spec,
+            &LocalSearchOptions { keep: 3, restarts: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert!(out.packages.len() >= 2, "expected multiple packages, got {}", out.packages.len());
+        for (p, _) in &out.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+        for i in 0..out.packages.len() {
+            for j in i + 1..out.packages.len() {
+                assert_ne!(out.packages[i].0, out.packages[j].0);
+            }
+        }
+    }
+
+    #[test]
+    fn two_replacement_neighbourhood_escapes_single_swap_optima() {
+        let t = recipes(60, Seed(6));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let out = local_search(
+            &spec,
+            &LocalSearchOptions { k: 2, restarts: 2, max_moves: 200, ..Default::default() },
+        )
+        .unwrap();
+        // With k = 2 the search should be at least as good as with k = 1 on the
+        // same seed and restart budget.
+        let out1 = local_search(
+            &spec,
+            &LocalSearchOptions { k: 1, restarts: 2, max_moves: 200, ..Default::default() },
+        )
+        .unwrap();
+        let best2 = out.packages.first().and_then(|(_, o)| *o).unwrap_or(f64::NEG_INFINITY);
+        let best1 = out1.packages.first().and_then(|(_, o)| *o).unwrap_or(f64::NEG_INFINITY);
+        assert!(best2 >= best1 - 1e-9);
+    }
+
+    #[test]
+    fn replacement_query_matches_the_paper_example() {
+        // Reconstruct the Section 4.2 example: a package with 3,000 total
+        // calories, a 2,500-calorie budget, single-tuple replacements.
+        let t = recipes(80, Seed(7));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT SUM(P.calories) <= 2500",
+        );
+        // Build a package of the 4 highest-calorie recipes (overshoots budget).
+        let mut by_cal: Vec<TupleId> = spec.candidates.clone();
+        by_cal.sort_by(|a, b| {
+            t.value_f64(*b, "calories").unwrap().total_cmp(&t.value_f64(*a, "calories").unwrap())
+        });
+        let package = Package::from_ids(by_cal.iter().copied().take(4));
+        let current_total: f64 = package
+            .members()
+            .map(|(id, m)| t.value_f64(id, "calories").unwrap() * m as f64)
+            .sum();
+        assert!(current_total > 2500.0);
+
+        let rel = single_replacement_query(&t, &package, &spec.candidates, "calories", current_total, 2500.0)
+            .unwrap();
+        // Every returned pair must indeed repair the budget.
+        for row in &rel.rows {
+            let out_cal = row.get_f64(&rel.schema, "calories").unwrap();
+            let in_cal = row.get_f64(&rel.schema, "R.calories").unwrap();
+            assert!(current_total - out_cal + in_cal <= 2500.0 + 1e-9);
+        }
+        // The join size is |P0| × |R| before selection; the result is smaller.
+        assert!(rel.len() <= 4 * spec.candidates.len());
+    }
+}

@@ -1,0 +1,209 @@
+//! The validated, executable form of a package query.
+
+use minidb::eval::eval_predicate;
+use minidb::stats::TableStats;
+use minidb::{Table, TupleId};
+use paql::{AnalyzedQuery, GlobalFormula, Objective, PaqlQuery};
+
+use crate::package::Package;
+use crate::PbResult;
+
+/// A package query bound to a concrete table: the candidate tuples that
+/// survive the base constraints, the global formula, the objective and the
+/// multiplicity bound.
+///
+/// All evaluation strategies consume a `PackageSpec`; building it corresponds
+/// to the "use SQL to evaluate the base constraints" step of the paper — the
+/// candidate set is exactly the result of `SELECT * FROM R WHERE <base>`.
+#[derive(Debug, Clone)]
+pub struct PackageSpec<'a> {
+    /// The base relation.
+    pub table: &'a Table,
+    /// Tuples satisfying the base constraints, in id order.
+    pub candidates: Vec<TupleId>,
+    /// Maximum multiplicity of a tuple in the package (from `REPEAT`).
+    pub max_multiplicity: u32,
+    /// The `SUCH THAT` formula, if any.
+    pub formula: Option<GlobalFormula>,
+    /// The objective, if any.
+    pub objective: Option<Objective>,
+    /// Statistics over the candidate tuples (used by pruning and greedy
+    /// construction).
+    pub stats: TableStats,
+    /// The original query (for diagnostics and pretty-printing).
+    pub query: PaqlQuery,
+}
+
+impl<'a> PackageSpec<'a> {
+    /// Builds a spec from an analyzed query and its base table.
+    pub fn build(analyzed: &AnalyzedQuery, table: &'a Table) -> PbResult<Self> {
+        let query = analyzed.query.clone();
+        let mut candidates = Vec::new();
+        match &query.where_clause {
+            None => candidates.extend(table.iter().map(|(id, _)| id)),
+            Some(pred) => {
+                for (id, tuple) in table.iter() {
+                    if eval_predicate(pred, table.schema(), tuple)? {
+                        candidates.push(id);
+                    }
+                }
+            }
+        }
+        let rows: Vec<minidb::Tuple> = candidates
+            .iter()
+            .map(|id| table.require(*id).cloned())
+            .collect::<Result<_, _>>()?;
+        let stats = TableStats::of_rows(table.schema(), &rows);
+        Ok(PackageSpec {
+            table,
+            max_multiplicity: query.max_multiplicity(),
+            formula: query.such_that.clone(),
+            objective: query.objective.clone(),
+            stats,
+            candidates,
+            query,
+        })
+    }
+
+    /// Number of candidate tuples (the `n` of the paper's complexity
+    /// discussion).
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when `package` is a valid answer: every member is a candidate
+    /// (base constraints), multiplicities respect `REPEAT`, and the global
+    /// formula holds.
+    pub fn is_valid(&self, package: &Package) -> PbResult<bool> {
+        if package.max_multiplicity() > self.max_multiplicity {
+            return Ok(false);
+        }
+        for (tid, _) in package.members() {
+            if self.candidates.binary_search(&tid).is_err() {
+                return Ok(false);
+            }
+        }
+        match &self.formula {
+            None => Ok(true),
+            Some(f) => package.satisfies(self.table, f),
+        }
+    }
+
+    /// Objective value of a package under this spec (`None` when the query
+    /// has no objective or the objective is not evaluable).
+    pub fn objective_value(&self, package: &Package) -> PbResult<Option<f64>> {
+        match &self.objective {
+            None => Ok(None),
+            Some(o) => package.objective_value(self.table, o),
+        }
+    }
+
+    /// Total constraint violation of a package (0 when feasible).
+    pub fn violation(&self, package: &Package) -> PbResult<f64> {
+        match &self.formula {
+            None => Ok(0.0),
+            Some(f) => package.formula_violation(self.table, f),
+        }
+    }
+
+    /// Restricts the spec to a subset of its candidates (used by adaptive
+    /// exploration to narrow the search space after user feedback).
+    pub fn restrict_candidates(&self, keep: impl Fn(TupleId) -> bool) -> PackageSpec<'a> {
+        let candidates: Vec<TupleId> = self.candidates.iter().copied().filter(|&t| keep(t)).collect();
+        let rows: Vec<minidb::Tuple> = candidates
+            .iter()
+            .filter_map(|id| self.table.get(*id).cloned())
+            .collect();
+        PackageSpec {
+            table: self.table,
+            candidates,
+            max_multiplicity: self.max_multiplicity,
+            formula: self.formula.clone(),
+            objective: self.objective.clone(),
+            stats: TableStats::of_rows(self.table.schema(), &rows),
+            query: self.query.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{recipes, Seed};
+    use minidb::TupleId;
+    use paql::compile;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    #[test]
+    fn base_constraints_filter_candidates() {
+        let t = recipes(200, Seed(1));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT COUNT(*) = 3",
+        );
+        assert!(spec.candidate_count() > 0);
+        assert!(spec.candidate_count() < 200);
+        for id in &spec.candidates {
+            let v = t.require(*id).unwrap().get_named(t.schema(), "gluten").unwrap();
+            assert_eq!(v.to_string(), "free");
+        }
+    }
+
+    #[test]
+    fn no_where_clause_keeps_everything() {
+        let t = recipes(50, Seed(2));
+        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2");
+        assert_eq!(spec.candidate_count(), 50);
+    }
+
+    #[test]
+    fn validity_checks_membership_multiplicity_and_formula() {
+        let t = recipes(100, Seed(3));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT COUNT(*) = 2",
+        );
+        let a = spec.candidates[0];
+        let b = spec.candidates[1];
+        assert!(spec.is_valid(&Package::from_ids([a, b])).unwrap());
+        // Wrong cardinality.
+        assert!(!spec.is_valid(&Package::from_ids([a])).unwrap());
+        // Multiplicity above REPEAT (default 1).
+        assert!(!spec.is_valid(&Package::from_members([(a, 2)])).unwrap());
+        // Tuple outside the base constraint (find a non-candidate id).
+        let outsider = (0..100u32)
+            .map(TupleId)
+            .find(|id| spec.candidates.binary_search(id).is_err())
+            .expect("some recipe has gluten");
+        assert!(!spec.is_valid(&Package::from_ids([a, outsider])).unwrap());
+    }
+
+    #[test]
+    fn restrict_candidates_narrows_the_space() {
+        let t = recipes(100, Seed(4));
+        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2");
+        let keep: Vec<TupleId> = spec.candidates.iter().copied().take(10).collect();
+        let narrowed = spec.restrict_candidates(|t| keep.contains(&t));
+        assert_eq!(narrowed.candidate_count(), 10);
+        assert_eq!(narrowed.max_multiplicity, spec.max_multiplicity);
+    }
+
+    #[test]
+    fn objective_and_violation_delegate_to_package() {
+        let t = recipes(100, Seed(5));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 100 \
+             MAXIMIZE SUM(P.protein)",
+        );
+        let p = Package::from_ids(spec.candidates.iter().copied().take(2));
+        assert!(spec.objective_value(&p).unwrap().unwrap() > 0.0);
+        // Two recipes always exceed 100 calories in this generator.
+        assert!(spec.violation(&p).unwrap() > 0.0);
+        assert!(!spec.is_valid(&p).unwrap());
+    }
+}

@@ -1,0 +1,248 @@
+//! Synthetic travel datasets (the vacation-planner scenario).
+
+use minidb::{ColumnType, Schema, Table, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Seed;
+
+const DESTINATIONS: &[&str] = &[
+    "Cancun", "Honolulu", "Phuket", "Bali", "Malé", "Fiji", "Barbados", "Aruba", "Mauritius", "Tahiti",
+];
+const AIRLINES: &[&str] = &["AeroSol", "PacificJet", "TradeWinds", "IslandAir", "BlueLagoon"];
+const HOTEL_BRANDS: &[&str] = &["Palm", "Coral", "Lagoon", "Breeze", "Sunset", "Tide", "Reef"];
+const CAR_CLASSES: &[&str] = &["compact", "sedan", "suv", "convertible"];
+
+/// Flight schema.
+pub fn flight_schema() -> Schema {
+    Schema::build(&[
+        ("flight_id", ColumnType::Int),
+        ("airline", ColumnType::Text),
+        ("destination", ColumnType::Text),
+        ("price", ColumnType::Float),
+        ("duration_hours", ColumnType::Float),
+        ("stops", ColumnType::Int),
+    ])
+}
+
+/// Hotel schema.
+pub fn hotel_schema() -> Schema {
+    Schema::build(&[
+        ("hotel_id", ColumnType::Int),
+        ("name", ColumnType::Text),
+        ("destination", ColumnType::Text),
+        ("price_per_night", ColumnType::Float),
+        ("beach_distance_km", ColumnType::Float),
+        ("stars", ColumnType::Int),
+    ])
+}
+
+/// Rental-car schema.
+pub fn car_schema() -> Schema {
+    Schema::build(&[
+        ("car_id", ColumnType::Int),
+        ("class", ColumnType::Text),
+        ("destination", ColumnType::Text),
+        ("price_per_day", ColumnType::Float),
+    ])
+}
+
+/// Unified travel-options schema used by the vacation-planner PaQL queries.
+///
+/// The demo paper's PaQL operates on a single base relation per package
+/// query, so the vacation scenario materializes flights, hotel stays and car
+/// rentals into one relation tagged by `kind`; per-kind cardinality
+/// constraints are expressed with `FILTER` aggregates.
+pub fn travel_option_schema() -> Schema {
+    Schema::build(&[
+        ("option_id", ColumnType::Int),
+        ("kind", ColumnType::Text),
+        ("name", ColumnType::Text),
+        ("destination", ColumnType::Text),
+        ("price", ColumnType::Float),
+        ("beach_distance_km", ColumnType::Float),
+        ("comfort", ColumnType::Float),
+    ])
+}
+
+/// Generates `n` flights.
+pub fn flights(n: usize, seed: Seed) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut t = Table::new("flights", flight_schema());
+    for i in 0..n {
+        let airline = AIRLINES[rng.random_range(0..AIRLINES.len())];
+        let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
+        let stops = rng.random_range(0..3_i64);
+        let duration = rng.random_range(3.0..18.0_f64) + stops as f64 * 1.5;
+        let price = (250.0 + duration * rng.random_range(25.0..60.0) - stops as f64 * 80.0).max(120.0);
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Text(format!("{airline} {:03}", rng.random_range(100..999))),
+            Value::Text(dest.to_string()),
+            Value::Float(price.round()),
+            Value::Float((duration * 10.0).round() / 10.0),
+            Value::Int(stops),
+        ]))
+        .expect("flight tuple matches schema");
+    }
+    t
+}
+
+/// Generates `n` hotels (price is for a whole 7-night stay).
+pub fn hotels(n: usize, seed: Seed) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut t = Table::new("hotels", hotel_schema());
+    for i in 0..n {
+        let brand = HOTEL_BRANDS[rng.random_range(0..HOTEL_BRANDS.len())];
+        let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
+        let stars = rng.random_range(2..6_i64);
+        let beach = (rng.random_range(0.0..12.0_f64) * 10.0).round() / 10.0;
+        // Closer to the beach and more stars → pricier.
+        let night = 45.0 + stars as f64 * 40.0 + (12.0 - beach) * 8.0 + rng.random_range(0.0..60.0);
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Text(format!("{brand} {dest} Resort #{i}")),
+            Value::Text(dest.to_string()),
+            Value::Float(night.round()),
+            Value::Float(beach),
+            Value::Int(stars),
+        ]))
+        .expect("hotel tuple matches schema");
+    }
+    t
+}
+
+/// Generates `n` rental cars (price per day).
+pub fn cars(n: usize, seed: Seed) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut t = Table::new("cars", car_schema());
+    for i in 0..n {
+        let class = CAR_CLASSES[rng.random_range(0..CAR_CLASSES.len())];
+        let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
+        let base = match class {
+            "compact" => 28.0,
+            "sedan" => 42.0,
+            "suv" => 65.0,
+            _ => 90.0,
+        };
+        let price = base + rng.random_range(0.0..30.0_f64);
+        t.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Text(class.to_string()),
+            Value::Text(dest.to_string()),
+            Value::Float(price.round()),
+        ]))
+        .expect("car tuple matches schema");
+    }
+    t
+}
+
+/// Generates the unified `travel_options` relation (see
+/// [`travel_option_schema`]): one row per flight (round trip price), one per
+/// hotel (7-night stay), one per car (7-day rental).
+pub fn travel_options(n_flights: usize, n_hotels: usize, n_cars: usize, seed: Seed) -> Table {
+    let f = flights(n_flights, seed.derive(10));
+    let h = hotels(n_hotels, seed.derive(11));
+    let c = cars(n_cars, seed.derive(12));
+    let mut rng = StdRng::seed_from_u64(seed.derive(13).0);
+    let mut t = Table::new("travel_options", travel_option_schema());
+    let mut next_id = 0i64;
+    for row in f.rows() {
+        let s = f.schema();
+        let comfort = (5.0 - row.get_f64(s, "stops").unwrap()) + rng.random_range(0.0..2.0);
+        t.insert(Tuple::new(vec![
+            Value::Int(next_id),
+            Value::Text("flight".into()),
+            row.values()[s.index_of("airline").unwrap()].clone(),
+            row.values()[s.index_of("destination").unwrap()].clone(),
+            Value::Float(2.0 * row.get_f64(s, "price").unwrap()),
+            Value::Float(0.0),
+            Value::Float((comfort * 10.0).round() / 10.0),
+        ]))
+        .expect("travel option tuple matches schema");
+        next_id += 1;
+    }
+    for row in h.rows() {
+        let s = h.schema();
+        let stars = row.get_f64(s, "stars").unwrap();
+        t.insert(Tuple::new(vec![
+            Value::Int(next_id),
+            Value::Text("hotel".into()),
+            row.values()[s.index_of("name").unwrap()].clone(),
+            row.values()[s.index_of("destination").unwrap()].clone(),
+            Value::Float(7.0 * row.get_f64(s, "price_per_night").unwrap()),
+            row.values()[s.index_of("beach_distance_km").unwrap()].clone(),
+            Value::Float(stars * 2.0),
+        ]))
+        .expect("travel option tuple matches schema");
+        next_id += 1;
+    }
+    for row in c.rows() {
+        let s = c.schema();
+        t.insert(Tuple::new(vec![
+            Value::Int(next_id),
+            Value::Text("car".into()),
+            row.values()[s.index_of("class").unwrap()].clone(),
+            row.values()[s.index_of("destination").unwrap()].clone(),
+            Value::Float(7.0 * row.get_f64(s, "price_per_day").unwrap()),
+            Value::Float(0.0),
+            Value::Float(rng.random_range(3.0..9.0_f64).round()),
+        ]))
+        .expect("travel option tuple matches schema");
+        next_id += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_schemas() {
+        assert_eq!(flights(10, Seed(1)).len(), 10);
+        assert_eq!(hotels(10, Seed(1)).len(), 10);
+        assert_eq!(cars(10, Seed(1)).len(), 10);
+        let t = travel_options(5, 6, 7, Seed(1));
+        assert_eq!(t.len(), 18);
+        assert_eq!(t.schema().arity(), travel_option_schema().arity());
+    }
+
+    #[test]
+    fn travel_options_tag_every_kind() {
+        let t = travel_options(5, 6, 7, Seed(2));
+        let s = t.schema();
+        let kinds: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| r.values()[s.index_of("kind").unwrap()].to_string())
+            .collect();
+        assert_eq!(kinds.iter().filter(|k| *k == "flight").count(), 5);
+        assert_eq!(kinds.iter().filter(|k| *k == "hotel").count(), 6);
+        assert_eq!(kinds.iter().filter(|k| *k == "car").count(), 7);
+    }
+
+    #[test]
+    fn budget_vacations_are_feasible() {
+        // The intro scenario: flights + hotels under $2,000 combined must exist.
+        let t = travel_options(200, 200, 50, Seed(3));
+        let s = t.schema();
+        let cheapest_flight = t
+            .rows()
+            .iter()
+            .filter(|r| r.values()[1] == Value::Text("flight".into()))
+            .map(|r| r.get_f64(s, "price").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        let cheapest_hotel = t
+            .rows()
+            .iter()
+            .filter(|r| r.values()[1] == Value::Text("hotel".into()))
+            .map(|r| r.get_f64(s, "price").unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            cheapest_flight + cheapest_hotel < 2000.0,
+            "cheapest combo {} should fit the $2000 budget",
+            cheapest_flight + cheapest_hotel
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the LP/MILP solver.
+
+use std::fmt;
+
+/// Errors produced while building or solving a problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// A variable id does not belong to the problem.
+    UnknownVariable(usize),
+    /// The problem definition is inconsistent (e.g. lower bound > upper bound).
+    InvalidProblem(String),
+    /// The simplex exceeded its iteration budget.
+    IterationLimit,
+    /// Branch and bound exceeded its node budget before proving optimality
+    /// and without finding any incumbent.
+    NodeLimit,
+    /// Numerical trouble that the solver could not recover from.
+    Numerical(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable(i) => write!(f, "unknown variable id {i}"),
+            LpError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::NodeLimit => write!(f, "branch-and-bound node limit reached with no incumbent"),
+            LpError::Numerical(m) => write!(f, "numerical error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LpError::InvalidProblem("lb > ub".into()).to_string().contains("lb > ub"));
+        assert_eq!(LpError::UnknownVariable(3).to_string(), "unknown variable id 3");
+    }
+}

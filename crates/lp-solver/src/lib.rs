@@ -1,0 +1,116 @@
+//! `lp-solver` — a self-contained linear and mixed-integer programming solver.
+//!
+//! PackageBuilder translates package queries into constraint optimization
+//! problems and "employs state-of-the-art constraint solvers to derive valid
+//! packages" (Section 4). Those solvers (CPLEX, Gurobi) are proprietary and
+//! unavailable offline, so this crate provides the substrate: a dense
+//! revised simplex method with native variable bounds and a branch-and-bound
+//! layer for integer variables.
+//!
+//! The design is tuned for the shape of package ILPs — *many* decision
+//! variables (one per candidate tuple) but only a handful of constraint rows
+//! (one per global constraint). The bounded-variable revised simplex keeps a
+//! basis of size `m` (the row count), so iterations cost `O(m·n)` rather than
+//! the `O(n²)` a naive tableau would pay.
+//!
+//! # Quick example
+//!
+//! ```
+//! use lp_solver::{Problem, Sense, VarType, ConstraintOp, SolverConfig};
+//!
+//! // maximize 3x + 2y subject to x + y <= 4, x <= 2, x,y >= 0 integer
+//! let mut p = Problem::new(Sense::Maximize);
+//! let x = p.add_var("x", VarType::Integer, 0.0, f64::INFINITY);
+//! let y = p.add_var("y", VarType::Integer, 0.0, f64::INFINITY);
+//! p.set_objective_coeff(x, 3.0);
+//! p.set_objective_coeff(y, 2.0);
+//! p.add_constraint_terms("cap", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 4.0);
+//! p.add_constraint_terms("xcap", &[(x, 1.0)], ConstraintOp::Le, 2.0);
+//! let sol = lp_solver::solve(&p, &SolverConfig::default()).unwrap();
+//! assert!(sol.status.is_optimal());
+//! assert_eq!(sol.objective.round(), 10.0);
+//! ```
+
+pub mod branch_bound;
+pub mod cuts;
+pub mod error;
+pub mod expr;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::solve_milp;
+pub use cuts::no_good_cut;
+pub use error::LpError;
+pub use expr::LinExpr;
+pub use problem::{Constraint, ConstraintOp, Problem, Sense, VarId, VarType, Variable};
+pub use simplex::solve_lp;
+pub use solution::{Solution, Status};
+
+/// Result alias for solver operations.
+pub type LpResult<T> = std::result::Result<T, LpError>;
+
+/// Tunable limits and tolerances shared by the LP and MILP layers.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum simplex pivots per LP solve.
+    pub max_iterations: usize,
+    /// Maximum branch-and-bound nodes.
+    pub max_nodes: usize,
+    /// Wall-clock limit for a MILP solve (None = unlimited).
+    pub time_limit: Option<std::time::Duration>,
+    /// Feasibility / reduced-cost tolerance.
+    pub tolerance: f64,
+    /// Integrality tolerance: a value within this distance of an integer is
+    /// considered integral.
+    pub int_tolerance: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_iterations: 50_000,
+            max_nodes: 100_000,
+            time_limit: None,
+            tolerance: 1e-7,
+            int_tolerance: 1e-6,
+            refactor_every: 64,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with a wall-clock budget, used by the query engine to
+    /// bound solver latency for interactive use.
+    pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+}
+
+/// Solves a problem: pure LPs go straight to the simplex, problems with
+/// integer variables go through branch and bound.
+pub fn solve(problem: &Problem, config: &SolverConfig) -> LpResult<Solution> {
+    if problem.has_integer_vars() {
+        branch_bound::solve_milp(problem, config)
+    } else {
+        simplex::solve_lp(problem, None, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_example_dispatches_to_milp() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, 10.0);
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint_terms("c", &[(x, 1.0)], ConstraintOp::Le, 3.5);
+        let sol = solve(&p, &SolverConfig::default()).unwrap();
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,850 @@
+//! Bounded-variable revised simplex.
+//!
+//! The solver keeps an explicit dense inverse of the basis matrix (size
+//! `m × m`, where `m` is the number of constraint rows). Package ILP
+//! relaxations have a handful of rows and thousands of columns, so iterations
+//! are dominated by pricing (`O(m · n)`), not by basis maintenance.
+//!
+//! The implementation is a textbook two-phase method:
+//!
+//! 1. every row receives an artificial variable that forms the initial basis;
+//!    phase 1 minimizes the sum of artificials (infeasible if it stays > 0);
+//! 2. phase 2 minimizes the real objective starting from the phase-1 basis.
+//!
+//! Variable bounds are handled natively: nonbasic variables rest at their
+//! lower or upper bound and may "bound flip" without a basis change. Dantzig
+//! pricing is used by default, with a switch to Bland's rule after a long run
+//! of degenerate pivots to guarantee termination.
+
+use crate::error::LpError;
+use crate::problem::{ConstraintOp, Problem, Sense, VarType};
+use crate::solution::{Solution, Status};
+use crate::{LpResult, SolverConfig};
+
+const PIVOT_TOL: f64 = 1e-10;
+
+/// Where a column currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    Free,
+}
+
+/// Internal working representation of the LP.
+struct Tableau {
+    m: usize,
+    ncols: usize,
+    #[allow(dead_code)]
+    n_struct: usize,
+    /// Sparse columns: (row, coefficient) pairs.
+    cols: Vec<Vec<(usize, f64)>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    cost: Vec<f64>,
+    b: Vec<f64>,
+    status: Vec<ColStatus>,
+    basis: Vec<usize>,
+    /// Dense row-major m×m basis inverse.
+    binv: Vec<f64>,
+    /// Values of basic variables, by basis position.
+    xb: Vec<f64>,
+    iterations: usize,
+    use_bland: bool,
+    degenerate_run: usize,
+}
+
+impl Tableau {
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            ColStatus::AtLower => self.lb[j],
+            ColStatus::AtUpper => self.ub[j],
+            ColStatus::Free => 0.0,
+            ColStatus::Basic(pos) => self.xb[pos],
+        }
+    }
+
+    /// Recomputes the basis inverse and basic values from scratch.
+    fn refactorize(&mut self) -> LpResult<()> {
+        let m = self.m;
+        // Build the dense basis matrix.
+        let mut mat = vec![0.0; m * m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            for &(row, a) in &self.cols[j] {
+                mat[row * m + pos] = a;
+            }
+        }
+        // Gauss-Jordan inversion with partial pivoting.
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Pivot selection.
+            let mut piv = col;
+            let mut best = mat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = mat[r * m + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < PIVOT_TOL {
+                return Err(LpError::Numerical("singular basis during refactorization".into()));
+            }
+            if piv != col {
+                for k in 0..m {
+                    mat.swap(col * m + k, piv * m + k);
+                    inv.swap(col * m + k, piv * m + k);
+                }
+            }
+            let d = mat[col * m + col];
+            for k in 0..m {
+                mat[col * m + k] /= d;
+                inv[col * m + k] /= d;
+            }
+            for r in 0..m {
+                if r != col {
+                    let factor = mat[r * m + col];
+                    if factor != 0.0 {
+                        for k in 0..m {
+                            mat[r * m + k] -= factor * mat[col * m + k];
+                            inv[r * m + k] -= factor * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    /// xb = B⁻¹ (b − N·x_N).
+    fn recompute_basic_values(&mut self) {
+        let m = self.m;
+        let mut rhs = self.b.clone();
+        for j in 0..self.ncols {
+            if let ColStatus::Basic(_) = self.status[j] {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(row, a) in &self.cols[j] {
+                    rhs[row] -= a * v;
+                }
+            }
+        }
+        for pos in 0..m {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += self.binv[pos * m + k] * rhs[k];
+            }
+            self.xb[pos] = acc;
+        }
+    }
+
+    /// y = c_Bᵀ B⁻¹.
+    fn duals(&self) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for pos in 0..m {
+            let cb = self.cost[self.basis[pos]];
+            if cb != 0.0 {
+                for k in 0..m {
+                    y[k] += cb * self.binv[pos * m + k];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        let mut d = self.cost[j];
+        for &(row, a) in &self.cols[j] {
+            d -= y[row] * a;
+        }
+        d
+    }
+
+    /// Chooses an entering column; returns `(column, increasing)` or `None`
+    /// when the current basis is optimal for the active cost vector.
+    fn price(&self, tol: f64) -> Option<(usize, bool)> {
+        let y = self.duals();
+        let mut best: Option<(usize, bool, f64)> = None;
+        for j in 0..self.ncols {
+            let (can_increase, can_decrease) = match self.status[j] {
+                ColStatus::Basic(_) => (false, false),
+                ColStatus::AtLower => (true, false),
+                ColStatus::AtUpper => (false, true),
+                ColStatus::Free => (true, true),
+            };
+            if !can_increase && !can_decrease {
+                continue;
+            }
+            // Fixed variables (lb == ub) cannot move at all.
+            if self.ub[j] - self.lb[j] <= 0.0 && self.lb[j].is_finite() {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y);
+            let (improving, increasing) = if can_increase && d < -tol {
+                (true, true)
+            } else if can_decrease && d > tol {
+                (true, false)
+            } else {
+                (false, true)
+            };
+            if !improving {
+                continue;
+            }
+            if self.use_bland {
+                // Bland: first improving index.
+                return Some((j, increasing));
+            }
+            let score = d.abs();
+            if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                best = Some((j, increasing, score));
+            }
+        }
+        best.map(|(j, inc, _)| (j, inc))
+    }
+
+    /// One simplex iteration for the active cost vector.
+    /// Returns `Ok(true)` when an optimum was reached, `Ok(false)` to continue.
+    fn iterate(&mut self, tol: f64, phase_two: bool) -> LpResult<IterOutcome> {
+        let Some((q, increasing)) = self.price(tol) else {
+            return Ok(IterOutcome::Optimal);
+        };
+        let m = self.m;
+        let delta = if increasing { 1.0 } else { -1.0 };
+
+        // w = B⁻¹ A_q.
+        let mut w = vec![0.0; m];
+        for &(row, a) in &self.cols[q] {
+            if a != 0.0 {
+                for pos in 0..m {
+                    w[pos] += self.binv[pos * m + row] * a;
+                }
+            }
+        }
+
+        // Ratio test. Basic values move by -t·delta·w.
+        let entering_range = self.ub[q] - self.lb[q];
+        let mut t_max = if entering_range.is_finite() { entering_range } else { f64::INFINITY };
+        let mut leaving: Option<(usize, bool)> = None; // (basis position, hits_lower)
+        for pos in 0..m {
+            let wi = w[pos];
+            if wi.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let basic = self.basis[pos];
+            let change = delta * wi;
+            let (limit, hits_lower) = if change > 0.0 {
+                // basic value decreases towards its lower bound
+                let lbb = self.lb[basic];
+                if lbb.is_finite() {
+                    ((self.xb[pos] - lbb) / change, true)
+                } else {
+                    (f64::INFINITY, true)
+                }
+            } else {
+                // basic value increases towards its upper bound
+                let ubb = self.ub[basic];
+                if ubb.is_finite() {
+                    ((ubb - self.xb[pos]) / (-change), false)
+                } else {
+                    (f64::INFINITY, false)
+                }
+            };
+            let limit = limit.max(0.0);
+            if limit < t_max - 1e-12 {
+                t_max = limit;
+                leaving = Some((pos, hits_lower));
+            } else if leaving.is_some() && (limit - t_max).abs() <= 1e-12 {
+                // Tie-break by smallest column index (helps against cycling).
+                let (cur_pos, _) = leaving.unwrap();
+                if self.basis[pos] < self.basis[cur_pos] {
+                    leaving = Some((pos, hits_lower));
+                }
+            } else if leaving.is_none() && limit <= t_max {
+                t_max = limit;
+                leaving = Some((pos, hits_lower));
+            }
+        }
+
+        if t_max.is_infinite() {
+            return if phase_two {
+                Ok(IterOutcome::Unbounded)
+            } else {
+                Err(LpError::Numerical("phase-1 objective unbounded below".into()))
+            };
+        }
+
+        if t_max <= tol {
+            self.degenerate_run += 1;
+            if self.degenerate_run > 2 * (self.m + self.ncols) {
+                self.use_bland = true;
+            }
+        } else {
+            self.degenerate_run = 0;
+        }
+
+        // Apply the step to basic values.
+        if t_max > 0.0 {
+            for pos in 0..m {
+                self.xb[pos] -= t_max * delta * w[pos];
+            }
+        }
+
+        match leaving {
+            None => {
+                // Bound flip of the entering variable: no basis change.
+                self.status[q] = if increasing { ColStatus::AtUpper } else { ColStatus::AtLower };
+                Ok(IterOutcome::Continue)
+            }
+            Some((pos, hits_lower)) => {
+                let entering_value = self.nonbasic_value(q) + delta * t_max;
+                let leaving_col = self.basis[pos];
+                self.status[leaving_col] = if hits_lower {
+                    ColStatus::AtLower
+                } else {
+                    ColStatus::AtUpper
+                };
+                // Snap the leaving variable's value onto its bound exactly by
+                // construction (it is nonbasic now, so its value is implied).
+                self.basis[pos] = q;
+                self.status[q] = ColStatus::Basic(pos);
+                self.xb[pos] = entering_value;
+
+                // Update B⁻¹: eliminate w in all rows except `pos`.
+                let piv = w[pos];
+                if piv.abs() <= PIVOT_TOL {
+                    return Err(LpError::Numerical("pivot element too small".into()));
+                }
+                for k in 0..m {
+                    self.binv[pos * m + k] /= piv;
+                }
+                for r in 0..m {
+                    if r != pos && w[r].abs() > 0.0 {
+                        let factor = w[r];
+                        for k in 0..m {
+                            self.binv[r * m + k] -= factor * self.binv[pos * m + k];
+                        }
+                    }
+                }
+                Ok(IterOutcome::Continue)
+            }
+        }
+    }
+
+    /// Runs the simplex loop until the active cost vector is optimal.
+    fn optimize(&mut self, config: &SolverConfig, phase_two: bool) -> LpResult<IterOutcome> {
+        let mut since_refactor = 0usize;
+        loop {
+            if self.iterations >= config.max_iterations {
+                return Err(LpError::IterationLimit);
+            }
+            self.iterations += 1;
+            since_refactor += 1;
+            if since_refactor >= config.refactor_every {
+                self.refactorize()?;
+                since_refactor = 0;
+            }
+            match self.iterate(config.tolerance, phase_two)? {
+                IterOutcome::Continue => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IterOutcome {
+    Continue,
+    Optimal,
+    Unbounded,
+}
+
+/// Solves the LP relaxation of `problem` (integrality is ignored here; the
+/// branch-and-bound layer re-imposes it).
+///
+/// `bound_overrides`, when given, replaces the `(lb, ub)` bounds of the
+/// structural variables — this is how branch and bound tightens bounds per
+/// node without copying the whole problem.
+pub fn solve_lp(
+    problem: &Problem,
+    bound_overrides: Option<&[(f64, f64)]>,
+    config: &SolverConfig,
+) -> LpResult<Solution> {
+    problem.validate()?;
+    if let Some(b) = bound_overrides {
+        if b.len() != problem.num_vars() {
+            return Err(LpError::InvalidProblem(format!(
+                "bound override length {} does not match variable count {}",
+                b.len(),
+                problem.num_vars()
+            )));
+        }
+        for (i, (lb, ub)) in b.iter().enumerate() {
+            if lb > ub {
+                // An empty domain at a branch-and-bound node is simply an
+                // infeasible subproblem, not a malformed input.
+                let _ = i;
+                return Ok(Solution::status_only(Status::Infeasible));
+            }
+        }
+    }
+
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+
+    let var_bounds = |i: usize| -> (f64, f64) {
+        match bound_overrides {
+            Some(b) => b[i],
+            None => {
+                let v = &problem.variables()[i];
+                (v.lb, v.ub)
+            }
+        }
+    };
+
+    // Trivial case: no constraints. Push every variable to its favourable bound.
+    if m == 0 {
+        return solve_unconstrained(problem, bound_overrides, config);
+    }
+
+    // Internal objective is always minimization.
+    let obj_sign = match problem.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let ncols = n + m + m; // structural + slack + artificial
+    let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
+    let mut lb = vec![0.0; ncols];
+    let mut ub = vec![f64::INFINITY; ncols];
+    let mut cost = vec![0.0; ncols];
+    let mut b = vec![0.0; m];
+
+    for i in 0..n {
+        let (l, u) = var_bounds(i);
+        lb[i] = l;
+        ub[i] = u;
+        cost[i] = obj_sign * problem.objective()[i];
+    }
+    for (row, c) in problem.constraints().iter().enumerate() {
+        b[row] = c.rhs;
+        for (v, a) in c.expr.terms() {
+            if a != 0.0 {
+                cols[v.index()].push((row, a));
+            }
+        }
+        let slack = n + row;
+        cols[slack].push((row, 1.0));
+        match c.op {
+            ConstraintOp::Le => {
+                lb[slack] = 0.0;
+                ub[slack] = f64::INFINITY;
+            }
+            ConstraintOp::Ge => {
+                lb[slack] = f64::NEG_INFINITY;
+                ub[slack] = 0.0;
+            }
+            ConstraintOp::Eq => {
+                lb[slack] = 0.0;
+                ub[slack] = 0.0;
+            }
+        }
+    }
+
+    // Initial nonbasic statuses for structural and slack columns.
+    let mut status = vec![ColStatus::Free; ncols];
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..n + m {
+        status[j] = if lb[j].is_finite() {
+            ColStatus::AtLower
+        } else if ub[j].is_finite() {
+            ColStatus::AtUpper
+        } else {
+            ColStatus::Free
+        };
+    }
+
+    // Residuals decide the sign of each artificial column so the initial
+    // basis is feasible (artificial value = |residual| ≥ 0).
+    let mut residual = b.clone();
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..n + m {
+        let v = match status[j] {
+            ColStatus::AtLower => lb[j],
+            ColStatus::AtUpper => ub[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(row, a) in &cols[j] {
+                residual[row] -= a * v;
+            }
+        }
+    }
+
+    let mut basis = vec![0usize; m];
+    let mut binv = vec![0.0; m * m];
+    let mut xb = vec![0.0; m];
+    for row in 0..m {
+        let art = n + m + row;
+        let sign = if residual[row] >= 0.0 { 1.0 } else { -1.0 };
+        cols[art].push((row, sign));
+        lb[art] = 0.0;
+        ub[art] = f64::INFINITY;
+        basis[row] = art;
+        status[art] = ColStatus::Basic(row);
+        binv[row * m + row] = sign; // inverse of diag(sign) is itself
+        xb[row] = residual[row].abs();
+    }
+
+    // Phase-1 cost: sum of artificials.
+    let mut phase1_cost = vec![0.0; ncols];
+    for row in 0..m {
+        phase1_cost[n + m + row] = 1.0;
+    }
+
+    let mut tab = Tableau {
+        m,
+        ncols,
+        n_struct: n,
+        cols,
+        lb,
+        ub,
+        cost: phase1_cost,
+        b,
+        status,
+        basis,
+        binv,
+        xb,
+        iterations: 0,
+        use_bland: false,
+        degenerate_run: 0,
+    };
+
+    // ---- Phase 1 ----
+    match tab.optimize(config, false)? {
+        IterOutcome::Optimal => {}
+        IterOutcome::Unbounded => {
+            return Err(LpError::Numerical("phase-1 reported unbounded".into()))
+        }
+        IterOutcome::Continue => unreachable!(),
+    }
+    let infeasibility: f64 = (0..tab.m)
+        .map(|pos| {
+            let j = tab.basis[pos];
+            if j >= n + m {
+                tab.xb[pos].max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    let feas_scale = 1.0 + tab.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    if infeasibility > config.tolerance * feas_scale * 10.0 {
+        return Ok(Solution::status_only(Status::Infeasible));
+    }
+
+    // ---- Phase 2 ----
+    // Freeze artificials at zero and swap in the real objective.
+    for row in 0..m {
+        let art = n + m + row;
+        tab.ub[art] = 0.0;
+        if !matches!(tab.status[art], ColStatus::Basic(_)) {
+            tab.status[art] = ColStatus::AtLower;
+        }
+    }
+    tab.cost = vec![0.0; ncols];
+    for i in 0..n {
+        tab.cost[i] = obj_sign * problem.objective()[i];
+    }
+    tab.use_bland = false;
+    tab.degenerate_run = 0;
+
+    let outcome = tab.optimize(config, true)?;
+
+    // Extract the structural solution.
+    let mut values = vec![0.0; n];
+    for j in 0..n {
+        values[j] = tab.nonbasic_value(j);
+    }
+    // Clamp tiny numerical excursions back into the variable bounds.
+    for (i, v) in values.iter_mut().enumerate() {
+        let (l, u) = var_bounds(i);
+        if *v < l {
+            *v = l;
+        }
+        if *v > u {
+            *v = u;
+        }
+        if v.abs() < 1e-11 {
+            *v = 0.0;
+        }
+    }
+
+    match outcome {
+        IterOutcome::Unbounded => Ok(Solution {
+            status: Status::Unbounded,
+            objective: match problem.sense() {
+                Sense::Maximize => f64::INFINITY,
+                Sense::Minimize => f64::NEG_INFINITY,
+            },
+            values,
+            iterations: tab.iterations,
+            nodes: 0,
+        }),
+        _ => Ok(Solution {
+            status: Status::Optimal,
+            objective: problem.objective_value(&values),
+            values,
+            iterations: tab.iterations,
+            nodes: 0,
+        }),
+    }
+}
+
+/// Handles problems with zero constraint rows.
+fn solve_unconstrained(
+    problem: &Problem,
+    bound_overrides: Option<&[(f64, f64)]>,
+    _config: &SolverConfig,
+) -> LpResult<Solution> {
+    let n = problem.num_vars();
+    let mut values = vec![0.0; n];
+    for i in 0..n {
+        let (lb, ub) = match bound_overrides {
+            Some(b) => b[i],
+            None => (problem.variables()[i].lb, problem.variables()[i].ub),
+        };
+        let c = problem.objective()[i];
+        let effective = match problem.sense() {
+            Sense::Maximize => c,
+            Sense::Minimize => -c,
+        };
+        // Push towards the bound that improves the objective.
+        let target = if effective > 0.0 { ub } else if effective < 0.0 { lb } else { lb.max(0.0).min(ub) };
+        if !target.is_finite() {
+            if effective != 0.0 {
+                return Ok(Solution::status_only(Status::Unbounded));
+            }
+            values[i] = if lb.is_finite() { lb } else { 0.0 };
+        } else {
+            values[i] = target;
+        }
+    }
+    Ok(Solution {
+        status: Status::Optimal,
+        objective: problem.objective_value(&values),
+        values,
+        iterations: 0,
+        nodes: 0,
+    })
+}
+
+/// Convenience used by tests: true when every integer variable of `problem`
+/// holds an (almost) integral value in `values`.
+pub fn is_integral(problem: &Problem, values: &[f64], int_tol: f64) -> bool {
+    problem
+        .variables()
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == VarType::Integer)
+        .all(|(i, _)| (values[i] - values[i].round()).abs() <= int_tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp, Problem, Sense, VarType};
+
+    fn cfg() -> SolverConfig {
+        SolverConfig::default()
+    }
+
+    #[test]
+    fn simple_two_variable_lp() {
+        // maximize 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic)
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = p.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        p.set_objective_coeff(x, 3.0);
+        p.set_objective_coeff(y, 5.0);
+        p.add_constraint_terms("c1", &[(x, 1.0)], ConstraintOp::Le, 4.0);
+        p.add_constraint_terms("c2", &[(y, 2.0)], ConstraintOp::Le, 12.0);
+        p.add_constraint_terms("c3", &[(x, 3.0), (y, 2.0)], ConstraintOp::Le, 18.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // minimize 2x + 3y  s.t. x + y >= 10, x >= 2, y >= 3
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = p.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        p.set_objective_coeff(x, 2.0);
+        p.set_objective_coeff(y, 3.0);
+        p.add_constraint_terms("sum", &[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 10.0);
+        p.add_constraint_terms("xm", &[(x, 1.0)], ConstraintOp::Ge, 2.0);
+        p.add_constraint_terms("ym", &[(y, 1.0)], ConstraintOp::Ge, 3.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        assert!((s.objective - 23.0).abs() < 1e-6, "objective was {}", s.objective);
+        assert!((s.value(x) - 7.0).abs() < 1e-6);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // minimize x + y  s.t. x + 2y = 4, x - y = 1  → x = 2, y = 1
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        let y = p.add_var("y", VarType::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 1.0);
+        p.add_constraint_terms("e1", &[(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
+        p.add_constraint_terms("e2", &[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, 10.0);
+        p.add_constraint_terms("lo", &[(x, 1.0)], ConstraintOp::Ge, 5.0);
+        p.add_constraint_terms("hi", &[(x, 1.0)], ConstraintOp::Le, 3.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, f64::INFINITY);
+        let y = p.add_var("y", VarType::Continuous, 0.0, f64::INFINITY);
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint_terms("c", &[(x, 1.0), (y, -1.0)], ConstraintOp::Le, 1.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn variable_upper_bounds_respected_without_constraint_rows_for_them() {
+        // maximize x + y  s.t. x + y <= 10, x ∈ [0, 3], y ∈ [0, 4]
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, 3.0);
+        let y = p.add_var("y", VarType::Continuous, 0.0, 4.0);
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 1.0);
+        p.add_constraint_terms("cap", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 10.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!((s.objective - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_overrides_take_effect() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, 10.0);
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint_terms("cap", &[(x, 1.0)], ConstraintOp::Le, 9.0);
+        let s = solve_lp(&p, Some(&[(0.0, 2.5)]), &cfg()).unwrap();
+        assert!((s.objective - 2.5).abs() < 1e-6);
+        // Empty domain → infeasible node.
+        let s2 = solve_lp(&p, Some(&[(3.0, 2.0)]), &cfg()).unwrap();
+        assert_eq!(s2.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unconstrained_problems() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, 7.0);
+        let y = p.add_var("y", VarType::Continuous, -2.0, 2.0);
+        p.set_objective_coeff(x, 2.0);
+        p.set_objective_coeff(y, -1.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!((s.objective - 16.0).abs() < 1e-9);
+
+        let mut q = Problem::new(Sense::Maximize);
+        let z = q.add_var("z", VarType::Continuous, 0.0, f64::INFINITY);
+        q.set_objective_coeff(z, 1.0);
+        let s2 = solve_lp(&q, None, &cfg()).unwrap();
+        assert_eq!(s2.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // minimize x  s.t. x >= -5 (bound), x + y = 0, y <= 3  → x = -3
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", VarType::Continuous, -5.0, f64::INFINITY);
+        let y = p.add_var("y", VarType::Continuous, 0.0, 3.0);
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint_terms("bal", &[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 0.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        assert!((s.value(x) + 3.0).abs() < 1e-6, "x was {}", s.value(x));
+    }
+
+    #[test]
+    fn fractional_relaxation_of_knapsack() {
+        // maximize 10a + 6b + 4c s.t. a+b+c <= 2, 5a+4b+3c <= 7, 0<=vars<=1
+        let mut p = Problem::new(Sense::Maximize);
+        let a = p.add_var("a", VarType::Continuous, 0.0, 1.0);
+        let b = p.add_var("b", VarType::Continuous, 0.0, 1.0);
+        let c = p.add_var("c", VarType::Continuous, 0.0, 1.0);
+        p.set_objective_coeff(a, 10.0);
+        p.set_objective_coeff(b, 6.0);
+        p.set_objective_coeff(c, 4.0);
+        p.add_constraint_terms("count", &[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        p.add_constraint_terms("weight", &[(a, 5.0), (b, 4.0), (c, 3.0)], ConstraintOp::Le, 7.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        // a = 1, b = 0.5, c = 0 → 13; or a = 1, c = 2/3 → 12.67; optimum is 13.
+        assert!((s.objective - 13.0).abs() < 1e-6, "objective was {}", s.objective);
+    }
+
+    #[test]
+    fn many_variables_few_rows_stays_fast_and_correct() {
+        // maximize Σ v_i x_i  s.t. Σ x_i <= 10, Σ w_i x_i <= 50, x ∈ [0,1]
+        // with v_i = i mod 7, w_i = 1 + (i mod 5). Greedy LP structure: the
+        // optimum is reachable and must satisfy both constraints tightly.
+        let n = 500;
+        let mut p = Problem::new(Sense::Maximize);
+        let mut count = Vec::new();
+        let mut weight = Vec::new();
+        for i in 0..n {
+            let x = p.add_var(format!("x{i}"), VarType::Continuous, 0.0, 1.0);
+            p.set_objective_coeff(x, (i % 7) as f64);
+            count.push((x, 1.0));
+            weight.push((x, 1.0 + (i % 5) as f64));
+        }
+        p.add_constraint_terms("count", &count, ConstraintOp::Le, 10.0);
+        p.add_constraint_terms("weight", &weight, ConstraintOp::Le, 50.0);
+        let s = solve_lp(&p, None, &cfg()).unwrap();
+        assert!(s.status.is_optimal());
+        assert!(p.is_feasible(&s.values, 1e-6));
+        // 10 items of value 6 fit (weight of value-6 items is 1 + (i mod 5) — at
+        // least ten of them have total weight ≤ 50), so the optimum is 60.
+        assert!((s.objective - 60.0).abs() < 1e-5, "objective was {}", s.objective);
+    }
+
+    #[test]
+    fn is_integral_helper() {
+        let mut p = Problem::new(Sense::Maximize);
+        p.add_var("x", VarType::Integer, 0.0, 5.0);
+        p.add_var("y", VarType::Continuous, 0.0, 5.0);
+        assert!(is_integral(&p, &[2.0000000001, 3.7], 1e-6));
+        assert!(!is_integral(&p, &[2.5, 3.7], 1e-6));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the LP/MILP solver.
+
+use lp_solver::{solve, solve_lp, ConstraintOp, Problem, Sense, SolverConfig, Status, VarType};
+use proptest::prelude::*;
+
+fn cfg() -> SolverConfig {
+    SolverConfig::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// On random 0/1 knapsack instances the MILP optimum equals brute force.
+    #[test]
+    fn knapsack_matches_brute_force(
+        values in prop::collection::vec(1.0f64..20.0, 6..12),
+        weights in prop::collection::vec(1.0f64..10.0, 6..12),
+        capacity_frac in 0.2f64..0.8,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let capacity = capacity_frac * weights.iter().sum::<f64>();
+
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, values[i]);
+        }
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
+        p.add_constraint_terms("cap", &terms, ConstraintOp::Le, capacity);
+        let sol = solve(&p, &cfg()).unwrap();
+        prop_assert!(sol.status.is_optimal());
+
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let (mut w, mut v) = (0.0, 0.0);
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    w += weights[i];
+                    v += values[i];
+                }
+            }
+            if w <= capacity + 1e-9 && v > best {
+                best = v;
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6, "milp {} vs brute force {}", sol.objective, best);
+        prop_assert!(p.is_feasible(&sol.values, 1e-6));
+    }
+
+    /// Random feasible LPs: the simplex answer satisfies every constraint and
+    /// dominates a set of random feasible points.
+    #[test]
+    fn lp_optimum_dominates_random_feasible_points(
+        costs in prop::collection::vec(-10.0f64..10.0, 4..8),
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 4..8), 2..5),
+        rhs_slack in prop::collection::vec(1.0f64..50.0, 2..5),
+        samples in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4..8), 10),
+    ) {
+        let n = costs.len();
+        let m = rows.len().min(rhs_slack.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("x{i}"), VarType::Continuous, 0.0, 1.0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, costs[i]);
+        }
+        for r in 0..m {
+            let coeffs: Vec<f64> = (0..n).map(|i| rows[r].get(i).copied().unwrap_or(0.0)).collect();
+            let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, coeffs[i])).collect();
+            // rhs chosen so the origin is always feasible.
+            p.add_constraint_terms(format!("r{r}"), &terms, ConstraintOp::Le, rhs_slack[r]);
+        }
+        let sol = solve_lp(&p, None, &cfg()).unwrap();
+        prop_assert!(sol.status.is_optimal());
+        prop_assert!(p.is_feasible(&sol.values, 1e-6), "simplex returned an infeasible point");
+
+        for sample in &samples {
+            let point: Vec<f64> = (0..n).map(|i| sample.get(i).copied().unwrap_or(0.0)).collect();
+            if p.is_feasible(&point, 1e-9) {
+                prop_assert!(
+                    p.objective_value(&point) <= sol.objective + 1e-6,
+                    "random feasible point beats the 'optimal' simplex solution"
+                );
+            }
+        }
+    }
+
+    /// Problems whose constraints contradict the bounds are reported
+    /// infeasible, never 'optimal'.
+    #[test]
+    fn contradictions_are_infeasible(lo in 1.0f64..50.0, gap in 1.0f64..10.0) {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var("x", VarType::Continuous, 0.0, lo);
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint_terms("force", &[(x, 1.0)], ConstraintOp::Ge, lo + gap);
+        let sol = solve_lp(&p, None, &cfg()).unwrap();
+        prop_assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    /// Scaling the objective scales the optimum (and never flips the optimizer).
+    #[test]
+    fn objective_scaling_is_linear(scale in 0.5f64..10.0) {
+        let build = |k: f64| {
+            let mut p = Problem::new(Sense::Maximize);
+            let x = p.add_var("x", VarType::Continuous, 0.0, 4.0);
+            let y = p.add_var("y", VarType::Continuous, 0.0, 4.0);
+            p.set_objective_coeff(x, 3.0 * k);
+            p.set_objective_coeff(y, 1.0 * k);
+            p.add_constraint_terms("cap", &[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0);
+            p
+        };
+        let base = solve_lp(&build(1.0), None, &cfg()).unwrap();
+        let scaled = solve_lp(&build(scale), None, &cfg()).unwrap();
+        prop_assert!((scaled.objective - scale * base.objective).abs() < 1e-6 * (1.0 + scale));
+    }
+}

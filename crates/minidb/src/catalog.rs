@@ -1,0 +1,98 @@
+//! The catalog: a namespace of tables.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::table::Table;
+use crate::DbResult;
+
+/// A named collection of [`Table`]s.
+///
+/// PackageBuilder is "an external module which communicates with the DBMS";
+/// in this reproduction the catalog plays the role of that DBMS connection.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table, replacing any previous table with the same
+    /// (case-insensitive) name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name().to_ascii_lowercase(), table);
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Looks a table up by name, erroring when absent.
+    pub fn require(&self, name: &str) -> DbResult<&Table> {
+        self.table(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Removes a table, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.values().map(|t| t.name()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+
+    #[test]
+    fn register_and_lookup_is_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register(Table::new("Recipes", Schema::build(&[("x", ColumnType::Int)])));
+        assert!(c.table("recipes").is_some());
+        assert!(c.table("RECIPES").is_some());
+        assert!(c.require("meals").is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn register_replaces_existing() {
+        let mut c = Catalog::new();
+        c.register(Table::new("t", Schema::build(&[("a", ColumnType::Int)])));
+        c.register(Table::new("T", Schema::build(&[("b", ColumnType::Int)])));
+        assert_eq!(c.len(), 1);
+        assert!(c.table("t").unwrap().schema().index_of("b").is_some());
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let mut c = Catalog::new();
+        c.register(Table::new("t", Schema::build(&[("a", ColumnType::Int)])));
+        assert!(c.drop_table("T").is_some());
+        assert!(c.is_empty());
+    }
+}

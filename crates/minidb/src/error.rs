@@ -1,0 +1,55 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by the `minidb` substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A column name could not be resolved against a schema.
+    UnknownColumn(String),
+    /// A table name could not be resolved against the catalog.
+    UnknownTable(String),
+    /// A schema definition is invalid (e.g. duplicate column names).
+    SchemaError(String),
+    /// A value does not match the declared column type, or an operation was
+    /// applied to values of the wrong type.
+    TypeError(String),
+    /// A tuple has the wrong arity for its table.
+    ArityMismatch { expected: usize, found: usize },
+    /// CSV parsing failed.
+    CsvError(String),
+    /// Expression evaluation failed for a reason not covered above.
+    EvalError(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            DbError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            DbError::SchemaError(m) => write!(f, "schema error: {m}"),
+            DbError::TypeError(m) => write!(f, "type error: {m}"),
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, found {found}")
+            }
+            DbError::CsvError(m) => write!(f, "csv error: {m}"),
+            DbError::EvalError(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert_eq!(DbError::UnknownColumn("x".into()).to_string(), "unknown column 'x'");
+        assert_eq!(
+            DbError::ArityMismatch { expected: 3, found: 2 }.to_string(),
+            "arity mismatch: expected 3 values, found 2"
+        );
+    }
+}

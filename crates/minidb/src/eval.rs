@@ -1,0 +1,324 @@
+//! Expression evaluation with SQL three-valued logic.
+
+use crate::error::DbError;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::DbResult;
+
+/// Evaluates `expr` against `tuple` (column names resolved through `schema`).
+pub fn eval(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<Value> {
+    match expr {
+        Expr::Column(name) => {
+            // Prefer an exact match (joined schemas contain qualified names
+            // such as `R.calories`); otherwise fall back to the unqualified
+            // name so `R.gluten` resolves against the base table schema.
+            let idx = match schema.index_of(name) {
+                Some(i) => i,
+                None => schema.require(strip_qualifier(name))?,
+            };
+            Ok(tuple
+                .get(idx)
+                .cloned()
+                .unwrap_or(Value::Null))
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval(lhs, schema, tuple)?;
+            // Short-circuit logical operators on the left value where 3VL allows.
+            if *op == BinaryOp::And {
+                if l.as_bool() == Some(false) {
+                    return Ok(Value::Bool(false));
+                }
+            } else if *op == BinaryOp::Or && l.as_bool() == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(rhs, schema, tuple)?;
+            eval_binary(*op, &l, &r)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, schema, tuple)?;
+            match op {
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::Not => Ok(match v {
+                    Value::Null => Value::Null,
+                    other => match other.as_bool() {
+                        Some(b) => Value::Bool(!b),
+                        None => return Err(DbError::TypeError(format!("cannot apply NOT to {other}"))),
+                    },
+                }),
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, schema, tuple)?;
+            let lo = eval(low, schema, tuple)?;
+            let hi = eval(high, schema, tuple)?;
+            let ge = eval_binary(BinaryOp::GtEq, &v, &lo)?;
+            let le = eval_binary(BinaryOp::LtEq, &v, &hi)?;
+            let both = eval_binary(BinaryOp::And, &ge, &le)?;
+            negate_if(both, *negated)
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, schema, tuple)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let item_v = eval(item, schema, tuple)?;
+                match v.sql_eq(&item_v) {
+                    Some(true) => return negate_if(Value::Bool(true), *negated),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                negate_if(Value::Bool(false), *negated)
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, tuple)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, schema, tuple)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => negate_if(Value::Bool(like_match(&s, pattern)), *negated),
+                other => Err(DbError::TypeError(format!("LIKE requires a text value, got {other}"))),
+            }
+        }
+    }
+}
+
+/// Evaluates a predicate, mapping NULL to `false` (standard SQL `WHERE`
+/// semantics: a row qualifies only when the predicate is definitely true).
+pub fn eval_predicate(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<bool> {
+    Ok(eval(expr, schema, tuple)?.as_bool().unwrap_or(false))
+}
+
+/// Strips a leading alias qualifier (`R.calories` → `calories`, `P.x` → `x`).
+pub fn strip_qualifier(name: &str) -> &str {
+    match name.rsplit_once('.') {
+        Some((_, bare)) => bare,
+        None => name,
+    }
+}
+
+fn negate_if(v: Value, negated: bool) -> DbResult<Value> {
+    if !negated {
+        return Ok(v);
+    }
+    Ok(match v {
+        Value::Null => Value::Null,
+        other => Value::Bool(!other.as_bool().unwrap_or(false)),
+    })
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> DbResult<Value> {
+    use BinaryOp::*;
+    match op {
+        Add => l.add(r),
+        Sub => l.sub(r),
+        Mul => l.mul(r),
+        Div => l.div(r),
+        Eq | NotEq => Ok(match l.sql_eq(r) {
+            None => Value::Null,
+            Some(b) => Value::Bool(if op == Eq { b } else { !b }),
+        }),
+        Lt | LtEq | Gt | GtEq => Ok(match l.sql_cmp(r) {
+            None => Value::Null,
+            Some(ord) => {
+                let b = match op {
+                    Lt => ord.is_lt(),
+                    LtEq => ord.is_le(),
+                    Gt => ord.is_gt(),
+                    GtEq => ord.is_ge(),
+                    _ => unreachable!(),
+                };
+                Value::Bool(b)
+            }
+        }),
+        And => Ok(three_valued_and(l, r)),
+        Or => Ok(three_valued_or(l, r)),
+    }
+}
+
+fn three_valued_and(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool(), l.is_null() || r.is_null()) {
+        (Some(false), _, _) | (_, Some(false), _) => Value::Bool(false),
+        (_, _, true) => Value::Null,
+        (Some(true), Some(true), _) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn three_valued_or(l: &Value, r: &Value) -> Value {
+    match (l.as_bool(), r.as_bool(), l.is_null() || r.is_null()) {
+        (Some(true), _, _) | (_, Some(true), _) => Value::Bool(true),
+        (_, _, true) => Value::Null,
+        (Some(false), Some(false), _) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// Minimal SQL `LIKE` matcher supporting `%` (any sequence) and `_` (any one
+/// character). Matching is case-sensitive, like PostgreSQL's `LIKE`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn inner(s: &[char], p: &[char]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (None, Some(_)) => false,
+            (Some('%'), _) => {
+                // Try to consume zero or more characters.
+                if inner(s, &p[1..]) {
+                    return true;
+                }
+                if s.is_empty() {
+                    return false;
+                }
+                inner(&s[1..], p)
+            }
+            (Some('_'), Some(_)) => inner(&s[1..], &p[1..]),
+            (Some(pc), Some(sc)) if pc == sc => inner(&s[1..], &p[1..]),
+            _ => false,
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    inner(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::tuple;
+
+    fn schema() -> Schema {
+        Schema::build(&[
+            ("name", ColumnType::Text),
+            ("calories", ColumnType::Float),
+            ("protein", ColumnType::Float),
+            ("gluten", ColumnType::Text),
+        ])
+    }
+
+    fn row() -> Tuple {
+        tuple!("oatmeal", 320.0, 12.5, "free")
+    }
+
+    #[test]
+    fn base_constraint_from_the_paper() {
+        // WHERE R.gluten = 'free'
+        let e = Expr::col("R.gluten").eq(Expr::lit("free"));
+        assert!(eval_predicate(&e, &schema(), &row()).unwrap());
+        let e2 = Expr::col("R.gluten").eq(Expr::lit("full"));
+        assert!(!eval_predicate(&e2, &schema(), &row()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::binary(
+            BinaryOp::Gt,
+            Expr::binary(BinaryOp::Mul, Expr::col("protein"), Expr::lit(2)),
+            Expr::lit(20.0),
+        );
+        assert!(eval_predicate(&e, &schema(), &row()).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_do_not_qualify() {
+        let schema = Schema::build(&[("x", ColumnType::Float)]);
+        let t = Tuple::new(vec![Value::Null]);
+        let e = Expr::col("x").gt_eq(Expr::lit(0));
+        assert_eq!(eval(&e, &schema, &t).unwrap(), Value::Null);
+        assert!(!eval_predicate(&e, &schema, &t).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        assert_eq!(three_valued_and(&Value::Null, &Value::Bool(false)), Value::Bool(false));
+        assert_eq!(three_valued_and(&Value::Null, &Value::Bool(true)), Value::Null);
+        assert_eq!(three_valued_or(&Value::Null, &Value::Bool(true)), Value::Bool(true));
+        assert_eq!(three_valued_or(&Value::Null, &Value::Bool(false)), Value::Null);
+    }
+
+    #[test]
+    fn between_in_isnull_like() {
+        let s = schema();
+        let r = row();
+        let between = Expr::col("calories").between(Expr::lit(300), Expr::lit(350));
+        assert!(eval_predicate(&between, &s, &r).unwrap());
+
+        let inlist = Expr::InList {
+            expr: Box::new(Expr::col("gluten")),
+            list: vec![Expr::lit("free"), Expr::lit("none")],
+            negated: false,
+        };
+        assert!(eval_predicate(&inlist, &s, &r).unwrap());
+
+        let isnull = Expr::IsNull {
+            expr: Box::new(Expr::col("name")),
+            negated: true,
+        };
+        assert!(eval_predicate(&isnull, &s, &r).unwrap());
+
+        let like = Expr::Like {
+            expr: Box::new(Expr::col("name")),
+            pattern: "oat%".into(),
+            negated: false,
+        };
+        assert!(eval_predicate(&like, &s, &r).unwrap());
+    }
+
+    #[test]
+    fn like_matcher_wildcards() {
+        assert!(like_match("chicken salad", "%salad"));
+        assert!(like_match("chicken salad", "chicken%"));
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("cat", "c_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "abd"));
+        assert!(like_match("a%c", "a%c"));
+    }
+
+    #[test]
+    fn not_operator_respects_nulls() {
+        let s = Schema::build(&[("x", ColumnType::Bool)]);
+        let t = Tuple::new(vec![Value::Null]);
+        let e = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::col("x")),
+        };
+        assert_eq!(eval(&e, &s, &t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let e = Expr::col("missing");
+        assert!(matches!(
+            eval(&e, &schema(), &row()),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn qualifier_stripping() {
+        assert_eq!(strip_qualifier("R.calories"), "calories");
+        assert_eq!(strip_qualifier("calories"), "calories");
+        assert_eq!(strip_qualifier("a.b.c"), "c");
+    }
+}

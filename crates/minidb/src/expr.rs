@@ -1,0 +1,375 @@
+//! Scalar expressions over a single tuple.
+//!
+//! These expressions implement PaQL *base constraints* (the `WHERE` clause),
+//! which the paper notes "are equivalent to regular selection predicates, and
+//! can be evaluated individually for each tuple".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+        )
+    }
+
+    /// True for `+ - * /`.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+    }
+
+    /// True for `AND` / `OR`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// SQL spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// A scalar expression evaluated against one tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Reference to a column by name (optionally qualified, e.g. `R.calories`;
+    /// the qualifier is stripped during analysis).
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr BETWEEN low AND high` (inclusive on both ends).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr LIKE pattern` with `%` and `_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern literal.
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Binary expression helper.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, self, other)
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, self, other)
+    }
+
+    /// `self <= other`.
+    pub fn lt_eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::LtEq, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn gt_eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::GtEq, self, other)
+    }
+
+    /// `self BETWEEN low AND high`.
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        Expr::Between {
+            expr: Box::new(self),
+            low: Box::new(low),
+            high: Box::new(high),
+            negated: false,
+        }
+    }
+
+    /// Collects the names of all columns referenced by the expression.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut cols = Vec::new();
+        self.visit_columns(&mut |c| cols.push(c.to_string()));
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    fn visit_columns(&self, f: &mut impl FnMut(&str)) {
+        match self {
+            Expr::Column(c) => f(c),
+            Expr::Literal(_) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_columns(f);
+                rhs.visit_columns(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit_columns(f),
+            Expr::Between { expr, low, high, .. } => {
+                expr.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::IsNull { expr, .. } => expr.visit_columns(f),
+            Expr::Like { expr, .. } => expr.visit_columns(f),
+        }
+    }
+
+    /// Rewrites every column reference through `rename`.
+    pub fn map_columns(&self, rename: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Column(c) => Expr::Column(rename(c)),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.map_columns(rename)),
+                rhs: Box::new(rhs.map_columns(rename)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.map_columns(rename)),
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.map_columns(rename)),
+                low: Box::new(low.map_columns(rename)),
+                high: Box::new(high.map_columns(rename)),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(expr.map_columns(rename)),
+                list: list.iter().map(|e| e.map_columns(rename)).collect(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.map_columns(rename)),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.map_columns(rename)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList { expr, list, negated } => {
+                let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "({expr} {}IN ({}))",
+                    if *negated { "NOT " } else { "" },
+                    items.join(", ")
+                )
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let e = Expr::col("gluten")
+            .eq(Expr::lit("free"))
+            .and(Expr::col("calories").lt_eq(Expr::lit(500)));
+        assert_eq!(e.to_string(), "((gluten = 'free') AND (calories <= 500))");
+    }
+
+    #[test]
+    fn referenced_columns_dedups_and_sorts() {
+        let e = Expr::col("b").eq(Expr::lit(1)).and(Expr::col("a").eq(Expr::col("b")));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn map_columns_rewrites_references() {
+        let e = Expr::col("R.calories").gt_eq(Expr::lit(10));
+        let stripped = e.map_columns(&|c| c.rsplit('.').next().unwrap().to_string());
+        assert_eq!(stripped.referenced_columns(), vec!["calories".to_string()]);
+    }
+
+    #[test]
+    fn operator_classification() {
+        assert!(BinaryOp::Lt.is_comparison());
+        assert!(BinaryOp::Mul.is_arithmetic());
+        assert!(BinaryOp::And.is_logical());
+        assert!(!BinaryOp::And.is_comparison());
+    }
+
+    #[test]
+    fn between_display() {
+        let e = Expr::col("x").between(Expr::lit(1), Expr::lit(5));
+        assert_eq!(e.to_string(), "(x BETWEEN 1 AND 5)");
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-column statistics.
+//!
+//! Cardinality-based pruning (paper Section 4.1) derives package-size bounds
+//! from `MIN(col)` and `MAX(col)` over the tuples that satisfy the base
+//! constraints. `ColumnStats` precomputes those (plus count/sum/mean, which
+//! the greedy heuristics use) in one pass.
+
+use std::collections::BTreeMap;
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::DbResult;
+
+/// Summary statistics of one numeric column over a set of rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnStats {
+    /// Number of non-NULL values.
+    pub count: usize,
+    /// Number of NULL values.
+    pub nulls: usize,
+    /// Minimum non-NULL value (`f64::INFINITY` when `count == 0`).
+    pub min: f64,
+    /// Maximum non-NULL value (`f64::NEG_INFINITY` when `count == 0`).
+    pub max: f64,
+    /// Sum of non-NULL values.
+    pub sum: f64,
+    /// Mean of non-NULL values (0.0 when `count == 0`).
+    pub mean: f64,
+}
+
+impl ColumnStats {
+    /// Statistics of an empty column.
+    pub fn empty() -> Self {
+        ColumnStats {
+            count: 0,
+            nulls: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            mean: 0.0,
+        }
+    }
+
+    /// Folds one value into the statistics.
+    pub fn observe(&mut self, v: Option<f64>) {
+        match v {
+            None => self.nulls += 1,
+            Some(x) => {
+                self.count += 1;
+                self.sum += x;
+                if x < self.min {
+                    self.min = x;
+                }
+                if x > self.max {
+                    self.max = x;
+                }
+                self.mean = self.sum / self.count as f64;
+            }
+        }
+    }
+
+    /// True when no non-NULL value was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Statistics for all numeric columns of a relation.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    columns: BTreeMap<String, ColumnStats>,
+    rows: usize,
+}
+
+impl TableStats {
+    /// Computes statistics over all rows of `table`.
+    pub fn of_table(table: &Table) -> Self {
+        Self::of_rows(table.schema(), table.rows())
+    }
+
+    /// Computes statistics over an explicit row slice.
+    pub fn of_rows(schema: &Schema, rows: &[Tuple]) -> Self {
+        let mut columns: BTreeMap<String, ColumnStats> = schema
+            .columns()
+            .iter()
+            .filter(|c| c.ty.is_numeric())
+            .map(|c| (c.name.to_ascii_lowercase(), ColumnStats::empty()))
+            .collect();
+        let numeric_idx: Vec<(usize, String)> = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ty.is_numeric())
+            .map(|(i, c)| (i, c.name.to_ascii_lowercase()))
+            .collect();
+        for row in rows {
+            for (idx, name) in &numeric_idx {
+                let v = row.get(*idx).and_then(|v| v.as_f64());
+                columns.get_mut(name).expect("initialized above").observe(v);
+            }
+        }
+        TableStats { columns, rows: rows.len() }
+    }
+
+    /// Number of rows the statistics were computed over.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Statistics for one column (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(&name.to_ascii_lowercase())
+    }
+
+    /// Statistics for one column, erroring when the column is unknown or
+    /// non-numeric.
+    pub fn require(&self, name: &str) -> DbResult<&ColumnStats> {
+        self.column(name).ok_or_else(|| {
+            DbError::UnknownColumn(format!("{name} (no numeric statistics available)"))
+        })
+    }
+
+    /// Names of columns with statistics.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::build(&[
+            ("name", ColumnType::Text),
+            ("calories", ColumnType::Float),
+            ("protein", ColumnType::Float),
+        ]);
+        let mut t = Table::new("recipes", schema);
+        t.insert(tuple!("a", 100.0, 5.0)).unwrap();
+        t.insert(tuple!("b", 300.0, 20.0)).unwrap();
+        t.insert(Tuple::new(vec![Value::Text("c".into()), Value::Null, Value::Float(10.0)]))
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn stats_cover_numeric_columns_only() {
+        let s = TableStats::of_table(&table());
+        assert_eq!(s.column_names(), vec!["calories", "protein"]);
+        assert!(s.column("name").is_none());
+        assert!(s.require("name").is_err());
+    }
+
+    #[test]
+    fn min_max_sum_mean_nulls() {
+        let s = TableStats::of_table(&table());
+        let cal = s.column("CALORIES").unwrap();
+        assert_eq!(cal.count, 2);
+        assert_eq!(cal.nulls, 1);
+        assert_eq!(cal.min, 100.0);
+        assert_eq!(cal.max, 300.0);
+        assert_eq!(cal.sum, 400.0);
+        assert_eq!(cal.mean, 200.0);
+        assert_eq!(s.row_count(), 3);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let schema = Schema::build(&[("x", ColumnType::Float)]);
+        let t = Table::new("t", schema);
+        let s = TableStats::of_table(&t);
+        let x = s.column("x").unwrap();
+        assert!(x.is_empty());
+        assert_eq!(x.min, f64::INFINITY);
+    }
+}

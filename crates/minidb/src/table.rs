@@ -1,0 +1,229 @@
+//! Tables: a schema plus an append-only vector of rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DbError;
+use crate::schema::Schema;
+use crate::tuple::{Tuple, TupleId};
+use crate::DbResult;
+
+/// An in-memory, append-only table.
+///
+/// Tuples are identified by their insertion index ([`TupleId`]), which the
+/// package engine uses as the decision-variable index in ILP translation and
+/// as the element identity in packages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and appends a tuple, returning its id.
+    pub fn insert(&mut self, tuple: Tuple) -> DbResult<TupleId> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(DbError::ArityMismatch {
+                expected: self.schema.arity(),
+                found: tuple.arity(),
+            });
+        }
+        for (i, v) in tuple.values().iter().enumerate() {
+            let col = &self.schema.columns()[i];
+            if !col.ty.admits(v) {
+                return Err(DbError::TypeError(format!(
+                    "value {v} is not admissible in column '{}' of type {}",
+                    col.name, col.ty
+                )));
+            }
+        }
+        let id = TupleId(self.rows.len() as u32);
+        self.rows.push(tuple);
+        Ok(id)
+    }
+
+    /// Appends many tuples.
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> DbResult<Vec<TupleId>> {
+        tuples.into_iter().map(|t| self.insert(t)).collect()
+    }
+
+    /// Tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<&Tuple> {
+        self.rows.get(id.index())
+    }
+
+    /// Tuple by id, erroring when absent.
+    pub fn require(&self, id: TupleId) -> DbResult<&Tuple> {
+        self.get(id)
+            .ok_or_else(|| DbError::EvalError(format!("tuple {id} does not exist in table '{}'", self.name)))
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Iterator over `(TupleId, &Tuple)`.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// The value in `column` for tuple `id`, as f64.
+    pub fn value_f64(&self, id: TupleId, column: &str) -> DbResult<f64> {
+        self.require(id)?.get_f64(&self.schema, column)
+    }
+
+    /// Builds a new table containing only the rows whose ids are listed, in
+    /// the given order. The new table's tuple ids are renumbered from 0.
+    pub fn subset(&self, name: impl Into<String>, ids: &[TupleId]) -> DbResult<Table> {
+        let mut t = Table::new(name, self.schema.clone());
+        for id in ids {
+            t.insert(self.require(*id)?.clone())?;
+        }
+        Ok(t)
+    }
+
+    /// Renders the table (or its first `limit` rows) as an aligned text grid.
+    /// Used by the examples and the REPL.
+    pub fn render(&self, limit: usize) -> String {
+        let mut header: Vec<String> = self
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        header.insert(0, "#".to_string());
+        let mut grid: Vec<Vec<String>> = vec![header];
+        for (id, row) in self.iter().take(limit) {
+            let mut line: Vec<String> = vec![id.to_string()];
+            line.extend(row.values().iter().map(|v| v.to_string()));
+            grid.push(line);
+        }
+        let widths: Vec<usize> = (0..grid[0].len())
+            .map(|c| grid.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if i == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+                out.push('\n');
+            }
+        }
+        if self.len() > limit {
+            out.push_str(&format!("... ({} more rows)\n", self.len() - limit));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{} rows]", self.name, self.schema, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn recipes() -> Table {
+        let schema = Schema::build(&[
+            ("name", ColumnType::Text),
+            ("calories", ColumnType::Float),
+            ("gluten", ColumnType::Text),
+        ]);
+        let mut t = Table::new("recipes", schema);
+        t.insert(tuple!("oatmeal", 320.0, "free")).unwrap();
+        t.insert(tuple!("pasta", 640.0, "full")).unwrap();
+        t.insert(tuple!("salad", 210.0, "free")).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let t = recipes();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(TupleId(1)).unwrap().values()[0], Value::Text("pasta".into()));
+        assert!(t.get(TupleId(9)).is_none());
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut t = recipes();
+        assert!(matches!(
+            t.insert(tuple!("only-one")),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(tuple!(12, 320.0, "free")),
+            Err(DbError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn value_f64_reads_numeric_columns() {
+        let t = recipes();
+        assert_eq!(t.value_f64(TupleId(0), "calories").unwrap(), 320.0);
+        assert!(t.value_f64(TupleId(0), "name").is_err());
+    }
+
+    #[test]
+    fn subset_renumbers_ids() {
+        let t = recipes();
+        let s = t.subset("gluten_free", &[TupleId(2), TupleId(0)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(TupleId(0)).unwrap().values()[0], Value::Text("salad".into()));
+    }
+
+    #[test]
+    fn render_includes_header_and_truncation_note() {
+        let t = recipes();
+        let r = t.render(2);
+        assert!(r.contains("calories"));
+        assert!(r.contains("1 more rows"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the relational substrate.
+
+use minidb::csv::{read_table_str, write_table_string};
+use minidb::eval::{eval, like_match};
+use minidb::ops::{aggregate, cross_join, filter, scan, AggFunc, Aggregate};
+use minidb::{ColumnType, Expr, Schema, Table, Tuple, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(Value::Text),
+    ]
+}
+
+fn numeric_table(rows: Vec<(f64, f64)>) -> Table {
+    let schema = Schema::build(&[("w", ColumnType::Float), ("v", ColumnType::Float)]);
+    let mut t = Table::new("t", schema);
+    for (w, v) in rows {
+        t.insert(Tuple::new(vec![Value::Float(w), Value::Float(v)])).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// The total order on values is antisymmetric and transitive (sorting any
+    /// triple produces a consistent order).
+    #[test]
+    fn value_total_order_is_consistent(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        // Transitivity via sort.
+        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        v.sort();
+        for w in v.windows(2) {
+            prop_assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater);
+        }
+    }
+
+    /// CSV write → read round-trips every numeric/text table (modulo type
+    /// inference widening ints that look like floats).
+    #[test]
+    fn csv_round_trips_numeric_tables(rows in prop::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 1..30)) {
+        let t = numeric_table(rows);
+        let csv = write_table_string(&t).unwrap();
+        let back = read_table_str("t", &csv).unwrap();
+        prop_assert_eq!(t.len(), back.len());
+        for (a, b) in t.rows().iter().zip(back.rows()) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                let xa = x.as_f64().unwrap();
+                let ya = y.as_f64().unwrap();
+                prop_assert!((xa - ya).abs() < 1e-9 * (1.0 + xa.abs()));
+            }
+        }
+    }
+
+    /// Filtering never invents rows, and every surviving row satisfies the
+    /// predicate.
+    #[test]
+    fn filter_is_sound(rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..50), threshold in 0.0f64..100.0) {
+        let t = numeric_table(rows);
+        let rel = scan(&t);
+        let pred = Expr::col("w").lt_eq(Expr::lit(threshold));
+        let out = filter(&rel, &pred).unwrap();
+        prop_assert!(out.len() <= rel.len());
+        for row in &out.rows {
+            prop_assert!(row.get_f64(&out.schema, "w").unwrap() <= threshold);
+        }
+        let kept_manually = t
+            .rows()
+            .iter()
+            .filter(|r| r.get_f64(t.schema(), "w").unwrap() <= threshold)
+            .count();
+        prop_assert_eq!(out.len(), kept_manually);
+    }
+
+    /// SUM/AVG/MIN/MAX computed by the aggregate operator match a direct fold.
+    #[test]
+    fn aggregates_match_reference(rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40)) {
+        let expected_sum: f64 = rows.iter().map(|(w, _)| *w).sum();
+        let expected_min = rows.iter().map(|(w, _)| *w).fold(f64::INFINITY, f64::min);
+        let expected_max = rows.iter().map(|(w, _)| *w).fold(f64::NEG_INFINITY, f64::max);
+        let n = rows.len();
+        let t = numeric_table(rows);
+        let rel = scan(&t);
+        let out = aggregate(
+            &rel,
+            &[],
+            &[
+                Aggregate { name: "s".into(), func: AggFunc::Sum, expr: Some(Expr::col("w")) },
+                Aggregate { name: "a".into(), func: AggFunc::Avg, expr: Some(Expr::col("w")) },
+                Aggregate { name: "lo".into(), func: AggFunc::Min, expr: Some(Expr::col("w")) },
+                Aggregate { name: "hi".into(), func: AggFunc::Max, expr: Some(Expr::col("w")) },
+                Aggregate { name: "n".into(), func: AggFunc::Count, expr: None },
+            ],
+        )
+        .unwrap();
+        let row = &out.rows[0];
+        prop_assert!((row.get_f64(&out.schema, "s").unwrap() - expected_sum).abs() < 1e-6);
+        prop_assert!((row.get_f64(&out.schema, "a").unwrap() - expected_sum / n as f64).abs() < 1e-6);
+        prop_assert!((row.get_f64(&out.schema, "lo").unwrap() - expected_min).abs() < 1e-9);
+        prop_assert!((row.get_f64(&out.schema, "hi").unwrap() - expected_max).abs() < 1e-9);
+        prop_assert_eq!(row.get_f64(&out.schema, "n").unwrap() as usize, n);
+    }
+
+    /// The cross join has exactly |L|·|R| rows and concatenated arity.
+    #[test]
+    fn cross_join_shape(l in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..12),
+                        r in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 0..12)) {
+        let lt = numeric_table(l);
+        let rt = numeric_table(r);
+        let joined = cross_join(&scan(&lt), &scan(&rt), "r");
+        prop_assert_eq!(joined.len(), lt.len() * rt.len());
+        prop_assert_eq!(joined.schema.arity(), 4);
+    }
+
+    /// LIKE with a pattern built from a literal string matches that string.
+    #[test]
+    fn like_matches_own_literal(s in "[a-z]{0,10}") {
+        prop_assert!(like_match(&s, &s));
+        prop_assert!(like_match(&s, "%"));
+        let text = format!("{s}suffix");
+        let prefix_pattern = format!("{s}%");
+        prop_assert!(like_match(&text, &prefix_pattern));
+    }
+
+    /// Expression evaluation never panics on arbitrary numeric inputs.
+    #[test]
+    fn arithmetic_eval_never_panics(w in -1.0e3f64..1.0e3, v in -1.0e3f64..1.0e3, k in -100.0f64..100.0) {
+        let schema = Schema::build(&[("w", ColumnType::Float), ("v", ColumnType::Float)]);
+        let tuple = Tuple::new(vec![Value::Float(w), Value::Float(v)]);
+        let expr = Expr::binary(
+            minidb::BinaryOp::Div,
+            Expr::binary(minidb::BinaryOp::Mul, Expr::col("w"), Expr::lit(k)),
+            Expr::binary(minidb::BinaryOp::Sub, Expr::col("v"), Expr::col("v")),
+        );
+        // Division by zero yields NULL rather than panicking.
+        let out = eval(&expr, &schema, &tuple).unwrap();
+        prop_assert!(out.is_null());
+    }
+}

@@ -1,0 +1,259 @@
+//! Semantic analysis: binding a parsed query against a relation schema.
+
+use minidb::{ColumnType, Expr, Schema};
+
+use crate::ast::{AggCall, AggFunc, GlobalExpr, GlobalFormula, Objective, PaqlQuery};
+use crate::error::PaqlError;
+use crate::PaqlResult;
+
+/// A query whose column references have been validated against a schema and
+/// normalized to bare (unqualified) column names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedQuery {
+    /// The normalized query.
+    pub query: PaqlQuery,
+}
+
+impl AnalyzedQuery {
+    /// The normalized `WHERE` clause, if any.
+    pub fn base_constraint(&self) -> Option<&Expr> {
+        self.query.where_clause.as_ref()
+    }
+
+    /// The normalized `SUCH THAT` formula, if any.
+    pub fn global_formula(&self) -> Option<&GlobalFormula> {
+        self.query.such_that.as_ref()
+    }
+
+    /// The normalized objective, if any.
+    pub fn objective(&self) -> Option<&Objective> {
+        self.query.objective.as_ref()
+    }
+}
+
+/// Validates `query` against `schema` and rewrites qualified column
+/// references (`R.calories`, `P.calories`) to bare names.
+pub fn analyze(query: &PaqlQuery, schema: &Schema) -> PaqlResult<AnalyzedQuery> {
+    let binder = Binder::new(query, schema);
+
+    let mut normalized = query.clone();
+    if let Some(w) = &query.where_clause {
+        normalized.where_clause = Some(binder.bind_expr(w, "WHERE")?);
+    }
+    if let Some(st) = &query.such_that {
+        normalized.such_that = Some(binder.bind_formula(st)?);
+    }
+    if let Some(obj) = &query.objective {
+        normalized.objective = Some(Objective {
+            direction: obj.direction,
+            expr: binder.bind_global_expr(&obj.expr, "objective")?,
+        });
+    }
+    Ok(AnalyzedQuery { query: normalized })
+}
+
+struct Binder<'a> {
+    schema: &'a Schema,
+    valid_qualifiers: Vec<String>,
+}
+
+impl<'a> Binder<'a> {
+    fn new(query: &PaqlQuery, schema: &'a Schema) -> Self {
+        let mut valid_qualifiers = vec![
+            query.package_alias.to_ascii_lowercase(),
+            query.relation.to_ascii_lowercase(),
+        ];
+        if let Some(a) = &query.relation_alias {
+            valid_qualifiers.push(a.to_ascii_lowercase());
+        }
+        Binder { schema, valid_qualifiers }
+    }
+
+    /// Resolves one (possibly qualified) column name to a bare schema column.
+    fn bind_column(&self, name: &str, ctx: &str) -> PaqlResult<String> {
+        let (qualifier, bare) = match name.split_once('.') {
+            Some((q, b)) => (Some(q), b),
+            None => (None, name),
+        };
+        if let Some(q) = qualifier {
+            if !self.valid_qualifiers.contains(&q.to_ascii_lowercase()) {
+                return Err(PaqlError::Semantic(format!(
+                    "unknown alias '{q}' in {ctx}: '{name}' (valid aliases: {})",
+                    self.valid_qualifiers.join(", ")
+                )));
+            }
+        }
+        let col = self.schema.column(bare).ok_or_else(|| {
+            PaqlError::Semantic(format!(
+                "unknown column '{bare}' in {ctx}; available columns: {}",
+                self.schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })?;
+        Ok(col.name.clone())
+    }
+
+    fn bind_expr(&self, expr: &Expr, ctx: &str) -> PaqlResult<Expr> {
+        // First validate every referenced column, then rewrite them to bare names.
+        for c in expr.referenced_columns() {
+            self.bind_column(&c, ctx)?;
+        }
+        let schema = self.schema;
+        let rewritten = expr.map_columns(&|name: &str| {
+            let bare = name.split_once('.').map(|(_, b)| b).unwrap_or(name);
+            schema
+                .column(bare)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| bare.to_string())
+        });
+        Ok(rewritten)
+    }
+
+    fn bind_agg(&self, call: &AggCall, ctx: &str) -> PaqlResult<AggCall> {
+        let arg = match &call.arg {
+            None => {
+                if call.func != AggFunc::Count {
+                    return Err(PaqlError::Semantic(format!(
+                        "{}(*) is not valid in {ctx}; only COUNT accepts '*'",
+                        call.func.name()
+                    )));
+                }
+                None
+            }
+            Some(e) => {
+                let bound = self.bind_expr(e, ctx)?;
+                // SUM/AVG need a numeric argument; a bare text column is a
+                // type error we can detect statically.
+                if matches!(call.func, AggFunc::Sum | AggFunc::Avg) {
+                    if let Expr::Column(c) = &bound {
+                        if let Some(col) = self.schema.column(c) {
+                            if col.ty == ColumnType::Text {
+                                return Err(PaqlError::Semantic(format!(
+                                    "{}({c}) in {ctx}: column '{c}' is TEXT, expected a numeric expression",
+                                    call.func.name()
+                                )));
+                            }
+                        }
+                    }
+                }
+                Some(bound)
+            }
+        };
+        let filter = match &call.filter {
+            None => None,
+            Some(p) => Some(self.bind_expr(p, &format!("{ctx} FILTER"))?),
+        };
+        Ok(AggCall { func: call.func, arg, filter })
+    }
+
+    fn bind_global_expr(&self, expr: &GlobalExpr, ctx: &str) -> PaqlResult<GlobalExpr> {
+        Ok(match expr {
+            GlobalExpr::Agg(call) => GlobalExpr::Agg(self.bind_agg(call, ctx)?),
+            GlobalExpr::Literal(x) => GlobalExpr::Literal(*x),
+            GlobalExpr::Binary { op, lhs, rhs } => GlobalExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.bind_global_expr(lhs, ctx)?),
+                rhs: Box::new(self.bind_global_expr(rhs, ctx)?),
+            },
+        })
+    }
+
+    fn bind_formula(&self, formula: &GlobalFormula) -> PaqlResult<GlobalFormula> {
+        Ok(match formula {
+            GlobalFormula::Atom(c) => GlobalFormula::Atom(crate::ast::GlobalConstraint {
+                lhs: self.bind_global_expr(&c.lhs, "SUCH THAT")?,
+                op: c.op,
+                rhs: self.bind_global_expr(&c.rhs, "SUCH THAT")?,
+            }),
+            GlobalFormula::And(a, b) => GlobalFormula::And(
+                Box::new(self.bind_formula(a)?),
+                Box::new(self.bind_formula(b)?),
+            ),
+            GlobalFormula::Or(a, b) => GlobalFormula::Or(
+                Box::new(self.bind_formula(a)?),
+                Box::new(self.bind_formula(b)?),
+            ),
+            GlobalFormula::Not(a) => GlobalFormula::Not(Box::new(self.bind_formula(a)?)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use minidb::ColumnType;
+
+    fn recipe_schema() -> Schema {
+        Schema::build(&[
+            ("name", ColumnType::Text),
+            ("calories", ColumnType::Float),
+            ("protein", ColumnType::Float),
+            ("gluten", ColumnType::Text),
+        ])
+    }
+
+    #[test]
+    fn binds_and_normalizes_the_paper_query() {
+        let q = parse(
+            "SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.gluten = 'free' \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+             MAXIMIZE SUM(P.protein)",
+        )
+        .unwrap();
+        let a = analyze(&q, &recipe_schema()).unwrap();
+        // Qualifiers are stripped.
+        let w = a.base_constraint().unwrap();
+        assert_eq!(w.referenced_columns(), vec!["gluten".to_string()]);
+        let atoms = a.global_formula().unwrap().atoms();
+        match &atoms[1].lhs {
+            GlobalExpr::Agg(call) => {
+                assert_eq!(call.arg.as_ref().unwrap().referenced_columns(), vec!["calories".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_column_is_reported_with_candidates() {
+        let q = parse("SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.sugar > 10").unwrap();
+        let err = analyze(&q, &recipe_schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("sugar"));
+        assert!(msg.contains("calories"), "should list available columns: {msg}");
+    }
+
+    #[test]
+    fn unknown_alias_is_rejected() {
+        let q = parse("SELECT PACKAGE(R) AS P FROM Recipes R WHERE X.calories > 10").unwrap();
+        let err = analyze(&q, &recipe_schema()).unwrap_err();
+        assert!(err.to_string().contains("unknown alias 'X'"));
+    }
+
+    #[test]
+    fn sum_over_text_column_is_a_type_error() {
+        let q = parse("SELECT PACKAGE(R) AS P FROM Recipes R SUCH THAT SUM(P.name) <= 5").unwrap();
+        let err = analyze(&q, &recipe_schema()).unwrap_err();
+        assert!(err.to_string().contains("TEXT"));
+    }
+
+    #[test]
+    fn filters_are_bound_too() {
+        let q = parse(
+            "SELECT PACKAGE(R) AS P FROM Recipes R \
+             SUCH THAT SUM(P.calories) FILTER (WHERE R.glutenz = 'free') <= 100",
+        )
+        .unwrap();
+        assert!(analyze(&q, &recipe_schema()).is_err());
+    }
+
+    #[test]
+    fn objective_columns_are_validated() {
+        let q = parse("SELECT PACKAGE(R) AS P FROM Recipes R MAXIMIZE SUM(P.proteinz)").unwrap();
+        assert!(analyze(&q, &recipe_schema()).is_err());
+    }
+}

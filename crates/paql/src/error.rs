@@ -1,0 +1,84 @@
+//! PaQL errors with source positions.
+
+use std::fmt;
+
+/// Errors produced while lexing, parsing or analyzing PaQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaqlError {
+    /// Lexical error (unexpected character, unterminated string, ...).
+    Lex {
+        /// Description.
+        message: String,
+        /// Byte offset in the source.
+        offset: usize,
+    },
+    /// Syntax error.
+    Parse {
+        /// Description (expected vs found).
+        message: String,
+        /// Byte offset in the source.
+        offset: usize,
+    },
+    /// Semantic error found while binding the query against a schema.
+    Semantic(String),
+}
+
+impl PaqlError {
+    /// Renders the error with a caret pointing into `source`.
+    pub fn render(&self, source: &str) -> String {
+        match self {
+            PaqlError::Semantic(m) => format!("semantic error: {m}"),
+            PaqlError::Lex { message, offset } | PaqlError::Parse { message, offset } => {
+                let kind = if matches!(self, PaqlError::Lex { .. }) { "lexical" } else { "syntax" };
+                let offset = (*offset).min(source.len());
+                let before = &source[..offset];
+                let line_no = before.matches('\n').count() + 1;
+                let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+                let line_end = source[offset..]
+                    .find('\n')
+                    .map(|i| offset + i)
+                    .unwrap_or(source.len());
+                let col = offset - line_start;
+                let line = &source[line_start..line_end];
+                format!(
+                    "{kind} error at line {line_no}, column {}: {message}\n  {line}\n  {}^",
+                    col + 1,
+                    " ".repeat(col)
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for PaqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaqlError::Lex { message, offset } => write!(f, "lexical error at offset {offset}: {message}"),
+            PaqlError::Parse { message, offset } => write!(f, "syntax error at offset {offset}: {message}"),
+            PaqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PaqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_offending_column() {
+        let src = "SELECT PACKAGE(R) AS P\nFROM Recipes R WHERE ???";
+        let err = PaqlError::Parse { message: "unexpected token".into(), offset: src.find("???").unwrap() };
+        let rendered = err.render(src);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains('^'));
+        assert!(rendered.contains("unexpected token"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = PaqlError::Semantic("unknown column 'x'".into());
+        assert_eq!(e.to_string(), "semantic error: unknown column 'x'");
+    }
+}

@@ -1,0 +1,86 @@
+//! `paql` — the Package Query Language.
+//!
+//! PaQL is "a declarative SQL-based package query language" (paper Section 2).
+//! The canonical example, the athlete's daily meal plan, reads:
+//!
+//! ```text
+//! SELECT PACKAGE(R) AS P
+//! FROM Recipes R
+//! WHERE R.gluten = 'free'
+//! SUCH THAT COUNT(*) = 3 AND
+//!           SUM(P.calories) BETWEEN 2000 AND 2500
+//! MAXIMIZE SUM(P.protein)
+//! ```
+//!
+//! This crate provides:
+//!
+//! * a [`lexer`] and recursive-descent [`parser`] producing the [`ast`],
+//! * an [`analyzer`] that binds column references against a
+//!   [`minidb::Schema`] and type-checks aggregates,
+//! * a [`pretty`] module that round-trips queries back to PaQL text and
+//!   renders the natural-language constraint descriptions shown in the
+//!   PackageBuilder interface (Figure 1),
+//! * span-carrying [`error::PaqlError`] diagnostics.
+//!
+//! Extensions relative to the demo paper (documented in `DESIGN.md`):
+//!
+//! * `FILTER (WHERE <predicate>)` on aggregates in the `SUCH THAT` and
+//!   objective clauses. The paper's own intro scenarios (portfolio: "at least
+//!   30% of the assets in technology") need conditional aggregates, and they
+//!   stay linear, so the ILP translation still applies.
+//! * Both sides of a global comparison may be arithmetic combinations of
+//!   aggregates and literals (again needed for the 30%-of-total constraint).
+//!
+//! Restrictions relative to the full PaQL described online: a single relation
+//! in `FROM`, and no sub-queries in `SUCH THAT`.
+
+pub mod analyzer;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use analyzer::{analyze, AnalyzedQuery};
+pub use ast::{
+    AggCall, AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula, Objective,
+    ObjectiveDirection, PaqlQuery,
+};
+pub use error::PaqlError;
+pub use parser::parse;
+
+/// Result alias for PaQL operations.
+pub type PaqlResult<T> = std::result::Result<T, PaqlError>;
+
+/// Parses and analyzes a query against a schema in one call.
+pub fn compile(text: &str, schema: &minidb::Schema) -> PaqlResult<AnalyzedQuery> {
+    let query = parse(text)?;
+    analyze(&query, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidb::{ColumnType, Schema};
+
+    #[test]
+    fn compile_the_paper_query() {
+        let schema = Schema::build(&[
+            ("name", ColumnType::Text),
+            ("calories", ColumnType::Float),
+            ("protein", ColumnType::Float),
+            ("gluten", ColumnType::Text),
+        ]);
+        let q = compile(
+            "SELECT PACKAGE(R) AS P FROM Recipes R WHERE R.gluten = 'free' \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+             MAXIMIZE SUM(P.protein)",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(q.query.relation, "Recipes");
+        assert!(q.query.where_clause.is_some());
+        assert!(q.query.objective.is_some());
+    }
+}

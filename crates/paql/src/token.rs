@@ -1,0 +1,166 @@
+//! Tokens produced by the PaQL lexer.
+
+use std::fmt;
+
+/// Keywords recognized by PaQL (a superset of the SQL keywords used by the
+/// paper's examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    Package,
+    As,
+    From,
+    Repeat,
+    Where,
+    Such,
+    That,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    Is,
+    Null,
+    Like,
+    Maximize,
+    Minimize,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Filter,
+    True,
+    False,
+}
+
+impl Keyword {
+    /// Parses a keyword from an identifier-looking word (case-insensitive).
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        let w = word.to_ascii_uppercase();
+        Some(match w.as_str() {
+            "SELECT" => Keyword::Select,
+            "PACKAGE" => Keyword::Package,
+            "AS" => Keyword::As,
+            "FROM" => Keyword::From,
+            "REPEAT" => Keyword::Repeat,
+            "WHERE" => Keyword::Where,
+            "SUCH" => Keyword::Such,
+            "THAT" => Keyword::That,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "BETWEEN" => Keyword::Between,
+            "IN" => Keyword::In,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "LIKE" => Keyword::Like,
+            "MAXIMIZE" => Keyword::Maximize,
+            "MINIMIZE" => Keyword::Minimize,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "FILTER" => Keyword::Filter,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword.
+    Keyword(Keyword),
+    /// An identifier (table, alias or column name, possibly later qualified).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal.
+    String(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+        }
+    }
+}
+
+/// A token together with its byte offset in the source text, used for error
+/// reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_word("Package"), Some(Keyword::Package));
+        assert_eq!(Keyword::from_word("MAXIMIZE"), Some(Keyword::Maximize));
+        assert_eq!(Keyword::from_word("recipes"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::LtEq.to_string(), "<=");
+        assert_eq!(Token::String("free".into()).to_string(), "'free'");
+    }
+}

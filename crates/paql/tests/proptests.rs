@@ -1,0 +1,91 @@
+//! Property-based tests for the PaQL front end.
+
+use paql::{parse, parser, pretty};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid PaQL queries from a small grammar.
+fn paql_query_strategy() -> impl Strategy<Value = String> {
+    let column = prop_oneof![Just("calories"), Just("protein"), Just("fat"), Just("price")];
+    let agg = prop_oneof![Just("SUM"), Just("AVG"), Just("MIN"), Just("MAX")];
+    (
+        column,
+        agg,
+        1u32..6,
+        0.0f64..1000.0,
+        1.0f64..1000.0,
+        prop::bool::ANY,
+        prop::option::of(1u32..4),
+    )
+        .prop_map(|(col, agg, count, lo, width, maximize, repeat)| {
+            let repeat = repeat.map(|k| format!(" REPEAT {k}")).unwrap_or_default();
+            let dir = if maximize { "MAXIMIZE" } else { "MINIMIZE" };
+            format!(
+                "SELECT PACKAGE(R) AS P FROM recipes R{repeat} WHERE R.gluten = 'free' \
+                 SUCH THAT COUNT(*) = {count} AND {agg}(P.{col}) BETWEEN {lo:.2} AND {:.2} \
+                 {dir} SUM(P.{col})",
+                lo + width
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// The lexer and parser never panic on arbitrary input — they either parse
+    /// or return an error value.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,120}") {
+        let _ = parse(&input);
+        let _ = parser::parse_base_expr(&input);
+        let _ = parser::parse_global_formula(&input);
+    }
+
+    /// Grammar-generated queries always parse, and pretty-printing them
+    /// re-parses to the same AST.
+    #[test]
+    fn generated_queries_parse_and_round_trip(q in paql_query_strategy()) {
+        let parsed = parse(&q).expect("generated query must parse");
+        let printed = pretty::to_paql(&parsed);
+        let reparsed = parse(&printed).expect("printed query must re-parse");
+        prop_assert_eq!(parsed, reparsed, "printed: {}", printed);
+    }
+
+    /// The natural-language description mentions the aggregate column of the
+    /// objective and never panics.
+    #[test]
+    fn descriptions_cover_the_objective(q in paql_query_strategy()) {
+        let parsed = parse(&q).unwrap();
+        let text = pretty::describe_query(&parsed);
+        prop_assert!(text.contains("Build a package"));
+        if let Some(obj) = &parsed.objective {
+            let col = match &obj.expr {
+                paql::GlobalExpr::Agg(call) => call.arg.as_ref().map(|e| e.to_string()),
+                _ => None,
+            };
+            if let Some(col) = col {
+                prop_assert!(text.contains(col.trim_matches(|c| c == '(' || c == ')')),
+                    "description does not mention the objective column: {}", text);
+            }
+        }
+    }
+
+    /// Numeric literals survive the parse → print → parse cycle with their
+    /// values intact (checked through the BETWEEN bounds).
+    #[test]
+    fn numeric_literals_round_trip(lo in 0.0f64..10_000.0, width in 0.5f64..10_000.0) {
+        let q = format!(
+            "SELECT PACKAGE(R) AS P FROM t R SUCH THAT SUM(P.x) BETWEEN {lo} AND {}",
+            lo + width
+        );
+        let parsed = parse(&q).unwrap();
+        let atoms = parsed.such_that.as_ref().unwrap().atoms();
+        prop_assert_eq!(atoms.len(), 2);
+        match (&atoms[0].rhs, &atoms[1].rhs) {
+            (paql::GlobalExpr::Literal(a), paql::GlobalExpr::Literal(b)) => {
+                prop_assert!((a - lo).abs() < 1e-9 * (1.0 + lo.abs()));
+                prop_assert!((b - (lo + width)).abs() < 1e-9 * (1.0 + (lo + width).abs()));
+            }
+            other => prop_assert!(false, "unexpected bounds: {:?}", other),
+        }
+    }
+}

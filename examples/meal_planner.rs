@@ -1,0 +1,73 @@
+//! The meal-planner demo scenario (paper Sections 1, 3 and 7): build a daily
+//! plan, then refine it interactively with adaptive exploration and
+//! constraint suggestion.
+//!
+//! ```text
+//! cargo run --release --example meal_planner
+//! ```
+
+use packagebuilder_repro::datagen::{recipes, Seed};
+use packagebuilder_repro::minidb::Catalog;
+use packagebuilder_repro::packagebuilder::explore::ExplorationSession;
+use packagebuilder_repro::packagebuilder::suggest::{suggest, Highlight};
+use packagebuilder_repro::packagebuilder::PackageEngine;
+use packagebuilder_repro::paql;
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P \
+    FROM recipes R \
+    WHERE R.gluten = 'free' \
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+    MAXIMIZE SUM(P.protein)";
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(3_000, Seed(7)));
+    let engine = PackageEngine::new(catalog);
+    let table = engine.catalog().table("recipes").unwrap().clone();
+
+    println!("=== The athlete's meal plan ===\n");
+    let query = paql::parse(QUERY).unwrap();
+    println!("{}\n", paql::pretty::describe_query(&query));
+
+    // --- Adaptive exploration (Section 3.3) -------------------------------
+    let mut session = ExplorationSession::new(query);
+    let first = session.sample(&engine).expect("initial sample");
+    println!("Initial sample package:\n{}", first.best().unwrap().render(&table));
+
+    // The user likes the highest-protein meal of the sample and locks it.
+    let sample = session.current().unwrap().clone();
+    let favourite = sample
+        .tuple_ids()
+        .into_iter()
+        .max_by(|a, b| {
+            table
+                .value_f64(*a, "protein")
+                .unwrap()
+                .total_cmp(&table.value_f64(*b, "protein").unwrap())
+        })
+        .unwrap();
+    session.lock(favourite).unwrap();
+    println!("Locking {favourite} (the highest-protein meal) and asking for a new sample...\n");
+
+    let refined = session.refine(&engine).expect("refinement");
+    println!("Refined package (locked tuple kept):\n{}", refined.best().unwrap().render(&table));
+
+    // Constraints the system infers from the locked tuples.
+    let inferred = session.inferred_constraints(&engine).unwrap();
+    println!("Constraints inferred from your selections:");
+    for s in inferred.iter().take(5) {
+        println!("  - {}   [{}]", s.paql, s.description);
+    }
+    println!();
+
+    // --- Constraint suggestion (Section 3.1) ------------------------------
+    println!("=== Suggestions when highlighting the 'fat' cell of {favourite} ===");
+    for s in suggest(&table, "P", &Highlight::Cell { tuple: favourite, column: "fat".into() }).unwrap() {
+        println!("  - {:?}: {}   [{}]", s.kind, s.paql, s.description);
+    }
+    println!();
+
+    // --- Final plan ---------------------------------------------------------
+    let final_result = engine.execute_paql(QUERY).unwrap();
+    println!("=== Optimal plan for the original query ===\n{}", final_result.describe(&table));
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run the paper's meal-plan package query end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use packagebuilder_repro::datagen::{recipes, Seed};
+use packagebuilder_repro::minidb::Catalog;
+use packagebuilder_repro::packagebuilder::PackageEngine;
+use packagebuilder_repro::paql;
+
+fn main() {
+    // 1. Load data into the catalog (the role of the DBMS in the paper).
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(2_000, Seed(42)));
+
+    // 2. Create the engine.
+    let engine = PackageEngine::new(catalog);
+
+    // 3. The athlete's daily meal plan from Section 2 of the paper.
+    let query_text = "SELECT PACKAGE(R) AS P \
+        FROM recipes R \
+        WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+        MAXIMIZE SUM(P.protein)";
+
+    // 4. Show the natural-language reading of the query (Figure 1 feature).
+    let parsed = paql::parse(query_text).expect("the example query is valid PaQL");
+    println!("PaQL query:\n  {query_text}\n");
+    println!("In plain English:\n{}\n", indent(&paql::pretty::describe_query(&parsed)));
+
+    // 5. Evaluate it and print the best package.
+    let result = engine.execute_paql(query_text).expect("query evaluation succeeds");
+    let table = engine.catalog().table("recipes").expect("registered above");
+    println!("Result:\n{}", indent(&result.describe(table)));
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+}

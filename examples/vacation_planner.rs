@@ -1,0 +1,55 @@
+//! The vacation-planner scenario from the paper's introduction: flights,
+//! hotels and rental cars under a combined budget, with the beach-distance /
+//! rental-car trade-off expressed as a disjunctive global constraint.
+//!
+//! ```text
+//! cargo run --release --example vacation_planner
+//! ```
+
+use packagebuilder_repro::datagen::{travel_options, Seed};
+use packagebuilder_repro::minidb::Catalog;
+use packagebuilder_repro::packagebuilder::{PackageEngine, Strategy};
+use packagebuilder_repro::packagebuilder::config::EngineConfig;
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register(travel_options(800, 600, 200, Seed(11)));
+    let engine = PackageEngine::new(catalog);
+    let table = engine.catalog().table("travel_options").unwrap();
+
+    // "They do not want to spend more than $2,000 on flights and hotels
+    // combined." One flight, one hotel, optionally a car, under budget,
+    // maximizing comfort.
+    let base_query = "SELECT PACKAGE(T) AS P FROM travel_options T \
+        SUCH THAT COUNT(*) FILTER (WHERE T.kind = 'flight') = 1 AND \
+                  COUNT(*) FILTER (WHERE T.kind = 'hotel') = 1 AND \
+                  COUNT(*) FILTER (WHERE T.kind = 'car') <= 1 AND \
+                  SUM(P.price) FILTER (WHERE T.kind <> 'car') <= 2000 \
+        MAXIMIZE SUM(P.comfort)";
+    println!("=== Budget vacation (flights + hotel <= $2000, car optional) ===\n");
+    let result = engine.execute_paql(base_query).expect("vacation query evaluates");
+    println!("{}", result.describe(table));
+
+    // "They also want to be in walking distance from the beach, unless their
+    // budget can fit a rental car, in which case they are willing to stay
+    // farther away." — a disjunctive SUCH THAT formula; it is not conjunctive,
+    // so the engine falls back to local search (paper Section 5: solvers
+    // cannot handle such queries directly).
+    let disjunctive_query = "SELECT PACKAGE(T) AS P FROM travel_options T \
+        SUCH THAT COUNT(*) FILTER (WHERE T.kind = 'flight') = 1 AND \
+                  COUNT(*) FILTER (WHERE T.kind = 'hotel') = 1 AND \
+                  SUM(P.price) <= 2000 AND \
+                  (MAX(P.beach_distance_km) <= 1 OR \
+                   COUNT(*) FILTER (WHERE T.kind = 'car') = 1) \
+        MAXIMIZE SUM(P.comfort)";
+    println!("=== Walking distance to the beach, unless a car fits the budget ===\n");
+    let engine_ls = PackageEngine::with_config(
+        engine.catalog().clone(),
+        EngineConfig::with_strategy(Strategy::LocalSearch).with_seed(11),
+    );
+    match engine_ls.execute_paql(disjunctive_query) {
+        Ok(result) if !result.is_empty() => println!("{}", result.describe(table)),
+        Ok(_) => println!("no package satisfied the disjunctive constraints within the search budget\n"),
+        Err(e) => println!("evaluation failed: {e}\n"),
+    }
+}

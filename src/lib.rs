@@ -1,0 +1,16 @@
+//! Umbrella crate for the PackageBuilder reproduction.
+//!
+//! Re-exports the workspace crates so that examples and integration tests can
+//! depend on a single crate:
+//!
+//! * [`minidb`] — the in-memory relational substrate,
+//! * [`lp_solver`] — the LP/MILP solver substrate,
+//! * [`paql`] — the PaQL package query language,
+//! * [`packagebuilder`] — the package query engine (the paper's contribution),
+//! * [`datagen`] — seeded synthetic workload generators.
+
+pub use datagen;
+pub use lp_solver;
+pub use minidb;
+pub use packagebuilder;
+pub use paql;

@@ -1,0 +1,112 @@
+//! Property-based tests spanning the PaQL front end and the evaluation
+//! strategies.
+
+use packagebuilder_repro::datagen::{uniform_table, Seed};
+use packagebuilder_repro::minidb::Catalog;
+use packagebuilder_repro::packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder_repro::packagebuilder::PackageEngine;
+use packagebuilder_repro::paql;
+use proptest::prelude::*;
+
+/// Builds the family of queries the properties range over: a cardinality
+/// constraint plus a SUM window on the synthetic `w` column, maximizing `v`.
+fn query(count: u64, lo: f64, hi: f64) -> String {
+    format!(
+        "SELECT PACKAGE(T) AS P FROM t T \
+         SUCH THAT COUNT(*) = {count} AND SUM(P.w) BETWEEN {lo:.2} AND {hi:.2} \
+         MAXIMIZE SUM(P.v)"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The ILP strategy and pruned enumeration agree on feasibility and on the
+    /// optimal objective for every query in the family.
+    #[test]
+    fn ilp_matches_enumeration(
+        seed in 0u64..1000,
+        count in 2u64..4,
+        lo in 10.0f64..40.0,
+        width in 5.0f64..40.0,
+    ) {
+        let n = 12usize;
+        let mut catalog = Catalog::new();
+        catalog.register(uniform_table("t", n, 5.0, 20.0, Seed(seed)));
+        let q = paql::parse(&query(count, lo, lo + width)).unwrap();
+
+        let enum_engine = PackageEngine::with_config(catalog.clone(), EngineConfig::with_strategy(Strategy::PrunedEnumeration));
+        let ilp_engine = PackageEngine::with_config(catalog, EngineConfig::with_strategy(Strategy::Ilp));
+        let a = enum_engine.execute(&q).unwrap();
+        let b = ilp_engine.execute(&q).unwrap();
+
+        prop_assert_eq!(a.is_empty(), b.is_empty(), "feasibility disagreement");
+        if let (Some(x), Some(y)) = (a.best_objective(), b.best_objective()) {
+            prop_assert!((x - y).abs() < 1e-6, "objective disagreement: {} vs {}", x, y);
+        }
+    }
+
+    /// Every package any strategy returns is valid: it satisfies the base and
+    /// global constraints and the multiplicity bound.
+    #[test]
+    fn returned_packages_are_always_valid(
+        seed in 0u64..1000,
+        count in 2u64..5,
+        lo in 10.0f64..50.0,
+        width in 5.0f64..50.0,
+        strategy_pick in 0usize..3,
+    ) {
+        let n = 30usize;
+        let strategy = [Strategy::Ilp, Strategy::LocalSearch, Strategy::PrunedEnumeration][strategy_pick];
+        let mut catalog = Catalog::new();
+        catalog.register(uniform_table("t", n, 5.0, 20.0, Seed(seed)));
+        let q = paql::parse(&query(count, lo, lo + width)).unwrap();
+        let engine = PackageEngine::with_config(catalog, EngineConfig::with_strategy(strategy));
+        let result = engine.execute(&q).unwrap();
+        let spec = engine.build_spec(&q).unwrap();
+        for p in &result.packages {
+            prop_assert!(spec.is_valid(p).unwrap(), "strategy {:?} returned an invalid package", strategy);
+        }
+    }
+
+    /// Pretty-printing a parsed query and re-parsing it yields the same AST.
+    #[test]
+    fn paql_printer_round_trips(
+        count in 1u64..6,
+        lo in 0.0f64..100.0,
+        width in 1.0f64..100.0,
+        repeat in 1u32..4,
+    ) {
+        let text = format!(
+            "SELECT PACKAGE(T) AS P FROM t T REPEAT {repeat} WHERE T.w >= {lo:.2} \
+             SUCH THAT COUNT(*) = {count} AND SUM(P.w) <= {:.2} MINIMIZE SUM(P.v)",
+            lo + width
+        );
+        let parsed = paql::parse(&text).unwrap();
+        let printed = paql::pretty::to_paql(&parsed);
+        let reparsed = paql::parse(&printed).unwrap();
+        prop_assert_eq!(parsed, reparsed, "printed form was: {}", printed);
+    }
+
+    /// Widening the SUM window never removes feasibility and never lowers the
+    /// optimal objective (monotonicity of relaxation).
+    #[test]
+    fn relaxing_constraints_is_monotone(
+        seed in 0u64..500,
+        lo in 20.0f64..40.0,
+        width in 5.0f64..20.0,
+        extra in 1.0f64..30.0,
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.register(uniform_table("t", 14, 5.0, 20.0, Seed(seed)));
+        let tight = paql::parse(&query(3, lo, lo + width)).unwrap();
+        let loose = paql::parse(&query(3, lo, lo + width + extra)).unwrap();
+        let engine = PackageEngine::with_config(catalog, EngineConfig::with_strategy(Strategy::PrunedEnumeration));
+        let a = engine.execute(&tight).unwrap();
+        let b = engine.execute(&loose).unwrap();
+        if !a.is_empty() {
+            prop_assert!(!b.is_empty(), "relaxing the constraint lost feasibility");
+            prop_assert!(b.best_objective().unwrap() >= a.best_objective().unwrap() - 1e-9);
+        }
+    }
+}
