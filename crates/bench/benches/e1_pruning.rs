@@ -20,18 +20,32 @@ fn bench_pruning(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    enumerate(&spec, EnumerationOptions { prune: false, keep: 1, ..Default::default() })
-                        .unwrap()
-                        .nodes,
+                    enumerate(
+                        spec.view(),
+                        EnumerationOptions {
+                            prune: false,
+                            keep: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                    .nodes,
                 )
             })
         });
         group.bench_with_input(BenchmarkId::new("pruned", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    enumerate(&spec, EnumerationOptions { prune: true, keep: 1, ..Default::default() })
-                        .unwrap()
-                        .nodes,
+                    enumerate(
+                        spec.view(),
+                        EnumerationOptions {
+                            prune: true,
+                            keep: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+                    .nodes,
                 )
             })
         });

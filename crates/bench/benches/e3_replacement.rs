@@ -33,15 +33,26 @@ fn bench_replacement(c: &mut Criterion) {
             .members()
             .map(|(id, m)| table.value_f64(id, "calories").unwrap() * m as f64)
             .sum();
-        group.bench_with_input(BenchmarkId::new("single_replacement_query", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    single_replacement_query(&table, &package, &spec.candidates, "calories", total, 2500.0)
+        group.bench_with_input(
+            BenchmarkId::new("single_replacement_query", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        single_replacement_query(
+                            &table,
+                            &package,
+                            &spec.candidates,
+                            "calories",
+                            total,
+                            2500.0,
+                        )
                         .unwrap()
                         .len(),
-                )
-            })
-        });
+                    )
+                })
+            },
+        );
     }
     // Local search k = 1 vs k = 2 at a fixed size.
     let table = recipe_table(200);
@@ -52,8 +63,13 @@ fn bench_replacement(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     local_search(
-                        &spec,
-                        &LocalSearchOptions { k, restarts: 2, max_moves: 200, ..Default::default() },
+                        spec.view(),
+                        &LocalSearchOptions {
+                            k,
+                            restarts: 2,
+                            max_moves: 200,
+                            ..Default::default()
+                        },
                     )
                     .unwrap()
                     .evaluations,

@@ -24,7 +24,7 @@ fn bench_mealplan(c: &mut Criterion) {
         let analyzed = paql::compile(MEAL_PLAN_QUERY, table.schema()).unwrap();
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
         group.bench_with_input(BenchmarkId::new("ilp_translation_only", n), &n, |b, _| {
-            b.iter(|| black_box(translate(&spec).unwrap().problem.num_constraints()))
+            b.iter(|| black_box(translate(spec.view()).unwrap().problem.num_constraints()))
         });
         group.bench_with_input(BenchmarkId::new("parse_and_analyze", n), &n, |b, _| {
             b.iter(|| black_box(paql::compile(MEAL_PLAN_QUERY, table.schema()).unwrap()))

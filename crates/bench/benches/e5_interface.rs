@@ -22,18 +22,31 @@ fn bench_interface(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("suggest_cell", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    suggest(&table, "P", &Highlight::Cell { tuple: TupleId(0), column: "fat".into() })
-                        .unwrap()
-                        .len(),
+                    suggest(
+                        &table,
+                        "P",
+                        &Highlight::Cell {
+                            tuple: TupleId(0),
+                            column: "fat".into(),
+                        },
+                    )
+                    .unwrap()
+                    .len(),
                 )
             })
         });
         group.bench_with_input(BenchmarkId::new("suggest_column", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    suggest(&table, "P", &Highlight::Column { column: "calories".into() })
-                        .unwrap()
-                        .len(),
+                    suggest(
+                        &table,
+                        "P",
+                        &Highlight::Column {
+                            column: "calories".into(),
+                        },
+                    )
+                    .unwrap()
+                    .len(),
                 )
             })
         });

@@ -28,7 +28,14 @@ fn bench_multiple(c: &mut Criterion) {
 
     for &p in &[1usize, 5, 10, 20] {
         group.bench_with_input(BenchmarkId::new("ilp_with_cuts", p), &p, |b, &p| {
-            b.iter(|| black_box(solve_ilp(&spec, &SolverConfig::default(), p).unwrap().packages.len()))
+            b.iter(|| {
+                black_box(
+                    solve_ilp(spec.view(), &SolverConfig::default(), p)
+                        .unwrap()
+                        .packages
+                        .len(),
+                )
+            })
         });
     }
 
@@ -38,8 +45,11 @@ fn bench_multiple(c: &mut Criterion) {
     let analyzed = paql::compile(QUERY, small.schema()).unwrap();
     let small_spec = PackageSpec::build(&analyzed, &small).unwrap();
     let pool: Vec<Package> = enumerate(
-        &small_spec,
-        EnumerationOptions { keep: 5_000, ..Default::default() },
+        small_spec.view(),
+        EnumerationOptions {
+            keep: 5_000,
+            ..Default::default()
+        },
     )
     .unwrap()
     .packages

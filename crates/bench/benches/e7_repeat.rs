@@ -39,7 +39,13 @@ fn bench_repeat(c: &mut Criterion) {
         let analyzed = paql::compile(&q, table.schema()).unwrap();
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
         group.bench_with_input(BenchmarkId::new("enumeration_repeat", k), &k, |b, _| {
-            b.iter(|| black_box(enumerate(&spec, EnumerationOptions::default()).unwrap().nodes))
+            b.iter(|| {
+                black_box(
+                    enumerate(spec.view(), EnumerationOptions::default())
+                        .unwrap()
+                        .nodes,
+                )
+            })
         });
     }
     group.finish();

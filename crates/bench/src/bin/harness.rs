@@ -33,7 +33,9 @@ fn main() {
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     println!("PackageBuilder reproduction — experiment harness");
-    println!("(one markdown table per experiment; see EXPERIMENTS.md for the claim each row checks)\n");
+    println!(
+        "(one markdown table per experiment; see EXPERIMENTS.md for the claim each row checks)\n"
+    );
 
     if want("e1") {
         e1_pruning();
@@ -59,23 +61,147 @@ fn main() {
     if want("e8") {
         e8_explore();
     }
+    if want("eval") {
+        eval_throughput();
+    }
+}
+
+/// Runs `f` repeatedly until ~0.2 s has elapsed and returns calls/second.
+fn rate(mut f: impl FnMut() -> usize) -> f64 {
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut calls = 0usize;
+    while start.elapsed() < budget {
+        calls += f();
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+/// EVAL — package-evaluation throughput: the columnar `CandidateView` path
+/// (full projection and delta moves) against the interpreted expression-tree
+/// oracle. Writes `BENCH_eval.json` next to the working directory so future
+/// PRs have a machine-readable baseline.
+fn eval_throughput() {
+    println!("## EVAL — objective/violation evaluation throughput (columnar vs interpreted)\n");
+    let widths = [8, 30, 16, 18];
+    print_header(&["n", "path", "evals/sec", "vs interpreted"], &widths);
+    let mut json_rows: Vec<String> = Vec::new();
+    for n in [500usize, 2_000, 8_000] {
+        let table = recipe_table(n);
+        let analyzed = paql::compile(MEAL_PLAN_QUERY_NO_FILTER, table.schema()).unwrap();
+        let spec = PackageSpec::build(&analyzed, &table).unwrap();
+        let formula = spec.formula.clone().expect("meal query has a formula");
+        let objective = spec.objective.clone().expect("meal query has an objective");
+        let packages: Vec<Package> = (0..64)
+            .map(|i| {
+                Package::from_ids(
+                    spec.candidates
+                        .iter()
+                        .copied()
+                        .cycle()
+                        .skip((i * 3) % spec.candidate_count())
+                        .take(3),
+                )
+            })
+            .collect();
+
+        let interpreted = rate(|| {
+            for p in &packages {
+                let v = p.formula_violation(&table, &formula).unwrap();
+                let o = p.objective_value(&table, &objective).unwrap();
+                std::hint::black_box((v, o));
+            }
+            packages.len()
+        });
+        let columnar = rate(|| {
+            for p in &packages {
+                let v = spec.violation(p).unwrap();
+                let o = spec.objective_value(p).unwrap();
+                std::hint::black_box((v, o));
+            }
+            packages.len()
+        });
+        let state = spec.view().project(&packages[0]).unwrap();
+        let member = *state.member_indices().collect::<Vec<_>>().first().unwrap();
+        let swaps: Vec<[(usize, i64); 2]> = (0..spec.candidate_count().min(256))
+            .map(|inn| [(member, -1i64), (inn, 1i64)])
+            .collect();
+        let delta = rate(|| {
+            for changes in &swaps {
+                std::hint::black_box(state.score_with(changes));
+            }
+            swaps.len()
+        });
+
+        for (label, value) in [
+            ("interpreted (oracle)", interpreted),
+            ("columnar projection", columnar),
+            ("columnar delta (swap)", delta),
+        ] {
+            print_row(
+                &[
+                    n.to_string(),
+                    label.into(),
+                    format!("{value:.0}"),
+                    format!("{:.1}x", value / interpreted),
+                ],
+                &widths,
+            );
+        }
+        json_rows.push(format!(
+            "    {{\"n\": {n}, \"interpreted_evals_per_sec\": {interpreted:.1}, \
+             \"columnar_evals_per_sec\": {columnar:.1}, \"delta_evals_per_sec\": {delta:.1}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"eval_throughput\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_eval.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_eval.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_eval.json: {e})\n"),
+    }
 }
 
 fn e1_pruning() {
     println!("## E1 — cardinality-based pruning (§4.1)\n");
     let widths = [4, 14, 14, 16, 12, 14, 12];
     print_header(
-        &["n", "space 2^n", "space pruned", "reduction (log2)", "nodes full", "nodes pruned", "same optimum"],
+        &[
+            "n",
+            "space 2^n",
+            "space pruned",
+            "reduction (log2)",
+            "nodes full",
+            "nodes pruned",
+            "same optimum",
+        ],
         &widths,
     );
     for n in [12usize, 16, 20, 24] {
         let table = recipe_table(n);
         let analyzed = paql::compile(MEAL_PLAN_QUERY_NO_FILTER, table.schema()).unwrap();
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
-        let bounds = derive_bounds(&spec);
-        let space = search_space(&spec, &bounds);
-        let pruned = enumerate(&spec, EnumerationOptions { prune: true, keep: 1, ..Default::default() }).unwrap();
-        let full = enumerate(&spec, EnumerationOptions { prune: false, keep: 1, ..Default::default() }).unwrap();
+        let bounds = derive_bounds(spec.view());
+        let space = search_space(spec.view(), &bounds);
+        let pruned = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                prune: true,
+                keep: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let full = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                prune: false,
+                keep: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let same = match (pruned.packages.first(), full.packages.first()) {
             (None, None) => "yes (both empty)".to_string(),
             (Some((_, a)), Some((_, b))) => {
@@ -106,7 +232,17 @@ fn e1_pruning() {
 fn e2_strategies() {
     println!("## E2 — strategy crossover (§4, §5)\n");
     let widths = [6, 20, 12, 14, 14, 10];
-    print_header(&["n", "strategy", "time (ms)", "objective", "opt gap (%)", "optimal?"], &widths);
+    print_header(
+        &[
+            "n",
+            "strategy",
+            "time (ms)",
+            "objective",
+            "opt gap (%)",
+            "optimal?",
+        ],
+        &widths,
+    );
     for n in [20usize, 50, 200, 1000, 3000] {
         // The ILP optimum is the reference for the gap column.
         let ilp_engine = recipe_engine(n, Strategy::Ilp);
@@ -119,7 +255,10 @@ fn e2_strategies() {
             vec![("ilp".into(), ilp_time, opt, true)];
 
         if n <= 24 {
-            for (label, strat) in [("exhaustive", Strategy::Exhaustive), ("pruned-enum", Strategy::PrunedEnumeration)] {
+            for (label, strat) in [
+                ("exhaustive", Strategy::Exhaustive),
+                ("pruned-enum", Strategy::PrunedEnumeration),
+            ] {
                 let engine = recipe_engine(n, strat);
                 let t0 = Instant::now();
                 let r = run(&engine, MEAL_PLAN_QUERY);
@@ -129,12 +268,22 @@ fn e2_strategies() {
             let engine = recipe_engine(n, Strategy::PrunedEnumeration);
             let t0 = Instant::now();
             let r = run(&engine, MEAL_PLAN_QUERY);
-            rows.push(("pruned-enum".into(), t0.elapsed(), r.best_objective(), r.optimal));
+            rows.push((
+                "pruned-enum".into(),
+                t0.elapsed(),
+                r.best_objective(),
+                r.optimal,
+            ));
         }
         let ls_engine = recipe_engine(n, Strategy::LocalSearch);
         let t0 = Instant::now();
         let ls = run(&ls_engine, MEAL_PLAN_QUERY);
-        rows.push(("local-search".into(), t0.elapsed(), ls.best_objective(), false));
+        rows.push((
+            "local-search".into(),
+            t0.elapsed(),
+            ls.best_objective(),
+            false,
+        ));
 
         for (label, time, obj, optimal) in rows {
             let gap = match (obj, opt) {
@@ -180,8 +329,15 @@ fn e3_replacement() {
             .map(|(id, m)| table.value_f64(id, "calories").unwrap() * m as f64)
             .sum();
         let t0 = Instant::now();
-        let rel =
-            single_replacement_query(&table, &package, &spec.candidates, "calories", total, 2500.0).unwrap();
+        let rel = single_replacement_query(
+            &table,
+            &package,
+            &spec.candidates,
+            "calories",
+            total,
+            2500.0,
+        )
+        .unwrap();
         print_row(
             &[
                 n.to_string(),
@@ -199,8 +355,13 @@ fn e3_replacement() {
     for k in [1usize, 2] {
         let t0 = Instant::now();
         let out = local_search(
-            &spec,
-            &LocalSearchOptions { k, restarts: 2, max_moves: 100, ..Default::default() },
+            spec.view(),
+            &LocalSearchOptions {
+                k,
+                restarts: 2,
+                max_moves: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         print_row(
@@ -220,7 +381,14 @@ fn e4_mealplan() {
     println!("## E4 — meal-plan query end to end (§2, §7)\n");
     let widths = [6, 14, 14, 16, 16, 14];
     print_header(
-        &["n", "ilp (ms)", "ls (ms)", "ilp objective", "ls objective", "ls/opt (%)"],
+        &[
+            "n",
+            "ilp (ms)",
+            "ls (ms)",
+            "ilp objective",
+            "ls objective",
+            "ls/opt (%)",
+        ],
         &widths,
     );
     for n in [100usize, 500, 2000, 5000] {
@@ -241,8 +409,12 @@ fn e4_mealplan() {
                 n.to_string(),
                 ms(ilp_time),
                 ms(ls_time),
-                ilp.best_objective().map(|o| format!("{o:.1}")).unwrap_or("-".into()),
-                ls.best_objective().map(|o| format!("{o:.1}")).unwrap_or("-".into()),
+                ilp.best_objective()
+                    .map(|o| format!("{o:.1}"))
+                    .unwrap_or("-".into()),
+                ls.best_objective()
+                    .map(|o| format!("{o:.1}"))
+                    .unwrap_or("-".into()),
                 ratio,
             ],
             &widths,
@@ -258,15 +430,40 @@ fn e5_interface() {
     for n in [1_000usize, 10_000, 50_000] {
         let table = recipe_table(n);
         let t0 = Instant::now();
-        let s = suggest(&table, "P", &Highlight::Cell { tuple: TupleId(0), column: "fat".into() }).unwrap();
+        let s = suggest(
+            &table,
+            "P",
+            &Highlight::Cell {
+                tuple: TupleId(0),
+                column: "fat".into(),
+            },
+        )
+        .unwrap();
         print_row(
-            &[n.to_string(), "suggest (cell highlight)".into(), ms(t0.elapsed()), format!("{} suggestions", s.len())],
+            &[
+                n.to_string(),
+                "suggest (cell highlight)".into(),
+                ms(t0.elapsed()),
+                format!("{} suggestions", s.len()),
+            ],
             &widths,
         );
         let t0 = Instant::now();
-        let s = suggest(&table, "P", &Highlight::Column { column: "calories".into() }).unwrap();
+        let s = suggest(
+            &table,
+            "P",
+            &Highlight::Column {
+                column: "calories".into(),
+            },
+        )
+        .unwrap();
         print_row(
-            &[n.to_string(), "suggest (column highlight)".into(), ms(t0.elapsed()), format!("{} suggestions", s.len())],
+            &[
+                n.to_string(),
+                "suggest (column highlight)".into(),
+                ms(t0.elapsed()),
+                format!("{} suggestions", s.len()),
+            ],
             &widths,
         );
     }
@@ -274,7 +471,12 @@ fn e5_interface() {
     let t0 = Instant::now();
     let text = paql::pretty::describe_query(&query);
     print_row(
-        &["-".into(), "natural-language description".into(), ms(t0.elapsed()), format!("{} chars", text.len())],
+        &[
+            "-".into(),
+            "natural-language description".into(),
+            ms(t0.elapsed()),
+            format!("{} chars", text.len()),
+        ],
         &widths,
     );
     let table = recipe_table(2_000);
@@ -296,7 +498,12 @@ fn e5_interface() {
         let t0 = Instant::now();
         let summary = summarize(&spec, &packages, Some(0)).unwrap();
         print_row(
-            &[m.to_string(), "2-D package-space summary".into(), ms(t0.elapsed()), format!("{} glyphs", summary.glyphs.len())],
+            &[
+                m.to_string(),
+                "2-D package-space summary".into(),
+                ms(t0.elapsed()),
+                format!("{} glyphs", summary.glyphs.len()),
+            ],
             &widths,
         );
     }
@@ -314,7 +521,7 @@ fn e6_multiple() {
     let spec = PackageSpec::build(&analyzed, &table).unwrap();
     for p in [1usize, 5, 10, 20] {
         let t0 = Instant::now();
-        let out = solve_ilp(&spec, &SolverConfig::default(), p).unwrap();
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), p).unwrap();
         print_row(
             &[
                 p.to_string(),
@@ -329,12 +536,18 @@ fn e6_multiple() {
     let small = recipe_table(18);
     let analyzed = paql::compile(q, small.schema()).unwrap();
     let small_spec = PackageSpec::build(&analyzed, &small).unwrap();
-    let pool: Vec<Package> = enumerate(&small_spec, EnumerationOptions { keep: 5_000, ..Default::default() })
-        .unwrap()
-        .packages
-        .into_iter()
-        .map(|(p, _)| p)
-        .collect();
+    let pool: Vec<Package> = enumerate(
+        small_spec.view(),
+        EnumerationOptions {
+            keep: 5_000,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .packages
+    .into_iter()
+    .map(|(p, _)| p)
+    .collect();
     for k in [5usize, 10] {
         let topk: Vec<Package> = pool.iter().take(k).cloned().collect();
         let t0 = Instant::now();
@@ -344,7 +557,11 @@ fn e6_multiple() {
                 k.to_string(),
                 "max-min diverse selection".into(),
                 ms(t0.elapsed()),
-                format!("div {:.2} vs top-k {:.2}", diversity_score(&diverse), diversity_score(&topk)),
+                format!(
+                    "div {:.2} vs top-k {:.2}",
+                    diversity_score(&diverse),
+                    diversity_score(&topk)
+                ),
             ],
             &widths,
         );
@@ -355,7 +572,10 @@ fn e6_multiple() {
 fn e7_repeat() {
     println!("## E7 — REPEAT multiplicities (§2)\n");
     let widths = [8, 14, 16, 18];
-    print_header(&["repeat", "time (ms)", "objective", "max multiplicity"], &widths);
+    print_header(
+        &["repeat", "time (ms)", "objective", "max multiplicity"],
+        &widths,
+    );
     let engine = recipe_engine(300, Strategy::Ilp);
     let mut last = f64::NEG_INFINITY;
     for k in [1u32, 2, 3, 4] {
@@ -367,14 +587,20 @@ fn e7_repeat() {
         let t0 = Instant::now();
         let r = run(&engine, &q);
         let obj = r.best_objective().unwrap_or(f64::NAN);
-        let monotone = if obj + 1e-6 >= last { "" } else { "  (NOT monotone!)" };
+        let monotone = if obj + 1e-6 >= last {
+            ""
+        } else {
+            "  (NOT monotone!)"
+        };
         last = obj;
         print_row(
             &[
                 k.to_string(),
                 ms(t0.elapsed()),
                 format!("{obj:.1}{monotone}"),
-                r.best().map(|p| p.max_multiplicity().to_string()).unwrap_or("-".into()),
+                r.best()
+                    .map(|p| p.max_multiplicity().to_string())
+                    .unwrap_or("-".into()),
             ],
             &widths,
         );
@@ -385,7 +611,16 @@ fn e7_repeat() {
 fn e8_explore() {
     println!("## E8 — adaptive exploration (§3.3)\n");
     let widths = [6, 8, 14, 18, 20];
-    print_header(&["n", "round", "time (ms)", "locked kept?", "inferred constraints"], &widths);
+    print_header(
+        &[
+            "n",
+            "round",
+            "time (ms)",
+            "locked kept?",
+            "inferred constraints",
+        ],
+        &widths,
+    );
     for n in [500usize, 5_000] {
         let engine = recipe_engine(n, Strategy::Ilp);
         let query = paql::parse(MEAL_PLAN_QUERY).unwrap();
@@ -393,7 +628,13 @@ fn e8_explore() {
         let t0 = Instant::now();
         session.sample(&engine).unwrap();
         print_row(
-            &[n.to_string(), "0".into(), ms(t0.elapsed()), "-".into(), "-".into()],
+            &[
+                n.to_string(),
+                "0".into(),
+                ms(t0.elapsed()),
+                "-".into(),
+                "-".into(),
+            ],
             &widths,
         );
         // Lock one tuple per round and refine.

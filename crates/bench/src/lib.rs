@@ -27,7 +27,10 @@ pub const BENCH_SEED: u64 = 20140901; // VLDB 2014
 pub fn recipe_engine(n: usize, strategy: Strategy) -> PackageEngine {
     let mut catalog = Catalog::new();
     catalog.register(recipes(n, Seed(BENCH_SEED)));
-    PackageEngine::with_config(catalog, EngineConfig::with_strategy(strategy).with_seed(BENCH_SEED))
+    PackageEngine::with_config(
+        catalog,
+        EngineConfig::with_strategy(strategy).with_seed(BENCH_SEED),
+    )
 }
 
 /// Builds just the recipes table of `n` rows (for spec-level experiments).
@@ -67,7 +70,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header and separator.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
 }

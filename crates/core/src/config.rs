@@ -23,6 +23,9 @@ pub enum Strategy {
     Exhaustive,
     /// Greedy construction plus k-tuple-replacement local search.
     LocalSearch,
+    /// Pure greedy construction with a feasibility-repair pass (cheapest,
+    /// anytime baseline; never picked by `Auto`).
+    Greedy,
 }
 
 /// Tunable engine parameters.
@@ -76,7 +79,10 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Configuration forcing a specific strategy.
     pub fn with_strategy(strategy: Strategy) -> Self {
-        EngineConfig { strategy, ..Default::default() }
+        EngineConfig {
+            strategy,
+            ..Default::default()
+        }
     }
 
     /// Sets the number of packages to return.

@@ -110,9 +110,12 @@ mod tests {
         let picked = select_diverse(&candidates, 2);
         assert_eq!(picked.len(), 2);
         assert_eq!(picked[0], candidates[0]);
-        assert_eq!(picked[1], candidates[2], "should pick the disjoint package second");
+        assert_eq!(
+            picked[1], candidates[2],
+            "should pick the disjoint package second"
+        );
         // Diversity of the picked pair beats the top-2 prefix.
-        assert!(diversity_score(&picked) > diversity_score(&candidates[..2].to_vec()));
+        assert!(diversity_score(&picked) > diversity_score(&candidates[..2]));
     }
 
     #[test]

@@ -1,24 +1,48 @@
-//! The package query engine: strategy selection and the public API.
+//! The package query engine: the planner and the public API.
+//!
+//! Execution is a three-stage plan over the columnar evaluation core:
+//!
+//! 1. **prune** — derive cardinality bounds from the view (Section 4.1); a
+//!    contradictory window proves infeasibility before any solver runs;
+//! 2. **solve** — dispatch to a [`Solver`] chosen by the `Auto` policy (or
+//!    forced by configuration), all through the one trait;
+//! 3. **validate** — defensively re-check every returned package against the
+//!    spec, so no solver bug or numerical artefact can surface as a wrong
+//!    answer.
 
 use minidb::Catalog;
 use paql::{analyze, parse, AnalyzedQuery, PaqlQuery};
 
 use crate::config::{EngineConfig, Strategy};
-use crate::enumerate::{enumerate, EnumerationOptions};
 use crate::error::PbError;
-use crate::ilp::{linearization_obstacle, solve_ilp};
-use crate::local_search::{local_search, LocalSearchOptions};
+use crate::ilp::linearization_obstacle;
+use crate::pruning::derive_bounds;
 use crate::result::PackageResult;
+use crate::solver::{solver_for, SolveOptions, Solver};
 use crate::spec::PackageSpec;
 use crate::PbResult;
+
+/// One fully-resolved execution plan: the solver to run and its options.
+///
+/// Exposed so callers (experiments, interface layers, future schedulers) can
+/// inspect or override what the planner chose before running it.
+pub struct QueryPlan {
+    /// The strategy the planner resolved to.
+    pub strategy: Strategy,
+    /// The solver implementing it.
+    pub solver: Box<dyn Solver>,
+    /// Options handed to the solver.
+    pub options: SolveOptions,
+}
 
 /// The PackageBuilder query engine.
 ///
 /// "PackageBuilder is an external module which communicates with the DBMS,
 /// where the data resides, via SQL" (Section 4); here the [`Catalog`] plays
 /// the role of that DBMS connection. The engine parses PaQL, evaluates base
-/// constraints against the catalog, and picks an evaluation strategy:
-/// the paper's system "heuristically combines" SQL-based generate-and-validate,
+/// constraints against the catalog, lowers the query onto a columnar
+/// [`crate::view::CandidateView`], and plans an evaluation: the paper's
+/// system "heuristically combines" SQL-based generate-and-validate,
 /// constraint solvers, pruning and local search — [`Strategy::Auto`] encodes
 /// that policy.
 #[derive(Debug, Clone)]
@@ -30,7 +54,10 @@ pub struct PackageEngine {
 impl PackageEngine {
     /// Creates an engine with default configuration.
     pub fn new(catalog: Catalog) -> Self {
-        PackageEngine { catalog, config: EngineConfig::default() }
+        PackageEngine {
+            catalog,
+            config: EngineConfig::default(),
+        }
     }
 
     /// Creates an engine with an explicit configuration.
@@ -95,13 +122,14 @@ impl PackageEngine {
 
     /// Evaluates a spec with the configured strategy.
     pub fn execute_spec(&self, spec: &PackageSpec<'_>) -> PbResult<PackageResult> {
-        let strategy = self.resolve_strategy(spec);
-        self.execute_with_strategy(spec, strategy)
+        let plan = self.plan(spec)?;
+        self.run_plan(spec, &plan)
     }
 
     /// The `Auto` policy: ILP when the query is linear and conjunctive,
     /// pruned enumeration for tiny candidate sets or non-linear queries that
-    /// still fit, local search otherwise.
+    /// still fit, local search otherwise. (`Greedy` is never auto-selected;
+    /// it exists as an explicit anytime baseline.)
     pub fn resolve_strategy(&self, spec: &PackageSpec<'_>) -> Strategy {
         match self.config.strategy {
             Strategy::Auto => {
@@ -109,7 +137,7 @@ impl PackageEngine {
                 if n <= self.config.enumeration_threshold {
                     return Strategy::PrunedEnumeration;
                 }
-                if linearization_obstacle(spec).is_none() {
+                if linearization_obstacle(spec.view()).is_none() {
                     Strategy::Ilp
                 } else {
                     Strategy::LocalSearch
@@ -119,40 +147,85 @@ impl PackageEngine {
         }
     }
 
+    /// Builds the execution plan for a spec under the configured strategy:
+    /// resolves `Auto`, instantiates the solver, and projects the options.
+    pub fn plan(&self, spec: &PackageSpec<'_>) -> PbResult<QueryPlan> {
+        self.plan_with_strategy(spec, self.config.strategy)
+    }
+
+    /// Builds a plan with an explicit strategy (used by the experiments).
+    pub fn plan_with_strategy(
+        &self,
+        spec: &PackageSpec<'_>,
+        strategy: Strategy,
+    ) -> PbResult<QueryPlan> {
+        let strategy = match strategy {
+            Strategy::Auto => {
+                let forced = self.resolve_strategy(spec);
+                debug_assert_ne!(forced, Strategy::Auto);
+                forced
+            }
+            other => other,
+        };
+        Ok(QueryPlan {
+            strategy,
+            solver: solver_for(strategy)?,
+            options: SolveOptions::from_config(&self.config),
+        })
+    }
+
     /// Evaluates a spec with an explicit strategy (used by the experiments).
-    pub fn execute_with_strategy(&self, spec: &PackageSpec<'_>, strategy: Strategy) -> PbResult<PackageResult> {
-        match strategy {
-            Strategy::Auto => self.execute_spec(spec),
-            Strategy::Ilp => {
-                let out = solve_ilp(spec, &self.config.solver, self.config.num_packages)?;
-                Ok(PackageResult::from_pairs(out.packages, true, out.stats))
-            }
-            Strategy::PrunedEnumeration | Strategy::Exhaustive => {
-                let out = enumerate(
-                    spec,
-                    EnumerationOptions {
-                        prune: strategy == Strategy::PrunedEnumeration,
-                        max_nodes: self.config.max_enumeration_nodes,
-                        keep: self.config.num_packages,
-                    },
-                )?;
-                let complete = out.complete;
-                Ok(PackageResult::from_pairs(out.packages, complete, out.stats))
-            }
-            Strategy::LocalSearch => {
-                let out = local_search(
-                    spec,
-                    &LocalSearchOptions {
-                        k: self.config.replacement_k,
-                        max_moves: self.config.max_local_moves,
-                        restarts: self.config.local_restarts,
-                        seed: self.config.seed,
-                        keep: self.config.num_packages,
-                    },
-                )?;
-                Ok(PackageResult::from_pairs(out.packages, false, out.stats))
+    pub fn execute_with_strategy(
+        &self,
+        spec: &PackageSpec<'_>,
+        strategy: Strategy,
+    ) -> PbResult<PackageResult> {
+        let plan = self.plan_with_strategy(spec, strategy)?;
+        self.run_plan(spec, &plan)
+    }
+
+    /// Runs a plan: prune → solve → validate.
+    pub fn run_plan(&self, spec: &PackageSpec<'_>, plan: &QueryPlan) -> PbResult<PackageResult> {
+        let view = spec.view();
+
+        // Prune: a contradictory cardinality window proves infeasibility
+        // without running any solver (the result is still "optimal" — the
+        // empty answer is exact).
+        let bounds = derive_bounds(view)
+            .clamp_to(view.candidate_count() as u64 * view.max_multiplicity() as u64);
+        if bounds.is_empty() {
+            let outcome = crate::solver::SolveOutcome::empty(
+                plan.solver.strategy(),
+                view.candidate_count(),
+                true,
+            );
+            return Ok(PackageResult::from_pairs(
+                outcome.packages,
+                outcome.optimal,
+                outcome.stats,
+            ));
+        }
+
+        // Solve through the unified trait.
+        let outcome = plan.solver.solve(view, &plan.options)?;
+
+        // Validate: no solver result leaves the engine unchecked. The check
+        // runs through the interpreted oracle (AST evaluation against the
+        // base table), which shares no code with the columnar view the
+        // solvers used — an independent second opinion.
+        for (package, _) in &outcome.packages {
+            if !spec.is_valid_interpreted(package)? {
+                return Err(PbError::Internal(format!(
+                    "solver '{}' returned a package that fails validation",
+                    plan.solver.strategy()
+                )));
             }
         }
+        Ok(PackageResult::from_pairs(
+            outcome.packages,
+            outcome.optimal,
+            outcome.stats,
+        ))
     }
 }
 
@@ -224,11 +297,14 @@ mod tests {
         if let Some(best) = result.best() {
             // The heuristic result must still be a valid package.
             let spec = engine
-                .build_spec(&paql::parse(
-                    "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+                .build_spec(
+                    &paql::parse(
+                        "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
                      SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
                      MAXIMIZE SUM(P.protein)",
-                ).unwrap())
+                    )
+                    .unwrap(),
+                )
                 .unwrap();
             assert!(spec.is_valid(best).unwrap());
         }
@@ -244,12 +320,47 @@ mod tests {
         .unwrap();
         let spec = engine.build_spec(&query).unwrap();
         let ilp = engine.execute_with_strategy(&spec, Strategy::Ilp).unwrap();
-        let pruned = engine.execute_with_strategy(&spec, Strategy::PrunedEnumeration).unwrap();
-        let ls = engine.execute_with_strategy(&spec, Strategy::LocalSearch).unwrap();
+        let pruned = engine
+            .execute_with_strategy(&spec, Strategy::PrunedEnumeration)
+            .unwrap();
+        let ls = engine
+            .execute_with_strategy(&spec, Strategy::LocalSearch)
+            .unwrap();
         let opt = ilp.best_objective().unwrap();
         assert!((pruned.best_objective().unwrap() - opt).abs() < 1e-6);
         // Local search is heuristic but must not exceed the optimum.
         assert!(ls.best_objective().unwrap() <= opt + 1e-6);
+        // Greedy is heuristic too; when it finds a package it is valid and
+        // bounded by the optimum.
+        let greedy = engine
+            .execute_with_strategy(&spec, Strategy::Greedy)
+            .unwrap();
+        if let Some(g) = greedy.best_objective() {
+            assert!(g <= opt + 1e-6);
+        }
+    }
+
+    #[test]
+    fn planner_reports_the_resolved_strategy() {
+        let engine = small_engine(15, 9);
+        let query = paql::parse(
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 MAXIMIZE SUM(P.protein)",
+        )
+        .unwrap();
+        let spec = engine.build_spec(&query).unwrap();
+        let plan = engine.plan(&spec).unwrap();
+        assert_eq!(plan.strategy, Strategy::PrunedEnumeration);
+        assert_eq!(plan.solver.strategy(), StrategyUsed::PrunedEnumeration);
+        // Contradictory bounds short-circuit before the solver runs.
+        let infeasible = paql::parse(
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) >= 5 AND COUNT(*) <= 2",
+        )
+        .unwrap();
+        let spec = engine.build_spec(&infeasible).unwrap();
+        let result = engine.execute_spec(&spec).unwrap();
+        assert!(result.is_empty());
+        assert!(result.optimal, "pruning proves infeasibility exactly");
+        assert_eq!(result.stats.nodes, 0);
     }
 
     #[test]

@@ -20,11 +20,11 @@ use lp_solver::ConstraintOp;
 use paql::ObjectiveDirection;
 
 use crate::error::PbError;
-use crate::ilp::{linearize_expr, linearize_formula, LinearConstraint};
+use crate::ilp::{linearize_formula, linearize_objective, LinearConstraint};
 use crate::package::Package;
 use crate::pruning::{derive_bounds, CardinalityBounds};
 use crate::result::{EvalStats, StrategyUsed};
-use crate::spec::PackageSpec;
+use crate::view::CandidateView;
 use crate::PbResult;
 
 /// Options for the enumeration strategies.
@@ -41,7 +41,11 @@ pub struct EnumerationOptions {
 
 impl Default for EnumerationOptions {
     fn default() -> Self {
-        EnumerationOptions { prune: true, max_nodes: 20_000_000, keep: 1 }
+        EnumerationOptions {
+            prune: true,
+            max_nodes: 20_000_000,
+            keep: 1,
+        }
     }
 }
 
@@ -61,8 +65,8 @@ pub struct EnumerationOutcome {
     pub stats: EvalStats,
 }
 
-struct Searcher<'a, 's> {
-    spec: &'s PackageSpec<'a>,
+struct Searcher<'v> {
+    view: &'v CandidateView,
     opts: EnumerationOptions,
     bounds: CardinalityBounds,
     linear: Vec<LinearConstraint>,
@@ -80,22 +84,20 @@ struct Searcher<'a, 's> {
     aborted: bool,
 }
 
-impl<'a, 's> Searcher<'a, 's> {
-    fn new(spec: &'s PackageSpec<'a>, opts: EnumerationOptions) -> Self {
-        let n = spec.candidate_count();
-        let r = spec.max_multiplicity as f64;
+impl<'v> Searcher<'v> {
+    fn new(view: &'v CandidateView, opts: EnumerationOptions) -> Self {
+        let n = view.candidate_count();
+        let r = view.max_multiplicity() as f64;
+        let capacity = n as u64 * view.max_multiplicity() as u64;
         let bounds = if opts.prune {
-            derive_bounds(spec).clamp_to(n as u64 * spec.max_multiplicity as u64)
+            derive_bounds(view).clamp_to(capacity)
         } else {
-            CardinalityBounds::unbounded().clamp_to(n as u64 * spec.max_multiplicity as u64)
+            CardinalityBounds::unbounded().clamp_to(capacity)
         };
         // Linear constraints power the partial-sum bound; they are only an
         // accelerator, feasibility is always re-checked exactly.
         let linear = if opts.prune {
-            spec.formula
-                .as_ref()
-                .and_then(|f| linearize_formula(spec, f).ok())
-                .unwrap_or_default()
+            linearize_formula(view).unwrap_or_default()
         } else {
             Vec::new()
         };
@@ -112,13 +114,12 @@ impl<'a, 's> Searcher<'a, 's> {
             suffix_max.push(smax);
             suffix_min.push(smin);
         }
-        let objective = spec.objective.as_ref().and_then(|o| {
-            linearize_expr(spec, &o.expr)
-                .ok()
-                .map(|lin| (o.direction, lin.coeffs))
-        });
+        let objective = linearize_objective(view)
+            .ok()
+            .flatten()
+            .map(|lin| (view.direction(), lin.coeffs));
         Searcher {
-            spec,
+            view,
             bounds,
             linear,
             suffix_max,
@@ -141,13 +142,13 @@ impl<'a, 's> Searcher<'a, 's> {
                 .iter()
                 .enumerate()
                 .filter(|(_, &m)| m > 0)
-                .map(|(i, &m)| (self.spec.candidates[i], m)),
+                .map(|(i, &m)| (self.view.candidates()[i], m)),
         );
-        if !self.spec.is_valid(&package)? {
+        if !self.view.is_valid(&package) {
             return Ok(());
         }
         self.feasible += 1;
-        let objective = self.spec.objective_value(&package)?;
+        let objective = self.view.objective_value(&package);
         let entry = (package, objective);
         match &self.objective {
             None => {
@@ -160,7 +161,9 @@ impl<'a, 's> Searcher<'a, 's> {
                 let dir = *direction;
                 self.best.sort_by(|a, b| {
                     let cmp = match (a.1, b.1) {
-                        (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                        (Some(x), Some(y)) => {
+                            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+                        }
                         (Some(_), None) => std::cmp::Ordering::Greater,
                         (None, Some(_)) => std::cmp::Ordering::Less,
                         (None, None) => std::cmp::Ordering::Equal,
@@ -182,8 +185,8 @@ impl<'a, 's> Searcher<'a, 's> {
         if !self.opts.prune {
             return false;
         }
-        let n = self.spec.candidate_count() as u64;
-        let r = self.spec.max_multiplicity as u64;
+        let n = self.view.candidate_count() as u64;
+        let r = self.view.max_multiplicity() as u64;
         // Cardinality window.
         let remaining_capacity = (n - idx as u64) * r;
         if self.cardinality > self.bounds.upper.unwrap_or(u64::MAX) {
@@ -209,7 +212,8 @@ impl<'a, 's> Searcher<'a, 's> {
                     }
                 }
                 ConstraintOp::Eq => {
-                    if cur + min_additional > lc.rhs + 1e-9 || cur + max_additional < lc.rhs - 1e-9 {
+                    if cur + min_additional > lc.rhs + 1e-9 || cur + max_additional < lc.rhs - 1e-9
+                    {
                         return true;
                     }
                 }
@@ -230,7 +234,7 @@ impl<'a, 's> Searcher<'a, 's> {
         if self.prune_subtree(idx) {
             return Ok(());
         }
-        if idx == self.spec.candidate_count() {
+        if idx == self.view.candidate_count() {
             // A leaf is a complete multiplicity assignment.
             if !self.opts.prune
                 || (self.cardinality >= self.bounds.lower
@@ -240,7 +244,7 @@ impl<'a, 's> Searcher<'a, 's> {
             }
             return Ok(());
         }
-        for mult in 0..=self.spec.max_multiplicity {
+        for mult in 0..=self.view.max_multiplicity() {
             self.current[idx] = mult;
             self.cardinality += mult as u64;
             for (c, lc) in self.linear.iter().enumerate() {
@@ -257,18 +261,18 @@ impl<'a, 's> Searcher<'a, 's> {
     }
 }
 
-/// Enumerates packages for a spec.
-pub fn enumerate(spec: &PackageSpec<'_>, opts: EnumerationOptions) -> PbResult<EnumerationOutcome> {
+/// Enumerates packages for a candidate view.
+pub fn enumerate(view: &CandidateView, opts: EnumerationOptions) -> PbResult<EnumerationOutcome> {
     let start = Instant::now();
-    if spec.candidate_count() > 64 && !opts.prune {
+    if view.candidate_count() > 64 && !opts.prune {
         // 2^64 leaves is never going to finish; refuse instead of spinning.
         return Err(PbError::Unsupported(format!(
             "exhaustive enumeration over {} candidates is intractable; use pruning, the solver or local search",
-            spec.candidate_count()
+            view.candidate_count()
         )));
     }
     let prune = opts.prune;
-    let mut searcher = Searcher::new(spec, opts);
+    let mut searcher = Searcher::new(view, opts);
     searcher.sums = vec![0.0; searcher.linear.len()];
     if searcher.bounds.is_empty() {
         // Contradictory cardinality bounds: provably no valid package.
@@ -278,8 +282,12 @@ pub fn enumerate(spec: &PackageSpec<'_>, opts: EnumerationOptions) -> PbResult<E
             nodes: 0,
             feasible_found: 0,
             stats: EvalStats {
-                strategy: if prune { StrategyUsed::PrunedEnumeration } else { StrategyUsed::Exhaustive },
-                candidates: spec.candidate_count(),
+                strategy: if prune {
+                    StrategyUsed::PrunedEnumeration
+                } else {
+                    StrategyUsed::Exhaustive
+                },
+                candidates: view.candidate_count(),
                 nodes: 0,
                 iterations: 0,
                 elapsed: start.elapsed(),
@@ -294,8 +302,12 @@ pub fn enumerate(spec: &PackageSpec<'_>, opts: EnumerationOptions) -> PbResult<E
         nodes: searcher.nodes,
         feasible_found: searcher.feasible,
         stats: EvalStats {
-            strategy: if prune { StrategyUsed::PrunedEnumeration } else { StrategyUsed::Exhaustive },
-            candidates: spec.candidate_count(),
+            strategy: if prune {
+                StrategyUsed::PrunedEnumeration
+            } else {
+                StrategyUsed::Exhaustive
+            },
+            candidates: view.candidate_count(),
             nodes: searcher.nodes,
             iterations: searcher.feasible,
             elapsed: start.elapsed(),
@@ -306,6 +318,7 @@ pub fn enumerate(spec: &PackageSpec<'_>, opts: EnumerationOptions) -> PbResult<E
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::PackageSpec;
     use datagen::{recipes, uniform_table, Seed};
     use lp_solver::SolverConfig;
     use minidb::Table;
@@ -323,13 +336,30 @@ mod tests {
     fn pruned_and_exhaustive_agree_on_the_optimum() {
         let t = uniform_table("t", 14, 5.0, 20.0, Seed(1));
         let spec = spec_for(&t, SMALL_QUERY);
-        let pruned = enumerate(&spec, EnumerationOptions { prune: true, ..Default::default() }).unwrap();
-        let exhaustive = enumerate(&spec, EnumerationOptions { prune: false, ..Default::default() }).unwrap();
+        let pruned = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                prune: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let exhaustive = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                prune: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(pruned.complete && exhaustive.complete);
         match (pruned.packages.first(), exhaustive.packages.first()) {
             (None, None) => {}
             (Some((_, a)), Some((_, b))) => {
-                assert!((a.unwrap() - b.unwrap()).abs() < 1e-9, "pruning changed the optimum");
+                assert!(
+                    (a.unwrap() - b.unwrap()).abs() < 1e-9,
+                    "pruning changed the optimum"
+                );
             }
             other => panic!("pruning changed feasibility: {other:?}"),
         }
@@ -348,8 +378,8 @@ mod tests {
                  SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 1200 AND 2500 \
                  MAXIMIZE SUM(P.protein)";
         let spec = spec_for(&t, q);
-        let enumerated = enumerate(&spec, EnumerationOptions::default()).unwrap();
-        let ilp = crate::ilp::solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let enumerated = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
+        let ilp = crate::ilp::solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         let a = enumerated.packages.first().map(|(_, o)| o.unwrap());
         let b = ilp.packages.first().map(|(_, o)| o.unwrap());
         match (a, b) {
@@ -363,7 +393,14 @@ mod tests {
     fn counts_feasible_packages_without_objective() {
         let t = uniform_table("t", 10, 5.0, 10.0, Seed(3));
         let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2");
-        let out = enumerate(&spec, EnumerationOptions { keep: 100, ..Default::default() }).unwrap();
+        let out = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                keep: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.feasible_found, 45); // C(10,2)
         assert_eq!(out.packages.len(), 45);
         assert!(out.complete);
@@ -374,8 +411,12 @@ mod tests {
         let t = uniform_table("t", 30, 5.0, 10.0, Seed(4));
         let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 5");
         let out = enumerate(
-            &spec,
-            EnumerationOptions { prune: true, max_nodes: 1000, keep: 1 },
+            spec.view(),
+            EnumerationOptions {
+                prune: true,
+                max_nodes: 1000,
+                keep: 1,
+            },
         )
         .unwrap();
         assert!(!out.complete);
@@ -387,7 +428,13 @@ mod tests {
         let t = uniform_table("t", 80, 5.0, 10.0, Seed(5));
         let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2");
         assert!(matches!(
-            enumerate(&spec, EnumerationOptions { prune: false, ..Default::default() }),
+            enumerate(
+                spec.view(),
+                EnumerationOptions {
+                    prune: false,
+                    ..Default::default()
+                }
+            ),
             Err(PbError::Unsupported(_))
         ));
     }
@@ -399,7 +446,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) >= 5 AND COUNT(*) <= 3",
         );
-        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        let out = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
         assert!(out.packages.is_empty());
         assert!(out.complete);
         assert_eq!(out.nodes, 0);
@@ -412,7 +459,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T REPEAT 2 SUCH THAT COUNT(*) = 4 MAXIMIZE SUM(P.v)",
         );
-        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        let out = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
         let (best, _) = out.packages.first().unwrap();
         assert_eq!(best.cardinality(), 4);
         // The optimum should repeat the highest-value tuples.
@@ -428,7 +475,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2 AND AVG(P.w) <= 7 MAXIMIZE SUM(P.v)",
         );
-        let out = enumerate(&spec, EnumerationOptions::default()).unwrap();
+        let out = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
         for (p, _) in &out.packages {
             assert!(spec.is_valid(p).unwrap());
         }

@@ -74,6 +74,8 @@ mod tests {
         assert!(e.to_string().contains("PaQL"));
         let e: PbError = LpError::IterationLimit.into();
         assert!(e.to_string().contains("solver"));
-        assert!(PbError::UnknownRelation("meals".into()).to_string().contains("meals"));
+        assert!(PbError::UnknownRelation("meals".into())
+            .to_string()
+            .contains("meals"));
     }
 }

@@ -230,7 +230,10 @@ mod tests {
         session.lock(keep).unwrap();
         let refined = session.refine(&engine).unwrap();
         assert!(!refined.is_empty());
-        assert!(refined.best().unwrap().multiplicity(keep) > 0, "locked tuple must survive refinement");
+        assert!(
+            refined.best().unwrap().multiplicity(keep) > 0,
+            "locked tuple must survive refinement"
+        );
         assert_eq!(session.rounds(), 2);
     }
 

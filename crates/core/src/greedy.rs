@@ -1,13 +1,14 @@
-//! Greedy construction of starting packages for the local search.
+//! Greedy construction of starting packages for the local search and the
+//! standalone [`crate::solver::GreedySolver`].
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::ilp::linearize_expr;
+use crate::ilp::linearize_objective;
 use crate::package::Package;
 use crate::pruning::derive_bounds;
-use crate::spec::PackageSpec;
+use crate::view::CandidateView;
 
 /// How to pick the tuples of a starting package.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,32 +24,26 @@ pub enum StartHeuristic {
 /// cardinality bound when one is known (the smallest package that could
 /// possibly be feasible), otherwise a small constant.
 pub fn starting_package(
-    spec: &PackageSpec<'_>,
+    view: &CandidateView,
     heuristic: StartHeuristic,
     rng: &mut StdRng,
 ) -> Package {
-    let n = spec.candidate_count();
+    let n = view.candidate_count();
     if n == 0 {
         return Package::new();
     }
-    let bounds = derive_bounds(spec).clamp_to(n as u64 * spec.max_multiplicity as u64);
-    let target = starting_cardinality(spec, bounds.lower, bounds.upper);
+    let bounds = derive_bounds(view).clamp_to(n as u64 * view.max_multiplicity() as u64);
+    let target = starting_cardinality(view, bounds.lower, bounds.upper);
 
     // Order candidates by the chosen heuristic.
     let mut order: Vec<usize> = (0..n).collect();
     match heuristic {
         StartHeuristic::Random => order.shuffle(rng),
         StartHeuristic::Greedy => {
-            let coeffs = spec
-                .objective
-                .as_ref()
-                .and_then(|o| linearize_expr(spec, &o.expr).ok().map(|l| l.coeffs));
+            let coeffs = linearize_objective(view).ok().flatten().map(|l| l.coeffs);
             match coeffs {
                 Some(c) => {
-                    let maximize = matches!(
-                        spec.objective.as_ref().map(|o| o.direction),
-                        Some(paql::ObjectiveDirection::Maximize) | None
-                    );
+                    let maximize = matches!(view.direction(), paql::ObjectiveDirection::Maximize);
                     order.sort_by(|&a, &b| {
                         let x = c[a];
                         let y = c[b];
@@ -66,7 +61,7 @@ pub fn starting_package(
 
     let mut package = Package::new();
     let mut placed = 0u64;
-    'outer: for round in 0..spec.max_multiplicity {
+    'outer: for round in 0..view.max_multiplicity() {
         for &i in &order {
             if placed >= target {
                 break 'outer;
@@ -74,20 +69,20 @@ pub fn starting_package(
             // First pass adds each tuple once; later passes add repetitions
             // (only relevant for REPEAT queries).
             let _ = round;
-            if package.multiplicity(spec.candidates[i]) < spec.max_multiplicity {
-                package.add(spec.candidates[i], 1);
+            if package.multiplicity(view.candidates()[i]) < view.max_multiplicity() {
+                package.add(view.candidates()[i], 1);
                 placed += 1;
             }
         }
-        if spec.max_multiplicity == 1 {
+        if view.max_multiplicity() == 1 {
             break;
         }
     }
     package
 }
 
-fn starting_cardinality(spec: &PackageSpec<'_>, lower: u64, upper: Option<u64>) -> u64 {
-    let capacity = spec.candidate_count() as u64 * spec.max_multiplicity as u64;
+fn starting_cardinality(view: &CandidateView, lower: u64, upper: Option<u64>) -> u64 {
+    let capacity = view.candidate_count() as u64 * view.max_multiplicity() as u64;
     let fallback = 3u64.min(capacity);
     let target = if lower > 0 {
         lower
@@ -102,9 +97,9 @@ fn starting_cardinality(spec: &PackageSpec<'_>, lower: u64, upper: Option<u64>) 
 
 /// Generates a random cardinality inside the pruning bounds, used by restart
 /// rounds so different restarts explore different package sizes.
-pub fn random_cardinality(spec: &PackageSpec<'_>, rng: &mut StdRng) -> u64 {
-    let capacity = (spec.candidate_count() as u64 * spec.max_multiplicity as u64).max(1);
-    let bounds = derive_bounds(spec).clamp_to(capacity);
+pub fn random_cardinality(view: &CandidateView, rng: &mut StdRng) -> u64 {
+    let capacity = (view.candidate_count() as u64 * view.max_multiplicity() as u64).max(1);
+    let bounds = derive_bounds(view).clamp_to(capacity);
     let lo = bounds.lower.max(1).min(capacity);
     let hi = bounds.upper.unwrap_or(lo + 4).clamp(lo, capacity);
     rng.random_range(lo..=hi)
@@ -113,6 +108,7 @@ pub fn random_cardinality(spec: &PackageSpec<'_>, rng: &mut StdRng) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::PackageSpec;
     use datagen::{recipes, Seed};
     use minidb::Table;
     use paql::compile;
@@ -131,20 +127,20 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 3 MAXIMIZE SUM(P.protein)",
         );
         let mut rng = StdRng::seed_from_u64(1);
-        let p = starting_package(&spec, StartHeuristic::Greedy, &mut rng);
+        let p = starting_package(spec.view(), StartHeuristic::Greedy, &mut rng);
         assert_eq!(p.cardinality(), 3);
         // The greedy start should contain the single highest-protein recipe.
-        let schema = t.schema();
         let best = spec
             .candidates
             .iter()
             .max_by(|a, b| {
-                t.value_f64(**a, "protein").unwrap().total_cmp(&t.value_f64(**b, "protein").unwrap())
+                t.value_f64(**a, "protein")
+                    .unwrap()
+                    .total_cmp(&t.value_f64(**b, "protein").unwrap())
             })
             .copied()
             .unwrap();
         assert!(p.multiplicity(best) >= 1, "{}", p.render(&t));
-        let _ = schema;
     }
 
     #[test]
@@ -155,7 +151,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 5 AND SUM(P.calories) <= 4000",
         );
         let mut rng = StdRng::seed_from_u64(7);
-        let p = starting_package(&spec, StartHeuristic::Random, &mut rng);
+        let p = starting_package(spec.view(), StartHeuristic::Random, &mut rng);
         assert_eq!(p.cardinality(), 5);
         assert!(p.max_multiplicity() <= 1);
     }
@@ -168,7 +164,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 3 SUCH THAT COUNT(*) = 5",
         );
         let mut rng = StdRng::seed_from_u64(3);
-        let p = starting_package(&spec, StartHeuristic::Greedy, &mut rng);
+        let p = starting_package(spec.view(), StartHeuristic::Greedy, &mut rng);
         assert_eq!(p.cardinality(), 5);
         assert!(p.max_multiplicity() <= 3);
     }
@@ -181,7 +177,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.calories < 0 SUCH THAT COUNT(*) = 3",
         );
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(starting_package(&spec, StartHeuristic::Greedy, &mut rng).is_empty());
+        assert!(starting_package(spec.view(), StartHeuristic::Greedy, &mut rng).is_empty());
     }
 
     #[test]
@@ -193,7 +189,7 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
-            let c = random_cardinality(&spec, &mut rng);
+            let c = random_cardinality(spec.view(), &mut rng);
             assert!((2..=6).contains(&c), "cardinality {c} out of bounds");
         }
     }

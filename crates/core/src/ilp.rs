@@ -6,6 +6,11 @@
 //! candidate tuple; linear global constraints (COUNT/SUM, optionally
 //! filtered) become linear rows, and the objective becomes the LP objective.
 //!
+//! Since the columnar refactor the translation is a projection of the
+//! [`CandidateView`]: a COUNT/SUM term's coefficient column *is* its linear
+//! row, so linearization never touches the base table or evaluates an
+//! expression per tuple — it combines precomputed columns.
+//!
 //! Not every PaQL query is linearizable: AVG/MIN/MAX aggregates, `<>`
 //! comparisons, and non-conjunctive formulas (OR/NOT) have no direct linear
 //! form — exactly the "solver limitations" the paper discusses in Section 5.
@@ -14,19 +19,18 @@
 use std::time::Instant;
 
 use lp_solver::{ConstraintOp, Problem, Sense, SolverConfig, Status, VarId, VarType};
-use minidb::eval::{eval, eval_predicate};
-use paql::{AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula, ObjectiveDirection};
+use paql::{AggFunc, CmpOp, ObjectiveDirection};
 
 use crate::error::PbError;
 use crate::package::Package;
 use crate::result::{EvalStats, StrategyUsed};
-use crate::spec::PackageSpec;
+use crate::view::{CandidateView, CompiledConstraint, CompiledExpr, CompiledFormula};
 use crate::PbResult;
 
 /// A linear function of the candidate multiplicities: `Σ coeffs[i]·x_i + constant`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinearAgg {
-    /// Coefficient per candidate (indexed like `spec.candidates`).
+    /// Coefficient per candidate (indexed like the view's candidates).
     pub coeffs: Vec<f64>,
     /// Constant offset.
     pub constant: f64,
@@ -34,7 +38,10 @@ pub struct LinearAgg {
 
 impl LinearAgg {
     fn constant(n: usize, value: f64) -> Self {
-        LinearAgg { coeffs: vec![0.0; n], constant: value }
+        LinearAgg {
+            coeffs: vec![0.0; n],
+            constant: value,
+        }
     }
 
     fn combine(mut self, other: &LinearAgg, scale: f64) -> Self {
@@ -87,47 +94,41 @@ impl std::fmt::Display for NonLinearReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NonLinearReason::NotConjunctive => write!(f, "the SUCH THAT formula contains OR/NOT"),
-            NonLinearReason::NonLinearAggregate(a) => write!(f, "aggregate {a} is not linear in tuple multiplicities"),
+            NonLinearReason::NonLinearAggregate(a) => {
+                write!(f, "aggregate {a} is not linear in tuple multiplicities")
+            }
             NonLinearReason::NotEqualComparison => write!(f, "'<>' comparisons are not linear"),
-            NonLinearReason::NonLinearArithmetic => write!(f, "aggregates are multiplied or divided together"),
+            NonLinearReason::NonLinearArithmetic => {
+                write!(f, "aggregates are multiplied or divided together")
+            }
         }
     }
 }
 
-/// Linearizes a global expression into coefficients over the candidates.
-pub fn linearize_expr(spec: &PackageSpec<'_>, expr: &GlobalExpr) -> Result<LinearAgg, NonLinearReason> {
-    let n = spec.candidate_count();
+/// Linearizes a compiled global expression into coefficients over the
+/// candidates. COUNT/SUM terms contribute their precomputed coefficient
+/// columns verbatim; AVG/MIN/MAX terms are the non-linear obstacle.
+pub fn linearize_expr(
+    view: &CandidateView,
+    expr: &CompiledExpr,
+) -> Result<LinearAgg, NonLinearReason> {
+    let n = view.candidate_count();
     match expr {
-        GlobalExpr::Literal(x) => Ok(LinearAgg::constant(n, *x)),
-        GlobalExpr::Agg(call) => {
-            let func = call.func;
-            if !func.is_linear() {
-                return Err(NonLinearReason::NonLinearAggregate(func.name()));
+        CompiledExpr::Literal(x) => Ok(LinearAgg::constant(n, *x)),
+        CompiledExpr::Term(id) => {
+            let term = &view.terms()[*id];
+            if !term.func.is_linear() {
+                return Err(NonLinearReason::NonLinearAggregate(term.func.name()));
             }
-            let schema = spec.table.schema();
-            let mut coeffs = vec![0.0; n];
-            for (i, &tid) in spec.candidates.iter().enumerate() {
-                let tuple = spec.table.get(tid).expect("candidate ids come from the table");
-                if let Some(filter) = &call.filter {
-                    match eval_predicate(filter, schema, tuple) {
-                        Ok(true) => {}
-                        _ => continue,
-                    }
-                }
-                coeffs[i] = match (func, &call.arg) {
-                    (AggFunc::Count, _) => 1.0,
-                    (AggFunc::Sum, Some(arg)) => match eval(arg, schema, tuple) {
-                        Ok(v) => v.as_f64().unwrap_or(0.0),
-                        Err(_) => 0.0,
-                    },
-                    _ => 0.0,
-                };
-            }
-            Ok(LinearAgg { coeffs, constant: 0.0 })
+            debug_assert!(matches!(term.func, AggFunc::Count | AggFunc::Sum));
+            Ok(LinearAgg {
+                coeffs: term.coeffs.clone(),
+                constant: 0.0,
+            })
         }
-        GlobalExpr::Binary { op, lhs, rhs } => {
-            let l = linearize_expr(spec, lhs)?;
-            let r = linearize_expr(spec, rhs)?;
+        CompiledExpr::Binary { op, lhs, rhs } => {
+            let l = linearize_expr(view, lhs)?;
+            let r = linearize_expr(view, rhs)?;
             use paql::ast::GlobalArithOp::*;
             match op {
                 Add => Ok(l.combine(&r, 1.0)),
@@ -153,13 +154,13 @@ pub fn linearize_expr(spec: &PackageSpec<'_>, expr: &GlobalExpr) -> Result<Linea
     }
 }
 
-/// Linearizes one constraint into `Σ c_i x_i op rhs` form.
+/// Linearizes one compiled constraint into `Σ c_i x_i op rhs` form.
 pub fn linearize_constraint(
-    spec: &PackageSpec<'_>,
-    c: &GlobalConstraint,
+    view: &CandidateView,
+    c: &CompiledConstraint,
 ) -> Result<LinearConstraint, NonLinearReason> {
-    let lhs = linearize_expr(spec, &c.lhs)?;
-    let rhs = linearize_expr(spec, &c.rhs)?;
+    let lhs = linearize_expr(view, &c.lhs)?;
+    let rhs = linearize_expr(view, &c.rhs)?;
     // Move everything to the left: (lhs - rhs) op 0.
     let diff = lhs.combine(&rhs, -1.0);
     let bound = -diff.constant;
@@ -174,36 +175,59 @@ pub fn linearize_constraint(
         CmpOp::Eq => (ConstraintOp::Eq, bound),
         CmpOp::NotEq => return Err(NonLinearReason::NotEqualComparison),
     };
-    Ok(LinearConstraint { coeffs: diff.coeffs, op, rhs })
+    Ok(LinearConstraint {
+        coeffs: diff.coeffs,
+        op,
+        rhs,
+    })
 }
 
-/// Linearizes the whole `SUCH THAT` formula (must be conjunctive).
-pub fn linearize_formula(
-    spec: &PackageSpec<'_>,
-    formula: &GlobalFormula,
-) -> Result<Vec<LinearConstraint>, NonLinearReason> {
-    if !formula.is_conjunctive() {
-        return Err(NonLinearReason::NotConjunctive);
+/// Collects the atoms of a compiled formula when it is purely conjunctive.
+fn conjunctive_atoms(f: &CompiledFormula) -> Option<Vec<&CompiledConstraint>> {
+    fn walk<'a>(f: &'a CompiledFormula, out: &mut Vec<&'a CompiledConstraint>) -> bool {
+        match f {
+            CompiledFormula::Atom(c) => {
+                out.push(c);
+                true
+            }
+            CompiledFormula::And(a, b) => walk(a, out) && walk(b, out),
+            CompiledFormula::Or(..) | CompiledFormula::Not(_) => false,
+        }
     }
-    formula
-        .atoms()
+    let mut out = Vec::new();
+    walk(f, &mut out).then_some(out)
+}
+
+/// Linearizes the view's `SUCH THAT` formula (must be conjunctive). Views
+/// without a formula linearize to no constraints.
+pub fn linearize_formula(view: &CandidateView) -> Result<Vec<LinearConstraint>, NonLinearReason> {
+    let formula = match view.compiled_formula() {
+        None => return Ok(Vec::new()),
+        Some(f) => f,
+    };
+    let atoms = conjunctive_atoms(formula).ok_or(NonLinearReason::NotConjunctive)?;
+    atoms
         .into_iter()
-        .map(|c| linearize_constraint(spec, c))
+        .map(|c| linearize_constraint(view, c))
         .collect()
+}
+
+/// Linearizes the view's objective, when it has one.
+pub fn linearize_objective(view: &CandidateView) -> Result<Option<LinearAgg>, NonLinearReason> {
+    match view.compiled_objective() {
+        None => Ok(None),
+        Some(expr) => linearize_expr(view, expr).map(Some),
+    }
 }
 
 /// Checks whether the whole query (formula + objective) is linearizable,
 /// returning the first obstacle found.
-pub fn linearization_obstacle(spec: &PackageSpec<'_>) -> Option<NonLinearReason> {
-    if let Some(formula) = &spec.formula {
-        if let Err(r) = linearize_formula(spec, formula) {
-            return Some(r);
-        }
+pub fn linearization_obstacle(view: &CandidateView) -> Option<NonLinearReason> {
+    if let Err(r) = linearize_formula(view) {
+        return Some(r);
     }
-    if let Some(obj) = &spec.objective {
-        if let Err(r) = linearize_expr(spec, &obj.expr) {
-            return Some(r);
-        }
+    if let Err(r) = linearize_objective(view) {
+        return Some(r);
     }
     None
 }
@@ -212,53 +236,46 @@ pub fn linearization_obstacle(spec: &PackageSpec<'_>) -> Option<NonLinearReason>
 pub struct IlpTranslation {
     /// The MILP problem (one integer variable per candidate).
     pub problem: Problem,
-    /// Variable ids, indexed like `spec.candidates`.
+    /// Variable ids, indexed like the view's candidates.
     pub vars: Vec<VarId>,
 }
 
-/// Translates a spec into an ILP.
-pub fn translate(spec: &PackageSpec<'_>) -> PbResult<IlpTranslation> {
-    let direction = spec
-        .objective
-        .as_ref()
-        .map(|o| o.direction)
-        .unwrap_or(ObjectiveDirection::Maximize);
-    let sense = match direction {
+/// Translates a view into an ILP.
+pub fn translate(view: &CandidateView) -> PbResult<IlpTranslation> {
+    let sense = match view.direction() {
         ObjectiveDirection::Maximize => Sense::Maximize,
         ObjectiveDirection::Minimize => Sense::Minimize,
     };
     let mut problem = Problem::new(sense);
-    let vars: Vec<VarId> = spec
-        .candidates
+    let vars: Vec<VarId> = view
+        .candidates()
         .iter()
         .map(|tid| {
             problem.add_var(
                 format!("x_{tid}"),
                 VarType::Integer,
                 0.0,
-                spec.max_multiplicity as f64,
+                view.max_multiplicity() as f64,
             )
         })
         .collect();
 
-    if let Some(formula) = &spec.formula {
-        let constraints = linearize_formula(spec, formula)
-            .map_err(|r| PbError::Unsupported(format!("cannot translate to ILP: {r}")))?;
-        for (idx, lc) in constraints.into_iter().enumerate() {
-            let terms: Vec<(VarId, f64)> = lc
-                .coeffs
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| c != 0.0)
-                .map(|(i, &c)| (vars[i], c))
-                .collect();
-            problem.add_constraint_terms(format!("g{idx}"), &terms, lc.op, lc.rhs);
-        }
+    let constraints = linearize_formula(view)
+        .map_err(|r| PbError::Unsupported(format!("cannot translate to ILP: {r}")))?;
+    for (idx, lc) in constraints.into_iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = lc
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, &c)| (vars[i], c))
+            .collect();
+        problem.add_constraint_terms(format!("g{idx}"), &terms, lc.op, lc.rhs);
     }
 
-    if let Some(obj) = &spec.objective {
-        let lin = linearize_expr(spec, &obj.expr)
-            .map_err(|r| PbError::Unsupported(format!("cannot translate objective to ILP: {r}")))?;
+    let objective = linearize_objective(view)
+        .map_err(|r| PbError::Unsupported(format!("cannot translate objective to ILP: {r}")))?;
+    if let Some(lin) = objective {
         for (i, c) in lin.coeffs.iter().enumerate() {
             if *c != 0.0 {
                 problem.set_objective_coeff(vars[i], *c);
@@ -276,12 +293,16 @@ pub struct IlpOutcome {
     pub stats: EvalStats,
 }
 
-/// Solves a spec with the ILP strategy, returning up to `num_packages`
+/// Solves a view with the ILP strategy, returning up to `num_packages`
 /// packages (additional packages require binary multiplicities and use
 /// no-good cuts, per the paper's Section 5 discussion).
-pub fn solve_ilp(spec: &PackageSpec<'_>, solver: &SolverConfig, num_packages: usize) -> PbResult<IlpOutcome> {
+pub fn solve_ilp(
+    view: &CandidateView,
+    solver: &SolverConfig,
+    num_packages: usize,
+) -> PbResult<IlpOutcome> {
     let start = Instant::now();
-    let IlpTranslation { mut problem, vars } = translate(spec)?;
+    let IlpTranslation { mut problem, vars } = translate(view)?;
 
     let mut packages = Vec::new();
     let mut total_iterations = 0usize;
@@ -304,26 +325,31 @@ pub fn solve_ilp(spec: &PackageSpec<'_>, solver: &SolverConfig, num_packages: us
         for (i, &var) in vars.iter().enumerate() {
             let mult = solution.value_rounded(var);
             if mult > 0 {
-                package.add(spec.candidates[i], mult as u32);
+                package.add(view.candidates()[i], mult as u32);
             }
         }
         // The solver result should always be valid; re-check defensively so a
         // numerical artefact can never surface as a wrong answer.
-        if !spec.is_valid(&package)? {
+        if !view.is_valid(&package) {
             return Err(PbError::Internal(
                 "solver returned a package that fails validation".into(),
             ));
         }
-        let objective = spec.objective_value(&package)?;
+        let objective = view.objective_value(&package);
         packages.push((package, objective));
 
         if round + 1 < want {
-            if spec.max_multiplicity > 1 {
+            if view.max_multiplicity() > 1 {
                 // No-good cuts need binary variables; stop after the first
                 // package for REPEAT queries (documented limitation).
                 break;
             }
-            lp_solver::cuts::add_no_good_cut(&mut problem, &solution, &vars, format!("cut{round}"))?;
+            lp_solver::cuts::add_no_good_cut(
+                &mut problem,
+                &solution,
+                &vars,
+                format!("cut{round}"),
+            )?;
         }
     }
 
@@ -331,7 +357,7 @@ pub fn solve_ilp(spec: &PackageSpec<'_>, solver: &SolverConfig, num_packages: us
         packages,
         stats: EvalStats {
             strategy: StrategyUsed::Ilp,
-            candidates: spec.candidate_count(),
+            candidates: view.candidate_count(),
             nodes: total_nodes as u64,
             iterations: total_iterations as u64,
             elapsed: start.elapsed(),
@@ -342,6 +368,7 @@ pub fn solve_ilp(spec: &PackageSpec<'_>, solver: &SolverConfig, num_packages: us
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::PackageSpec;
     use datagen::{recipes, stocks, Seed};
     use minidb::Table;
     use paql::compile;
@@ -360,7 +387,7 @@ mod tests {
              SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
              MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         assert_eq!(out.packages.len(), 1);
         let (pkg, obj) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 3);
@@ -376,7 +403,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.calories) <= 600 AND COUNT(*) = 3",
         );
         assert!(matches!(
-            linearization_obstacle(&spec),
+            linearization_obstacle(spec.view()),
             Some(NonLinearReason::NonLinearAggregate("AVG"))
         ));
 
@@ -384,19 +411,28 @@ mod tests {
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 3 OR COUNT(*) = 4",
         );
-        assert!(matches!(linearization_obstacle(&spec), Some(NonLinearReason::NotConjunctive)));
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::NotConjunctive)
+        ));
 
         let spec = spec_for(
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) <> 3",
         );
-        assert!(matches!(linearization_obstacle(&spec), Some(NonLinearReason::NotEqualComparison)));
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::NotEqualComparison)
+        ));
 
         let spec = spec_for(
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT SUM(P.calories) * SUM(P.protein) <= 100",
         );
-        assert!(matches!(linearization_obstacle(&spec), Some(NonLinearReason::NonLinearArithmetic)));
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::NonLinearArithmetic)
+        ));
     }
 
     #[test]
@@ -410,8 +446,8 @@ mod tests {
                        COUNT(*) >= 5 \
              MAXIMIZE SUM(P.expected_return)",
         );
-        assert!(linearization_obstacle(&spec).is_none());
-        let out = solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        assert!(linearization_obstacle(spec.view()).is_none());
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         let (pkg, _) = &out.packages[0];
         assert!(spec.is_valid(pkg).unwrap());
         // Verify the 30% constraint numerically.
@@ -423,7 +459,12 @@ mod tests {
         let tech: f64 = pkg
             .members()
             .filter(|(tid, _)| {
-                t.require(*tid).unwrap().get_named(schema, "sector").unwrap().to_string() == "technology"
+                t.require(*tid)
+                    .unwrap()
+                    .get_named(schema, "sector")
+                    .unwrap()
+                    .to_string()
+                    == "technology"
             })
             .map(|(tid, m)| t.require(tid).unwrap().get_f64(schema, "price").unwrap() * m as f64)
             .sum();
@@ -438,7 +479,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) >= 100000",
         );
-        let out = solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         assert!(out.packages.is_empty());
     }
 
@@ -450,7 +491,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1500 \
              MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(&spec, &SolverConfig::default(), 4).unwrap();
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 4).unwrap();
         assert_eq!(out.packages.len(), 4);
         for (p, _) in &out.packages {
             assert!(spec.is_valid(p).unwrap());
@@ -475,7 +516,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 3 \
              SUCH THAT COUNT(*) = 3 AND SUM(P.calories) <= 4200 MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         let (pkg, _) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 3);
         assert!(pkg.max_multiplicity() <= 3);
@@ -491,10 +532,30 @@ mod tests {
         // a spec with no constraints at all but minimize: minimizing protein
         // yields the empty package (objective NULL→None) — check that the ILP
         // path handles the no-constraint case gracefully instead.
-        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R MAXIMIZE SUM(P.protein)");
-        let out = solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R MAXIMIZE SUM(P.protein)",
+        );
+        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
         // Every recipe has positive protein → optimum takes all of them.
         let (pkg, _) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 30);
+    }
+
+    #[test]
+    fn linear_rows_equal_the_view_columns() {
+        let t = recipes(25, Seed(8));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT SUM(P.calories) <= 2000 MAXIMIZE SUM(P.protein)",
+        );
+        let rows = linearize_formula(spec.view()).unwrap();
+        assert_eq!(rows.len(), 1);
+        // The SUM(calories) row is the calories column verbatim.
+        for (i, &tid) in spec.candidates.iter().enumerate() {
+            let cal = t.value_f64(tid, "calories").unwrap();
+            assert!((rows[0].coeffs[i] - cal).abs() < 1e-12);
+        }
     }
 }

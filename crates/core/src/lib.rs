@@ -6,20 +6,32 @@
 //! constraints* and collectively satisfy *global constraints*, optionally
 //! optimizing a per-package objective (paper Sections 1–2).
 //!
-//! The engine evaluates [`paql`] queries over [`minidb`] relations using the
-//! strategies described in Section 4:
+//! # Architecture: planner → solver → view
 //!
-//! * **ILP translation** ([`ilp`]): the query is translated into an integer
-//!   linear program (one integer variable per candidate tuple, bounded by the
-//!   `REPEAT` multiplicity) and solved with the [`lp_solver`] substrate.
-//! * **Cardinality-based pruning** ([`pruning`]): global constraints imply
-//!   lower/upper bounds on the package cardinality, shrinking the candidate
-//!   space from `2^n` to `Σ_k C(n,k)` without losing solutions (Section 4.1).
-//! * **Pruned enumeration** ([`enumerate`]): the "generate and validate with
-//!   SQL" strategy, made practical by the cardinality and partial-sum bounds.
-//! * **Heuristic local search** ([`local_search`]): greedy construction plus
-//!   k-tuple replacements found through a selection over a Cartesian product,
-//!   exactly the single-SQL-query neighbourhood of Section 4.2.
+//! Evaluation is layered so every strategy shares one columnar core and one
+//! dispatch seam:
+//!
+//! * **[`view`] — the columnar evaluation core.** [`spec::PackageSpec::build`]
+//!   lowers a query onto a [`view::CandidateView`]: for every aggregate term
+//!   in the `SUCH THAT` formula or objective, a dense `f64` coefficient
+//!   column over the candidate set (with `FILTER` predicates and NULLs folded
+//!   into an inclusion mask), plus the formula/objective recompiled against
+//!   term indices. Objective values, constraint slack and violations become
+//!   dot products; [`view::ViewState`] scores swap/add/drop moves by delta
+//!   (`O(#terms)` per move) instead of re-aggregating packages.
+//! * **[`solver`] — the unified strategy interface.** `Solver::solve(&view,
+//!   &opts)` is implemented by [`solver::IlpSolver`] (Section 7 translation,
+//!   [`ilp`]), [`solver::EnumerationSolver`] (Section 4 generate-and-validate
+//!   with the Section 4.1 pruning rules, [`enumerate`]),
+//!   [`solver::LocalSearchSolver`] (Section 4.2 k-replacement search,
+//!   [`local_search`]) and [`solver::GreedySolver`] ([`greedy`] construction
+//!   with feasibility repair). Solvers only see the view — never the base
+//!   table — which is what makes parallel, sharded or cached solving a
+//!   drop-in extension.
+//! * **[`engine`] — the planner.** [`engine::PackageEngine`] resolves the
+//!   `Auto` policy, derives cardinality bounds ([`pruning`], short-circuiting
+//!   provably-infeasible queries), runs the chosen solver through the trait,
+//!   and validates every returned package before it leaves the engine.
 //!
 //! On top of query evaluation, the crate implements the interface backends of
 //! Section 3: constraint suggestion ([`suggest`]), the 2-D package-space
@@ -59,16 +71,20 @@ pub mod local_search;
 pub mod package;
 pub mod pruning;
 pub mod result;
+pub mod solver;
 pub mod spec;
 pub mod suggest;
 pub mod summary;
+pub mod view;
 
 pub use config::{EngineConfig, Strategy};
-pub use engine::PackageEngine;
+pub use engine::{PackageEngine, QueryPlan};
 pub use error::PbError;
 pub use package::Package;
 pub use result::{EvalStats, PackageResult, StrategyUsed};
+pub use solver::{SolveOptions, SolveOutcome, Solver};
 pub use spec::PackageSpec;
+pub use view::{CandidateView, ViewState};
 
 /// Result alias for engine operations.
 pub type PbResult<T> = std::result::Result<T, PbError>;

@@ -14,6 +14,13 @@
 //! feasibility and then climbs the objective. As the paper notes, the method
 //! is a heuristic: "there is no guarantee that all valid solutions will be
 //! found".
+//!
+//! Since the columnar refactor the search walks a [`ViewState`]: each
+//! candidate move is scored through [`ViewState::score_with`], a delta
+//! evaluation over the view's precomputed term columns (`O(#terms)` per
+//! neighbour), instead of cloning the package and re-aggregating every
+//! member — the exact change that makes the neighbourhood scan cheap enough
+//! to matter at scale.
 
 use std::time::Instant;
 
@@ -26,7 +33,7 @@ use rand::SeedableRng;
 use crate::greedy::{random_cardinality, starting_package, StartHeuristic};
 use crate::package::Package;
 use crate::result::{EvalStats, StrategyUsed};
-use crate::spec::PackageSpec;
+use crate::view::{CandidateView, ViewState};
 use crate::PbResult;
 
 /// Options for the local-search strategy.
@@ -47,7 +54,13 @@ pub struct LocalSearchOptions {
 
 impl Default for LocalSearchOptions {
     fn default() -> Self {
-        LocalSearchOptions { k: 1, max_moves: 10_000, restarts: 8, seed: 42, keep: 1 }
+        LocalSearchOptions {
+            k: 1,
+            max_moves: 10_000,
+            restarts: 8,
+            seed: 42,
+            keep: 1,
+        }
     }
 }
 
@@ -63,46 +76,50 @@ pub struct LocalSearchOutcome {
     pub stats: EvalStats,
 }
 
-/// Runs the local search for a spec.
-pub fn local_search(spec: &PackageSpec<'_>, opts: &LocalSearchOptions) -> PbResult<LocalSearchOutcome> {
+/// Runs the local search over a candidate view.
+pub fn local_search(
+    view: &CandidateView,
+    opts: &LocalSearchOptions,
+) -> PbResult<LocalSearchOutcome> {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut best: Vec<(Package, Option<f64>)> = Vec::new();
     let mut moves = 0u64;
     let mut evaluations = 0u64;
 
-    let direction = spec
-        .objective
-        .as_ref()
-        .map(|o| o.direction)
-        .unwrap_or(ObjectiveDirection::Maximize);
+    let direction = view.direction();
 
     for restart in 0..opts.restarts.max(1) {
-        if spec.candidate_count() == 0 {
+        if view.candidate_count() == 0 {
             break;
         }
-        let mut current = if restart == 0 {
-            starting_package(spec, StartHeuristic::Greedy, &mut rng)
+        let start_package = if restart == 0 {
+            starting_package(view, StartHeuristic::Greedy, &mut rng)
         } else {
-            let target = random_cardinality(spec, &mut rng);
-            let mut p = starting_package(spec, StartHeuristic::Random, &mut rng);
+            let target = random_cardinality(view, &mut rng);
+            let mut p = starting_package(view, StartHeuristic::Random, &mut rng);
             // Resize the random start towards the sampled cardinality.
-            resize_to(spec, &mut p, target, &mut rng);
+            resize_to(view, &mut p, target, &mut rng);
             p
         };
-        let mut current_score = score(spec, &current)?;
-        record(spec, &current, current_score, &mut best, direction, opts.keep)?;
+        let mut state = view
+            .project(&start_package)
+            .expect("starting packages draw from the candidate set");
+        let mut current_score = state.score();
+        record(&state, current_score, &mut best, direction, opts.keep);
 
         for _ in 0..opts.max_moves {
             let (neighbour, neighbour_score, evals) =
-                best_neighbour(spec, &current, current_score, opts.k, direction)?;
+                best_neighbour(&state, current_score, opts.k, direction);
             evaluations += evals;
             match neighbour {
-                Some(p) if lex_better(neighbour_score, current_score, direction) => {
-                    current = p;
-                    current_score = neighbour_score;
+                Some(changes) if lex_better(neighbour_score, current_score, direction) => {
+                    for &(idx, delta) in &changes {
+                        state.apply(idx, delta);
+                    }
+                    current_score = state.score();
                     moves += 1;
-                    record(spec, &current, current_score, &mut best, direction, opts.keep)?;
+                    record(&state, current_score, &mut best, direction, opts.keep);
                 }
                 _ => break, // local optimum
             }
@@ -115,17 +132,12 @@ pub fn local_search(spec: &PackageSpec<'_>, opts: &LocalSearchOptions) -> PbResu
         evaluations,
         stats: EvalStats {
             strategy: StrategyUsed::LocalSearch,
-            candidates: spec.candidate_count(),
+            candidates: view.candidate_count(),
             nodes: moves,
             iterations: evaluations,
             elapsed: start.elapsed(),
         },
     })
-}
-
-/// `(violation, objective)` score of a package.
-fn score(spec: &PackageSpec<'_>, p: &Package) -> PbResult<(f64, Option<f64>)> {
-    Ok((spec.violation(p)?, spec.objective_value(p)?))
 }
 
 fn lex_better(a: (f64, Option<f64>), b: (f64, Option<f64>), direction: ObjectiveDirection) -> bool {
@@ -139,20 +151,20 @@ fn lex_better(a: (f64, Option<f64>), b: (f64, Option<f64>), direction: Objective
 }
 
 fn record(
-    spec: &PackageSpec<'_>,
-    p: &Package,
+    state: &ViewState<'_>,
     s: (f64, Option<f64>),
     best: &mut Vec<(Package, Option<f64>)>,
     direction: ObjectiveDirection,
     keep: usize,
-) -> PbResult<()> {
-    if s.0 > 0.0 || !spec.is_valid(p)? {
-        return Ok(());
+) {
+    if s.0 > 0.0 || !state.is_feasible() {
+        return;
     }
-    if best.iter().any(|(q, _)| q == p) {
-        return Ok(());
+    let p = state.to_package();
+    if best.iter().any(|(q, _)| q == &p) {
+        return;
     }
-    best.push((p.clone(), s.1));
+    best.push((p, s.1));
     best.sort_by(|a, b| {
         let ord = match (a.1, b.1) {
             (Some(x), Some(y)) => x.total_cmp(&y),
@@ -166,43 +178,75 @@ fn record(
         }
     });
     best.truncate(keep.max(1));
-    Ok(())
+}
+
+/// A candidate move: multiplicity deltas over candidate indices.
+type Move = Vec<(usize, i64)>;
+
+/// True when applying `changes` keeps every touched multiplicity within
+/// `[0, max_multiplicity]`.
+fn move_is_legal(state: &ViewState<'_>, changes: &[(usize, i64)]) -> bool {
+    let max = state.view().max_multiplicity() as i64;
+    // Small move vectors: net effect per index computed by scanning.
+    for (pos, &(idx, _)) in changes.iter().enumerate() {
+        if changes[..pos].iter().any(|&(i, _)| i == idx) {
+            continue; // already accounted below
+        }
+        let net: i64 = changes
+            .iter()
+            .filter(|&&(i, _)| i == idx)
+            .map(|&(_, d)| d)
+            .sum();
+        let new = state.multiplicity(idx) as i64 + net;
+        if new < 0 || new > max {
+            return false;
+        }
+    }
+    true
 }
 
 /// Finds the best move in the k-replacement neighbourhood (plus add/remove
-/// moves when the cardinality is allowed to change). Returns the best
-/// neighbour, its score and how many neighbours were evaluated.
+/// moves when the cardinality is allowed to change). Every neighbour is
+/// scored through the view's delta evaluation — no package clones, no
+/// re-aggregation. Returns the best move, its score and how many neighbours
+/// were evaluated.
 fn best_neighbour(
-    spec: &PackageSpec<'_>,
-    current: &Package,
+    state: &ViewState<'_>,
     current_score: (f64, Option<f64>),
     k: usize,
     direction: ObjectiveDirection,
-) -> PbResult<(Option<Package>, (f64, Option<f64>), u64)> {
-    let mut best: Option<Package> = None;
+) -> (Option<Move>, (f64, Option<f64>), u64) {
+    let view = state.view();
+    let n = view.candidate_count();
+    let mut best: Option<Move> = None;
     let mut best_score = current_score;
     let mut evaluations = 0u64;
 
-    let members: Vec<TupleId> = current.tuple_ids();
+    let members: Vec<usize> = state.member_indices().collect();
+
+    let consider = |changes: &[(usize, i64)],
+                    best: &mut Option<Move>,
+                    best_score: &mut (f64, Option<f64>),
+                    evaluations: &mut u64| {
+        *evaluations += 1;
+        let s = state.score_with(changes);
+        if lex_better(s, *best_score, direction) {
+            *best_score = s;
+            *best = Some(changes.to_vec());
+        }
+    };
 
     // Single-tuple replacements (k = 1), always explored.
     for &out in &members {
-        for &inn in &spec.candidates {
+        for inn in 0..n {
             if inn == out {
                 continue;
             }
-            if current.multiplicity(inn) >= spec.max_multiplicity {
+            let changes = [(out, -1), (inn, 1)];
+            if !move_is_legal(state, &changes) {
                 continue;
             }
-            let mut p = current.clone();
-            p.remove(out, 1);
-            p.add(inn, 1);
-            evaluations += 1;
-            let s = score(spec, &p)?;
-            if lex_better(s, best_score, direction) {
-                best_score = s;
-                best = Some(p);
-            }
+            consider(&changes, &mut best, &mut best_score, &mut evaluations);
         }
     }
 
@@ -212,29 +256,13 @@ fn best_neighbour(
     if k >= 2 && best.is_none() && members.len() >= 2 {
         for (ai, &out_a) in members.iter().enumerate() {
             for &out_b in members.iter().skip(ai + 1) {
-                for (ci, &in_a) in spec.candidates.iter().enumerate() {
-                    if current.multiplicity(in_a) >= spec.max_multiplicity && in_a != out_a && in_a != out_b {
-                        continue;
-                    }
-                    for &in_b in spec.candidates.iter().skip(ci) {
-                        let mut p = current.clone();
-                        p.remove(out_a, 1);
-                        p.remove(out_b, 1);
-                        p.add(in_a, 1);
-                        if p.multiplicity(in_b) < spec.max_multiplicity {
-                            p.add(in_b, 1);
-                        } else {
+                for in_a in 0..n {
+                    for in_b in in_a..n {
+                        let changes = [(out_a, -1), (out_b, -1), (in_a, 1), (in_b, 1)];
+                        if !move_is_legal(state, &changes) {
                             continue;
                         }
-                        if p.max_multiplicity() > spec.max_multiplicity {
-                            continue;
-                        }
-                        evaluations += 1;
-                        let s = score(spec, &p)?;
-                        if lex_better(s, best_score, direction) {
-                            best_score = s;
-                            best = Some(p);
-                        }
+                        consider(&changes, &mut best, &mut best_score, &mut evaluations);
                     }
                 }
             }
@@ -243,34 +271,22 @@ fn best_neighbour(
 
     // Cardinality-changing moves: add one candidate / drop one member. These
     // help when the starting cardinality guess was off.
-    for &inn in &spec.candidates {
-        if current.multiplicity(inn) >= spec.max_multiplicity {
+    for inn in 0..n {
+        let changes = [(inn, 1)];
+        if !move_is_legal(state, &changes) {
             continue;
         }
-        let mut p = current.clone();
-        p.add(inn, 1);
-        evaluations += 1;
-        let s = score(spec, &p)?;
-        if lex_better(s, best_score, direction) {
-            best_score = s;
-            best = Some(p);
-        }
+        consider(&changes, &mut best, &mut best_score, &mut evaluations);
     }
     for &out in &members {
-        let mut p = current.clone();
-        p.remove(out, 1);
-        evaluations += 1;
-        let s = score(spec, &p)?;
-        if lex_better(s, best_score, direction) {
-            best_score = s;
-            best = Some(p);
-        }
+        let changes = [(out, -1)];
+        consider(&changes, &mut best, &mut best_score, &mut evaluations);
     }
 
-    Ok((best, best_score, evaluations))
+    (best, best_score, evaluations)
 }
 
-fn resize_to(spec: &PackageSpec<'_>, p: &mut Package, target: u64, rng: &mut StdRng) {
+fn resize_to(view: &CandidateView, p: &mut Package, target: u64, rng: &mut StdRng) {
     use rand::seq::IndexedRandom;
     while p.cardinality() > target {
         let ids = p.tuple_ids();
@@ -281,10 +297,14 @@ fn resize_to(spec: &PackageSpec<'_>, p: &mut Package, target: u64, rng: &mut Std
         }
     }
     while p.cardinality() < target {
-        if let Some(&extra) = spec.candidates.choose(rng) {
-            if p.multiplicity(extra) < spec.max_multiplicity {
+        if let Some(&extra) = view.candidates().choose(rng) {
+            if p.multiplicity(extra) < view.max_multiplicity() {
                 p.add(extra, 1);
-            } else if spec.candidates.iter().all(|&c| p.multiplicity(c) >= spec.max_multiplicity) {
+            } else if view
+                .candidates()
+                .iter()
+                .all(|&c| p.multiplicity(c) >= view.max_multiplicity())
+            {
                 break;
             }
         } else {
@@ -343,6 +363,7 @@ pub fn single_replacement_query(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::PackageSpec;
     use datagen::{recipes, Seed};
     use lp_solver::SolverConfig;
     use paql::compile;
@@ -359,8 +380,11 @@ mod tests {
     fn finds_a_feasible_meal_plan() {
         let t = recipes(300, Seed(1));
         let spec = spec_for(&t, MEAL_QUERY);
-        let out = local_search(&spec, &LocalSearchOptions::default()).unwrap();
-        assert!(!out.packages.is_empty(), "local search found no feasible package");
+        let out = local_search(spec.view(), &LocalSearchOptions::default()).unwrap();
+        assert!(
+            !out.packages.is_empty(),
+            "local search found no feasible package"
+        );
         let (p, obj) = &out.packages[0];
         assert!(spec.is_valid(p).unwrap());
         assert_eq!(p.cardinality(), 3);
@@ -372,8 +396,15 @@ mod tests {
     fn quality_is_close_to_the_ilp_optimum() {
         let t = recipes(200, Seed(2));
         let spec = spec_for(&t, MEAL_QUERY);
-        let exact = crate::ilp::solve_ilp(&spec, &SolverConfig::default(), 1).unwrap();
-        let heuristic = local_search(&spec, &LocalSearchOptions { restarts: 6, ..Default::default() }).unwrap();
+        let exact = crate::ilp::solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let heuristic = local_search(
+            spec.view(),
+            &LocalSearchOptions {
+                restarts: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let opt = exact.packages[0].1.unwrap();
         let found = heuristic.packages[0].1.unwrap();
         assert!(found <= opt + 1e-6, "heuristic cannot beat the optimum");
@@ -391,7 +422,7 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R \
              SUCH THAT COUNT(*) = 3 AND SUM(P.protein) >= 60 MINIMIZE SUM(P.price)",
         );
-        let out = local_search(&spec, &LocalSearchOptions::default()).unwrap();
+        let out = local_search(spec.view(), &LocalSearchOptions::default()).unwrap();
         assert!(!out.packages.is_empty());
         let (p, _) = &out.packages[0];
         assert!(spec.is_valid(p).unwrap());
@@ -404,8 +435,15 @@ mod tests {
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) >= 1000000",
         );
-        let out = local_search(&spec, &LocalSearchOptions { restarts: 2, max_moves: 200, ..Default::default() })
-            .unwrap();
+        let out = local_search(
+            spec.view(),
+            &LocalSearchOptions {
+                restarts: 2,
+                max_moves: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(out.packages.is_empty());
     }
 
@@ -414,11 +452,19 @@ mod tests {
         let t = recipes(120, Seed(5));
         let spec = spec_for(&t, MEAL_QUERY);
         let out = local_search(
-            &spec,
-            &LocalSearchOptions { keep: 3, restarts: 10, ..Default::default() },
+            spec.view(),
+            &LocalSearchOptions {
+                keep: 3,
+                restarts: 10,
+                ..Default::default()
+            },
         )
         .unwrap();
-        assert!(out.packages.len() >= 2, "expected multiple packages, got {}", out.packages.len());
+        assert!(
+            out.packages.len() >= 2,
+            "expected multiple packages, got {}",
+            out.packages.len()
+        );
         for (p, _) in &out.packages {
             assert!(spec.is_valid(p).unwrap());
         }
@@ -430,24 +476,86 @@ mod tests {
     }
 
     #[test]
+    fn disjunctive_formulas_are_satisfiable_by_local_search() {
+        // OR formulas have no linear form, so local search is the strategy of
+        // record for them (paper Section 5); it must find an easily
+        // satisfiable disjunct.
+        let t = recipes(150, Seed(9));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND \
+                       (SUM(P.calories) <= 2500 OR COUNT(*) FILTER (WHERE R.gluten = 'free') = 3) \
+             MAXIMIZE SUM(P.protein)",
+        );
+        let out = local_search(spec.view(), &LocalSearchOptions::default()).unwrap();
+        assert!(
+            !out.packages.is_empty(),
+            "local search missed a trivially satisfiable OR"
+        );
+        let (p, _) = &out.packages[0];
+        assert!(spec.is_valid(p).unwrap());
+    }
+
+    #[test]
     fn two_replacement_neighbourhood_escapes_single_swap_optima() {
         let t = recipes(60, Seed(6));
         let spec = spec_for(&t, MEAL_QUERY);
         let out = local_search(
-            &spec,
-            &LocalSearchOptions { k: 2, restarts: 2, max_moves: 200, ..Default::default() },
+            spec.view(),
+            &LocalSearchOptions {
+                k: 2,
+                restarts: 2,
+                max_moves: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
         // With k = 2 the search should be at least as good as with k = 1 on the
         // same seed and restart budget.
         let out1 = local_search(
-            &spec,
-            &LocalSearchOptions { k: 1, restarts: 2, max_moves: 200, ..Default::default() },
+            spec.view(),
+            &LocalSearchOptions {
+                k: 1,
+                restarts: 2,
+                max_moves: 200,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let best2 = out.packages.first().and_then(|(_, o)| *o).unwrap_or(f64::NEG_INFINITY);
-        let best1 = out1.packages.first().and_then(|(_, o)| *o).unwrap_or(f64::NEG_INFINITY);
+        let best2 = out
+            .packages
+            .first()
+            .and_then(|(_, o)| *o)
+            .unwrap_or(f64::NEG_INFINITY);
+        let best1 = out1
+            .packages
+            .first()
+            .and_then(|(_, o)| *o)
+            .unwrap_or(f64::NEG_INFINITY);
         assert!(best2 >= best1 - 1e-9);
+    }
+
+    #[test]
+    fn delta_evaluation_agrees_with_full_scoring() {
+        // Every accepted package must score identically under a fresh
+        // projection — the delta path cannot drift from ground truth.
+        let t = recipes(90, Seed(8));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let out = local_search(
+            spec.view(),
+            &LocalSearchOptions {
+                keep: 3,
+                restarts: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (p, obj) in &out.packages {
+            let fresh = spec.view().project(p).unwrap();
+            assert_eq!(fresh.objective_value(), *obj);
+            assert_eq!(fresh.violation(), 0.0);
+        }
     }
 
     #[test]
@@ -462,7 +570,9 @@ mod tests {
         // Build a package of the 4 highest-calorie recipes (overshoots budget).
         let mut by_cal: Vec<TupleId> = spec.candidates.clone();
         by_cal.sort_by(|a, b| {
-            t.value_f64(*b, "calories").unwrap().total_cmp(&t.value_f64(*a, "calories").unwrap())
+            t.value_f64(*b, "calories")
+                .unwrap()
+                .total_cmp(&t.value_f64(*a, "calories").unwrap())
         });
         let package = Package::from_ids(by_cal.iter().copied().take(4));
         let current_total: f64 = package
@@ -471,8 +581,15 @@ mod tests {
             .sum();
         assert!(current_total > 2500.0);
 
-        let rel = single_replacement_query(&t, &package, &spec.candidates, "calories", current_total, 2500.0)
-            .unwrap();
+        let rel = single_replacement_query(
+            &t,
+            &package,
+            &spec.candidates,
+            "calories",
+            current_total,
+            2500.0,
+        )
+        .unwrap();
         // Every returned pair must indeed repair the budget.
         for row in &rel.rows {
             let out_cal = row.get_f64(&rel.schema, "calories").unwrap();

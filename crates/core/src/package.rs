@@ -1,11 +1,23 @@
 //! Packages: multisets of tuples, and their aggregate semantics.
+//!
+//! The aggregate-evaluation methods here ([`Package::eval_aggregate`],
+//! [`Package::formula_violation`], [`Package::satisfies`],
+//! [`Package::objective_value`]) are the *interpreted* path: they walk the
+//! expression AST per member tuple against the base table. Production
+//! evaluation routes through the columnar [`crate::view::CandidateView`]
+//! instead; the interpreted path survives as the correctness oracle (see
+//! `tests/columnar_oracle.rs`) and for ad-hoc evaluation outside a candidate
+//! set (e.g. the 2-D summary's coordinates).
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use minidb::eval::{eval, eval_predicate};
 use minidb::{Table, TupleId};
-use paql::{AggCall, AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula, Objective, ObjectiveDirection};
+use paql::{
+    AggCall, AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula, Objective,
+    ObjectiveDirection,
+};
 
 use crate::PbResult;
 
@@ -320,7 +332,13 @@ impl fmt::Display for Package {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let parts: Vec<String> = self
             .members()
-            .map(|(t, m)| if m == 1 { t.to_string() } else { format!("{t}x{m}") })
+            .map(|(t, m)| {
+                if m == 1 {
+                    t.to_string()
+                } else {
+                    format!("{t}x{m}")
+                }
+            })
             .collect();
         write!(f, "{{{}}}", parts.join(", "))
     }
@@ -374,19 +392,47 @@ mod tests {
         p.add(TupleId(0), 2); // 2x oatmeal
         p.add(TupleId(2), 1); // salad
         let count = p
-            .eval_aggregate(&t, &AggCall { func: AggFunc::Count, arg: None, filter: None })
+            .eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                    filter: None,
+                },
+            )
             .unwrap();
         assert_eq!(count, Some(3.0));
         let sum = p
-            .eval_aggregate(&t, &AggCall { func: AggFunc::Sum, arg: Some(minidb::Expr::col("calories")), filter: None })
+            .eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(minidb::Expr::col("calories")),
+                    filter: None,
+                },
+            )
             .unwrap();
         assert_eq!(sum, Some(2.0 * 320.0 + 210.0));
         let avg = p
-            .eval_aggregate(&t, &AggCall { func: AggFunc::Avg, arg: Some(minidb::Expr::col("calories")), filter: None })
+            .eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(minidb::Expr::col("calories")),
+                    filter: None,
+                },
+            )
             .unwrap();
         assert_eq!(avg, Some((2.0 * 320.0 + 210.0) / 3.0));
         let max = p
-            .eval_aggregate(&t, &AggCall { func: AggFunc::Max, arg: Some(minidb::Expr::col("calories")), filter: None })
+            .eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(minidb::Expr::col("calories")),
+                    filter: None,
+                },
+            )
             .unwrap();
         assert_eq!(max, Some(320.0));
     }
@@ -413,12 +459,27 @@ mod tests {
         let t = table();
         let p = Package::new();
         assert_eq!(
-            p.eval_aggregate(&t, &AggCall { func: AggFunc::Count, arg: None, filter: None }).unwrap(),
+            p.eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                    filter: None
+                }
+            )
+            .unwrap(),
             Some(0.0)
         );
         assert_eq!(
-            p.eval_aggregate(&t, &AggCall { func: AggFunc::Sum, arg: Some(minidb::Expr::col("calories")), filter: None })
-                .unwrap(),
+            p.eval_aggregate(
+                &t,
+                &AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(minidb::Expr::col("calories")),
+                    filter: None
+                }
+            )
+            .unwrap(),
             None
         );
     }

@@ -15,7 +15,7 @@
 
 use paql::{AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula};
 
-use crate::spec::PackageSpec;
+use crate::view::CandidateView;
 
 /// Inclusive cardinality bounds for any valid package.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +29,10 @@ pub struct CardinalityBounds {
 impl CardinalityBounds {
     /// The trivial bounds `[0, ∞)`.
     pub fn unbounded() -> Self {
-        CardinalityBounds { lower: 0, upper: None }
+        CardinalityBounds {
+            lower: 0,
+            upper: None,
+        }
     }
 
     /// Intersects two bounds (tightest of each side).
@@ -58,15 +61,15 @@ impl CardinalityBounds {
     }
 }
 
-/// Derives cardinality bounds for a spec. Bounds are only extracted from
-/// constraints that participate in every conjunct of the formula (pruning
-/// must never exclude a valid solution, so disjunctive branches contribute
-/// nothing).
-pub fn derive_bounds(spec: &PackageSpec<'_>) -> CardinalityBounds {
+/// Derives cardinality bounds for a candidate view. Bounds are only
+/// extracted from constraints that participate in every conjunct of the
+/// formula (pruning must never exclude a valid solution, so disjunctive
+/// branches contribute nothing).
+pub fn derive_bounds(view: &CandidateView) -> CardinalityBounds {
     let mut bounds = CardinalityBounds::unbounded();
-    if let Some(formula) = &spec.formula {
+    if let Some(formula) = view.formula() {
         for atom in conjunctive_atoms(formula) {
-            bounds = bounds.intersect(&bounds_from_constraint(spec, atom));
+            bounds = bounds.intersect(&bounds_from_constraint(view, atom));
         }
     }
     bounds
@@ -91,7 +94,7 @@ fn conjunctive_atoms(formula: &GlobalFormula) -> Vec<&GlobalConstraint> {
 }
 
 /// Bounds implied by a single constraint, following the paper's two rules.
-fn bounds_from_constraint(spec: &PackageSpec<'_>, c: &GlobalConstraint) -> CardinalityBounds {
+fn bounds_from_constraint(view: &CandidateView, c: &GlobalConstraint) -> CardinalityBounds {
     // Normalize to "aggregate cmp constant".
     let (agg, op, constant) = match (&c.lhs, extract_constant(&c.rhs)) {
         (GlobalExpr::Agg(a), Some(k)) => (a, c.op, k),
@@ -123,14 +126,17 @@ fn bounds_from_constraint(spec: &PackageSpec<'_>, c: &GlobalConstraint) -> Cardi
             if filtered {
                 upper = None;
             }
-            CardinalityBounds { lower: lower.unwrap_or(0), upper }
+            CardinalityBounds {
+                lower: lower.unwrap_or(0),
+                upper,
+            }
         }
         AggFunc::Sum => {
             let col = match &agg.arg {
                 Some(minidb::Expr::Column(c)) => c.clone(),
                 _ => return CardinalityBounds::unbounded(),
             };
-            let stats = match spec.stats.column(&col) {
+            let stats = match view.stats().column(&col) {
                 Some(s) if !s.is_empty() => *s,
                 _ => return CardinalityBounds::unbounded(),
             };
@@ -223,12 +229,12 @@ impl SearchSpace {
     }
 }
 
-/// Computes the search-space sizes for a spec and bounds.
-pub fn search_space(spec: &PackageSpec<'_>, bounds: &CardinalityBounds) -> SearchSpace {
-    let n = spec.candidate_count() as u64;
-    let r = spec.max_multiplicity as f64;
+/// Computes the search-space sizes for a view and bounds.
+pub fn search_space(view: &CandidateView, bounds: &CardinalityBounds) -> SearchSpace {
+    let n = view.candidate_count() as u64;
+    let r = view.max_multiplicity() as f64;
     let unpruned_log2 = n as f64 * (r + 1.0).log2();
-    let pruned_log2 = if spec.max_multiplicity == 1 {
+    let pruned_log2 = if view.max_multiplicity() == 1 {
         let clamped = bounds.clamp_to(n);
         let lo = clamped.lower.min(n);
         let hi = clamped.upper.unwrap_or(n).min(n);
@@ -240,7 +246,10 @@ pub fn search_space(spec: &PackageSpec<'_>, bounds: &CardinalityBounds) -> Searc
     } else {
         None
     };
-    SearchSpace { unpruned_log2, pruned_log2 }
+    SearchSpace {
+        unpruned_log2,
+        pruned_log2,
+    }
 }
 
 /// log2 of `Σ_{k=lo}^{hi} C(n,k)` computed in log space to avoid overflow.
@@ -294,15 +303,27 @@ mod tests {
     fn count_constraints_bound_cardinality_directly() {
         let t = uniform_table("t", 30, 10.0, 20.0, Seed(1));
         let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 3");
-        let b = derive_bounds(&spec);
-        assert_eq!(b, CardinalityBounds { lower: 3, upper: Some(3) });
+        let b = derive_bounds(spec.view());
+        assert_eq!(
+            b,
+            CardinalityBounds {
+                lower: 3,
+                upper: Some(3)
+            }
+        );
 
         let spec = spec_for(
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) >= 2 AND COUNT(*) < 7",
         );
-        let b = derive_bounds(&spec);
-        assert_eq!(b, CardinalityBounds { lower: 2, upper: Some(6) });
+        let b = derive_bounds(spec.view());
+        assert_eq!(
+            b,
+            CardinalityBounds {
+                lower: 2,
+                upper: Some(6)
+            }
+        );
     }
 
     #[test]
@@ -314,7 +335,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.w) BETWEEN 100 AND 120",
         );
-        let b = derive_bounds(&spec);
+        let b = derive_bounds(spec.view());
         assert!(b.lower >= 5, "lower bound {} should be at least 5", b.lower);
         assert!(b.lower <= 6);
         let u = b.upper.unwrap();
@@ -329,7 +350,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 3 OR COUNT(*) = 10",
         );
-        assert_eq!(derive_bounds(&spec), CardinalityBounds::unbounded());
+        assert_eq!(derive_bounds(spec.view()), CardinalityBounds::unbounded());
     }
 
     #[test]
@@ -339,7 +360,7 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) >= 5 AND COUNT(*) <= 2",
         );
-        assert!(derive_bounds(&spec).is_empty());
+        assert!(derive_bounds(spec.view()).is_empty());
     }
 
     #[test]
@@ -351,15 +372,25 @@ mod tests {
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.w) BETWEEN 30 AND 45 AND COUNT(*) <= 6",
         );
-        let bounds = derive_bounds(&spec).clamp_to(spec.candidate_count() as u64);
+        let bounds = derive_bounds(spec.view()).clamp_to(spec.candidate_count() as u64);
         let n = spec.candidate_count();
         for mask in 0u32..(1 << n) {
-            let ids: Vec<_> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| spec.candidates[i]).collect();
+            let ids: Vec<_> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| spec.candidates[i])
+                .collect();
             let pkg = crate::package::Package::from_ids(ids);
             if spec.is_valid(&pkg).unwrap() {
                 let c = pkg.cardinality();
-                assert!(c >= bounds.lower, "valid package of cardinality {c} below lower bound {}", bounds.lower);
-                assert!(c <= bounds.upper.unwrap(), "valid package of cardinality {c} above upper bound");
+                assert!(
+                    c >= bounds.lower,
+                    "valid package of cardinality {c} below lower bound {}",
+                    bounds.lower
+                );
+                assert!(
+                    c <= bounds.upper.unwrap(),
+                    "valid package of cardinality {c} above upper bound"
+                );
             }
         }
     }
@@ -368,8 +399,8 @@ mod tests {
     fn search_space_matches_closed_forms() {
         let t = uniform_table("t", 20, 1.0, 2.0, Seed(6));
         let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 3");
-        let bounds = derive_bounds(&spec);
-        let space = search_space(&spec, &bounds);
+        let bounds = derive_bounds(spec.view());
+        let space = search_space(spec.view(), &bounds);
         assert!((space.unpruned_log2 - 20.0).abs() < 1e-9);
         // C(20,3) = 1140.
         assert!((space.pruned().unwrap() - 1140.0).abs() < 1e-6);
@@ -388,8 +419,11 @@ mod tests {
     #[test]
     fn repeat_queries_have_no_pruned_closed_form() {
         let t = uniform_table("t", 10, 1.0, 2.0, Seed(7));
-        let spec = spec_for(&t, "SELECT PACKAGE(T) AS P FROM t T REPEAT 3 SUCH THAT COUNT(*) = 3");
-        let space = search_space(&spec, &derive_bounds(&spec));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T REPEAT 3 SUCH THAT COUNT(*) = 3",
+        );
+        let space = search_space(spec.view(), &derive_bounds(spec.view()));
         assert!(space.pruned_log2.is_none());
         assert!((space.unpruned_log2 - 10.0 * 4.0f64.log2()).abs() < 1e-9);
     }

@@ -19,6 +19,8 @@ pub enum StrategyUsed {
     Exhaustive,
     /// Greedy construction + local search.
     LocalSearch,
+    /// Pure greedy construction with feasibility repair.
+    Greedy,
 }
 
 impl fmt::Display for StrategyUsed {
@@ -28,6 +30,7 @@ impl fmt::Display for StrategyUsed {
             StrategyUsed::PrunedEnumeration => "pruned-enumeration",
             StrategyUsed::Exhaustive => "exhaustive",
             StrategyUsed::LocalSearch => "local-search",
+            StrategyUsed::Greedy => "greedy",
         };
         write!(f, "{s}")
     }
@@ -80,13 +83,23 @@ pub struct PackageResult {
 impl PackageResult {
     /// An empty (infeasible or not-found) result.
     pub fn empty(stats: EvalStats) -> Self {
-        PackageResult { packages: Vec::new(), objectives: Vec::new(), optimal: false, stats }
+        PackageResult {
+            packages: Vec::new(),
+            objectives: Vec::new(),
+            optimal: false,
+            stats,
+        }
     }
 
     /// Builds a result from `(package, objective)` pairs.
     pub fn from_pairs(pairs: Vec<(Package, Option<f64>)>, optimal: bool, stats: EvalStats) -> Self {
         let (packages, objectives) = pairs.into_iter().unzip();
-        PackageResult { packages, objectives, optimal, stats }
+        PackageResult {
+            packages,
+            objectives,
+            optimal,
+            stats,
+        }
     }
 
     /// The best package, if any was found.

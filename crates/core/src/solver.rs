@@ -1,0 +1,365 @@
+//! The unified solver interface.
+//!
+//! Every evaluation strategy — ILP translation, pruned/exhaustive
+//! enumeration, greedy construction and local search — implements one trait:
+//!
+//! ```text
+//! fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome>
+//! ```
+//!
+//! Solvers consume only the columnar [`CandidateView`] (never the base
+//! table), which makes them interchangeable, individually testable, and the
+//! seam future scaling work plugs into: a parallel portfolio solver, a
+//! sharded solve, or a cached solve are all `impl Solver` away. The engine's
+//! planner ([`crate::engine::PackageEngine`]) selects and chains them:
+//! pruning bounds first, then the solver, then validation.
+
+use std::time::Instant;
+
+use lp_solver::SolverConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{EngineConfig, Strategy};
+use crate::enumerate::{enumerate, EnumerationOptions};
+use crate::greedy::{starting_package, StartHeuristic};
+use crate::ilp::solve_ilp;
+use crate::local_search::{local_search, LocalSearchOptions};
+use crate::package::Package;
+use crate::result::{EvalStats, StrategyUsed};
+use crate::view::CandidateView;
+use crate::PbResult;
+
+/// Solver-facing slice of the engine configuration.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// How many packages to return (best first).
+    pub num_packages: usize,
+    /// Limits for the ILP substrate.
+    pub solver: SolverConfig,
+    /// Node budget for the enumeration strategies.
+    pub max_enumeration_nodes: u64,
+    /// Local search: neighbourhood size `k`.
+    pub replacement_k: usize,
+    /// Local search: maximum accepted moves per restart.
+    pub max_local_moves: usize,
+    /// Local search: number of restarts.
+    pub local_restarts: usize,
+    /// Seed for randomized components.
+    pub seed: u64,
+}
+
+impl SolveOptions {
+    /// Projects the solver-relevant fields out of an engine configuration.
+    pub fn from_config(config: &EngineConfig) -> Self {
+        SolveOptions {
+            num_packages: config.num_packages,
+            solver: config.solver.clone(),
+            max_enumeration_nodes: config.max_enumeration_nodes,
+            replacement_k: config.replacement_k,
+            max_local_moves: config.max_local_moves,
+            local_restarts: config.local_restarts,
+            seed: config.seed,
+        }
+    }
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions::from_config(&EngineConfig::default())
+    }
+}
+
+/// What a solver produced for one view.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Valid packages, best first, with objective values.
+    pub packages: Vec<(Package, Option<f64>)>,
+    /// Whether the first package is provably optimal (exact strategies that
+    /// ran to completion).
+    pub optimal: bool,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl SolveOutcome {
+    /// An empty outcome for a strategy (used when pruning proves
+    /// infeasibility before any solver runs).
+    pub fn empty(strategy: StrategyUsed, candidates: usize, optimal: bool) -> Self {
+        let mut stats = EvalStats::empty(strategy);
+        stats.candidates = candidates;
+        SolveOutcome {
+            packages: Vec::new(),
+            optimal,
+            stats,
+        }
+    }
+}
+
+/// A package-query evaluation strategy over a columnar candidate view.
+pub trait Solver {
+    /// Which strategy this solver implements (reported in [`EvalStats`]).
+    fn strategy(&self) -> StrategyUsed;
+
+    /// Evaluates the view, returning up to `opts.num_packages` packages.
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome>;
+}
+
+/// ILP translation + branch and bound (paper Section 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IlpSolver;
+
+impl Solver for IlpSolver {
+    fn strategy(&self) -> StrategyUsed {
+        StrategyUsed::Ilp
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let out = solve_ilp(view, &opts.solver, opts.num_packages)?;
+        Ok(SolveOutcome {
+            packages: out.packages,
+            optimal: true,
+            stats: out.stats,
+        })
+    }
+}
+
+/// Generate-and-validate enumeration, with or without the Section 4.1
+/// pruning rules.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerationSolver {
+    /// Apply cardinality and partial-sum pruning.
+    pub prune: bool,
+}
+
+impl Solver for EnumerationSolver {
+    fn strategy(&self) -> StrategyUsed {
+        if self.prune {
+            StrategyUsed::PrunedEnumeration
+        } else {
+            StrategyUsed::Exhaustive
+        }
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let out = enumerate(
+            view,
+            EnumerationOptions {
+                prune: self.prune,
+                max_nodes: opts.max_enumeration_nodes,
+                keep: opts.num_packages,
+            },
+        )?;
+        let complete = out.complete;
+        Ok(SolveOutcome {
+            packages: out.packages,
+            optimal: complete,
+            stats: out.stats,
+        })
+    }
+}
+
+/// Greedy construction + k-replacement local search (paper Section 4.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalSearchSolver;
+
+impl Solver for LocalSearchSolver {
+    fn strategy(&self) -> StrategyUsed {
+        StrategyUsed::LocalSearch
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let out = local_search(
+            view,
+            &LocalSearchOptions {
+                k: opts.replacement_k,
+                max_moves: opts.max_local_moves,
+                restarts: opts.local_restarts,
+                seed: opts.seed,
+                keep: opts.num_packages,
+            },
+        )?;
+        Ok(SolveOutcome {
+            packages: out.packages,
+            optimal: false,
+            stats: out.stats,
+        })
+    }
+}
+
+/// Pure greedy construction: density-ordered packing followed by a
+/// feasibility-repair pass of add/drop moves (no replacement neighbourhood).
+/// The cheapest strategy — and the anytime baseline the paper's interface
+/// layer wants when a user asks for *a* package right now.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySolver;
+
+impl Solver for GreedySolver {
+    fn strategy(&self) -> StrategyUsed {
+        StrategyUsed::Greedy
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut evaluations = 0u64;
+        let mut moves = 0u64;
+        let mut packages = Vec::new();
+
+        if view.candidate_count() > 0 {
+            let greedy = starting_package(view, StartHeuristic::Greedy, &mut rng);
+            let mut state = view
+                .project(&greedy)
+                .expect("greedy construction draws from the candidate set");
+            // Repair pass: accept single add/drop moves while they strictly
+            // reduce the violation (delta-evaluated on the view's columns).
+            let mut violation = state.violation();
+            while violation > 0.0 {
+                let mut best_change: Option<(usize, i64)> = None;
+                let mut best_violation = violation;
+                for idx in 0..view.candidate_count() {
+                    for delta in [1i64, -1] {
+                        let mult = state.multiplicity(idx) as i64;
+                        if mult + delta < 0 || mult + delta > view.max_multiplicity() as i64 {
+                            continue;
+                        }
+                        evaluations += 1;
+                        let (v, _) = state.score_with(&[(idx, delta)]);
+                        if v + 1e-9 < best_violation {
+                            best_violation = v;
+                            best_change = Some((idx, delta));
+                        }
+                    }
+                }
+                match best_change {
+                    Some((idx, delta)) => {
+                        state.apply(idx, delta);
+                        violation = best_violation;
+                        moves += 1;
+                    }
+                    None => break, // stuck — greedy gives up, feasible or not
+                }
+            }
+            if state.is_feasible() {
+                let objective = state.objective_value();
+                packages.push((state.to_package(), objective));
+            }
+        }
+
+        Ok(SolveOutcome {
+            packages,
+            optimal: false,
+            stats: EvalStats {
+                strategy: StrategyUsed::Greedy,
+                candidates: view.candidate_count(),
+                nodes: moves,
+                iterations: evaluations,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+}
+
+/// Maps an explicit strategy to its solver. `Auto` is resolved by the
+/// planner before this point and is rejected here.
+pub fn solver_for(strategy: Strategy) -> PbResult<Box<dyn Solver>> {
+    Ok(match strategy {
+        Strategy::Ilp => Box::new(IlpSolver),
+        Strategy::PrunedEnumeration => Box::new(EnumerationSolver { prune: true }),
+        Strategy::Exhaustive => Box::new(EnumerationSolver { prune: false }),
+        Strategy::LocalSearch => Box::new(LocalSearchSolver),
+        Strategy::Greedy => Box::new(GreedySolver),
+        Strategy::Auto => {
+            return Err(crate::error::PbError::Internal(
+                "Strategy::Auto must be resolved by the planner before solver dispatch".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PackageSpec;
+    use datagen::{recipes, Seed};
+    use minidb::Table;
+    use paql::compile;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    const SMALL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+        SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1200 MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn all_solvers_implement_the_trait_uniformly() {
+        let t = recipes(20, Seed(1));
+        let spec = spec_for(&t, SMALL_QUERY);
+        let opts = SolveOptions::default();
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(IlpSolver),
+            Box::new(EnumerationSolver { prune: true }),
+            Box::new(EnumerationSolver { prune: false }),
+            Box::new(LocalSearchSolver),
+            Box::new(GreedySolver),
+        ];
+        let mut objectives = Vec::new();
+        for solver in &solvers {
+            let out = solver.solve(spec.view(), &opts).unwrap();
+            assert_eq!(out.stats.strategy, solver.strategy());
+            assert_eq!(out.stats.candidates, spec.candidate_count());
+            for (p, obj) in &out.packages {
+                assert!(
+                    spec.is_valid(p).unwrap(),
+                    "{} returned invalid package",
+                    solver.strategy()
+                );
+                assert_eq!(*obj, spec.objective_value(p).unwrap());
+            }
+            objectives.push(out.packages.first().and_then(|(_, o)| *o));
+        }
+        // The exact solvers agree; heuristics never beat them.
+        let exact = objectives[0].unwrap();
+        assert!((objectives[1].unwrap() - exact).abs() < 1e-6);
+        assert!((objectives[2].unwrap() - exact).abs() < 1e-6);
+        for h in objectives[3..].iter().flatten() {
+            assert!(*h <= exact + 1e-6);
+        }
+    }
+
+    #[test]
+    fn greedy_solver_repairs_towards_feasibility() {
+        let t = recipes(150, Seed(2));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+             MAXIMIZE SUM(P.protein)",
+        );
+        let out = GreedySolver
+            .solve(spec.view(), &SolveOptions::default())
+            .unwrap();
+        // The greedy start (3 highest-protein recipes) usually violates the
+        // calorie window; the repair pass must fix it here.
+        assert_eq!(out.packages.len(), 1, "greedy failed to repair feasibility");
+        let (p, _) = &out.packages[0];
+        assert!(spec.is_valid(p).unwrap());
+        assert!(!out.optimal);
+    }
+
+    #[test]
+    fn solver_for_rejects_auto() {
+        assert!(solver_for(Strategy::Auto).is_err());
+        for s in [
+            Strategy::Ilp,
+            Strategy::PrunedEnumeration,
+            Strategy::Exhaustive,
+            Strategy::LocalSearch,
+            Strategy::Greedy,
+        ] {
+            assert!(solver_for(s).is_ok());
+        }
+    }
+}

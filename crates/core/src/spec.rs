@@ -6,15 +6,19 @@ use minidb::{Table, TupleId};
 use paql::{AnalyzedQuery, GlobalFormula, Objective, PaqlQuery};
 
 use crate::package::Package;
+use crate::view::CandidateView;
 use crate::PbResult;
 
 /// A package query bound to a concrete table: the candidate tuples that
 /// survive the base constraints, the global formula, the objective and the
 /// multiplicity bound.
 ///
-/// All evaluation strategies consume a `PackageSpec`; building it corresponds
-/// to the "use SQL to evaluate the base constraints" step of the paper — the
-/// candidate set is exactly the result of `SELECT * FROM R WHERE <base>`.
+/// Building a spec corresponds to the "use SQL to evaluate the base
+/// constraints" step of the paper — the candidate set is exactly the result
+/// of `SELECT * FROM R WHERE <base>`. The spec then lowers the query onto a
+/// columnar [`CandidateView`], which every evaluation strategy consumes;
+/// `is_valid`, `violation` and `objective_value` all route through the view's
+/// columns rather than re-interpreting expression trees per tuple.
 #[derive(Debug, Clone)]
 pub struct PackageSpec<'a> {
     /// The base relation.
@@ -27,15 +31,16 @@ pub struct PackageSpec<'a> {
     pub formula: Option<GlobalFormula>,
     /// The objective, if any.
     pub objective: Option<Objective>,
-    /// Statistics over the candidate tuples (used by pruning and greedy
-    /// construction).
-    pub stats: TableStats,
     /// The original query (for diagnostics and pretty-printing).
     pub query: PaqlQuery,
+    /// The columnar evaluation core.
+    view: CandidateView,
 }
 
 impl<'a> PackageSpec<'a> {
-    /// Builds a spec from an analyzed query and its base table.
+    /// Builds a spec from an analyzed query and its base table. The
+    /// candidate rows are profiled and lowered into the columnar view in the
+    /// same pass, borrowing rows straight from the table (no clones).
     pub fn build(analyzed: &AnalyzedQuery, table: &'a Table) -> PbResult<Self> {
         let query = analyzed.query.clone();
         let mut candidates = Vec::new();
@@ -49,20 +54,33 @@ impl<'a> PackageSpec<'a> {
                 }
             }
         }
-        let rows: Vec<minidb::Tuple> = candidates
-            .iter()
-            .map(|id| table.require(*id).cloned())
-            .collect::<Result<_, _>>()?;
-        let stats = TableStats::of_rows(table.schema(), &rows);
+        let view = CandidateView::build(
+            table,
+            candidates.clone(),
+            query.max_multiplicity(),
+            query.such_that.clone(),
+            query.objective.clone(),
+        )?;
         Ok(PackageSpec {
             table,
             max_multiplicity: query.max_multiplicity(),
             formula: query.such_that.clone(),
             objective: query.objective.clone(),
-            stats,
             candidates,
+            view,
             query,
         })
+    }
+
+    /// The columnar view every solver consumes.
+    pub fn view(&self) -> &CandidateView {
+        &self.view
+    }
+
+    /// Statistics over the candidate tuples (used by pruning and greedy
+    /// construction).
+    pub fn stats(&self) -> &TableStats {
+        self.view.stats()
     }
 
     /// Number of candidate tuples (the `n` of the paper's complexity
@@ -73,8 +91,17 @@ impl<'a> PackageSpec<'a> {
 
     /// True when `package` is a valid answer: every member is a candidate
     /// (base constraints), multiplicities respect `REPEAT`, and the global
-    /// formula holds.
+    /// formula holds. Evaluated columnar-ly; the `Result` is kept for API
+    /// stability (view evaluation cannot fail after `build`).
     pub fn is_valid(&self, package: &Package) -> PbResult<bool> {
+        Ok(self.view.is_valid(package))
+    }
+
+    /// Validates a package through the *interpreted* oracle — AST evaluation
+    /// against the base table, sharing no code with the columnar view. The
+    /// planner uses this for its defensive re-check of solver output, so a
+    /// bug in view compilation cannot certify its own results.
+    pub fn is_valid_interpreted(&self, package: &Package) -> PbResult<bool> {
         if package.max_multiplicity() > self.max_multiplicity {
             return Ok(false);
         }
@@ -92,35 +119,40 @@ impl<'a> PackageSpec<'a> {
     /// Objective value of a package under this spec (`None` when the query
     /// has no objective or the objective is not evaluable).
     pub fn objective_value(&self, package: &Package) -> PbResult<Option<f64>> {
-        match &self.objective {
-            None => Ok(None),
-            Some(o) => package.objective_value(self.table, o),
-        }
+        Ok(self.view.objective_value(package))
     }
 
     /// Total constraint violation of a package (0 when feasible).
     pub fn violation(&self, package: &Package) -> PbResult<f64> {
-        match &self.formula {
-            None => Ok(0.0),
-            Some(f) => package.formula_violation(self.table, f),
-        }
+        Ok(self.view.violation(package))
     }
 
     /// Restricts the spec to a subset of its candidates (used by adaptive
-    /// exploration to narrow the search space after user feedback).
+    /// exploration to narrow the search space after user feedback). The view
+    /// is rebuilt over the surviving candidates — statistics and columns are
+    /// streamed from borrowed rows.
     pub fn restrict_candidates(&self, keep: impl Fn(TupleId) -> bool) -> PackageSpec<'a> {
-        let candidates: Vec<TupleId> = self.candidates.iter().copied().filter(|&t| keep(t)).collect();
-        let rows: Vec<minidb::Tuple> = candidates
+        let candidates: Vec<TupleId> = self
+            .candidates
             .iter()
-            .filter_map(|id| self.table.get(*id).cloned())
+            .copied()
+            .filter(|&t| keep(t))
             .collect();
+        let view = CandidateView::build(
+            self.table,
+            candidates.clone(),
+            self.max_multiplicity,
+            self.formula.clone(),
+            self.objective.clone(),
+        )
+        .expect("restricting candidates cannot introduce evaluation errors");
         PackageSpec {
             table: self.table,
             candidates,
             max_multiplicity: self.max_multiplicity,
             formula: self.formula.clone(),
             objective: self.objective.clone(),
-            stats: TableStats::of_rows(self.table.schema(), &rows),
+            view,
             query: self.query.clone(),
         }
     }
@@ -148,15 +180,23 @@ mod tests {
         assert!(spec.candidate_count() > 0);
         assert!(spec.candidate_count() < 200);
         for id in &spec.candidates {
-            let v = t.require(*id).unwrap().get_named(t.schema(), "gluten").unwrap();
+            let v = t
+                .require(*id)
+                .unwrap()
+                .get_named(t.schema(), "gluten")
+                .unwrap();
             assert_eq!(v.to_string(), "free");
         }
+        assert_eq!(spec.view().candidates(), spec.candidates.as_slice());
     }
 
     #[test]
     fn no_where_clause_keeps_everything() {
         let t = recipes(50, Seed(2));
-        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2");
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2",
+        );
         assert_eq!(spec.candidate_count(), 50);
     }
 
@@ -185,15 +225,20 @@ mod tests {
     #[test]
     fn restrict_candidates_narrows_the_space() {
         let t = recipes(100, Seed(4));
-        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2");
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2",
+        );
         let keep: Vec<TupleId> = spec.candidates.iter().copied().take(10).collect();
         let narrowed = spec.restrict_candidates(|t| keep.contains(&t));
         assert_eq!(narrowed.candidate_count(), 10);
         assert_eq!(narrowed.max_multiplicity, spec.max_multiplicity);
+        assert_eq!(narrowed.view().candidate_count(), 10);
+        assert_eq!(narrowed.stats().row_count(), 10);
     }
 
     #[test]
-    fn objective_and_violation_delegate_to_package() {
+    fn objective_and_violation_delegate_to_the_view() {
         let t = recipes(100, Seed(5));
         let spec = spec_for(
             &t,
@@ -205,5 +250,21 @@ mod tests {
         // Two recipes always exceed 100 calories in this generator.
         assert!(spec.violation(&p).unwrap() > 0.0);
         assert!(!spec.is_valid(&p).unwrap());
+        // The interpreted oracle agrees with the columnar path.
+        let oracle = p
+            .formula_violation(&t, spec.formula.as_ref().unwrap())
+            .unwrap();
+        assert!((spec.violation(&p).unwrap() - oracle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_cover_candidates_without_cloning_rows() {
+        let t = recipes(80, Seed(6));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' SUCH THAT COUNT(*) = 2",
+        );
+        assert_eq!(spec.stats().row_count(), spec.candidate_count());
+        assert!(spec.stats().column("calories").unwrap().min > 0.0);
     }
 }

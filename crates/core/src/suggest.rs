@@ -69,12 +69,18 @@ pub struct Suggestion {
 
 /// Produces constraint and objective suggestions for a highlight, in the
 /// order the interface should present them.
-pub fn suggest(table: &Table, package_alias: &str, highlight: &Highlight) -> PbResult<Vec<Suggestion>> {
+pub fn suggest(
+    table: &Table,
+    package_alias: &str,
+    highlight: &Highlight,
+) -> PbResult<Vec<Suggestion>> {
     match highlight {
         Highlight::Cell { tuple, column } => suggest_for_cell(table, package_alias, *tuple, column),
         Highlight::Column { column } => suggest_for_column(table, package_alias, column),
         Highlight::Row { tuple } => suggest_for_row(table, *tuple),
-        Highlight::Values { column, tuples } => suggest_for_values(table, package_alias, column, tuples),
+        Highlight::Values { column, tuples } => {
+            suggest_for_values(table, package_alias, column, tuples)
+        }
     }
 }
 
@@ -127,13 +133,19 @@ fn suggest_for_cell(
         out.push(Suggestion {
             kind: SuggestionKind::GlobalConstraint,
             paql: format!("COUNT(*) FILTER (WHERE {column} = '{value}') >= 1"),
-            description: format!("the package contains at least one tuple with {column} = '{value}'"),
+            description: format!(
+                "the package contains at least one tuple with {column} = '{value}'"
+            ),
         });
     }
     Ok(out)
 }
 
-fn suggest_for_column(table: &Table, package_alias: &str, column: &str) -> PbResult<Vec<Suggestion>> {
+fn suggest_for_column(
+    table: &Table,
+    package_alias: &str,
+    column: &str,
+) -> PbResult<Vec<Suggestion>> {
     let ty = column_type(table, column)?;
     let mut out = Vec::new();
     if ty.is_numeric() {
@@ -152,7 +164,11 @@ fn suggest_for_column(table: &Table, package_alias: &str, column: &str) -> PbRes
         });
         out.push(Suggestion {
             kind: SuggestionKind::GlobalConstraint,
-            paql: format!("SUM({package_alias}.{column}) BETWEEN {} AND {}", s.mean.round(), (3.0 * s.mean).round()),
+            paql: format!(
+                "SUM({package_alias}.{column}) BETWEEN {} AND {}",
+                s.mean.round(),
+                (3.0 * s.mean).round()
+            ),
             description: format!(
                 "the total {column} of the package is between {} and {}",
                 s.mean.round(),
@@ -187,7 +203,10 @@ fn suggest_for_row(table: &Table, tuple: TupleId) -> PbResult<Vec<Suggestion>> {
             out.push(Suggestion {
                 kind: SuggestionKind::BaseConstraint,
                 paql: format!("{} = '{}'", col.name, value),
-                description: format!("only tuples with {} = '{}' (like the highlighted one)", col.name, value),
+                description: format!(
+                    "only tuples with {} = '{}' (like the highlighted one)",
+                    col.name, value
+                ),
             });
         }
     }
@@ -215,11 +234,17 @@ fn suggest_for_values(
         Suggestion {
             kind: SuggestionKind::BaseConstraint,
             paql: format!("{column} BETWEEN {min} AND {max}"),
-            description: format!("every tuple has {column} between {min} and {max} (the highlighted range)"),
+            description: format!(
+                "every tuple has {column} between {min} and {max} (the highlighted range)"
+            ),
         },
         Suggestion {
             kind: SuggestionKind::GlobalConstraint,
-            paql: format!("SUM({package_alias}.{column}) BETWEEN {} AND {}", (0.9 * sum).round(), (1.1 * sum).round()),
+            paql: format!(
+                "SUM({package_alias}.{column}) BETWEEN {} AND {}",
+                (0.9 * sum).round(),
+                (1.1 * sum).round()
+            ),
             description: format!(
                 "the total {column} stays within 10% of the highlighted total ({sum})"
             ),
@@ -241,9 +266,19 @@ mod tests {
     #[test]
     fn cell_suggestions_for_numeric_columns_parse_as_paql() {
         let t = recipes(50, Seed(1));
-        let suggestions = suggest(&t, "P", &Highlight::Cell { tuple: TupleId(3), column: "fat".into() }).unwrap();
+        let suggestions = suggest(
+            &t,
+            "P",
+            &Highlight::Cell {
+                tuple: TupleId(3),
+                column: "fat".into(),
+            },
+        )
+        .unwrap();
         assert!(suggestions.len() >= 3);
-        assert!(suggestions.iter().any(|s| s.kind == SuggestionKind::Objective));
+        assert!(suggestions
+            .iter()
+            .any(|s| s.kind == SuggestionKind::Objective));
         for s in &suggestions {
             match s.kind {
                 SuggestionKind::BaseConstraint => {
@@ -252,7 +287,9 @@ mod tests {
                 SuggestionKind::GlobalConstraint => {
                     parse_global_formula(&s.paql).expect("global suggestion must parse");
                 }
-                SuggestionKind::Objective => assert!(s.paql.starts_with("MAXIMIZE") || s.paql.starts_with("MINIMIZE")),
+                SuggestionKind::Objective => {
+                    assert!(s.paql.starts_with("MAXIMIZE") || s.paql.starts_with("MINIMIZE"))
+                }
             }
         }
     }
@@ -260,7 +297,15 @@ mod tests {
     #[test]
     fn cell_suggestions_for_text_columns_use_equality() {
         let t = recipes(50, Seed(2));
-        let suggestions = suggest(&t, "P", &Highlight::Cell { tuple: TupleId(0), column: "gluten".into() }).unwrap();
+        let suggestions = suggest(
+            &t,
+            "P",
+            &Highlight::Cell {
+                tuple: TupleId(0),
+                column: "gluten".into(),
+            },
+        )
+        .unwrap();
         assert!(suggestions.iter().any(|s| s.paql.contains("gluten = '")));
         assert!(suggestions.iter().any(|s| s.paql.contains("FILTER")));
     }
@@ -268,8 +313,18 @@ mod tests {
     #[test]
     fn column_suggestions_include_both_objective_directions() {
         let t = recipes(50, Seed(3));
-        let suggestions = suggest(&t, "P", &Highlight::Column { column: "protein".into() }).unwrap();
-        let objectives: Vec<_> = suggestions.iter().filter(|s| s.kind == SuggestionKind::Objective).collect();
+        let suggestions = suggest(
+            &t,
+            "P",
+            &Highlight::Column {
+                column: "protein".into(),
+            },
+        )
+        .unwrap();
+        let objectives: Vec<_> = suggestions
+            .iter()
+            .filter(|s| s.kind == SuggestionKind::Objective)
+            .collect();
         assert_eq!(objectives.len(), 2);
     }
 
@@ -277,7 +332,9 @@ mod tests {
     fn row_suggestions_cover_text_attributes() {
         let t = recipes(50, Seed(4));
         let suggestions = suggest(&t, "P", &Highlight::Row { tuple: TupleId(5) }).unwrap();
-        assert!(suggestions.iter().all(|s| s.kind == SuggestionKind::BaseConstraint));
+        assert!(suggestions
+            .iter()
+            .all(|s| s.kind == SuggestionKind::BaseConstraint));
         assert!(suggestions.iter().any(|s| s.paql.starts_with("course = ")));
     }
 
@@ -287,7 +344,10 @@ mod tests {
         let suggestions = suggest(
             &t,
             "P",
-            &Highlight::Values { column: "calories".into(), tuples: vec![TupleId(1), TupleId(2), TupleId(3)] },
+            &Highlight::Values {
+                column: "calories".into(),
+                tuples: vec![TupleId(1), TupleId(2), TupleId(3)],
+            },
         )
         .unwrap();
         assert!(suggestions[0].paql.contains("BETWEEN"));
@@ -297,6 +357,13 @@ mod tests {
     #[test]
     fn unknown_columns_error() {
         let t = recipes(10, Seed(6));
-        assert!(suggest(&t, "P", &Highlight::Column { column: "unknown".into() }).is_err());
+        assert!(suggest(
+            &t,
+            "P",
+            &Highlight::Column {
+                column: "unknown".into()
+            }
+        )
+        .is_err());
     }
 }

@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn dimensions_fall_back_to_numeric_columns() {
         let t = recipes(60, Seed(2));
-        let spec = spec_for(&t, "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2");
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2",
+        );
         let (x, y) = choose_dimensions(&spec);
         assert_ne!(x, y);
         assert!(t.schema().index_of(&x).is_some());
@@ -220,8 +223,14 @@ mod tests {
             .collect();
         let summary = summarize(&spec, &packages, Some(2)).unwrap();
         assert_eq!(summary.glyphs.len(), 10);
-        assert!(summary.glyphs.iter().all(|g| (0.0..=1.0).contains(&g.x_norm)));
-        assert!(summary.glyphs.iter().all(|g| (0.0..=1.0).contains(&g.y_norm)));
+        assert!(summary
+            .glyphs
+            .iter()
+            .all(|g| (0.0..=1.0).contains(&g.x_norm)));
+        assert!(summary
+            .glyphs
+            .iter()
+            .all(|g| (0.0..=1.0).contains(&g.y_norm)));
         assert_eq!(summary.glyphs.iter().filter(|g| g.selected).count(), 1);
         assert!(summary.x_label.contains("protein"));
         // Raw coordinates must equal the package sums.

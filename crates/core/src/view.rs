@@ -1,0 +1,903 @@
+//! The columnar evaluation core: [`CandidateView`].
+//!
+//! Every evaluation strategy used to re-interpret PaQL aggregate expressions
+//! per tuple via `minidb::eval` against the base table — an expression-tree
+//! walk per member per neighbour per move. The view replaces that with a
+//! **columnar** representation built once per query:
+//!
+//! * for every distinct aggregate term referenced by the `SUCH THAT` formula
+//!   or the objective, a dense `f64` column over the candidate set (the
+//!   term's per-tuple contribution) plus an inclusion bitmask folding in the
+//!   `FILTER (WHERE ...)` predicate and NULL-ness of the argument;
+//! * the formula and objective recompiled against term indices
+//!   ([`CompiledExpr`] / [`CompiledFormula`]), so package-level evaluation is
+//!   a handful of dot products and comparisons with no AST in sight;
+//! * [`ViewState`], an incremental accumulator that scores multiplicity
+//!   deltas (swap / add / drop moves) in `O(#terms)` per move instead of
+//!   re-aggregating the whole package — the local search's inner loop.
+//!
+//! The interpreted path ([`Package::eval_aggregate`] and friends) survives as
+//! the debug oracle: `columnar_matches_interpreted` asserts agreement on
+//! random queries, and the property suite in `tests/columnar_oracle.rs`
+//! exercises both paths over every datagen scenario.
+
+use std::collections::BTreeMap;
+
+use minidb::eval::{eval, eval_predicate};
+use minidb::stats::TableStats;
+use minidb::{Table, TupleId};
+use paql::ast::GlobalArithOp;
+use paql::{AggCall, AggFunc, CmpOp, GlobalExpr, GlobalFormula, Objective, ObjectiveDirection};
+
+use crate::package::Package;
+use crate::PbResult;
+
+/// Penalty for constraints whose sides cannot be evaluated (NULL aggregate),
+/// identical to the interpreted path's constant.
+const UNEVALUABLE_PENALTY: f64 = 1e9;
+
+/// One aggregate term (`SUM(P.calories)`, `COUNT(*) FILTER (WHERE ...)`, …)
+/// lowered to columns over the candidate set.
+#[derive(Debug, Clone)]
+pub struct TermColumn {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Per-candidate contribution: the argument value (1.0 for `COUNT(*)`),
+    /// forced to 0.0 where the candidate is excluded so SUM/COUNT become
+    /// plain dot products with the multiplicity vector.
+    pub coeffs: Vec<f64>,
+    /// Per-candidate inclusion: the `FILTER` predicate passed and the
+    /// argument was non-NULL (always true for `COUNT(*)` modulo filter).
+    pub included: Vec<bool>,
+}
+
+/// Running aggregates of one term over one package.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TermAccum {
+    /// Multiplicity-weighted count of included members.
+    pub count: u64,
+    /// Multiplicity-weighted sum of included contributions.
+    pub sum: f64,
+    /// Number of *distinct* included members (drives SQL-NULL semantics and
+    /// MIN/MAX recomputation).
+    pub distinct: u32,
+}
+
+impl TermAccum {
+    fn zero() -> Self {
+        TermAccum {
+            count: 0,
+            sum: 0.0,
+            distinct: 0,
+        }
+    }
+}
+
+/// A global expression with aggregate calls resolved to term indices.
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    /// A literal constant.
+    Literal(f64),
+    /// The value of term `TermId`.
+    Term(usize),
+    /// Arithmetic over sub-expressions.
+    Binary {
+        /// The operator.
+        op: GlobalArithOp,
+        /// Left operand.
+        lhs: Box<CompiledExpr>,
+        /// Right operand.
+        rhs: Box<CompiledExpr>,
+    },
+}
+
+/// A compiled global constraint.
+#[derive(Debug, Clone)]
+pub struct CompiledConstraint {
+    /// Left side.
+    pub lhs: CompiledExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right side.
+    pub rhs: CompiledExpr,
+}
+
+/// A compiled `SUCH THAT` formula.
+#[derive(Debug, Clone)]
+pub enum CompiledFormula {
+    /// A single constraint.
+    Atom(CompiledConstraint),
+    /// Conjunction.
+    And(Box<CompiledFormula>, Box<CompiledFormula>),
+    /// Disjunction.
+    Or(Box<CompiledFormula>, Box<CompiledFormula>),
+    /// Negation.
+    Not(Box<CompiledFormula>),
+}
+
+/// The columnar form of a package query over its candidate set.
+///
+/// Built once inside [`crate::spec::PackageSpec::build`]; consumed by every
+/// [`crate::solver::Solver`]. The view owns everything a solver needs —
+/// candidates, multiplicity bound, term columns, compiled formula/objective,
+/// the original ASTs (for bound derivation and diagnostics) and candidate
+/// statistics — so solvers never touch the base table.
+#[derive(Debug, Clone)]
+pub struct CandidateView {
+    candidates: Vec<TupleId>,
+    max_multiplicity: u32,
+    terms: Vec<TermColumn>,
+    term_keys: Vec<AggCall>,
+    formula: Option<GlobalFormula>,
+    compiled_formula: Option<CompiledFormula>,
+    objective: Option<Objective>,
+    compiled_objective: Option<CompiledExpr>,
+    stats: TableStats,
+}
+
+impl CandidateView {
+    /// Lowers a query (candidates + formula + objective) into columns.
+    ///
+    /// Evaluation errors (non-numeric aggregate arguments, unknown columns)
+    /// surface here, once, instead of on every package evaluation.
+    pub fn build(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+    ) -> PbResult<Self> {
+        let schema = table.schema();
+        let rows: Vec<&minidb::Tuple> = candidates
+            .iter()
+            .map(|id| table.require(*id))
+            .collect::<Result<_, _>>()?;
+        let stats = TableStats::of_row_refs(schema, rows.iter().copied());
+
+        // Collect the distinct aggregate terms of the formula and objective.
+        let mut term_keys: Vec<AggCall> = Vec::new();
+        let mut intern = |call: &AggCall, keys: &mut Vec<AggCall>| -> usize {
+            match keys.iter().position(|k| k == call) {
+                Some(i) => i,
+                None => {
+                    keys.push(call.clone());
+                    keys.len() - 1
+                }
+            }
+        };
+        fn compile_expr(
+            expr: &GlobalExpr,
+            keys: &mut Vec<AggCall>,
+            intern: &mut impl FnMut(&AggCall, &mut Vec<AggCall>) -> usize,
+        ) -> CompiledExpr {
+            match expr {
+                GlobalExpr::Literal(x) => CompiledExpr::Literal(*x),
+                GlobalExpr::Agg(call) => CompiledExpr::Term(intern(call, keys)),
+                GlobalExpr::Binary { op, lhs, rhs } => CompiledExpr::Binary {
+                    op: *op,
+                    lhs: Box::new(compile_expr(lhs, keys, intern)),
+                    rhs: Box::new(compile_expr(rhs, keys, intern)),
+                },
+            }
+        }
+        fn compile_formula(
+            formula: &GlobalFormula,
+            keys: &mut Vec<AggCall>,
+            intern: &mut impl FnMut(&AggCall, &mut Vec<AggCall>) -> usize,
+        ) -> CompiledFormula {
+            match formula {
+                GlobalFormula::Atom(c) => CompiledFormula::Atom(CompiledConstraint {
+                    lhs: compile_expr(&c.lhs, keys, intern),
+                    op: c.op,
+                    rhs: compile_expr(&c.rhs, keys, intern),
+                }),
+                GlobalFormula::And(a, b) => CompiledFormula::And(
+                    Box::new(compile_formula(a, keys, intern)),
+                    Box::new(compile_formula(b, keys, intern)),
+                ),
+                GlobalFormula::Or(a, b) => CompiledFormula::Or(
+                    Box::new(compile_formula(a, keys, intern)),
+                    Box::new(compile_formula(b, keys, intern)),
+                ),
+                GlobalFormula::Not(a) => {
+                    CompiledFormula::Not(Box::new(compile_formula(a, keys, intern)))
+                }
+            }
+        }
+        let compiled_formula = formula
+            .as_ref()
+            .map(|f| compile_formula(f, &mut term_keys, &mut intern));
+        let compiled_objective = objective
+            .as_ref()
+            .map(|o| compile_expr(&o.expr, &mut term_keys, &mut intern));
+
+        // Materialize one column pair per term.
+        let mut terms = Vec::with_capacity(term_keys.len());
+        for call in &term_keys {
+            let mut coeffs = vec![0.0; candidates.len()];
+            let mut included = vec![false; candidates.len()];
+            for (i, tuple) in rows.iter().enumerate() {
+                if let Some(filter) = &call.filter {
+                    if !eval_predicate(filter, schema, tuple)? {
+                        continue;
+                    }
+                }
+                match &call.arg {
+                    None => {
+                        // COUNT(*): every filtered-in member contributes 1.
+                        coeffs[i] = 1.0;
+                        included[i] = true;
+                    }
+                    Some(arg) => {
+                        let v = eval(arg, schema, tuple)?;
+                        if v.is_null() {
+                            // NULL arguments are skipped for every aggregate
+                            // (COUNT(expr) included), matching SQL.
+                            continue;
+                        }
+                        let value = v.expect_f64(&format!("argument of {}", call.func.name()))?;
+                        // COUNT(expr) counts included members: its linear
+                        // coefficient is 1, not the argument's value.
+                        coeffs[i] = if call.func == AggFunc::Count {
+                            1.0
+                        } else {
+                            value
+                        };
+                        included[i] = true;
+                    }
+                }
+            }
+            terms.push(TermColumn {
+                func: call.func,
+                coeffs,
+                included,
+            });
+        }
+
+        Ok(CandidateView {
+            candidates,
+            max_multiplicity,
+            terms,
+            term_keys,
+            formula,
+            compiled_formula,
+            objective,
+            compiled_objective,
+            stats,
+        })
+    }
+
+    /// The candidate tuples, in id order.
+    pub fn candidates(&self) -> &[TupleId] {
+        &self.candidates
+    }
+
+    /// Number of candidates (`n` in the paper's complexity discussion).
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Maximum multiplicity of a tuple in a package (from `REPEAT`).
+    pub fn max_multiplicity(&self) -> u32 {
+        self.max_multiplicity
+    }
+
+    /// The original `SUCH THAT` formula, if any.
+    pub fn formula(&self) -> Option<&GlobalFormula> {
+        self.formula.as_ref()
+    }
+
+    /// The original objective, if any.
+    pub fn objective(&self) -> Option<&Objective> {
+        self.objective.as_ref()
+    }
+
+    /// The objective direction (`Maximize` when absent, matching the
+    /// engine-wide default).
+    pub fn direction(&self) -> ObjectiveDirection {
+        self.objective
+            .as_ref()
+            .map(|o| o.direction)
+            .unwrap_or(ObjectiveDirection::Maximize)
+    }
+
+    /// The compiled formula.
+    pub fn compiled_formula(&self) -> Option<&CompiledFormula> {
+        self.compiled_formula.as_ref()
+    }
+
+    /// The compiled objective expression.
+    pub fn compiled_objective(&self) -> Option<&CompiledExpr> {
+        self.compiled_objective.as_ref()
+    }
+
+    /// The aggregate terms, indexed by the ids in compiled expressions.
+    pub fn terms(&self) -> &[TermColumn] {
+        &self.terms
+    }
+
+    /// The source aggregate call of each term.
+    pub fn term_keys(&self) -> &[AggCall] {
+        &self.term_keys
+    }
+
+    /// Statistics over the candidate tuples (drives cardinality pruning and
+    /// the greedy heuristics).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Index of a tuple within the candidate set (candidates are in id
+    /// order, so this is a binary search).
+    pub fn index_of(&self, tuple: TupleId) -> Option<usize> {
+        self.candidates.binary_search(&tuple).ok()
+    }
+
+    /// Lowers a package onto the candidate index space; `None` when some
+    /// member is not a candidate (i.e. the package violates a base
+    /// constraint).
+    pub fn project(&self, package: &Package) -> Option<ViewState<'_>> {
+        let mut state = ViewState::empty(self);
+        for (tid, mult) in package.members() {
+            let idx = self.index_of(tid)?;
+            state.apply(idx, mult as i64);
+        }
+        Some(state)
+    }
+
+    /// True when `package` is a valid answer: every member is a candidate,
+    /// multiplicities respect `REPEAT`, and the formula holds.
+    pub fn is_valid(&self, package: &Package) -> bool {
+        if package.max_multiplicity() > self.max_multiplicity {
+            return false;
+        }
+        match self.project(package) {
+            None => false,
+            Some(state) => state.is_feasible(),
+        }
+    }
+
+    /// Objective value of a package (`None` when the query has no objective,
+    /// the objective is un-evaluable, or the package strays outside the
+    /// candidate set).
+    pub fn objective_value(&self, package: &Package) -> Option<f64> {
+        self.project(package)?.objective_value()
+    }
+
+    /// Total constraint violation of a package (0 when feasible). Packages
+    /// containing non-candidates get the un-evaluable penalty per atom.
+    pub fn violation(&self, package: &Package) -> f64 {
+        match self.project(package) {
+            Some(state) => state.violation(),
+            None => UNEVALUABLE_PENALTY,
+        }
+    }
+}
+
+/// Incremental package accumulator over a [`CandidateView`].
+///
+/// Holds the multiplicity multiset (by candidate index) and the running
+/// [`TermAccum`] per term, so evaluating a candidate move is `O(#terms)` —
+/// plus an `O(|package|)` rescan only for MIN/MAX terms, which have no
+/// constant-time delta. This is the structure behind the local search's
+/// delta evaluation of swap moves.
+#[derive(Debug, Clone)]
+pub struct ViewState<'v> {
+    view: &'v CandidateView,
+    members: BTreeMap<usize, u32>,
+    accums: Vec<TermAccum>,
+    cardinality: u64,
+}
+
+impl<'v> ViewState<'v> {
+    /// The empty package.
+    pub fn empty(view: &'v CandidateView) -> Self {
+        ViewState {
+            view,
+            members: BTreeMap::new(),
+            accums: vec![TermAccum::zero(); view.terms.len()],
+            cardinality: 0,
+        }
+    }
+
+    /// The view this state accumulates over.
+    pub fn view(&self) -> &'v CandidateView {
+        self.view
+    }
+
+    /// Total cardinality (counting multiplicities).
+    pub fn cardinality(&self) -> u64 {
+        self.cardinality
+    }
+
+    /// Multiplicity of the candidate at `idx`.
+    pub fn multiplicity(&self, idx: usize) -> u32 {
+        self.members.get(&idx).copied().unwrap_or(0)
+    }
+
+    /// Distinct member indices, ascending.
+    pub fn member_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// Applies a multiplicity delta to one candidate (delta may be negative;
+    /// multiplicities clamp at zero).
+    pub fn apply(&mut self, idx: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let old = self.multiplicity(idx);
+        let new = (old as i64 + delta).max(0) as u32;
+        if new == old {
+            return;
+        }
+        if new == 0 {
+            self.members.remove(&idx);
+        } else {
+            self.members.insert(idx, new);
+        }
+        let applied = new as i64 - old as i64;
+        self.cardinality = (self.cardinality as i64 + applied) as u64;
+        for (term, accum) in self.view.terms.iter().zip(self.accums.iter_mut()) {
+            if !term.included[idx] {
+                continue;
+            }
+            accum.count = (accum.count as i64 + applied) as u64;
+            accum.sum += term.coeffs[idx] * applied as f64;
+            if old == 0 {
+                accum.distinct += 1;
+            } else if new == 0 {
+                accum.distinct -= 1;
+            }
+        }
+    }
+
+    /// Converts the accumulated multiset back into a [`Package`].
+    pub fn to_package(&self) -> Package {
+        Package::from_members(
+            self.members
+                .iter()
+                .map(|(&idx, &m)| (self.view.candidates[idx], m)),
+        )
+    }
+
+    /// The value of one term under the current accumulators, with the exact
+    /// NULL semantics of the interpreted path.
+    pub fn term_value(&self, term_id: usize) -> Option<f64> {
+        let term = &self.view.terms[term_id];
+        let accum = &self.accums[term_id];
+        match term.func {
+            AggFunc::Count => Some(accum.count as f64),
+            AggFunc::Sum => (accum.distinct > 0).then_some(accum.sum),
+            AggFunc::Avg => (accum.count > 0).then(|| accum.sum / accum.count as f64),
+            AggFunc::Min | AggFunc::Max => self.min_max(term_id),
+        }
+    }
+
+    /// MIN/MAX over the distinct included members (multiplicity-independent,
+    /// like the interpreted path). `O(|package|)` — there is no constant-time
+    /// delta for extrema.
+    fn min_max(&self, term_id: usize) -> Option<f64> {
+        let term = &self.view.terms[term_id];
+        let mut best: Option<f64> = None;
+        for &idx in self.members.keys() {
+            if !term.included[idx] {
+                continue;
+            }
+            let v = term.coeffs[idx];
+            best = Some(match (best, term.func) {
+                (None, _) => v,
+                (Some(b), AggFunc::Min) => b.min(v),
+                (Some(b), _) => b.max(v),
+            });
+        }
+        best
+    }
+
+    /// Evaluates a compiled expression; `None` on NULL sub-aggregates or
+    /// division by zero (SQL semantics, identical to the interpreted path).
+    pub fn eval_expr(&self, expr: &CompiledExpr) -> Option<f64> {
+        match expr {
+            CompiledExpr::Literal(x) => Some(*x),
+            CompiledExpr::Term(id) => self.term_value(*id),
+            CompiledExpr::Binary { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs)?;
+                let b = self.eval_expr(rhs)?;
+                match op {
+                    GlobalArithOp::Add => Some(a + b),
+                    GlobalArithOp::Sub => Some(a - b),
+                    GlobalArithOp::Mul => Some(a * b),
+                    GlobalArithOp::Div => (b != 0.0).then_some(a / b),
+                }
+            }
+        }
+    }
+
+    fn constraint_satisfied(&self, c: &CompiledConstraint) -> bool {
+        match (self.eval_expr(&c.lhs), self.eval_expr(&c.rhs)) {
+            (Some(a), Some(b)) => c.op.compare(a, b),
+            _ => false,
+        }
+    }
+
+    fn formula_satisfied(&self, f: &CompiledFormula) -> bool {
+        match f {
+            CompiledFormula::Atom(c) => self.constraint_satisfied(c),
+            CompiledFormula::And(a, b) => self.formula_satisfied(a) && self.formula_satisfied(b),
+            CompiledFormula::Or(a, b) => self.formula_satisfied(a) || self.formula_satisfied(b),
+            CompiledFormula::Not(a) => !self.formula_satisfied(a),
+        }
+    }
+
+    fn constraint_violation(&self, c: &CompiledConstraint) -> f64 {
+        let (a, b) = match (self.eval_expr(&c.lhs), self.eval_expr(&c.rhs)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return UNEVALUABLE_PENALTY,
+        };
+        match c.op {
+            CmpOp::Eq => (a - b).abs(),
+            CmpOp::NotEq => {
+                if c.op.compare(a, b) {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            CmpOp::Lt | CmpOp::LtEq => (a - b).max(0.0),
+            CmpOp::Gt | CmpOp::GtEq => (b - a).max(0.0),
+        }
+    }
+
+    fn formula_violation(&self, f: &CompiledFormula) -> f64 {
+        match f {
+            CompiledFormula::Atom(c) => self.constraint_violation(c),
+            CompiledFormula::And(a, b) => self.formula_violation(a) + self.formula_violation(b),
+            CompiledFormula::Or(a, b) => self.formula_violation(a).min(self.formula_violation(b)),
+            CompiledFormula::Not(a) => {
+                if self.formula_satisfied(a) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// True when the formula holds (multiplicity bounds are checked by the
+    /// caller — the state clamps to the candidate space by construction).
+    pub fn is_feasible(&self) -> bool {
+        if self
+            .members
+            .values()
+            .any(|&m| m > self.view.max_multiplicity)
+        {
+            return false;
+        }
+        match &self.view.compiled_formula {
+            None => true,
+            Some(f) => self.formula_satisfied(f),
+        }
+    }
+
+    /// Total violation (0 when feasible).
+    pub fn violation(&self) -> f64 {
+        match &self.view.compiled_formula {
+            None => 0.0,
+            Some(f) => self.formula_violation(f),
+        }
+    }
+
+    /// Objective value (`None` when absent or un-evaluable).
+    pub fn objective_value(&self) -> Option<f64> {
+        let expr = self.view.compiled_objective.as_ref()?;
+        self.eval_expr(expr)
+    }
+
+    /// `(violation, objective)` — the lexicographic score the local search
+    /// hill-climbs on.
+    pub fn score(&self) -> (f64, Option<f64>) {
+        (self.violation(), self.objective_value())
+    }
+
+    /// Scores the state *as if* `changes` (candidate index, multiplicity
+    /// delta) were applied, without mutating it. This is the delta evaluation
+    /// behind swap moves: `O(#terms · #changes)` plus a member rescan for
+    /// MIN/MAX terms only.
+    pub fn score_with(&self, changes: &[(usize, i64)]) -> (f64, Option<f64>) {
+        let mut scratch = Scratch {
+            base: self,
+            changes,
+        };
+        (scratch.violation(), scratch.objective_value())
+    }
+}
+
+/// A lightweight "state + pending changes" overlay used by
+/// [`ViewState::score_with`]. Term accumulators are adjusted on the fly;
+/// membership queries consult the overlay first.
+struct Scratch<'s, 'v> {
+    base: &'s ViewState<'v>,
+    changes: &'s [(usize, i64)],
+}
+
+impl Scratch<'_, '_> {
+    fn multiplicity(&self, idx: usize) -> u32 {
+        let mut m = self.base.multiplicity(idx) as i64;
+        for &(i, d) in self.changes {
+            if i == idx {
+                m += d;
+            }
+        }
+        m.max(0) as u32
+    }
+
+    fn accum(&self, term_id: usize) -> TermAccum {
+        let term = &self.base.view.terms[term_id];
+        let mut accum = self.base.accums[term_id];
+        // Process each distinct index once (repeated deltas to one candidate
+        // — k=2 moves may touch the same index twice — are netted through
+        // `multiplicity`). Move vectors are tiny, so the quadratic
+        // first-occurrence scan beats any allocation.
+        for (pos, &(idx, _)) in self.changes.iter().enumerate() {
+            if self.changes[..pos].iter().any(|&(i, _)| i == idx) {
+                continue;
+            }
+            if !term.included[idx] {
+                continue;
+            }
+            let old = self.base.multiplicity(idx);
+            let new = self.multiplicity(idx);
+            let applied = new as i64 - old as i64;
+            if applied == 0 {
+                continue;
+            }
+            accum.count = (accum.count as i64 + applied) as u64;
+            accum.sum += term.coeffs[idx] * applied as f64;
+            if old == 0 && new > 0 {
+                accum.distinct += 1;
+            } else if old > 0 && new == 0 {
+                accum.distinct -= 1;
+            }
+        }
+        accum
+    }
+
+    fn term_value(&mut self, term_id: usize) -> Option<f64> {
+        let term = &self.base.view.terms[term_id];
+        let accum = self.accum(term_id);
+        match term.func {
+            AggFunc::Count => Some(accum.count as f64),
+            AggFunc::Sum => (accum.distinct > 0).then_some(accum.sum),
+            AggFunc::Avg => (accum.count > 0).then(|| accum.sum / accum.count as f64),
+            AggFunc::Min | AggFunc::Max => self.min_max(term_id),
+        }
+    }
+
+    /// MIN/MAX rescan over base members plus changed indices.
+    fn min_max(&self, term_id: usize) -> Option<f64> {
+        let term = &self.base.view.terms[term_id];
+        let mut best: Option<f64> = None;
+        let mut consider = |idx: usize, mult: u32| {
+            if mult == 0 || !term.included[idx] {
+                return;
+            }
+            let v = term.coeffs[idx];
+            best = Some(match (best, term.func) {
+                (None, _) => v,
+                (Some(b), AggFunc::Min) => b.min(v),
+                (Some(b), _) => b.max(v),
+            });
+        };
+        for (&idx, &m) in &self.base.members {
+            if self.changes.iter().any(|&(i, _)| i == idx) {
+                continue; // handled below with the overlay multiplicity
+            }
+            consider(idx, m);
+        }
+        for &(idx, _) in self.changes {
+            consider(idx, self.multiplicity(idx));
+        }
+        best
+    }
+
+    fn eval_expr(&mut self, expr: &CompiledExpr) -> Option<f64> {
+        match expr {
+            CompiledExpr::Literal(x) => Some(*x),
+            CompiledExpr::Term(id) => self.term_value(*id),
+            CompiledExpr::Binary { op, lhs, rhs } => {
+                let a = self.eval_expr(lhs)?;
+                let b = self.eval_expr(rhs)?;
+                match op {
+                    GlobalArithOp::Add => Some(a + b),
+                    GlobalArithOp::Sub => Some(a - b),
+                    GlobalArithOp::Mul => Some(a * b),
+                    GlobalArithOp::Div => (b != 0.0).then_some(a / b),
+                }
+            }
+        }
+    }
+
+    fn constraint_violation(&mut self, c: &CompiledConstraint) -> f64 {
+        let (a, b) = match (self.eval_expr(&c.lhs), self.eval_expr(&c.rhs)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return UNEVALUABLE_PENALTY,
+        };
+        match c.op {
+            CmpOp::Eq => (a - b).abs(),
+            CmpOp::NotEq => {
+                if c.op.compare(a, b) {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            CmpOp::Lt | CmpOp::LtEq => (a - b).max(0.0),
+            CmpOp::Gt | CmpOp::GtEq => (b - a).max(0.0),
+        }
+    }
+
+    fn constraint_satisfied(&mut self, c: &CompiledConstraint) -> bool {
+        match (self.eval_expr(&c.lhs), self.eval_expr(&c.rhs)) {
+            (Some(a), Some(b)) => c.op.compare(a, b),
+            _ => false,
+        }
+    }
+
+    fn formula_satisfied(&mut self, f: &CompiledFormula) -> bool {
+        match f {
+            CompiledFormula::Atom(c) => self.constraint_satisfied(c),
+            CompiledFormula::And(a, b) => self.formula_satisfied(a) && self.formula_satisfied(b),
+            CompiledFormula::Or(a, b) => self.formula_satisfied(a) || self.formula_satisfied(b),
+            CompiledFormula::Not(a) => !self.formula_satisfied(a),
+        }
+    }
+
+    fn formula_violation(&mut self, f: &CompiledFormula) -> f64 {
+        match f {
+            CompiledFormula::Atom(c) => self.constraint_violation(c),
+            CompiledFormula::And(a, b) => self.formula_violation(a) + self.formula_violation(b),
+            CompiledFormula::Or(a, b) => self.formula_violation(a).min(self.formula_violation(b)),
+            CompiledFormula::Not(a) => {
+                if self.formula_satisfied(a) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    fn violation(&mut self) -> f64 {
+        let base = self.base;
+        match &base.view.compiled_formula {
+            None => 0.0,
+            Some(f) => self.formula_violation(f),
+        }
+    }
+
+    fn objective_value(&mut self) -> Option<f64> {
+        let base = self.base;
+        let expr = base.view.compiled_objective.as_ref()?;
+        self.eval_expr(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{recipes, Seed};
+    use paql::compile;
+
+    fn view_for(table: &Table, q: &str) -> CandidateView {
+        let analyzed = compile(q, table.schema()).unwrap();
+        let spec = crate::spec::PackageSpec::build(&analyzed, table).unwrap();
+        spec.view().clone()
+    }
+
+    const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn terms_are_deduplicated_across_formula_and_objective() {
+        let t = recipes(50, Seed(1));
+        let v = view_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT SUM(P.protein) >= 10 AND SUM(P.protein) <= 500 MAXIMIZE SUM(P.protein)",
+        );
+        assert_eq!(
+            v.terms().len(),
+            1,
+            "one distinct SUM(protein) term expected"
+        );
+    }
+
+    #[test]
+    fn columnar_matches_interpreted_on_the_meal_query() {
+        let t = recipes(120, Seed(2));
+        let v = view_for(&t, MEAL_QUERY);
+        let spec_formula = v.formula().unwrap().clone();
+        let objective = v.objective().unwrap().clone();
+        for skip in 0..20 {
+            let p = Package::from_ids(v.candidates().iter().copied().skip(skip).take(3));
+            let interp_violation = p.formula_violation(&t, &spec_formula).unwrap();
+            let interp_obj = p.objective_value(&t, &objective).unwrap();
+            assert!((v.violation(&p) - interp_violation).abs() < 1e-9);
+            assert_eq!(v.objective_value(&p), interp_obj);
+            assert_eq!(v.is_valid(&p), interp_violation == 0.0);
+        }
+    }
+
+    #[test]
+    fn delta_scores_match_full_recomputation() {
+        let t = recipes(100, Seed(3));
+        let v = view_for(&t, MEAL_QUERY);
+        let base = Package::from_ids(v.candidates().iter().copied().take(3));
+        let state = v.project(&base).unwrap();
+        // Swap member 0 out for each other candidate and compare the delta
+        // score with a from-scratch projection.
+        for inn in 3..v.candidate_count().min(30) {
+            let (dv, dobj) = state.score_with(&[(0, -1), (inn, 1)]);
+            let mut moved = state.clone();
+            moved.apply(0, -1);
+            moved.apply(inn, 1);
+            let fresh = v.project(&moved.to_package()).unwrap();
+            let (fv, fobj) = fresh.score();
+            assert!((dv - fv).abs() < 1e-9, "violation delta mismatch at {inn}");
+            match (dobj, fobj) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn membership_outside_candidates_is_invalid() {
+        let t = recipes(60, Seed(4));
+        let v = view_for(&t, MEAL_QUERY);
+        let outsider = (0..60u32)
+            .map(TupleId)
+            .find(|id| v.index_of(*id).is_none())
+            .expect("some recipe has gluten");
+        let p = Package::from_ids([v.candidates()[0], outsider]);
+        assert!(!v.is_valid(&p));
+        assert!(v.objective_value(&p).is_none());
+        assert!(v.violation(&p) >= UNEVALUABLE_PENALTY);
+    }
+
+    #[test]
+    fn min_max_terms_rescan_correctly() {
+        let t = recipes(40, Seed(5));
+        let v = view_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 2 AND MIN(P.calories) >= 100 MAXIMIZE MAX(P.protein)",
+        );
+        let ids: Vec<TupleId> = v.candidates().to_vec();
+        let p = Package::from_ids(ids.iter().copied().take(2));
+        let state = v.project(&p).unwrap();
+        let formula = v.formula().unwrap().clone();
+        let objective = v.objective().unwrap().clone();
+        assert!((state.violation() - p.formula_violation(&t, &formula).unwrap()).abs() < 1e-9);
+        assert_eq!(
+            state.objective_value(),
+            p.objective_value(&t, &objective).unwrap()
+        );
+        // Delta path for MIN/MAX: swap and compare against the oracle.
+        let (dv, dobj) = state.score_with(&[(0, -1), (2, 1)]);
+        let q = Package::from_ids([ids[1], ids[2]]);
+        assert!((dv - q.formula_violation(&t, &formula).unwrap()).abs() < 1e-9);
+        assert_eq!(dobj, q.objective_value(&t, &objective).unwrap());
+    }
+
+    #[test]
+    fn empty_package_semantics_match_sql() {
+        let t = recipes(30, Seed(6));
+        let v = view_for(&t, MEAL_QUERY);
+        let empty = Package::new();
+        // COUNT = 0, SUM = NULL → violation contains the un-evaluable penalty.
+        assert!(v.violation(&empty) >= 3.0); // COUNT(*) = 3 violated by 3
+        assert_eq!(v.objective_value(&empty), None);
+        assert!(!v.is_valid(&empty));
+    }
+}

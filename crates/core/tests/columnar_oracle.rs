@@ -1,0 +1,244 @@
+//! Property tests: the columnar [`CandidateView`] path agrees with the
+//! interpreted oracle on every scenario.
+//!
+//! The refactor routed `objective_value`, `violation` and `is_valid` through
+//! precomputed columns. The interpreted expression-tree path
+//! ([`Package::formula_violation`], [`Package::satisfies`],
+//! [`Package::objective_value`]) is kept as the oracle; these properties
+//! assert bit-for-bit-close agreement across random queries over all four
+//! datagen scenarios (recipes, stocks, travel, synthetic) and random
+//! packages, including FILTER terms, non-linear aggregates, REPEAT
+//! multiplicities and empty packages.
+
+use minidb::{Table, TupleId};
+use packagebuilder::package::Package;
+use packagebuilder::spec::PackageSpec;
+use proptest::prelude::*;
+
+use datagen::{recipes, stocks, travel_options, uniform_table, zipf_table, Seed};
+
+/// The four datagen scenarios, with a numeric column pool and an optional
+/// categorical filter clause each.
+#[derive(Debug, Clone, Copy)]
+enum Scenario {
+    Recipes,
+    Stocks,
+    Travel,
+    Synthetic,
+}
+
+impl Scenario {
+    fn table(self, seed: u64) -> Table {
+        match self {
+            Scenario::Recipes => recipes(40, Seed(seed)),
+            Scenario::Stocks => stocks(40, Seed(seed)),
+            Scenario::Travel => travel_options(20, 15, 5, Seed(seed)),
+            Scenario::Synthetic => {
+                if seed.is_multiple_of(2) {
+                    uniform_table("t", 30, 2.0, 30.0, Seed(seed))
+                } else {
+                    zipf_table("t", 30, 1.3, 2.0, 30.0, Seed(seed))
+                }
+            }
+        }
+    }
+
+    fn relation(self) -> &'static str {
+        match self {
+            Scenario::Recipes => "recipes",
+            Scenario::Stocks => "stocks",
+            Scenario::Travel => "travel_options",
+            Scenario::Synthetic => "t",
+        }
+    }
+
+    fn columns(self) -> &'static [&'static str] {
+        match self {
+            Scenario::Recipes => &["calories", "protein", "fat", "price"],
+            Scenario::Stocks => &["price", "expected_return", "risk"],
+            Scenario::Travel => &["price", "comfort"],
+            Scenario::Synthetic => &["w", "v"],
+        }
+    }
+
+    /// A categorical FILTER clause, exercised on half the queries.
+    fn filter(self) -> Option<&'static str> {
+        match self {
+            Scenario::Recipes => Some("R.gluten = 'free'"),
+            Scenario::Stocks => Some("R.sector = 'technology'"),
+            Scenario::Travel => Some("R.kind = 'hotel'"),
+            Scenario::Synthetic => None,
+        }
+    }
+}
+
+const SCENARIOS: [Scenario; 4] = [
+    Scenario::Recipes,
+    Scenario::Stocks,
+    Scenario::Travel,
+    Scenario::Synthetic,
+];
+
+/// Builds a random PaQL query text for a scenario from drawn parameters.
+#[allow(clippy::too_many_arguments)]
+fn build_query(
+    scenario: Scenario,
+    count: u64,
+    col_a: usize,
+    col_b: usize,
+    agg_pick: usize,
+    lo: f64,
+    width: f64,
+    use_filter: bool,
+    repeat: Option<u32>,
+    minimize: bool,
+) -> String {
+    let rel = scenario.relation();
+    let cols = scenario.columns();
+    let a = cols[col_a % cols.len()];
+    let b = cols[col_b % cols.len()];
+    let agg = ["SUM", "AVG", "MIN", "MAX"][agg_pick % 4];
+    let repeat = repeat.map(|k| format!(" REPEAT {k}")).unwrap_or_default();
+    let filter = match (use_filter, scenario.filter()) {
+        (true, Some(f)) => format!(" FILTER (WHERE {f})"),
+        _ => String::new(),
+    };
+    let dir = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
+    format!(
+        "SELECT PACKAGE(R) AS P FROM {rel} R{repeat} \
+         SUCH THAT COUNT(*) <= {count} AND {agg}(P.{a}){filter} BETWEEN {lo:.2} AND {:.2} \
+         {dir} SUM(P.{b})",
+        lo + width
+    )
+}
+
+/// Draws a random package over the spec's candidates (possibly empty,
+/// possibly with repeated members up to the REPEAT bound).
+fn random_package(spec: &PackageSpec<'_>, picks: &[usize], mults: &[u32]) -> Package {
+    let mut p = Package::new();
+    for (pick, mult) in picks.iter().zip(mults) {
+        if spec.candidate_count() == 0 {
+            break;
+        }
+        let tid = spec.candidates[pick % spec.candidate_count()];
+        let m = (*mult).clamp(1, spec.max_multiplicity);
+        if p.multiplicity(tid) + m <= spec.max_multiplicity {
+            p.add(tid, m);
+        }
+    }
+    p
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Columnar objective, violation and validity agree with the interpreted
+    /// oracle on random queries and random packages across every scenario.
+    #[test]
+    fn columnar_matches_interpreted_oracle(
+        scenario_pick in 0usize..4,
+        seed in 0u64..5_000,
+        count in 1u64..5,
+        col_a in 0usize..4,
+        col_b in 0usize..4,
+        agg_pick in 0usize..4,
+        lo in 10.0f64..500.0,
+        width in 10.0f64..2000.0,
+        use_filter in prop::bool::ANY,
+        repeat in prop::option::of(2u32..4),
+        minimize in prop::bool::ANY,
+        picks in prop::collection::vec(0usize..64, 0..6),
+        mults in prop::collection::vec(1u32..4, 6),
+    ) {
+        let scenario = SCENARIOS[scenario_pick];
+        let table = scenario.table(seed);
+        let text = build_query(
+            scenario, count, col_a, col_b, agg_pick, lo, width, use_filter, repeat, minimize,
+        );
+        let analyzed = paql::compile(&text, table.schema()).expect("generated query compiles");
+        let spec = PackageSpec::build(&analyzed, &table).unwrap();
+        let package = random_package(&spec, &picks, &mults);
+
+        // Interpreted oracle.
+        let formula = spec.formula.as_ref().expect("query has a formula");
+        let objective = spec.objective.as_ref().expect("query has an objective");
+        let oracle_violation = package.formula_violation(&table, formula).unwrap();
+        let oracle_satisfied = package.satisfies(&table, formula).unwrap();
+        let oracle_objective = package.objective_value(&table, objective).unwrap();
+        let oracle_valid = oracle_satisfied
+            && package.max_multiplicity() <= spec.max_multiplicity
+            && package
+                .members()
+                .all(|(tid, _)| spec.candidates.binary_search(&tid).is_ok());
+
+        // Columnar path.
+        let view_violation = spec.violation(&package).unwrap();
+        let view_objective = spec.objective_value(&package).unwrap();
+        let view_valid = spec.is_valid(&package).unwrap();
+
+        prop_assert!(
+            close(view_violation, oracle_violation),
+            "violation mismatch on {:?}: columnar {} vs interpreted {} (query: {})",
+            scenario, view_violation, oracle_violation, text
+        );
+        match (view_objective, oracle_objective) {
+            (Some(a), Some(b)) => prop_assert!(
+                close(a, b),
+                "objective mismatch on {:?}: {} vs {} (query: {})", scenario, a, b, text
+            ),
+            (a, b) => prop_assert_eq!(a, b, "objective NULL-ness mismatch (query: {})", text),
+        }
+        prop_assert_eq!(view_valid, oracle_valid, "validity mismatch (query: {})", text);
+        // Feasibility and zero-violation must coincide for member-only packages.
+        prop_assert_eq!(oracle_satisfied, oracle_violation == 0.0);
+    }
+
+    /// Delta evaluation (`ViewState::score_with`) agrees with a from-scratch
+    /// projection after any single swap, across scenarios.
+    #[test]
+    fn delta_evaluation_matches_fresh_projection(
+        scenario_pick in 0usize..4,
+        seed in 0u64..5_000,
+        count in 2u64..5,
+        col_a in 0usize..4,
+        col_b in 0usize..4,
+        agg_pick in 0usize..4,
+        lo in 10.0f64..500.0,
+        width in 10.0f64..2000.0,
+        out_pick in 0usize..8,
+        in_pick in 0usize..64,
+    ) {
+        let scenario = SCENARIOS[scenario_pick];
+        let table = scenario.table(seed);
+        let text = build_query(
+            scenario, count, col_a, col_b, agg_pick, lo, width, false, None, false,
+        );
+        let analyzed = paql::compile(&text, table.schema()).unwrap();
+        let spec = PackageSpec::build(&analyzed, &table).unwrap();
+        let view = spec.view();
+        prop_assert!(view.candidate_count() >= 4);
+
+        let start: Vec<TupleId> = view.candidates().iter().copied().take(3).collect();
+        let state = view.project(&Package::from_ids(start)).unwrap();
+        let out = out_pick % 3;
+        let inn = in_pick % view.candidate_count();
+        let changes = [(out, -1i64), (inn, 1i64)];
+
+        let (delta_violation, delta_objective) = state.score_with(&changes);
+        let mut moved = state.clone();
+        moved.apply(out, -1);
+        moved.apply(inn, 1);
+        let fresh = view.project(&moved.to_package()).unwrap();
+
+        prop_assert!(close(delta_violation, fresh.violation()),
+            "delta violation {} vs fresh {} (query: {})", delta_violation, fresh.violation(), text);
+        match (delta_objective, fresh.objective_value()) {
+            (Some(a), Some(b)) => prop_assert!(close(a, b)),
+            (a, b) => prop_assert_eq!(a, b),
+        }
+    }
+}

@@ -38,7 +38,7 @@ proptest! {
         };
         let analyzed = paql::compile(&spec_query(count, lo, lo + width), table.schema()).unwrap();
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
-        let bounds = derive_bounds(&spec).clamp_to(n as u64);
+        let bounds = derive_bounds(spec.view()).clamp_to(n as u64);
 
         // Every feasible subset respects the cardinality bounds.
         for mask in 0u32..(1 << n) {
@@ -53,8 +53,8 @@ proptest! {
         }
 
         // Pruned and exhaustive enumeration agree.
-        let pruned = enumerate(&spec, EnumerationOptions { prune: true, ..Default::default() }).unwrap();
-        let full = enumerate(&spec, EnumerationOptions { prune: false, ..Default::default() }).unwrap();
+        let pruned = enumerate(spec.view(), EnumerationOptions { prune: true, ..Default::default() }).unwrap();
+        let full = enumerate(spec.view(), EnumerationOptions { prune: false, ..Default::default() }).unwrap();
         prop_assert_eq!(pruned.packages.is_empty(), full.packages.is_empty());
         if let (Some((_, a)), Some((_, b))) = (pruned.packages.first(), full.packages.first()) {
             prop_assert!((a.unwrap() - b.unwrap()).abs() < 1e-6);
@@ -72,8 +72,8 @@ proptest! {
         let t2 = uniform_table("t", n2, 1.0, 10.0, Seed(1));
         let s1 = PackageSpec::build(&paql::compile(q, t1.schema()).unwrap(), &t1).unwrap();
         let s2 = PackageSpec::build(&paql::compile(q, t2.schema()).unwrap(), &t2).unwrap();
-        let sp1 = search_space(&s1, &derive_bounds(&s1));
-        let sp2 = search_space(&s2, &derive_bounds(&s2));
+        let sp1 = search_space(s1.view(), &derive_bounds(s1.view()));
+        let sp2 = search_space(s2.view(), &derive_bounds(s2.view()));
         prop_assert!(sp1.pruned_log2.unwrap() <= sp1.unpruned_log2 + 1e-9);
         prop_assert!(sp2.pruned_log2.unwrap() <= sp2.unpruned_log2 + 1e-9);
         prop_assert!(sp2.unpruned_log2 > sp1.unpruned_log2);

@@ -1,0 +1,180 @@
+//! Every `Strategy` dispatches through the unified `Solver` trait: the
+//! engine's planner and a direct trait-object call must produce identical
+//! packages, objectives and `StrategyUsed` stats.
+
+use minidb::Catalog;
+use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::result::StrategyUsed;
+use packagebuilder::solver::{solver_for, SolveOptions};
+use packagebuilder::PackageEngine;
+
+use datagen::{recipes, Seed};
+
+const QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1200 MAXIMIZE SUM(P.protein)";
+
+fn engine(n: usize, seed: u64) -> PackageEngine {
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(n, Seed(seed)));
+    PackageEngine::new(catalog)
+}
+
+#[test]
+fn every_strategy_round_trips_through_the_solver_trait() {
+    let engine = engine(20, 1);
+    let query = paql::parse(QUERY).unwrap();
+    let spec = engine.build_spec(&query).unwrap();
+    let opts = SolveOptions::from_config(engine.config());
+
+    let cases = [
+        (Strategy::Ilp, StrategyUsed::Ilp),
+        (Strategy::PrunedEnumeration, StrategyUsed::PrunedEnumeration),
+        (Strategy::Exhaustive, StrategyUsed::Exhaustive),
+        (Strategy::LocalSearch, StrategyUsed::LocalSearch),
+        (Strategy::Greedy, StrategyUsed::Greedy),
+    ];
+    for (strategy, expected) in cases {
+        // Path 1: the engine planner.
+        let via_engine = engine.execute_with_strategy(&spec, strategy).unwrap();
+        // Path 2: the trait object, directly on the view.
+        let solver = solver_for(strategy).unwrap();
+        let via_trait = solver.solve(spec.view(), &opts).unwrap();
+
+        assert_eq!(
+            via_engine.stats.strategy, expected,
+            "engine stats for {strategy:?}"
+        );
+        assert_eq!(
+            via_trait.stats.strategy, expected,
+            "trait stats for {strategy:?}"
+        );
+        assert_eq!(solver.strategy(), expected);
+        let trait_packages: Vec<_> = via_trait.packages.iter().map(|(p, _)| p.clone()).collect();
+        assert_eq!(
+            via_engine.packages, trait_packages,
+            "planner and direct dispatch disagree for {strategy:?}"
+        );
+        assert_eq!(via_engine.objectives.len(), via_trait.packages.len());
+        for ((p, obj), engine_obj) in via_trait.packages.iter().zip(&via_engine.objectives) {
+            assert_eq!(obj, engine_obj);
+            assert!(
+                spec.is_valid(p).unwrap(),
+                "{strategy:?} returned an invalid package"
+            );
+        }
+        assert_eq!(via_engine.stats.candidates, spec.candidate_count());
+    }
+}
+
+#[test]
+fn auto_resolution_matches_the_forced_strategy() {
+    // Tiny input → Auto resolves to pruned enumeration; the result must be
+    // identical to forcing that strategy explicitly.
+    let engine = engine(15, 2);
+    let query = paql::parse(QUERY).unwrap();
+    let spec = engine.build_spec(&query).unwrap();
+    let auto = engine.execute_spec(&spec).unwrap();
+    let resolved = engine.resolve_strategy(&spec);
+    assert_eq!(resolved, Strategy::PrunedEnumeration);
+    let forced = engine.execute_with_strategy(&spec, resolved).unwrap();
+    assert_eq!(auto.packages, forced.packages);
+    assert_eq!(auto.stats.strategy, forced.stats.strategy);
+}
+
+#[test]
+fn exact_solvers_agree_and_heuristics_never_beat_them() {
+    let engine = engine(18, 3);
+    let query = paql::parse(QUERY).unwrap();
+    let spec = engine.build_spec(&query).unwrap();
+    let exact: Vec<f64> = [
+        Strategy::Ilp,
+        Strategy::PrunedEnumeration,
+        Strategy::Exhaustive,
+    ]
+    .into_iter()
+    .map(|s| {
+        engine
+            .execute_with_strategy(&spec, s)
+            .unwrap()
+            .best_objective()
+            .expect("feasible")
+    })
+    .collect();
+    assert!((exact[0] - exact[1]).abs() < 1e-6);
+    assert!((exact[0] - exact[2]).abs() < 1e-6);
+    for heuristic in [Strategy::LocalSearch, Strategy::Greedy] {
+        if let Some(h) = engine
+            .execute_with_strategy(&spec, heuristic)
+            .unwrap()
+            .best_objective()
+        {
+            assert!(h <= exact[0] + 1e-6, "{heuristic:?} beat the optimum");
+        }
+    }
+}
+
+#[test]
+fn count_expr_terms_linearize_as_inclusion_indicators() {
+    // Regression: COUNT(P.col) must contribute 0/1 coefficients to the ILP
+    // rows and the enumeration's partial-sum bounds — not the column's
+    // values. With value coefficients, ILP and pruned enumeration both
+    // returned empty results (marked optimal) while exhaustive found the
+    // optimum.
+    let engine = engine(12, 5);
+    let query = paql::parse(
+        "SELECT PACKAGE(R) AS P FROM recipes R \
+         SUCH THAT COUNT(P.calories) = 2 MAXIMIZE SUM(P.protein)",
+    )
+    .unwrap();
+    let spec = engine.build_spec(&query).unwrap();
+    let exhaustive = engine
+        .execute_with_strategy(&spec, Strategy::Exhaustive)
+        .unwrap();
+    let optimum = exhaustive
+        .best_objective()
+        .expect("a 2-recipe package exists");
+    for strategy in [Strategy::PrunedEnumeration, Strategy::Ilp] {
+        let result = engine.execute_with_strategy(&spec, strategy).unwrap();
+        let obj = result
+            .best_objective()
+            .unwrap_or_else(|| panic!("{strategy:?} found no package, exhaustive found {optimum}"));
+        assert!(
+            (obj - optimum).abs() < 1e-6,
+            "{strategy:?}: {obj} vs exhaustive {optimum}"
+        );
+    }
+    // A filtered COUNT(expr) behaves the same way.
+    let filtered = paql::parse(
+        "SELECT PACKAGE(R) AS P FROM recipes R \
+         SUCH THAT COUNT(P.calories) FILTER (WHERE R.gluten = 'free') = 1 AND COUNT(*) = 2 \
+         MAXIMIZE SUM(P.protein)",
+    )
+    .unwrap();
+    let spec = engine.build_spec(&filtered).unwrap();
+    let exhaustive = engine
+        .execute_with_strategy(&spec, Strategy::Exhaustive)
+        .unwrap();
+    let ilp = engine.execute_with_strategy(&spec, Strategy::Ilp).unwrap();
+    match (exhaustive.best_objective(), ilp.best_objective()) {
+        (Some(a), Some(b)) => assert!((a - b).abs() < 1e-6, "filtered COUNT(expr): {a} vs {b}"),
+        (a, b) => assert_eq!(a.is_some(), b.is_some(), "feasibility disagreement"),
+    }
+}
+
+#[test]
+fn strategy_overrides_via_config_flow_through_the_planner() {
+    for (strategy, expected) in [
+        (Strategy::LocalSearch, StrategyUsed::LocalSearch),
+        (Strategy::Greedy, StrategyUsed::Greedy),
+    ] {
+        let mut catalog = Catalog::new();
+        catalog.register(recipes(60, Seed(4)));
+        let engine = PackageEngine::with_config(catalog, EngineConfig::with_strategy(strategy));
+        let result = engine.execute_paql(QUERY).unwrap();
+        assert_eq!(result.stats.strategy, expected);
+        for p in &result.packages {
+            let spec = engine.build_spec(&paql::parse(QUERY).unwrap()).unwrap();
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+}

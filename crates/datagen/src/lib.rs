@@ -34,7 +34,9 @@ impl Seed {
     /// top-level seed are decorrelated.
     pub fn derive(&self, salt: u64) -> Seed {
         // SplitMix64 step.
-        let mut z = self.0.wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .0
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         Seed(z ^ (z >> 31))
@@ -62,7 +64,14 @@ mod tests {
     #[test]
     fn standard_catalog_contains_all_relations() {
         let c = standard_catalog(Seed::default());
-        for name in ["recipes", "flights", "hotels", "cars", "travel_options", "stocks"] {
+        for name in [
+            "recipes",
+            "flights",
+            "hotels",
+            "cars",
+            "travel_options",
+            "stocks",
+        ] {
             assert!(c.table(name).is_some(), "missing table {name}");
             assert!(!c.table(name).unwrap().is_empty());
         }

@@ -7,16 +7,63 @@ use rand::{Rng, SeedableRng};
 use crate::Seed;
 
 const COURSES: &[&str] = &["breakfast", "lunch", "dinner", "snack", "dessert"];
-const CUISINES: &[&str] = &["italian", "mexican", "indian", "japanese", "greek", "american", "thai"];
+const CUISINES: &[&str] = &[
+    "italian", "mexican", "indian", "japanese", "greek", "american", "thai",
+];
 const BASES: &[&str] = &[
-    "oatmeal", "omelette", "pancakes", "granola", "smoothie", "salad", "soup", "sandwich", "burrito",
-    "pasta", "risotto", "curry", "stir fry", "tacos", "pizza", "burger", "steak", "salmon", "tofu bowl",
-    "chili", "lasagna", "paella", "ramen", "poke bowl", "quiche", "stew", "kebab", "falafel wrap",
-    "sushi roll", "noodle soup", "fried rice", "grilled chicken", "casserole", "frittata", "gnocchi",
+    "oatmeal",
+    "omelette",
+    "pancakes",
+    "granola",
+    "smoothie",
+    "salad",
+    "soup",
+    "sandwich",
+    "burrito",
+    "pasta",
+    "risotto",
+    "curry",
+    "stir fry",
+    "tacos",
+    "pizza",
+    "burger",
+    "steak",
+    "salmon",
+    "tofu bowl",
+    "chili",
+    "lasagna",
+    "paella",
+    "ramen",
+    "poke bowl",
+    "quiche",
+    "stew",
+    "kebab",
+    "falafel wrap",
+    "sushi roll",
+    "noodle soup",
+    "fried rice",
+    "grilled chicken",
+    "casserole",
+    "frittata",
+    "gnocchi",
 ];
 const STYLES: &[&str] = &[
-    "classic", "spicy", "creamy", "light", "hearty", "smoky", "herbed", "roasted", "grilled", "baked",
-    "slow-cooked", "zesty", "garlic", "honey", "lemon", "peppered",
+    "classic",
+    "spicy",
+    "creamy",
+    "light",
+    "hearty",
+    "smoky",
+    "herbed",
+    "roasted",
+    "grilled",
+    "baked",
+    "slow-cooked",
+    "zesty",
+    "garlic",
+    "honey",
+    "lemon",
+    "peppered",
 ];
 
 /// The recipe schema used throughout the examples and benchmarks.
@@ -84,7 +131,11 @@ pub fn recipes(n: usize, seed: Seed) -> Table {
         let sugar = (carbs * rng.random_range(0.05..0.55)).round();
         let sodium = rng.random_range(40.0..1400.0_f64).round();
         let fiber = rng.random_range(0.0..14.0_f64).round();
-        let gluten = if rng.random_range(0.0..1.0) < 0.42 { "free" } else { "full" };
+        let gluten = if rng.random_range(0.0..1.0) < 0.42 {
+            "free"
+        } else {
+            "full"
+        };
         let vegetarian = rng.random_range(0.0..1.0) < 0.35;
         let prep_minutes = rng.random_range(5..90_i64);
         let price = (rng.random_range(1.5..18.0_f64) * 100.0).round() / 100.0;
@@ -135,13 +186,20 @@ mod tests {
         let cal = stats.column("calories").unwrap();
         assert!(cal.min >= 90.0);
         assert!(cal.max <= 1400.0);
-        assert!(cal.mean > 350.0 && cal.mean < 750.0, "mean was {}", cal.mean);
+        assert!(
+            cal.mean > 350.0 && cal.mean < 750.0,
+            "mean was {}",
+            cal.mean
+        );
         let gluten_free = t
             .rows()
             .iter()
             .filter(|r| r.values()[11] == Value::Text("free".into()))
             .count();
-        assert!(gluten_free > 250, "only {gluten_free} gluten-free recipes in 1000");
+        assert!(
+            gluten_free > 250,
+            "only {gluten_free} gluten-free recipes in 1000"
+        );
     }
 
     #[test]

@@ -7,7 +7,14 @@ use rand::{Rng, SeedableRng};
 use crate::Seed;
 
 const SECTORS: &[&str] = &[
-    "technology", "healthcare", "energy", "finance", "consumer", "industrial", "utilities", "materials",
+    "technology",
+    "healthcare",
+    "energy",
+    "finance",
+    "consumer",
+    "industrial",
+    "utilities",
+    "materials",
 ];
 const HORIZONS: &[&str] = &["short", "long"];
 

@@ -82,7 +82,10 @@ mod tests {
             .iter()
             .filter(|r| r.get_f64(s, "w").unwrap() < 500.0)
             .count();
-        assert!(below_mid > 1200, "zipf table should be skewed, got {below_mid}/2000 below midpoint");
+        assert!(
+            below_mid > 1200,
+            "zipf table should be skewed, got {below_mid}/2000 below midpoint"
+        );
     }
 
     #[test]

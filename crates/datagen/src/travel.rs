@@ -7,10 +7,27 @@ use rand::{Rng, SeedableRng};
 use crate::Seed;
 
 const DESTINATIONS: &[&str] = &[
-    "Cancun", "Honolulu", "Phuket", "Bali", "Malé", "Fiji", "Barbados", "Aruba", "Mauritius", "Tahiti",
+    "Cancun",
+    "Honolulu",
+    "Phuket",
+    "Bali",
+    "Malé",
+    "Fiji",
+    "Barbados",
+    "Aruba",
+    "Mauritius",
+    "Tahiti",
 ];
-const AIRLINES: &[&str] = &["AeroSol", "PacificJet", "TradeWinds", "IslandAir", "BlueLagoon"];
-const HOTEL_BRANDS: &[&str] = &["Palm", "Coral", "Lagoon", "Breeze", "Sunset", "Tide", "Reef"];
+const AIRLINES: &[&str] = &[
+    "AeroSol",
+    "PacificJet",
+    "TradeWinds",
+    "IslandAir",
+    "BlueLagoon",
+];
+const HOTEL_BRANDS: &[&str] = &[
+    "Palm", "Coral", "Lagoon", "Breeze", "Sunset", "Tide", "Reef",
+];
 const CAR_CLASSES: &[&str] = &["compact", "sedan", "suv", "convertible"];
 
 /// Flight schema.
@@ -74,7 +91,8 @@ pub fn flights(n: usize, seed: Seed) -> Table {
         let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
         let stops = rng.random_range(0..3_i64);
         let duration = rng.random_range(3.0..18.0_f64) + stops as f64 * 1.5;
-        let price = (250.0 + duration * rng.random_range(25.0..60.0) - stops as f64 * 80.0).max(120.0);
+        let price =
+            (250.0 + duration * rng.random_range(25.0..60.0) - stops as f64 * 80.0).max(120.0);
         t.insert(Tuple::new(vec![
             Value::Int(i as i64),
             Value::Text(format!("{airline} {:03}", rng.random_range(100..999))),

@@ -85,7 +85,11 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
         .collect();
 
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-    heap.push(Node { bounds: root_bounds, bound: f64::INFINITY, depth: 0 });
+    heap.push(Node {
+        bounds: root_bounds,
+        bound: f64::INFINITY,
+        depth: 0,
+    });
 
     let mut incumbent: Option<Solution> = None;
     let mut total_iterations = 0usize;
@@ -185,12 +189,20 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
                 if down >= lb - 1e-9 {
                     let mut b = node.bounds.clone();
                     b[i] = (lb, down);
-                    heap.push(Node { bounds: b, bound: bound_key(relax.objective), depth: node.depth + 1 });
+                    heap.push(Node {
+                        bounds: b,
+                        bound: bound_key(relax.objective),
+                        depth: node.depth + 1,
+                    });
                 }
                 if up <= ub + 1e-9 {
                     let mut b = node.bounds.clone();
                     b[i] = (up, ub);
-                    heap.push(Node { bounds: b, bound: bound_key(relax.objective), depth: node.depth + 1 });
+                    heap.push(Node {
+                        bounds: b,
+                        bound: bound_key(relax.objective),
+                        depth: node.depth + 1,
+                    });
                 }
             }
         }
@@ -200,7 +212,11 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
         Some(mut sol) => {
             sol.iterations = total_iterations;
             sol.nodes = nodes;
-            sol.status = if limit_hit { Status::LimitReached } else { Status::Optimal };
+            sol.status = if limit_hit {
+                Status::LimitReached
+            } else {
+                Status::Optimal
+            };
             Ok(sol)
         }
         None => {
@@ -242,8 +258,18 @@ mod tests {
         p.set_objective_coeff(a, 10.0);
         p.set_objective_coeff(b, 6.0);
         p.set_objective_coeff(c, 4.0);
-        p.add_constraint_terms("count", &[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
-        p.add_constraint_terms("weight", &[(a, 5.0), (b, 4.0), (c, 3.0)], ConstraintOp::Le, 7.0);
+        p.add_constraint_terms(
+            "count",
+            &[(a, 1.0), (b, 1.0), (c, 1.0)],
+            ConstraintOp::Le,
+            2.0,
+        );
+        p.add_constraint_terms(
+            "weight",
+            &[(a, 5.0), (b, 4.0), (c, 3.0)],
+            ConstraintOp::Le,
+            7.0,
+        );
         let s = solve_milp(&p, &cfg()).unwrap();
         assert!(s.status.is_optimal());
         // Integer optimum is 10, attained either by {a} (weight 5) or {b, c}
@@ -334,7 +360,11 @@ mod tests {
         }
         // A constraint that forces heavy branching: sum of 0.5-ish weights equal
         // to a value reachable only by specific subsets.
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + 0.01 * i as f64)).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + 0.01 * i as f64))
+            .collect();
         p.add_constraint_terms("tight", &terms, ConstraintOp::Eq, 3.03);
         let mut c = cfg();
         c.max_nodes = 1;
@@ -351,15 +381,23 @@ mod tests {
     #[test]
     fn larger_binary_packing_is_consistent_with_exhaustive_check() {
         // 15 items; verify the B&B optimum equals brute force.
-        let values = [7.0, 2.0, 9.0, 4.0, 6.0, 1.0, 8.0, 3.0, 5.0, 2.5, 7.5, 4.5, 6.5, 3.5, 1.5];
-        let weights = [3.0, 1.0, 4.0, 2.0, 3.0, 1.0, 4.0, 2.0, 3.0, 1.5, 3.5, 2.5, 3.0, 2.0, 1.0];
+        let values = [
+            7.0, 2.0, 9.0, 4.0, 6.0, 1.0, 8.0, 3.0, 5.0, 2.5, 7.5, 4.5, 6.5, 3.5, 1.5,
+        ];
+        let weights = [
+            3.0, 1.0, 4.0, 2.0, 3.0, 1.0, 4.0, 2.0, 3.0, 1.5, 3.5, 2.5, 3.0, 2.0, 1.0,
+        ];
         let cap = 10.0;
         let mut p = Problem::new(Sense::Maximize);
         let vars: Vec<_> = (0..15).map(|i| p.add_binary(format!("x{i}"))).collect();
         for (i, &v) in vars.iter().enumerate() {
             p.set_objective_coeff(v, values[i]);
         }
-        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, weights[i]))
+            .collect();
         p.add_constraint_terms("cap", &terms, ConstraintOp::Le, cap);
         let s = solve_milp(&p, &cfg()).unwrap();
 

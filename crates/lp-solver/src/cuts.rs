@@ -7,8 +7,8 @@
 //! constraint that excludes exactly the incumbent 0/1 assignment, so
 //! re-solving yields the next-best package.
 
-use crate::problem::{Constraint, ConstraintOp, Problem, VarId, VarType};
 use crate::expr::LinExpr;
+use crate::problem::{Constraint, ConstraintOp, Problem, VarId, VarType};
 use crate::solution::Solution;
 use crate::{LpError, LpResult};
 
@@ -87,7 +87,12 @@ mod tests {
         p.set_objective_coeff(a, 3.0);
         p.set_objective_coeff(b, 2.0);
         p.set_objective_coeff(c, 1.0);
-        p.add_constraint_terms("one", &[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Eq, 1.0);
+        p.add_constraint_terms(
+            "one",
+            &[(a, 1.0), (b, 1.0), (c, 1.0)],
+            ConstraintOp::Eq,
+            1.0,
+        );
         let cfg = SolverConfig::default();
 
         let s1 = solve(&p, &cfg).unwrap();
@@ -104,7 +109,10 @@ mod tests {
 
         add_no_good_cut(&mut p, &s3, &[a, b, c], "cut3").unwrap();
         let s4 = solve(&p, &cfg).unwrap();
-        assert!(!s4.status.has_solution(), "all assignments excluded → infeasible");
+        assert!(
+            !s4.status.has_solution(),
+            "all assignments excluded → infeasible"
+        );
     }
 
     #[test]

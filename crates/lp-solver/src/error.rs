@@ -24,7 +24,9 @@ impl fmt::Display for LpError {
             LpError::UnknownVariable(i) => write!(f, "unknown variable id {i}"),
             LpError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
-            LpError::NodeLimit => write!(f, "branch-and-bound node limit reached with no incumbent"),
+            LpError::NodeLimit => {
+                write!(f, "branch-and-bound node limit reached with no incumbent")
+            }
             LpError::Numerical(m) => write!(f, "numerical error: {m}"),
         }
     }
@@ -38,7 +40,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(LpError::InvalidProblem("lb > ub".into()).to_string().contains("lb > ub"));
-        assert_eq!(LpError::UnknownVariable(3).to_string(), "unknown variable id 3");
+        assert!(LpError::InvalidProblem("lb > ub".into())
+            .to_string()
+            .contains("lb > ub"));
+        assert_eq!(
+            LpError::UnknownVariable(3).to_string(),
+            "unknown variable id 3"
+        );
     }
 }

@@ -25,7 +25,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: f64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// The expression `coeff · var`.

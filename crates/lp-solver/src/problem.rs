@@ -136,7 +136,12 @@ impl Problem {
     /// Adds a variable and returns its id.
     pub fn add_var(&mut self, name: impl Into<String>, ty: VarType, lb: f64, ub: f64) -> VarId {
         let id = VarId(self.variables.len());
-        self.variables.push(Variable { name: name.into(), ty, lb, ub });
+        self.variables.push(Variable {
+            name: name.into(),
+            ty,
+            lb,
+            ub,
+        });
         self.objective.push(0.0);
         id
     }
@@ -295,11 +300,7 @@ impl Problem {
 
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(values)
-            .map(|(c, x)| c * x)
-            .sum()
+        self.objective.iter().zip(values).map(|(c, x)| c * x).sum()
     }
 
     /// Whether `values` satisfies every constraint and variable bound.

@@ -16,6 +16,10 @@
 //! pricing is used by default, with a switch to Bland's rule after a long run
 //! of degenerate pivots to guarantee termination.
 
+// Dense matrix kernels index flat `binv[pos * m + k]` storage; rewriting the
+// row/column loops as iterator chains obscures the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::LpError;
 use crate::problem::{ConstraintOp, Problem, Sense, VarType};
 use crate::solution::{Solution, Status};
@@ -92,7 +96,9 @@ impl Tableau {
                 }
             }
             if best < PIVOT_TOL {
-                return Err(LpError::Numerical("singular basis during refactorization".into()));
+                return Err(LpError::Numerical(
+                    "singular basis during refactorization".into(),
+                ));
             }
             if piv != col {
                 for k in 0..m {
@@ -232,7 +238,11 @@ impl Tableau {
 
         // Ratio test. Basic values move by -t·delta·w.
         let entering_range = self.ub[q] - self.lb[q];
-        let mut t_max = if entering_range.is_finite() { entering_range } else { f64::INFINITY };
+        let mut t_max = if entering_range.is_finite() {
+            entering_range
+        } else {
+            f64::INFINITY
+        };
         let mut leaving: Option<(usize, bool)> = None; // (basis position, hits_lower)
         for pos in 0..m {
             let wi = w[pos];
@@ -278,7 +288,9 @@ impl Tableau {
             return if phase_two {
                 Ok(IterOutcome::Unbounded)
             } else {
-                Err(LpError::Numerical("phase-1 objective unbounded below".into()))
+                Err(LpError::Numerical(
+                    "phase-1 objective unbounded below".into(),
+                ))
             };
         }
 
@@ -301,7 +313,11 @@ impl Tableau {
         match leaving {
             None => {
                 // Bound flip of the entering variable: no basis change.
-                self.status[q] = if increasing { ColStatus::AtUpper } else { ColStatus::AtLower };
+                self.status[q] = if increasing {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
                 Ok(IterOutcome::Continue)
             }
             Some((pos, hits_lower)) => {
@@ -628,7 +644,13 @@ fn solve_unconstrained(
             Sense::Minimize => -c,
         };
         // Push towards the bound that improves the objective.
-        let target = if effective > 0.0 { ub } else if effective < 0.0 { lb } else { lb.max(0.0).min(ub) };
+        let target = if effective > 0.0 {
+            ub
+        } else if effective < 0.0 {
+            lb
+        } else {
+            lb.max(0.0).min(ub)
+        };
         if !target.is_finite() {
             if effective != 0.0 {
                 return Ok(Solution::status_only(Status::Unbounded));
@@ -698,7 +720,11 @@ mod tests {
         p.add_constraint_terms("ym", &[(y, 1.0)], ConstraintOp::Ge, 3.0);
         let s = solve_lp(&p, None, &cfg()).unwrap();
         assert!(s.status.is_optimal());
-        assert!((s.objective - 23.0).abs() < 1e-6, "objective was {}", s.objective);
+        assert!(
+            (s.objective - 23.0).abs() < 1e-6,
+            "objective was {}",
+            s.objective
+        );
         assert!((s.value(x) - 7.0).abs() < 1e-6);
         assert!((s.value(y) - 3.0).abs() < 1e-6);
     }
@@ -806,12 +832,26 @@ mod tests {
         p.set_objective_coeff(a, 10.0);
         p.set_objective_coeff(b, 6.0);
         p.set_objective_coeff(c, 4.0);
-        p.add_constraint_terms("count", &[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
-        p.add_constraint_terms("weight", &[(a, 5.0), (b, 4.0), (c, 3.0)], ConstraintOp::Le, 7.0);
+        p.add_constraint_terms(
+            "count",
+            &[(a, 1.0), (b, 1.0), (c, 1.0)],
+            ConstraintOp::Le,
+            2.0,
+        );
+        p.add_constraint_terms(
+            "weight",
+            &[(a, 5.0), (b, 4.0), (c, 3.0)],
+            ConstraintOp::Le,
+            7.0,
+        );
         let s = solve_lp(&p, None, &cfg()).unwrap();
         assert!(s.status.is_optimal());
         // a = 1, b = 0.5, c = 0 → 13; or a = 1, c = 2/3 → 12.67; optimum is 13.
-        assert!((s.objective - 13.0).abs() < 1e-6, "objective was {}", s.objective);
+        assert!(
+            (s.objective - 13.0).abs() < 1e-6,
+            "objective was {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -836,7 +876,11 @@ mod tests {
         assert!(p.is_feasible(&s.values, 1e-6));
         // 10 items of value 6 fit (weight of value-6 items is 1 + (i mod 5) — at
         // least ten of them have total weight ≤ 50), so the optimum is 60.
-        assert!((s.objective - 60.0).abs() < 1e-5, "objective was {}", s.objective);
+        assert!(
+            (s.objective - 60.0).abs() < 1e-5,
+            "objective was {}",
+            s.objective
+        );
     }
 
     #[test]

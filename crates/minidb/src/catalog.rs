@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn register_and_lookup_is_case_insensitive() {
         let mut c = Catalog::new();
-        c.register(Table::new("Recipes", Schema::build(&[("x", ColumnType::Int)])));
+        c.register(Table::new(
+            "Recipes",
+            Schema::build(&[("x", ColumnType::Int)]),
+        ));
         assert!(c.table("recipes").is_some());
         assert!(c.table("RECIPES").is_some());
         assert!(c.require("meals").is_err());

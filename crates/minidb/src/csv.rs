@@ -212,10 +212,7 @@ salad,210,6.5,free,true
     #[test]
     fn quoted_fields_preserve_commas() {
         let t = read_table_str("recipes", SAMPLE).unwrap();
-        assert_eq!(
-            t.rows()[1].values()[0],
-            Value::Text("pasta, fresh".into())
-        );
+        assert_eq!(t.rows()[1].values()[0], Value::Text("pasta, fresh".into()));
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl fmt::Display for DbError {
             DbError::SchemaError(m) => write!(f, "schema error: {m}"),
             DbError::TypeError(m) => write!(f, "type error: {m}"),
             DbError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} values, found {found}"
+                )
             }
             DbError::CsvError(m) => write!(f, "csv error: {m}"),
             DbError::EvalError(m) => write!(f, "evaluation error: {m}"),
@@ -46,9 +49,16 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(DbError::UnknownColumn("x".into()).to_string(), "unknown column 'x'");
         assert_eq!(
-            DbError::ArityMismatch { expected: 3, found: 2 }.to_string(),
+            DbError::UnknownColumn("x".into()).to_string(),
+            "unknown column 'x'"
+        );
+        assert_eq!(
+            DbError::ArityMismatch {
+                expected: 3,
+                found: 2
+            }
+            .to_string(),
             "arity mismatch: expected 3 values, found 2"
         );
     }

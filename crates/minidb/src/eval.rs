@@ -18,10 +18,7 @@ pub fn eval(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<Value> {
                 Some(i) => i,
                 None => schema.require(strip_qualifier(name))?,
             };
-            Ok(tuple
-                .get(idx)
-                .cloned()
-                .unwrap_or(Value::Null))
+            Ok(tuple.get(idx).cloned().unwrap_or(Value::Null))
         }
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Binary { op, lhs, rhs } => {
@@ -45,7 +42,9 @@ pub fn eval(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<Value> {
                     Value::Null => Value::Null,
                     other => match other.as_bool() {
                         Some(b) => Value::Bool(!b),
-                        None => return Err(DbError::TypeError(format!("cannot apply NOT to {other}"))),
+                        None => {
+                            return Err(DbError::TypeError(format!("cannot apply NOT to {other}")))
+                        }
                     },
                 }),
             }
@@ -64,7 +63,11 @@ pub fn eval(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<Value> {
             let both = eval_binary(BinaryOp::And, &ge, &le)?;
             negate_if(both, *negated)
         }
-        Expr::InList { expr, list, negated } => {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, schema, tuple)?;
             if v.is_null() {
                 return Ok(Value::Null);
@@ -97,7 +100,9 @@ pub fn eval(expr: &Expr, schema: &Schema, tuple: &Tuple) -> DbResult<Value> {
             match v {
                 Value::Null => Ok(Value::Null),
                 Value::Text(s) => negate_if(Value::Bool(like_match(&s, pattern)), *negated),
-                other => Err(DbError::TypeError(format!("LIKE requires a text value, got {other}"))),
+                other => Err(DbError::TypeError(format!(
+                    "LIKE requires a text value, got {other}"
+                ))),
             }
         }
     }
@@ -250,10 +255,22 @@ mod tests {
 
     #[test]
     fn three_valued_and_or() {
-        assert_eq!(three_valued_and(&Value::Null, &Value::Bool(false)), Value::Bool(false));
-        assert_eq!(three_valued_and(&Value::Null, &Value::Bool(true)), Value::Null);
-        assert_eq!(three_valued_or(&Value::Null, &Value::Bool(true)), Value::Bool(true));
-        assert_eq!(three_valued_or(&Value::Null, &Value::Bool(false)), Value::Null);
+        assert_eq!(
+            three_valued_and(&Value::Null, &Value::Bool(false)),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            three_valued_and(&Value::Null, &Value::Bool(true)),
+            Value::Null
+        );
+        assert_eq!(
+            three_valued_or(&Value::Null, &Value::Bool(true)),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            three_valued_or(&Value::Null, &Value::Bool(false)),
+            Value::Null
+        );
     }
 
     #[test]

@@ -6,12 +6,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryOp {
     /// `+`
     Add,
@@ -44,13 +42,21 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 
     /// True for `+ - * /`.
     pub fn is_arithmetic(&self) -> bool {
-        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+        )
     }
 
     /// True for `AND` / `OR`.
@@ -84,7 +90,7 @@ impl fmt::Display for BinaryOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnaryOp {
     /// Logical negation.
     Not,
@@ -93,7 +99,7 @@ pub enum UnaryOp {
 }
 
 /// A scalar expression evaluated against one tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Reference to a column by name (optionally qualified, e.g. `R.calories`;
     /// the qualifier is stripped during analysis).
@@ -227,7 +233,9 @@ impl Expr {
                 rhs.visit_columns(f);
             }
             Expr::Unary { expr, .. } => expr.visit_columns(f),
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.visit_columns(f);
                 low.visit_columns(f);
                 high.visit_columns(f);
@@ -268,7 +276,11 @@ impl Expr {
                 high: Box::new(high.map_columns(rename)),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(expr.map_columns(rename)),
                 list: list.iter().map(|e| e.map_columns(rename)).collect(),
                 negated: *negated,
@@ -297,8 +309,14 @@ impl fmt::Display for Expr {
             Expr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
-            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
-            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{expr})"),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "(NOT {expr})"),
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "(-{expr})"),
             Expr::Between {
                 expr,
                 low,
@@ -309,7 +327,11 @@ impl fmt::Display for Expr {
                 "({expr} {}BETWEEN {low} AND {high})",
                 if *negated { "NOT " } else { "" }
             ),
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
                 write!(
                     f,
@@ -348,8 +370,13 @@ mod tests {
 
     #[test]
     fn referenced_columns_dedups_and_sorts() {
-        let e = Expr::col("b").eq(Expr::lit(1)).and(Expr::col("a").eq(Expr::col("b")));
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        let e = Expr::col("b")
+            .eq(Expr::lit(1))
+            .and(Expr::col("a").eq(Expr::col("b")));
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Relation {
 
     /// An empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -175,7 +178,13 @@ pub fn aggregate(
 
     let mut columns: Vec<Column> = group_by
         .iter()
-        .map(|g| input.schema.column(g).cloned().expect("group key resolved above"))
+        .map(|g| {
+            input
+                .schema
+                .column(g)
+                .cloned()
+                .expect("group key resolved above")
+        })
         .collect();
     for a in aggregates {
         let ty = match a.func {
@@ -212,10 +221,9 @@ fn compute_aggregate(a: &Aggregate, schema: &Schema, rows: &[&Tuple]) -> DbResul
             }
         }
         AggFunc::Sum | AggFunc::Avg => {
-            let e = a
-                .expr
-                .as_ref()
-                .ok_or_else(|| DbError::EvalError(format!("{} requires an expression", a.func.name())))?;
+            let e = a.expr.as_ref().ok_or_else(|| {
+                DbError::EvalError(format!("{} requires an expression", a.func.name()))
+            })?;
             let mut sum = 0.0;
             let mut n = 0usize;
             for row in rows {
@@ -234,10 +242,9 @@ fn compute_aggregate(a: &Aggregate, schema: &Schema, rows: &[&Tuple]) -> DbResul
             }
         }
         AggFunc::Min | AggFunc::Max => {
-            let e = a
-                .expr
-                .as_ref()
-                .ok_or_else(|| DbError::EvalError(format!("{} requires an expression", a.func.name())))?;
+            let e = a.expr.as_ref().ok_or_else(|| {
+                DbError::EvalError(format!("{} requires an expression", a.func.name()))
+            })?;
             let mut best: Option<Value> = None;
             for row in rows {
                 let v = eval(e, schema, row)?;
@@ -284,7 +291,11 @@ pub fn sort(input: &Relation, keys: &[(String, SortOrder)]) -> DbResult<Relation
     rows.sort_by(|a, b| {
         for (idx, order) in &resolved {
             let ord = a.values()[*idx].total_cmp(&b.values()[*idx]);
-            let ord = if *order == SortOrder::Desc { ord.reverse() } else { ord };
+            let ord = if *order == SortOrder::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
             if !ord.is_eq() {
                 return ord;
             }
@@ -296,7 +307,10 @@ pub fn sort(input: &Relation, keys: &[(String, SortOrder)]) -> DbResult<Relation
 
 /// Keeps only the first `n` rows.
 pub fn limit(input: &Relation, n: usize) -> Relation {
-    Relation::new(input.schema.clone(), input.rows.iter().take(n).cloned().collect())
+    Relation::new(
+        input.schema.clone(),
+        input.rows.iter().take(n).cloned().collect(),
+    )
 }
 
 #[cfg(test)]
@@ -331,7 +345,11 @@ mod tests {
                 ("name".to_string(), Expr::col("name")),
                 (
                     "cal_per_protein".to_string(),
-                    Expr::binary(crate::expr::BinaryOp::Div, Expr::col("calories"), Expr::col("protein")),
+                    Expr::binary(
+                        crate::expr::BinaryOp::Div,
+                        Expr::col("calories"),
+                        Expr::col("protein"),
+                    ),
                 ),
             ],
         )
@@ -364,7 +382,11 @@ mod tests {
             crate::expr::BinaryOp::LtEq,
             Expr::binary(
                 crate::expr::BinaryOp::Add,
-                Expr::binary(crate::expr::BinaryOp::Sub, Expr::lit(3000.0), Expr::col("calories")),
+                Expr::binary(
+                    crate::expr::BinaryOp::Sub,
+                    Expr::lit(3000.0),
+                    Expr::col("calories"),
+                ),
                 Expr::col("R.calories"),
             ),
             Expr::lit(2600.0),
@@ -386,11 +408,31 @@ mod tests {
             &rel,
             &[],
             &[
-                Aggregate { name: "n".into(), func: AggFunc::Count, expr: None },
-                Aggregate { name: "total_cal".into(), func: AggFunc::Sum, expr: Some(Expr::col("calories")) },
-                Aggregate { name: "avg_protein".into(), func: AggFunc::Avg, expr: Some(Expr::col("protein")) },
-                Aggregate { name: "min_cal".into(), func: AggFunc::Min, expr: Some(Expr::col("calories")) },
-                Aggregate { name: "max_cal".into(), func: AggFunc::Max, expr: Some(Expr::col("calories")) },
+                Aggregate {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    expr: None,
+                },
+                Aggregate {
+                    name: "total_cal".into(),
+                    func: AggFunc::Sum,
+                    expr: Some(Expr::col("calories")),
+                },
+                Aggregate {
+                    name: "avg_protein".into(),
+                    func: AggFunc::Avg,
+                    expr: Some(Expr::col("protein")),
+                },
+                Aggregate {
+                    name: "min_cal".into(),
+                    func: AggFunc::Min,
+                    expr: Some(Expr::col("calories")),
+                },
+                Aggregate {
+                    name: "max_cal".into(),
+                    func: AggFunc::Max,
+                    expr: Some(Expr::col("calories")),
+                },
             ],
         )
         .unwrap();
@@ -408,7 +450,11 @@ mod tests {
         let out = aggregate(
             &rel,
             &["gluten".to_string()],
-            &[Aggregate { name: "n".into(), func: AggFunc::Count, expr: None }],
+            &[Aggregate {
+                name: "n".into(),
+                func: AggFunc::Count,
+                expr: None,
+            }],
         )
         .unwrap();
         assert_eq!(out.len(), 2);
@@ -424,8 +470,16 @@ mod tests {
             &rel,
             &[],
             &[
-                Aggregate { name: "n".into(), func: AggFunc::Count, expr: None },
-                Aggregate { name: "s".into(), func: AggFunc::Sum, expr: Some(Expr::col("x")) },
+                Aggregate {
+                    name: "n".into(),
+                    func: AggFunc::Count,
+                    expr: None,
+                },
+                Aggregate {
+                    name: "s".into(),
+                    func: AggFunc::Sum,
+                    expr: Some(Expr::col("x")),
+                },
             ],
         )
         .unwrap();

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DbError;
 use crate::value::Value;
 use crate::DbResult;
 
 /// The declared type of a column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// Boolean column.
     Bool,
@@ -25,14 +23,14 @@ impl ColumnType {
     /// Whether a value is admissible in a column of this type.
     /// NULL is admissible everywhere; ints are admissible in float columns.
     pub fn admits(&self, value: &Value) -> bool {
-        match (self, value) {
-            (_, Value::Null) => true,
-            (ColumnType::Bool, Value::Bool(_)) => true,
-            (ColumnType::Int, Value::Int(_)) => true,
-            (ColumnType::Float, Value::Float(_) | Value::Int(_)) => true,
-            (ColumnType::Text, Value::Text(_)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, value),
+            (_, Value::Null)
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_) | Value::Int(_))
+                | (ColumnType::Text, Value::Text(_))
+        )
     }
 
     /// True for `Int` and `Float`.
@@ -54,7 +52,7 @@ impl fmt::Display for ColumnType {
 }
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (unique within a schema, case-insensitive lookup).
     pub name: String,
@@ -65,12 +63,15 @@ pub struct Column {
 impl Column {
     /// Creates a new column definition.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
 /// An ordered list of columns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }

@@ -77,11 +77,19 @@ pub struct TableStats {
 impl TableStats {
     /// Computes statistics over all rows of `table`.
     pub fn of_table(table: &Table) -> Self {
-        Self::of_rows(table.schema(), table.rows())
+        Self::of_row_refs(table.schema(), table.rows().iter())
     }
 
     /// Computes statistics over an explicit row slice.
     pub fn of_rows(schema: &Schema, rows: &[Tuple]) -> Self {
+        Self::of_row_refs(schema, rows.iter())
+    }
+
+    /// Computes statistics over borrowed rows in one pass, without
+    /// materializing a row vector. This is the path the engine uses to
+    /// profile candidate sets: callers stream `&Tuple` references straight
+    /// out of the table instead of cloning every candidate row.
+    pub fn of_row_refs<'t>(schema: &Schema, rows: impl IntoIterator<Item = &'t Tuple>) -> Self {
         let mut columns: BTreeMap<String, ColumnStats> = schema
             .columns()
             .iter()
@@ -95,13 +103,18 @@ impl TableStats {
             .filter(|(_, c)| c.ty.is_numeric())
             .map(|(i, c)| (i, c.name.to_ascii_lowercase()))
             .collect();
+        let mut row_count = 0usize;
         for row in rows {
+            row_count += 1;
             for (idx, name) in &numeric_idx {
                 let v = row.get(*idx).and_then(|v| v.as_f64());
                 columns.get_mut(name).expect("initialized above").observe(v);
             }
         }
-        TableStats { columns, rows: rows.len() }
+        TableStats {
+            columns,
+            rows: row_count,
+        }
     }
 
     /// Number of rows the statistics were computed over.
@@ -144,8 +157,12 @@ mod tests {
         let mut t = Table::new("recipes", schema);
         t.insert(tuple!("a", 100.0, 5.0)).unwrap();
         t.insert(tuple!("b", 300.0, 20.0)).unwrap();
-        t.insert(Tuple::new(vec![Value::Text("c".into()), Value::Null, Value::Float(10.0)]))
-            .unwrap();
+        t.insert(Tuple::new(vec![
+            Value::Text("c".into()),
+            Value::Null,
+            Value::Float(10.0),
+        ]))
+        .unwrap();
         t
     }
 
@@ -168,6 +185,21 @@ mod tests {
         assert_eq!(cal.sum, 400.0);
         assert_eq!(cal.mean, 200.0);
         assert_eq!(s.row_count(), 3);
+    }
+
+    #[test]
+    fn borrowed_row_stats_match_owned_rows() {
+        let t = table();
+        let owned = TableStats::of_rows(t.schema(), t.rows());
+        let subset: Vec<&Tuple> = t.rows().iter().take(2).collect();
+        let borrowed = TableStats::of_row_refs(t.schema(), subset);
+        assert_eq!(owned.row_count(), 3);
+        assert_eq!(borrowed.row_count(), 2);
+        assert_eq!(borrowed.column("calories").unwrap().max, 300.0);
+        assert_eq!(
+            owned.column("calories").unwrap().sum,
+            TableStats::of_table(&t).column("calories").unwrap().sum
+        );
     }
 
     #[test]

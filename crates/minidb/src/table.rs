@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DbError;
 use crate::schema::Schema;
 use crate::tuple::{Tuple, TupleId};
@@ -14,7 +12,7 @@ use crate::DbResult;
 /// Tuples are identified by their insertion index ([`TupleId`]), which the
 /// package engine uses as the decision-variable index in ILP translation and
 /// as the element identity in packages.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
@@ -74,7 +72,10 @@ impl Table {
     }
 
     /// Appends many tuples.
-    pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, tuples: I) -> DbResult<Vec<TupleId>> {
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(
+        &mut self,
+        tuples: I,
+    ) -> DbResult<Vec<TupleId>> {
         tuples.into_iter().map(|t| self.insert(t)).collect()
     }
 
@@ -85,8 +86,12 @@ impl Table {
 
     /// Tuple by id, erroring when absent.
     pub fn require(&self, id: TupleId) -> DbResult<&Tuple> {
-        self.get(id)
-            .ok_or_else(|| DbError::EvalError(format!("tuple {id} does not exist in table '{}'", self.name)))
+        self.get(id).ok_or_else(|| {
+            DbError::EvalError(format!(
+                "tuple {id} does not exist in table '{}'",
+                self.name
+            ))
+        })
     }
 
     /// All rows in insertion order.
@@ -187,7 +192,10 @@ mod tests {
     fn insert_assigns_sequential_ids() {
         let t = recipes();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.get(TupleId(1)).unwrap().values()[0], Value::Text("pasta".into()));
+        assert_eq!(
+            t.get(TupleId(1)).unwrap().values()[0],
+            Value::Text("pasta".into())
+        );
         assert!(t.get(TupleId(9)).is_none());
     }
 
@@ -216,7 +224,10 @@ mod tests {
         let t = recipes();
         let s = t.subset("gluten_free", &[TupleId(2), TupleId(0)]).unwrap();
         assert_eq!(s.len(), 2);
-        assert_eq!(s.get(TupleId(0)).unwrap().values()[0], Value::Text("salad".into()));
+        assert_eq!(
+            s.get(TupleId(0)).unwrap().values()[0],
+            Value::Text("salad".into())
+        );
     }
 
     #[test]

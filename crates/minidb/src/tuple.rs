@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::schema::Schema;
 use crate::value::Value;
 use crate::DbResult;
@@ -12,7 +10,7 @@ use crate::DbResult;
 ///
 /// Package results reference tuples by `TupleId`, so packages stay cheap to
 /// copy and compare regardless of tuple width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TupleId(pub u32);
 
 impl TupleId {
@@ -30,7 +28,7 @@ impl fmt::Display for TupleId {
 
 /// A row of values. A tuple on its own does not know its schema; the owning
 /// [`crate::Table`] validates values against the schema on insertion.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tuple {
     values: Vec<Value>,
 }

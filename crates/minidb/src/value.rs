@@ -3,8 +3,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DbError;
 use crate::DbResult;
 
@@ -14,7 +12,7 @@ use crate::DbResult;
 /// flights, hotels, stocks) only need numbers, strings, booleans and NULL.
 /// Numeric values keep their integer/float distinction for display purposes
 /// but compare and aggregate through [`Value::as_f64`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,
@@ -54,8 +52,9 @@ impl Value {
 
     /// Numeric view or an error mentioning `ctx`.
     pub fn expect_f64(&self, ctx: &str) -> DbResult<f64> {
-        self.as_f64()
-            .ok_or_else(|| DbError::TypeError(format!("expected a numeric value in {ctx}, got {self}")))
+        self.as_f64().ok_or_else(|| {
+            DbError::TypeError(format!("expected a numeric value in {ctx}, got {self}"))
+        })
     }
 
     /// Boolean view of the value, if it has one. SQL three-valued logic is
@@ -198,7 +197,10 @@ fn numeric_binop(a: &Value, b: &Value, op: &str, f: impl Fn(f64, f64) -> f64) ->
     let r = f(x, y);
     // Preserve integer-ness when both inputs are integers and the result is
     // exactly representable.
-    if matches!(a, Value::Int(_)) && matches!(b, Value::Int(_)) && r.fract() == 0.0 && r.abs() < 2f64.powi(53)
+    if matches!(a, Value::Int(_))
+        && matches!(b, Value::Int(_))
+        && r.fract() == 0.0
+        && r.abs() < 2f64.powi(53)
     {
         Ok(Value::Int(r as i64))
     } else {
@@ -216,7 +218,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -287,7 +289,10 @@ mod tests {
     #[test]
     fn numeric_coercion_between_int_and_float() {
         assert_eq!(Value::Int(2), Value::Float(2.0));
-        assert_eq!(Value::Int(3).add(&Value::Float(0.5)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            Value::Int(3).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(3.5)
+        );
         assert_eq!(Value::Int(3).add(&Value::Int(4)).unwrap(), Value::Int(7));
     }
 
@@ -303,7 +308,10 @@ mod tests {
         assert_eq!(Value::Null.sql_eq(&Value::Null), None);
         assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
         assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
-        assert_eq!(Value::Text("a".into()).sql_eq(&Value::Text("b".into())), Some(false));
+        assert_eq!(
+            Value::Text("a".into()).sql_eq(&Value::Text("b".into())),
+            Some(false)
+        );
     }
 
     #[test]

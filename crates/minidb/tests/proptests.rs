@@ -20,7 +20,8 @@ fn numeric_table(rows: Vec<(f64, f64)>) -> Table {
     let schema = Schema::build(&[("w", ColumnType::Float), ("v", ColumnType::Float)]);
     let mut t = Table::new("t", schema);
     for (w, v) in rows {
-        t.insert(Tuple::new(vec![Value::Float(w), Value::Float(v)])).unwrap();
+        t.insert(Tuple::new(vec![Value::Float(w), Value::Float(v)]))
+            .unwrap();
     }
     t
 }
@@ -36,7 +37,7 @@ proptest! {
         // Antisymmetry.
         prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
         // Transitivity via sort.
-        let mut v = vec![a.clone(), b.clone(), c.clone()];
+        let mut v = [a.clone(), b.clone(), c.clone()];
         v.sort();
         for w in v.windows(2) {
             prop_assert_ne!(w[0].total_cmp(&w[1]), Ordering::Greater);

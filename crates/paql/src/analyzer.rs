@@ -66,7 +66,10 @@ impl<'a> Binder<'a> {
         if let Some(a) = &query.relation_alias {
             valid_qualifiers.push(a.to_ascii_lowercase());
         }
-        Binder { schema, valid_qualifiers }
+        Binder {
+            schema,
+            valid_qualifiers,
+        }
     }
 
     /// Resolves one (possibly qualified) column name to a bare schema column.
@@ -147,7 +150,11 @@ impl<'a> Binder<'a> {
             None => None,
             Some(p) => Some(self.bind_expr(p, &format!("{ctx} FILTER"))?),
         };
-        Ok(AggCall { func: call.func, arg, filter })
+        Ok(AggCall {
+            func: call.func,
+            arg,
+            filter,
+        })
     }
 
     fn bind_global_expr(&self, expr: &GlobalExpr, ctx: &str) -> PaqlResult<GlobalExpr> {
@@ -212,7 +219,10 @@ mod tests {
         let atoms = a.global_formula().unwrap().atoms();
         match &atoms[1].lhs {
             GlobalExpr::Agg(call) => {
-                assert_eq!(call.arg.as_ref().unwrap().referenced_columns(), vec!["calories".to_string()]);
+                assert_eq!(
+                    call.arg.as_ref().unwrap().referenced_columns(),
+                    vec!["calories".to_string()]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -224,7 +234,10 @@ mod tests {
         let err = analyze(&q, &recipe_schema()).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("sugar"));
-        assert!(msg.contains("calories"), "should list available columns: {msg}");
+        assert!(
+            msg.contains("calories"),
+            "should list available columns: {msg}"
+        );
     }
 
     #[test]

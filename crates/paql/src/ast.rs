@@ -118,12 +118,20 @@ pub enum GlobalExpr {
 impl GlobalExpr {
     /// Convenience constructor for `func(column)`.
     pub fn agg(func: AggFunc, column: &str) -> GlobalExpr {
-        GlobalExpr::Agg(AggCall { func, arg: Some(Expr::col(column)), filter: None })
+        GlobalExpr::Agg(AggCall {
+            func,
+            arg: Some(Expr::col(column)),
+            filter: None,
+        })
     }
 
     /// Convenience constructor for `COUNT(*)`.
     pub fn count_star() -> GlobalExpr {
-        GlobalExpr::Agg(AggCall { func: AggFunc::Count, arg: None, filter: None })
+        GlobalExpr::Agg(AggCall {
+            func: AggFunc::Count,
+            arg: None,
+            filter: None,
+        })
     }
 
     /// All aggregate calls appearing in the expression.
@@ -385,7 +393,10 @@ mod tests {
             rhs: GlobalExpr::Literal(2000.0),
         };
         assert_eq!(c.to_string(), "SUM(P.calories) >= 2000");
-        let obj = Objective { direction: ObjectiveDirection::Maximize, expr: GlobalExpr::agg(AggFunc::Sum, "P.protein") };
+        let obj = Objective {
+            direction: ObjectiveDirection::Maximize,
+            expr: GlobalExpr::agg(AggFunc::Sum, "P.protein"),
+        };
         assert_eq!(obj.to_string(), "MAXIMIZE SUM(P.protein)");
     }
 
@@ -401,7 +412,10 @@ mod tests {
             objective: None,
         };
         assert_eq!(q.max_multiplicity(), 1);
-        let q2 = PaqlQuery { repeat: Some(3), ..q };
+        let q2 = PaqlQuery {
+            repeat: Some(3),
+            ..q
+        };
         assert_eq!(q2.max_multiplicity(), 3);
     }
 }

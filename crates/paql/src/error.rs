@@ -29,7 +29,11 @@ impl PaqlError {
         match self {
             PaqlError::Semantic(m) => format!("semantic error: {m}"),
             PaqlError::Lex { message, offset } | PaqlError::Parse { message, offset } => {
-                let kind = if matches!(self, PaqlError::Lex { .. }) { "lexical" } else { "syntax" };
+                let kind = if matches!(self, PaqlError::Lex { .. }) {
+                    "lexical"
+                } else {
+                    "syntax"
+                };
                 let offset = (*offset).min(source.len());
                 let before = &source[..offset];
                 let line_no = before.matches('\n').count() + 1;
@@ -53,8 +57,12 @@ impl PaqlError {
 impl fmt::Display for PaqlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PaqlError::Lex { message, offset } => write!(f, "lexical error at offset {offset}: {message}"),
-            PaqlError::Parse { message, offset } => write!(f, "syntax error at offset {offset}: {message}"),
+            PaqlError::Lex { message, offset } => {
+                write!(f, "lexical error at offset {offset}: {message}")
+            }
+            PaqlError::Parse { message, offset } => {
+                write!(f, "syntax error at offset {offset}: {message}")
+            }
             PaqlError::Semantic(m) => write!(f, "semantic error: {m}"),
         }
     }
@@ -69,7 +77,10 @@ mod tests {
     #[test]
     fn render_points_at_the_offending_column() {
         let src = "SELECT PACKAGE(R) AS P\nFROM Recipes R WHERE ???";
-        let err = PaqlError::Parse { message: "unexpected token".into(), offset: src.find("???").unwrap() };
+        let err = PaqlError::Parse {
+            message: "unexpected token".into(),
+            offset: src.find("???").unwrap(),
+        };
         let rendered = err.render(src);
         assert!(rendered.contains("line 2"));
         assert!(rendered.contains('^'));

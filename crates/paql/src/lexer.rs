@@ -13,7 +13,10 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
         // Decode the character at `i` properly so multi-byte UTF-8 input is
         // either tokenized (inside string literals) or rejected with a clean
         // error instead of a slicing panic.
-        let c = source[i..].chars().next().expect("i is always on a char boundary");
+        let c = source[i..]
+            .chars()
+            .next()
+            .expect("i is always on a char boundary");
         let start = i;
         match c {
             c if c.is_whitespace() => {
@@ -26,67 +29,115 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
                 }
             }
             '(' => {
-                tokens.push(SpannedToken { token: Token::LParen, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedToken { token: Token::RParen, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedToken { token: Token::Comma, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(SpannedToken { token: Token::Dot, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(SpannedToken { token: Token::Plus, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(SpannedToken { token: Token::Minus, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(SpannedToken { token: Token::Star, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(SpannedToken { token: Token::Slash, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(SpannedToken { token: Token::Eq, offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(SpannedToken { token: Token::NotEq, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(PaqlError::Lex { message: "unexpected character '!'".into(), offset: start });
+                    return Err(PaqlError::Lex {
+                        message: "unexpected character '!'".into(),
+                        offset: start,
+                    });
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(SpannedToken { token: Token::LtEq, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(SpannedToken { token: Token::NotEq, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Lt, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(SpannedToken { token: Token::GtEq, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Gt, offset: start });
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -115,9 +166,15 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
                     j += ch.len_utf8();
                 }
                 if !closed {
-                    return Err(PaqlError::Lex { message: "unterminated string literal".into(), offset: start });
+                    return Err(PaqlError::Lex {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
                 }
-                tokens.push(SpannedToken { token: Token::String(value), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::String(value),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -127,7 +184,11 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
                     let d = bytes[j] as char;
                     if d.is_ascii_digit() {
                         j += 1;
-                    } else if d == '.' && !saw_dot && j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit() {
+                    } else if d == '.'
+                        && !saw_dot
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1] as char).is_ascii_digit()
+                    {
                         saw_dot = true;
                         j += 1;
                     } else if d == '_' {
@@ -141,13 +202,19 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
                     message: format!("invalid numeric literal '{raw}'"),
                     offset: start,
                 })?;
-                tokens.push(SpannedToken { token: Token::Number(value), offset: start });
+                tokens.push(SpannedToken {
+                    token: Token::Number(value),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut j = i;
                 while j < bytes.len() {
-                    let d = source[j..].chars().next().expect("j stays on char boundaries");
+                    let d = source[j..]
+                        .chars()
+                        .next()
+                        .expect("j stays on char boundaries");
                     if d.is_alphanumeric() || d == '_' {
                         j += d.len_utf8();
                     } else {
@@ -159,7 +226,10 @@ pub fn tokenize(source: &str) -> PaqlResult<Vec<SpannedToken>> {
                     Some(k) => Token::Keyword(k),
                     None => Token::Ident(word.to_string()),
                 };
-                tokens.push(SpannedToken { token, offset: start });
+                tokens.push(SpannedToken {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
@@ -178,7 +248,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -196,7 +270,10 @@ mod tests {
 
     #[test]
     fn numbers_with_underscores_and_decimals() {
-        assert_eq!(kinds("2_000 12.5"), vec![Token::Number(2000.0), Token::Number(12.5)]);
+        assert_eq!(
+            kinds("2_000 12.5"),
+            vec![Token::Number(2000.0), Token::Number(12.5)]
+        );
     }
 
     #[test]
@@ -223,7 +300,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(kinds("1 -- comment\n2"), vec![Token::Number(1.0), Token::Number(2.0)]);
+        assert_eq!(
+            kinds("1 -- comment\n2"),
+            vec![Token::Number(1.0), Token::Number(2.0)]
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ use crate::PaqlResult;
 /// Parses a PaQL query.
 pub fn parse(source: &str) -> PaqlResult<PaqlQuery> {
     let tokens = tokenize(source)?;
-    let mut parser = Parser { tokens, pos: 0, source_len: source.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        source_len: source.len(),
+    };
     let query = parser.parse_query()?;
     parser.expect_end()?;
     Ok(query)
@@ -24,7 +28,11 @@ pub fn parse(source: &str) -> PaqlResult<PaqlQuery> {
 /// user types a base constraint directly into the template).
 pub fn parse_base_expr(source: &str) -> PaqlResult<Expr> {
     let tokens = tokenize(source)?;
-    let mut parser = Parser { tokens, pos: 0, source_len: source.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        source_len: source.len(),
+    };
     let expr = parser.parse_expr()?;
     parser.expect_end()?;
     Ok(expr)
@@ -34,7 +42,11 @@ pub fn parse_base_expr(source: &str) -> PaqlResult<Expr> {
 /// refinement in the SUCH THAT panel).
 pub fn parse_global_formula(source: &str) -> PaqlResult<GlobalFormula> {
     let tokens = tokenize(source)?;
-    let mut parser = Parser { tokens, pos: 0, source_len: source.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        source_len: source.len(),
+    };
     let formula = parser.parse_formula()?;
     parser.expect_end()?;
     Ok(formula)
@@ -67,7 +79,10 @@ impl Parser {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> PaqlResult<T> {
-        Err(PaqlError::Parse { message: message.into(), offset: self.offset() })
+        Err(PaqlError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        })
     }
 
     fn expect_keyword(&mut self, kw: Keyword) -> PaqlResult<()> {
@@ -105,7 +120,10 @@ impl Parser {
                 self.advance();
                 Ok(s)
             }
-            other => self.error(format!("expected an identifier, found {}", describe(other.as_ref()))),
+            other => self.error(format!(
+                "expected an identifier, found {}",
+                describe(other.as_ref())
+            )),
         }
     }
 
@@ -113,7 +131,10 @@ impl Parser {
         if self.pos == self.tokens.len() {
             Ok(())
         } else {
-            self.error(format!("unexpected trailing input: {}", describe(self.peek())))
+            self.error(format!(
+                "unexpected trailing input: {}",
+                describe(self.peek())
+            ))
         }
     }
 
@@ -173,11 +194,17 @@ impl Parser {
         let objective = match self.peek() {
             Some(Token::Keyword(Keyword::Maximize)) => {
                 self.advance();
-                Some(Objective { direction: ObjectiveDirection::Maximize, expr: self.parse_global_expr()? })
+                Some(Objective {
+                    direction: ObjectiveDirection::Maximize,
+                    expr: self.parse_global_expr()?,
+                })
             }
             Some(Token::Keyword(Keyword::Minimize)) => {
                 self.advance();
-                Some(Objective { direction: ObjectiveDirection::Minimize, expr: self.parse_global_expr()? })
+                Some(Objective {
+                    direction: ObjectiveDirection::Minimize,
+                    expr: self.parse_global_expr()?,
+                })
             }
             _ => None,
         };
@@ -220,7 +247,10 @@ impl Parser {
     fn parse_not(&mut self) -> PaqlResult<Expr> {
         if self.eat_keyword(Keyword::Not) {
             let inner = self.parse_not()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.parse_comparison()
     }
@@ -251,7 +281,12 @@ impl Parser {
                 let low = self.parse_additive()?;
                 self.expect_keyword(Keyword::And)?;
                 let high = self.parse_additive()?;
-                Ok(Expr::Between { expr: Box::new(lhs), low: Box::new(low), high: Box::new(high), negated })
+                Ok(Expr::Between {
+                    expr: Box::new(lhs),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                })
             }
             Some(Token::Keyword(Keyword::In)) => {
                 self.advance();
@@ -265,14 +300,20 @@ impl Parser {
                     self.advance();
                 }
                 self.expect_token(&Token::RParen)?;
-                Ok(Expr::InList { expr: Box::new(lhs), list, negated })
+                Ok(Expr::InList {
+                    expr: Box::new(lhs),
+                    list,
+                    negated,
+                })
             }
             Some(Token::Keyword(Keyword::Like)) => {
                 self.advance();
                 match self.advance() {
-                    Some(Token::String(p)) => {
-                        Ok(Expr::Like { expr: Box::new(lhs), pattern: p, negated })
-                    }
+                    Some(Token::String(p)) => Ok(Expr::Like {
+                        expr: Box::new(lhs),
+                        pattern: p,
+                        negated,
+                    }),
                     _ => self.error("LIKE expects a string literal pattern"),
                 }
             }
@@ -280,7 +321,10 @@ impl Parser {
                 self.advance();
                 let negated = self.eat_keyword(Keyword::Not);
                 self.expect_keyword(Keyword::Null)?;
-                Ok(Expr::IsNull { expr: Box::new(lhs), negated })
+                Ok(Expr::IsNull {
+                    expr: Box::new(lhs),
+                    negated,
+                })
             }
             _ if negated => self.error("expected BETWEEN, IN or LIKE after NOT"),
             _ => Ok(lhs),
@@ -321,7 +365,10 @@ impl Parser {
         if matches!(self.peek(), Some(Token::Minus)) {
             self.advance();
             let inner = self.parse_unary()?;
-            return Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         self.parse_primary()
     }
@@ -369,7 +416,10 @@ impl Parser {
                 self.expect_token(&Token::RParen)?;
                 Ok(e)
             }
-            other => self.error(format!("expected an expression, found {}", describe(other.as_ref()))),
+            other => self.error(format!(
+                "expected an expression, found {}",
+                describe(other.as_ref())
+            )),
         }
     }
 
@@ -432,8 +482,16 @@ impl Parser {
                 self.expect_keyword(Keyword::And)?;
                 let high = self.parse_global_expr()?;
                 // Desugar BETWEEN into lhs >= low AND lhs <= high.
-                let a = GlobalFormula::Atom(GlobalConstraint { lhs: lhs.clone(), op: CmpOp::GtEq, rhs: low });
-                let b = GlobalFormula::Atom(GlobalConstraint { lhs, op: CmpOp::LtEq, rhs: high });
+                let a = GlobalFormula::Atom(GlobalConstraint {
+                    lhs: lhs.clone(),
+                    op: CmpOp::GtEq,
+                    rhs: low,
+                });
+                let b = GlobalFormula::Atom(GlobalConstraint {
+                    lhs,
+                    op: CmpOp::LtEq,
+                    rhs: high,
+                });
                 Ok(a.and(b))
             }
             Some(t) => {
@@ -446,8 +504,8 @@ impl Parser {
                     Token::GtEq => CmpOp::GtEq,
                     other => {
                         return self.error(format!(
-                            "expected a comparison operator or BETWEEN in SUCH THAT, found '{other}'"
-                        ))
+                        "expected a comparison operator or BETWEEN in SUCH THAT, found '{other}'"
+                    ))
                     }
                 };
                 self.advance();
@@ -472,7 +530,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_global_multiplicative()?;
-            lhs = GlobalExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = GlobalExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -487,7 +549,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_global_primary()?;
-            lhs = GlobalExpr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = GlobalExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -531,7 +597,10 @@ impl Parser {
                 };
                 self.expect_token(&Token::RParen)?;
                 if arg.is_none() && func != AggFunc::Count {
-                    return self.error(format!("{}(*) is not valid; only COUNT accepts '*'", func.name()));
+                    return self.error(format!(
+                        "{}(*) is not valid; only COUNT accepts '*'",
+                        func.name()
+                    ));
                 }
                 let filter = if self.eat_keyword(Keyword::Filter) {
                     self.expect_token(&Token::LParen)?;
@@ -593,7 +662,8 @@ mod tests {
 
     #[test]
     fn parses_repeat_clause() {
-        let q = parse("SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 3 SUCH THAT COUNT(*) = 5").unwrap();
+        let q =
+            parse("SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 3 SUCH THAT COUNT(*) = 5").unwrap();
         assert_eq!(q.repeat, Some(3));
         assert_eq!(q.max_multiplicity(), 3);
         assert!(parse("SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0").is_err());
@@ -602,8 +672,10 @@ mod tests {
 
     #[test]
     fn parses_minimize_objective_and_no_where() {
-        let q = parse("SELECT PACKAGE(R) AS P FROM meals R SUCH THAT SUM(P.fat) <= 50 MINIMIZE SUM(P.price)")
-            .unwrap();
+        let q = parse(
+            "SELECT PACKAGE(R) AS P FROM meals R SUCH THAT SUM(P.fat) <= 50 MINIMIZE SUM(P.price)",
+        )
+        .unwrap();
         assert!(q.where_clause.is_none());
         assert_eq!(q.objective.unwrap().direction, ObjectiveDirection::Minimize);
     }
@@ -626,7 +698,10 @@ mod tests {
             other => panic!("expected aggregate, got {other:?}"),
         }
         match &atoms[1].rhs {
-            GlobalExpr::Binary { op: GlobalArithOp::Mul, .. } => {}
+            GlobalExpr::Binary {
+                op: GlobalArithOp::Mul,
+                ..
+            } => {}
             other => panic!("expected product, got {other:?}"),
         }
     }
@@ -698,8 +773,15 @@ mod tests {
         let f = parse_global_formula("SUM(a) + 2 * SUM(b) <= 10").unwrap();
         let atom = f.atoms()[0].clone();
         match atom.lhs {
-            GlobalExpr::Binary { op: GlobalArithOp::Add, rhs, .. } => match *rhs {
-                GlobalExpr::Binary { op: GlobalArithOp::Mul, .. } => {}
+            GlobalExpr::Binary {
+                op: GlobalArithOp::Add,
+                rhs,
+                ..
+            } => match *rhs {
+                GlobalExpr::Binary {
+                    op: GlobalArithOp::Mul,
+                    ..
+                } => {}
                 other => panic!("expected product on the right of +, got {other:?}"),
             },
             other => panic!("expected sum at the top, got {other:?}"),
@@ -708,7 +790,9 @@ mod tests {
 
     #[test]
     fn avg_min_max_aggregates_parse() {
-        let f = parse_global_formula("AVG(calories) <= 700 AND MIN(protein) >= 5 AND MAX(fat) <= 40").unwrap();
+        let f =
+            parse_global_formula("AVG(calories) <= 700 AND MIN(protein) >= 5 AND MAX(fat) <= 40")
+                .unwrap();
         assert_eq!(f.atoms().len(), 3);
     }
 }

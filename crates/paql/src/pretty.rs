@@ -56,10 +56,16 @@ pub fn describe_query(query: &PaqlQuery) -> String {
         }
     ));
     if let Some(w) = &query.where_clause {
-        lines.push(format!("Every tuple in the package must satisfy: {}.", describe_expr(w)));
+        lines.push(format!(
+            "Every tuple in the package must satisfy: {}.",
+            describe_expr(w)
+        ));
     }
     if let Some(st) = &query.such_that {
-        lines.push(format!("Together, the package must satisfy: {}.", describe_formula(st)));
+        lines.push(format!(
+            "Together, the package must satisfy: {}.",
+            describe_formula(st)
+        ));
     }
     if let Some(o) = &query.objective {
         lines.push(format!("{}.", describe_objective(o)));
@@ -132,7 +138,9 @@ pub fn describe_formula(formula: &GlobalFormula) -> String {
     match formula {
         GlobalFormula::Atom(c) => describe_constraint(c),
         GlobalFormula::And(a, b) => format!("{}, and {}", describe_formula(a), describe_formula(b)),
-        GlobalFormula::Or(a, b) => format!("either {} or {}", describe_formula(a), describe_formula(b)),
+        GlobalFormula::Or(a, b) => {
+            format!("either {} or {}", describe_formula(a), describe_formula(b))
+        }
         GlobalFormula::Not(a) => format!("it is not the case that {}", describe_formula(a)),
     }
 }
@@ -203,7 +211,8 @@ mod tests {
 
     #[test]
     fn describes_repeat_and_minimize() {
-        let q = parse("SELECT PACKAGE(R) AS P FROM meals R REPEAT 2 MINIMIZE SUM(P.price)").unwrap();
+        let q =
+            parse("SELECT PACKAGE(R) AS P FROM meals R REPEAT 2 MINIMIZE SUM(P.price)").unwrap();
         let text = describe_query(&q);
         assert!(text.contains("up to 2 times"));
         assert!(text.contains("smallest total P.price"));

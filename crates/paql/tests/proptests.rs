@@ -5,7 +5,12 @@ use proptest::prelude::*;
 
 /// Strategy producing syntactically valid PaQL queries from a small grammar.
 fn paql_query_strategy() -> impl Strategy<Value = String> {
-    let column = prop_oneof![Just("calories"), Just("protein"), Just("fat"), Just("price")];
+    let column = prop_oneof![
+        Just("calories"),
+        Just("protein"),
+        Just("fat"),
+        Just("price")
+    ];
     let agg = prop_oneof![Just("SUM"), Just("AVG"), Just("MIN"), Just("MAX")];
     (
         column,

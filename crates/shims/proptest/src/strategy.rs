@@ -1,0 +1,394 @@
+//! Value-generation strategies for the proptest shim.
+//!
+//! A [`Strategy`] draws one value per case from the runner's seeded RNG.
+//! There is no shrinking: generation is a single forward pass, which keeps
+//! the shim tiny while preserving the coverage the workspace's properties
+//! need.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Something that can generate values for property cases.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy behind `dyn Strategy` (used by [`crate::prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a choice over `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical strategy (only what the workspace needs).
+pub trait ArbitraryValue: Sized {
+    /// Draws one canonical value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random_range(0u32..2) == 1
+    }
+}
+
+/// The result of [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform booleans (mirrors `proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        bool::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Element-count specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn collection_vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`collection_vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.size.lo..self.size.hi);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::option::of(strategy)` — `None` half the time.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`option_of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if bool::arbitrary(rng) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal regex string strategies: `&str` patterns like "[a-z]{0,10}" or
+// ".{0,120}" generate matching strings, which is the only regex shape the
+// workspace's tests use (a single char-class atom with a repetition count).
+// ---------------------------------------------------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, lo, hi) = parse_simple_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let n = rng.random_range(lo..=hi);
+        (0..n)
+            .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parses `<atom>{lo,hi}` / `<atom>{n}` / `<atom>` where `<atom>` is `.` or a
+/// character class. Returns the alphabet and the repetition bounds.
+fn parse_simple_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (alphabet, rest) = if chars.first() == Some(&'.') {
+        // Printable ASCII.
+        (
+            (b' '..=b'~').map(|b| b as char).collect::<Vec<char>>(),
+            &chars[1..],
+        )
+    } else if chars.first() == Some(&'[') {
+        let close = chars.iter().position(|&c| c == ']')?;
+        (expand_char_class(&chars[1..close]), &chars[close + 1..])
+    } else {
+        return None;
+    };
+    if alphabet.is_empty() {
+        return None;
+    }
+    if rest.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    if rest.first() != Some(&'{') || rest.last() != Some(&'}') {
+        return None;
+    }
+    let body: String = rest[1..rest.len() - 1].iter().collect();
+    let (lo, hi) = match body.split_once(',') {
+        None => {
+            let n = body.trim().parse::<usize>().ok()?;
+            (n, n)
+        }
+        Some((a, b)) => (
+            a.trim().parse::<usize>().ok()?,
+            b.trim().parse::<usize>().ok()?,
+        ),
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+/// Expands a character-class body (`a-zA-Z0-9 _-`) into its alphabet.
+fn expand_char_class(body: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            if lo <= hi {
+                out.extend((lo..=hi).filter_map(char::from_u32));
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let mut r = rng();
+        let s = (0u64..10, 1.0f64..2.0).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((1.0..12.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let mut r = rng();
+        let s = collection_vec(0u32..5, 2..6);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        let fixed = collection_vec(0u32..5, 4usize);
+        assert_eq!(fixed.generate(&mut r).len(), 4);
+    }
+
+    #[test]
+    fn regex_patterns_generate_matching_strings() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[a-z]{0,10}".generate(&mut r);
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 _-]{0,12}".generate(&mut r);
+            assert!(t.len() <= 12);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+            let u = ".{0,120}".generate(&mut r);
+            assert!(u.len() <= 120);
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut r = rng();
+        let s = option_of(0u32..3);
+        let values: Vec<Option<u32>> = (0..100).map(|_| s.generate(&mut r)).collect();
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().any(Option::is_none));
+    }
+}

@@ -32,7 +32,10 @@ fn main() {
     // --- Adaptive exploration (Section 3.3) -------------------------------
     let mut session = ExplorationSession::new(query);
     let first = session.sample(&engine).expect("initial sample");
-    println!("Initial sample package:\n{}", first.best().unwrap().render(&table));
+    println!(
+        "Initial sample package:\n{}",
+        first.best().unwrap().render(&table)
+    );
 
     // The user likes the highest-protein meal of the sample and locks it.
     let sample = session.current().unwrap().clone();
@@ -50,7 +53,10 @@ fn main() {
     println!("Locking {favourite} (the highest-protein meal) and asking for a new sample...\n");
 
     let refined = session.refine(&engine).expect("refinement");
-    println!("Refined package (locked tuple kept):\n{}", refined.best().unwrap().render(&table));
+    println!(
+        "Refined package (locked tuple kept):\n{}",
+        refined.best().unwrap().render(&table)
+    );
 
     // Constraints the system infers from the locked tuples.
     let inferred = session.inferred_constraints(&engine).unwrap();
@@ -62,12 +68,24 @@ fn main() {
 
     // --- Constraint suggestion (Section 3.1) ------------------------------
     println!("=== Suggestions when highlighting the 'fat' cell of {favourite} ===");
-    for s in suggest(&table, "P", &Highlight::Cell { tuple: favourite, column: "fat".into() }).unwrap() {
+    for s in suggest(
+        &table,
+        "P",
+        &Highlight::Cell {
+            tuple: favourite,
+            column: "fat".into(),
+        },
+    )
+    .unwrap()
+    {
         println!("  - {:?}: {}   [{}]", s.kind, s.paql, s.description);
     }
     println!();
 
     // --- Final plan ---------------------------------------------------------
     let final_result = engine.execute_paql(QUERY).unwrap();
-    println!("=== Optimal plan for the original query ===\n{}", final_result.describe(&table));
+    println!(
+        "=== Optimal plan for the original query ===\n{}",
+        final_result.describe(&table)
+    );
 }

@@ -19,7 +19,10 @@ use packagebuilder_repro::paql;
 
 fn main() {
     let engine = PackageEngine::new(standard_catalog(Seed(42)));
-    println!("PackageBuilder PaQL REPL — relations: {}", engine.catalog().table_names().join(", "));
+    println!(
+        "PackageBuilder PaQL REPL — relations: {}",
+        engine.catalog().table_names().join(", ")
+    );
     println!("Example:");
     println!("  SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free'");
     println!("  SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)");

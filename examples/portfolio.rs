@@ -27,7 +27,9 @@ fn main() {
         MAXIMIZE SUM(P.expected_return)";
 
     println!("=== Investment portfolio: $50K budget, >=30% technology, balanced horizons ===\n");
-    let result = engine.execute_paql(query).expect("portfolio query evaluates");
+    let result = engine
+        .execute_paql(query)
+        .expect("portfolio query evaluates");
     println!("{}", result.describe(table));
 
     // Show the composition of every returned portfolio.
@@ -40,7 +42,13 @@ fn main() {
         let tech: f64 = pkg
             .members()
             .filter(|(id, _)| {
-                table.require(*id).unwrap().get_named(schema, "sector").unwrap().to_string() == "technology"
+                table
+                    .require(*id)
+                    .unwrap()
+                    .get_named(schema, "sector")
+                    .unwrap()
+                    .to_string()
+                    == "technology"
             })
             .map(|(id, m)| table.require(id).unwrap().get_f64(schema, "price").unwrap() * m as f64)
             .sum();

@@ -27,14 +27,22 @@ fn main() {
     // 4. Show the natural-language reading of the query (Figure 1 feature).
     let parsed = paql::parse(query_text).expect("the example query is valid PaQL");
     println!("PaQL query:\n  {query_text}\n");
-    println!("In plain English:\n{}\n", indent(&paql::pretty::describe_query(&parsed)));
+    println!(
+        "In plain English:\n{}\n",
+        indent(&paql::pretty::describe_query(&parsed))
+    );
 
     // 5. Evaluate it and print the best package.
-    let result = engine.execute_paql(query_text).expect("query evaluation succeeds");
+    let result = engine
+        .execute_paql(query_text)
+        .expect("query evaluation succeeds");
     let table = engine.catalog().table("recipes").expect("registered above");
     println!("Result:\n{}", indent(&result.describe(table)));
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -8,8 +8,8 @@
 
 use packagebuilder_repro::datagen::{travel_options, Seed};
 use packagebuilder_repro::minidb::Catalog;
-use packagebuilder_repro::packagebuilder::{PackageEngine, Strategy};
 use packagebuilder_repro::packagebuilder::config::EngineConfig;
+use packagebuilder_repro::packagebuilder::{PackageEngine, Strategy};
 
 fn main() {
     let mut catalog = Catalog::new();
@@ -27,7 +27,9 @@ fn main() {
                   SUM(P.price) FILTER (WHERE T.kind <> 'car') <= 2000 \
         MAXIMIZE SUM(P.comfort)";
     println!("=== Budget vacation (flights + hotel <= $2000, car optional) ===\n");
-    let result = engine.execute_paql(base_query).expect("vacation query evaluates");
+    let result = engine
+        .execute_paql(base_query)
+        .expect("vacation query evaluates");
     println!("{}", result.describe(table));
 
     // "They also want to be in walking distance from the beach, unless their
@@ -49,7 +51,9 @@ fn main() {
     );
     match engine_ls.execute_paql(disjunctive_query) {
         Ok(result) if !result.is_empty() => println!("{}", result.describe(table)),
-        Ok(_) => println!("no package satisfied the disjunctive constraints within the search budget\n"),
+        Ok(_) => {
+            println!("no package satisfied the disjunctive constraints within the search budget\n")
+        }
         Err(e) => println!("evaluation failed: {e}\n"),
     }
 }

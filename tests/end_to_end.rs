@@ -31,7 +31,10 @@ fn meal_planner_scenario_finds_a_valid_optimal_plan() {
         assert_eq!(row.get_named(schema, "gluten").unwrap().to_string(), "free");
         calories += row.get_f64(schema, "calories").unwrap();
     }
-    assert!((2000.0..=2500.0).contains(&calories), "total calories {calories}");
+    assert!(
+        (2000.0..=2500.0).contains(&calories),
+        "total calories {calories}"
+    );
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn vacation_planner_scenario_respects_the_budget_and_kind_constraints() {
     assert_eq!(flights, 1);
     assert_eq!(hotels, 1);
     assert!(cars <= 1);
-    assert!(core_price <= 2000.0 + 1e-6, "flights + hotels cost {core_price}");
+    assert!(
+        core_price <= 2000.0 + 1e-6,
+        "flights + hotels cost {core_price}"
+    );
 }
 
 #[test]
@@ -101,7 +107,13 @@ fn portfolio_scenario_enforces_the_technology_share() {
     let tech: f64 = package
         .members()
         .filter(|(id, _)| {
-            table.require(*id).unwrap().get_named(schema, "sector").unwrap().to_string() == "technology"
+            table
+                .require(*id)
+                .unwrap()
+                .get_named(schema, "sector")
+                .unwrap()
+                .to_string()
+                == "technology"
         })
         .map(|(id, _)| table.require(id).unwrap().get_f64(schema, "price").unwrap())
         .sum();
@@ -121,16 +133,28 @@ fn all_strategies_agree_on_small_instances() {
     .unwrap();
 
     let mut objectives = Vec::new();
-    for strategy in [Strategy::Exhaustive, Strategy::PrunedEnumeration, Strategy::Ilp] {
-        let engine = PackageEngine::with_config(catalog.clone(), EngineConfig::with_strategy(strategy));
+    for strategy in [
+        Strategy::Exhaustive,
+        Strategy::PrunedEnumeration,
+        Strategy::Ilp,
+    ] {
+        let engine =
+            PackageEngine::with_config(catalog.clone(), EngineConfig::with_strategy(strategy));
         let result = engine.execute(&query).unwrap();
         objectives.push(result.best_objective().expect("feasible"));
     }
-    assert!((objectives[0] - objectives[1]).abs() < 1e-6, "exhaustive vs pruned: {objectives:?}");
-    assert!((objectives[0] - objectives[2]).abs() < 1e-6, "exhaustive vs ilp: {objectives:?}");
+    assert!(
+        (objectives[0] - objectives[1]).abs() < 1e-6,
+        "exhaustive vs pruned: {objectives:?}"
+    );
+    assert!(
+        (objectives[0] - objectives[2]).abs() < 1e-6,
+        "exhaustive vs ilp: {objectives:?}"
+    );
 
     // Local search never exceeds the exact optimum.
-    let engine = PackageEngine::with_config(catalog, EngineConfig::with_strategy(Strategy::LocalSearch));
+    let engine =
+        PackageEngine::with_config(catalog, EngineConfig::with_strategy(Strategy::LocalSearch));
     let ls = engine.execute(&query).unwrap();
     if let Some(obj) = ls.best_objective() {
         assert!(obj <= objectives[0] + 1e-6);
@@ -161,11 +185,14 @@ fn errors_surface_with_useful_messages() {
     assert!(err.to_string().contains("nowhere"));
     // Unknown column.
     let err = engine
-        .execute_paql("SELECT PACKAGE(R) AS P FROM recipes R WHERE R.sugarz > 1 SUCH THAT COUNT(*) = 1")
+        .execute_paql(
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.sugarz > 1 SUCH THAT COUNT(*) = 1",
+        )
         .unwrap_err();
     assert!(err.to_string().contains("sugarz"));
     // Syntax error with position information.
-    let err = paql::parse("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) === 3").unwrap_err();
+    let err =
+        paql::parse("SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) === 3").unwrap_err();
     assert!(matches!(err, paql::PaqlError::Parse { .. }));
 }
 
