@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lp_solver::SolverConfig;
+use packagebuilder::budget::Budget;
 use packagebuilder::diversity::select_diverse;
 use packagebuilder::enumerate::{enumerate, EnumerationOptions};
 use packagebuilder::ilp::solve_ilp;
@@ -30,10 +31,15 @@ fn bench_multiple(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ilp_with_cuts", p), &p, |b, &p| {
             b.iter(|| {
                 black_box(
-                    solve_ilp(spec.view(), &SolverConfig::default(), p)
-                        .unwrap()
-                        .packages
-                        .len(),
+                    solve_ilp(
+                        spec.view(),
+                        &SolverConfig::default(),
+                        p,
+                        &Budget::unlimited(),
+                    )
+                    .unwrap()
+                    .packages
+                    .len(),
                 )
             })
         });

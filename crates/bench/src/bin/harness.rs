@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use lp_solver::SolverConfig;
 use minidb::TupleId;
+use packagebuilder::budget::Budget;
 use packagebuilder::config::Strategy;
 use packagebuilder::diversity::{diversity_score, select_diverse};
 use packagebuilder::enumerate::{enumerate, EnumerationOptions};
@@ -63,6 +64,9 @@ fn main() {
     }
     if want("eval") {
         eval_throughput();
+    }
+    if want("portfolio") {
+        portfolio_racing();
     }
 }
 
@@ -160,6 +164,118 @@ fn eval_throughput() {
     match std::fs::write("BENCH_eval.json", &json) {
         Ok(()) => println!("\n(wrote BENCH_eval.json)\n"),
         Err(e) => println!("\n(could not write BENCH_eval.json: {e})\n"),
+    }
+}
+
+/// PORTFOLIO — racing solve vs the sequential strategies on the meal-plan
+/// scenario, at the sizes where the planner actually deploys the portfolio
+/// (thousands of candidates; below `portfolio_threshold` the race cannot
+/// beat a ~1 ms sequential ILP, especially time-shared on a single core).
+/// The sequential strategies run to completion; the portfolio runs as the
+/// interface layer would use it — under a deadline. Racing ILP, local
+/// search and greedy over one view, the first provably-optimal finish
+/// cancels the rest and the deadline caps everyone else, so the race
+/// returns a package no worse than greedy alone while beating the slowest
+/// sequential strategy's wall-clock. Writes `BENCH_portfolio.json` as the
+/// machine-readable baseline for future PRs.
+fn portfolio_racing() {
+    const RACE_BUDGET: std::time::Duration = std::time::Duration::from_millis(25);
+    println!(
+        "## PORTFOLIO — racing solve (deadline {} ms) vs sequential strategies (meal plan)\n",
+        RACE_BUDGET.as_millis()
+    );
+    let widths = [6, 16, 12, 14, 10];
+    print_header(
+        &["n", "strategy", "time (ms)", "objective", "optimal?"],
+        &widths,
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for n in [2_000usize, 8_000, 20_000] {
+        let mut rows: Vec<(&str, std::time::Duration, Option<f64>, bool)> = Vec::new();
+        for (label, strategy) in [
+            ("ilp", Strategy::Ilp),
+            ("local-search", Strategy::LocalSearch),
+            ("greedy", Strategy::Greedy),
+            ("portfolio", Strategy::Portfolio),
+        ] {
+            let mut engine = recipe_engine(n, strategy);
+            if strategy == Strategy::Portfolio {
+                engine.config_mut().time_budget = Some(RACE_BUDGET);
+                engine.config_mut().solver.time_limit = Some(RACE_BUDGET);
+            }
+            let t0 = Instant::now();
+            let r = run(&engine, MEAL_PLAN_QUERY);
+            rows.push((label, t0.elapsed(), r.best_objective(), r.optimal));
+        }
+        // Verdict inputs looked up by label, so reordering or extending the
+        // strategy list above cannot silently skew the recorded baseline.
+        let by_label = |l: &str| {
+            rows.iter()
+                .find(|(label, ..)| *label == l)
+                .unwrap_or_else(|| panic!("missing {l} row"))
+        };
+        let slowest_sequential = rows
+            .iter()
+            .filter(|(label, ..)| *label != "portfolio")
+            .map(|(_, t, _, _)| *t)
+            .max()
+            .expect("sequential rows");
+        let greedy_objective = by_label("greedy").2;
+        let (_, portfolio_time, portfolio_objective, _) = *by_label("portfolio");
+        for (label, time, obj, optimal) in &rows {
+            print_row(
+                &[
+                    n.to_string(),
+                    (*label).into(),
+                    ms(*time),
+                    obj.map(|o| format!("{o:.1}")).unwrap_or_else(|| "-".into()),
+                    if *optimal { "yes".into() } else { "no".into() },
+                ],
+                &widths,
+            );
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"strategy\": \"{label}\", \"ms\": {:.3}, \
+                 \"objective\": {}, \"optimal\": {optimal}}}",
+                time.as_secs_f64() * 1e3,
+                obj.map(|o| format!("{o:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+            ));
+        }
+        let beats_slowest = portfolio_time < slowest_sequential;
+        let no_worse_than_greedy = match (portfolio_objective, greedy_objective) {
+            (Some(p), Some(g)) => p + 1e-9 >= g,
+            (_, None) => true,
+            (None, Some(_)) => false,
+        };
+        print_row(
+            &[
+                n.to_string(),
+                "verdict".into(),
+                format!(
+                    "{:.1}x",
+                    slowest_sequential.as_secs_f64() / portfolio_time.as_secs_f64().max(1e-9)
+                ),
+                if no_worse_than_greedy {
+                    ">= greedy".into()
+                } else {
+                    "< greedy (!)".into()
+                },
+                if beats_slowest {
+                    "faster".into()
+                } else {
+                    "SLOWER".into()
+                },
+            ],
+            &widths,
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"portfolio_racing\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_portfolio.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_portfolio.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_portfolio.json: {e})\n"),
     }
 }
 
@@ -521,7 +637,13 @@ fn e6_multiple() {
     let spec = PackageSpec::build(&analyzed, &table).unwrap();
     for p in [1usize, 5, 10, 20] {
         let t0 = Instant::now();
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), p).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            p,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         print_row(
             &[
                 p.to_string(),

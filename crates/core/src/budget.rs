@@ -1,0 +1,228 @@
+//! Cooperative deadlines and cancellation for solvers.
+//!
+//! The interface layer promises an *anytime* answer: a package now, a better
+//! one if you wait. That promise requires every solver to honour one shared
+//! wall-clock budget *and* to stop when a racing solver has already produced
+//! a result that cannot be improved. [`Budget`] is that substrate: a deadline
+//! measured from when the budget was armed, plus a shared stop flag that the
+//! [`crate::portfolio::PortfolioSolver`] (or any external controller) can set
+//! to cancel in-flight work.
+//!
+//! Solvers check [`Budget::expired`] inside their hot loops and return their
+//! best-so-far result with `optimal: false` when it trips — expiry is a
+//! quality downgrade, never an error. Cloning a `Budget` shares the stop
+//! flag, so one `cancel()` reaches every solver holding a clone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget with cooperative cancellation.
+///
+/// A budget is *armed* at construction: the deadline is `now + limit`. Clones
+/// share the cancellation flag (an `Arc<AtomicBool>`) but the deadline is
+/// plain data, so a clone observes exactly the same expiry as the original.
+/// Use [`Budget::rearmed`] to obtain an independent budget with the same
+/// limit but a fresh start time and a fresh flag (the engine does this once
+/// per plan execution, so re-running a plan never sees a stale deadline or a
+/// tripped flag from a previous portfolio race), and [`Budget::child`] for a
+/// budget that *observes* this one's cancellation but owns its own flag (a
+/// portfolio cancels its workers through a child without tripping the
+/// caller's budget as a side effect).
+///
+/// The contract every solver implements: when `expired()` turns true, stop at
+/// the next check point and return the best result found so far with
+/// `optimal: false`.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Wall-clock allowance (None = unlimited).
+    limit: Option<Duration>,
+    /// When the budget was armed.
+    started: Instant,
+    /// Shared cancellation flag; set by `cancel()` on any clone.
+    stop: Arc<AtomicBool>,
+    /// Ancestor flags this budget observes but never sets (see
+    /// [`Budget::child`]).
+    parents: Vec<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget with no deadline (it can still be cancelled).
+    pub fn unlimited() -> Self {
+        Budget::starting_now(None)
+    }
+
+    /// Arms a budget now: the deadline is `now + limit` (or never, for
+    /// `None`).
+    pub fn starting_now(limit: Option<Duration>) -> Self {
+        Budget {
+            limit,
+            started: Instant::now(),
+            stop: Arc::new(AtomicBool::new(false)),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Arms a budget with a concrete time limit.
+    pub fn with_limit(limit: Duration) -> Self {
+        Budget::starting_now(Some(limit))
+    }
+
+    /// True when the budget is spent: a stop flag (own or an ancestor's) was
+    /// set or the deadline has passed. This is the check solvers run inside
+    /// their hot loops.
+    pub fn expired(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
+        match self.limit {
+            Some(limit) => self.started.elapsed() >= limit,
+            None => false,
+        }
+    }
+
+    /// Sets the shared stop flag: every solver holding a clone (or a child)
+    /// of this budget observes `expired()` at its next check point. Ancestor
+    /// budgets are *not* affected.
+    pub fn cancel(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// True when `cancel()` was called on this budget, any clone of it, or
+    /// any ancestor it was derived from (regardless of the deadline).
+    pub fn cancelled(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.parents.iter().any(|p| p.load(Ordering::Relaxed))
+    }
+
+    /// A budget with the same limit, start time and ancestors as this one,
+    /// plus a fresh flag of its own. The child observes every cancellation
+    /// the parent would, but cancelling the child never trips the parent —
+    /// the isolation a portfolio race needs to cancel its workers without
+    /// mutating the caller's options.
+    pub fn child(&self) -> Budget {
+        let mut parents = self.parents.clone();
+        parents.push(Arc::clone(&self.stop));
+        Budget {
+            limit: self.limit,
+            started: self.started,
+            stop: Arc::new(AtomicBool::new(false)),
+            parents,
+        }
+    }
+
+    /// The wall-clock allowance this budget was armed with.
+    pub fn limit(&self) -> Option<Duration> {
+        self.limit
+    }
+
+    /// The absolute deadline, when a limit is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.limit.map(|l| self.started + l)
+    }
+
+    /// Time since the budget was armed (solvers use this for their stats, so
+    /// deadline semantics and elapsed-time reporting share one clock).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// An independent budget with the same limit, a fresh start time, an
+    /// untripped stop flag and no ancestors.
+    pub fn rearmed(&self) -> Budget {
+        Budget::starting_now(self.limit)
+    }
+
+    /// The shared stop flag, for wiring into substrates that cannot depend on
+    /// this crate (the LP solver's `SolverConfig::stop`).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Projects this budget into an LP-solver configuration: the deadline
+    /// (capped by any tighter deadline already present) and this budget's
+    /// stop flags — *appended*, so a stop flag the caller installed keeps
+    /// working — letting cancellation reach the simplex pivot loop.
+    pub fn apply_to_solver(&self, config: &mut lp_solver::SolverConfig) {
+        config.stop.push(self.stop_flag());
+        config.stop.extend(self.parents.iter().cloned());
+        config.deadline = match (config.deadline, self.deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budgets_never_expire_on_their_own() {
+        let b = Budget::unlimited();
+        assert!(!b.expired());
+        assert!(b.deadline().is_none());
+        assert!(b.limit().is_none());
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        assert!(!clone.expired());
+        b.cancel();
+        assert!(clone.expired());
+        assert!(clone.cancelled());
+        // Rearming produces a fresh, untripped flag.
+        let fresh = clone.rearmed();
+        assert!(!fresh.expired());
+    }
+
+    #[test]
+    fn child_budgets_observe_but_never_trip_the_parent() {
+        let parent = Budget::unlimited();
+        let child = parent.child();
+        let grandchild = child.child();
+        // Cancelling a child is invisible upwards.
+        child.cancel();
+        assert!(child.expired());
+        assert!(grandchild.expired(), "descendants observe an ancestor");
+        assert!(!parent.expired(), "cancel must not leak to the parent");
+        // Cancelling the parent reaches every descendant.
+        let parent2 = Budget::unlimited();
+        let child2 = parent2.child().child();
+        parent2.cancel();
+        assert!(child2.expired());
+        assert!(child2.cancelled());
+    }
+
+    #[test]
+    fn deadlines_expire() {
+        let b = Budget::with_limit(Duration::ZERO);
+        assert!(b.expired());
+        let b = Budget::with_limit(Duration::from_secs(3600));
+        assert!(!b.expired());
+    }
+
+    #[test]
+    fn applies_the_tighter_deadline_to_the_lp_solver() {
+        let mut cfg = lp_solver::SolverConfig::default();
+        let b = Budget::with_limit(Duration::from_millis(5));
+        b.apply_to_solver(&mut cfg);
+        assert_eq!(cfg.stop.len(), 1);
+        let first = cfg.deadline.unwrap();
+        // A looser budget must not push the deadline back out, and its flag
+        // joins (not replaces) the earlier one.
+        let loose = Budget::with_limit(Duration::from_secs(3600));
+        loose.apply_to_solver(&mut cfg);
+        assert_eq!(cfg.deadline, Some(first));
+        assert_eq!(cfg.stop.len(), 2);
+        b.cancel();
+        assert!(cfg.interrupted(), "every contributed flag stays live");
+    }
+}

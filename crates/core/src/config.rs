@@ -13,7 +13,8 @@ use lp_solver::SolverConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Let the engine pick (ILP when the query is linear and conjunctive,
-    /// enumeration for tiny candidate sets, local search otherwise).
+    /// enumeration for tiny candidate sets, a solver portfolio for large
+    /// queries the ILP cannot take, local search otherwise).
     Auto,
     /// Translate to an integer linear program and call the solver.
     Ilp,
@@ -26,6 +27,13 @@ pub enum Strategy {
     /// Pure greedy construction with a feasibility-repair pass (cheapest,
     /// anytime baseline; never picked by `Auto`).
     Greedy,
+    /// Race several solvers concurrently over one candidate view
+    /// ([`crate::portfolio::PortfolioSolver`]): every worker runs under the
+    /// shared [`crate::budget::Budget`], the first provably-optimal result
+    /// cancels the rest, and at the deadline the best result found wins.
+    /// The worker set comes from [`EngineConfig::portfolio_workers`].
+    /// `Auto` picks this for large queries it cannot hand to the ILP.
+    Portfolio,
 }
 
 /// Tunable engine parameters.
@@ -56,7 +64,19 @@ pub struct EngineConfig {
     /// Seed for the randomized components (starting packages, restarts).
     pub seed: u64,
     /// Overall wall-clock budget for one query evaluation (None = unlimited).
+    /// Armed into a [`crate::budget::Budget`] per plan run; every solver
+    /// honours it cooperatively and returns its best-so-far result with
+    /// `optimal: false` on expiry.
     pub time_budget: Option<Duration>,
+    /// Candidate-set size at or above which `Auto` races a solver portfolio
+    /// instead of falling back to plain local search, for queries the ILP
+    /// cannot take (non-conjunctive formulas, non-linear aggregates).
+    pub portfolio_threshold: usize,
+    /// Which solvers [`Strategy::Portfolio`] races. Workers that cannot
+    /// evaluate the query (e.g. the ILP on a non-linear formula) drop out of
+    /// the race without failing it. `Auto` and `Portfolio` are not valid
+    /// workers.
+    pub portfolio_workers: Vec<Strategy>,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +92,8 @@ impl Default for EngineConfig {
             local_restarts: 8,
             seed: 42,
             time_budget: None,
+            portfolio_threshold: 256,
+            portfolio_workers: vec![Strategy::Ilp, Strategy::LocalSearch, Strategy::Greedy],
         }
     }
 }

@@ -128,8 +128,11 @@ impl PackageEngine {
 
     /// The `Auto` policy: ILP when the query is linear and conjunctive,
     /// pruned enumeration for tiny candidate sets or non-linear queries that
-    /// still fit, local search otherwise. (`Greedy` is never auto-selected;
-    /// it exists as an explicit anytime baseline.)
+    /// still fit, and for the rest — queries the ILP cannot take — a solver
+    /// portfolio when the candidate set is large enough to make racing
+    /// worthwhile ([`crate::config::EngineConfig::portfolio_threshold`]),
+    /// plain local search below that. (`Greedy` is never auto-selected on
+    /// its own; it rides along as a portfolio worker.)
     pub fn resolve_strategy(&self, spec: &PackageSpec<'_>) -> Strategy {
         match self.config.strategy {
             Strategy::Auto => {
@@ -139,6 +142,8 @@ impl PackageEngine {
                 }
                 if linearization_obstacle(spec.view()).is_none() {
                     Strategy::Ilp
+                } else if n >= self.config.portfolio_threshold {
+                    Strategy::Portfolio
                 } else {
                     Strategy::LocalSearch
                 }
@@ -167,9 +172,18 @@ impl PackageEngine {
             }
             other => other,
         };
+        // Portfolios race the configured worker set; every other strategy
+        // maps 1:1 to its solver.
+        let solver: Box<dyn Solver> = if strategy == Strategy::Portfolio {
+            Box::new(crate::portfolio::PortfolioSolver::new(
+                self.config.portfolio_workers.clone(),
+            )?)
+        } else {
+            solver_for(strategy)?
+        };
         Ok(QueryPlan {
             strategy,
-            solver: solver_for(strategy)?,
+            solver,
             options: SolveOptions::from_config(&self.config),
         })
     }
@@ -206,8 +220,11 @@ impl PackageEngine {
             ));
         }
 
-        // Solve through the unified trait.
-        let outcome = plan.solver.solve(view, &plan.options)?;
+        // Solve through the unified trait. The budget is re-armed per run so
+        // a reused plan never starts from a stale deadline or a stop flag
+        // tripped by a previous portfolio race.
+        let options = plan.options.rearmed();
+        let outcome = plan.solver.solve(view, &options)?;
 
         // Validate: no solver result leaves the engine unchecked. The check
         // runs through the interpreted oracle (AST evaluation against the
@@ -308,6 +325,22 @@ mod tests {
                 .unwrap();
             assert!(spec.is_valid(best).unwrap());
         }
+    }
+
+    #[test]
+    fn auto_races_a_portfolio_for_large_non_linear_queries() {
+        let engine = small_engine(600, 10);
+        let query = paql::parse(
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+             MAXIMIZE SUM(P.protein)",
+        )
+        .unwrap();
+        let spec = engine.build_spec(&query).unwrap();
+        assert_eq!(engine.resolve_strategy(&spec), Strategy::Portfolio);
+        let result = engine.execute_spec(&spec).unwrap();
+        assert_eq!(result.stats.strategy, StrategyUsed::Portfolio);
+        assert!(!result.is_empty());
     }
 
     #[test]

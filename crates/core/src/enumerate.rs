@@ -14,11 +14,10 @@
 //! Exhaustive mode disables both rules and is used as the brute-force
 //! baseline of experiments E1/E2.
 
-use std::time::Instant;
-
 use lp_solver::ConstraintOp;
 use paql::ObjectiveDirection;
 
+use crate::budget::Budget;
 use crate::error::PbError;
 use crate::ilp::{linearize_formula, linearize_objective, LinearConstraint};
 use crate::package::Package;
@@ -37,6 +36,9 @@ pub struct EnumerationOptions {
     /// Number of best packages to keep (all feasible ones when the query has
     /// no objective, up to this many).
     pub keep: usize,
+    /// Cooperative wall-clock budget; on expiry the search aborts and the
+    /// best packages found so far are returned with `complete: false`.
+    pub budget: Budget,
 }
 
 impl Default for EnumerationOptions {
@@ -45,6 +47,7 @@ impl Default for EnumerationOptions {
             prune: true,
             max_nodes: 20_000_000,
             keep: 1,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -231,6 +234,13 @@ impl<'v> Searcher<'v> {
             self.aborted = true;
             return Ok(());
         }
+        // Deadline check every 256 nodes: cheap relative to the per-node
+        // work, frequent enough that a 10 ms budget overshoots by well under
+        // its own length.
+        if self.nodes.is_multiple_of(256) && self.opts.budget.expired() {
+            self.aborted = true;
+            return Ok(());
+        }
         if self.prune_subtree(idx) {
             return Ok(());
         }
@@ -263,7 +273,7 @@ impl<'v> Searcher<'v> {
 
 /// Enumerates packages for a candidate view.
 pub fn enumerate(view: &CandidateView, opts: EnumerationOptions) -> PbResult<EnumerationOutcome> {
-    let start = Instant::now();
+    let start = std::time::Instant::now();
     if view.candidate_count() > 64 && !opts.prune {
         // 2^64 leaves is never going to finish; refuse instead of spinning.
         return Err(PbError::Unsupported(format!(
@@ -379,7 +389,13 @@ mod tests {
                  MAXIMIZE SUM(P.protein)";
         let spec = spec_for(&t, q);
         let enumerated = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
-        let ilp = crate::ilp::solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let ilp = crate::ilp::solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         let a = enumerated.packages.first().map(|(_, o)| o.unwrap());
         let b = ilp.packages.first().map(|(_, o)| o.unwrap());
         match (a, b) {
@@ -416,6 +432,7 @@ mod tests {
                 prune: true,
                 max_nodes: 1000,
                 keep: 1,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -16,11 +16,10 @@
 //! form — exactly the "solver limitations" the paper discusses in Section 5.
 //! For those queries the engine falls back to enumeration or local search.
 
-use std::time::Instant;
-
-use lp_solver::{ConstraintOp, Problem, Sense, SolverConfig, Status, VarId, VarType};
+use lp_solver::{ConstraintOp, LpError, Problem, Sense, SolverConfig, Status, VarId, VarType};
 use paql::{AggFunc, CmpOp, ObjectiveDirection};
 
+use crate::budget::Budget;
 use crate::error::PbError;
 use crate::package::Package;
 use crate::result::{EvalStats, StrategyUsed};
@@ -289,6 +288,10 @@ pub fn translate(view: &CandidateView) -> PbResult<IlpTranslation> {
 pub struct IlpOutcome {
     /// Valid packages found, best first, with their objective values.
     pub packages: Vec<(Package, Option<f64>)>,
+    /// True when every solve ran to proven optimality; false when a time,
+    /// node or cancellation limit stopped the search (the packages are then
+    /// the best incumbents found, not provably optimal).
+    pub complete: bool,
     /// Evaluation statistics.
     pub stats: EvalStats,
 }
@@ -296,23 +299,61 @@ pub struct IlpOutcome {
 /// Solves a view with the ILP strategy, returning up to `num_packages`
 /// packages (additional packages require binary multiplicities and use
 /// no-good cuts, per the paper's Section 5 discussion).
+///
+/// The `budget` is threaded down to the branch-and-bound node loop and the
+/// simplex pivot loop; on expiry the incumbents found so far come back with
+/// `complete: false` rather than an error.
 pub fn solve_ilp(
     view: &CandidateView,
     solver: &SolverConfig,
     num_packages: usize,
+    budget: &Budget,
 ) -> PbResult<IlpOutcome> {
-    let start = Instant::now();
+    let start = std::time::Instant::now();
+    // An already-spent budget skips even the translation (building one
+    // variable and row set per candidate is itself linear in the view).
+    if budget.expired() {
+        return Ok(IlpOutcome {
+            packages: Vec::new(),
+            complete: false,
+            stats: EvalStats {
+                strategy: StrategyUsed::Ilp,
+                candidates: view.candidate_count(),
+                nodes: 0,
+                iterations: 0,
+                elapsed: start.elapsed(),
+            },
+        });
+    }
     let IlpTranslation { mut problem, vars } = translate(view)?;
+    let mut config = solver.clone();
+    budget.apply_to_solver(&mut config);
 
     let mut packages = Vec::new();
+    let mut complete = true;
     let mut total_iterations = 0usize;
     let mut total_nodes = 0usize;
 
     let want = num_packages.max(1);
     for round in 0..want {
-        let solution = lp_solver::solve(&problem, solver)?;
+        if budget.expired() {
+            complete = false;
+            break;
+        }
+        let solution = match lp_solver::solve(&problem, &config) {
+            // Limits without an incumbent are a truncated search, not a
+            // failed one: report what previous rounds found, non-optimal.
+            Err(LpError::Interrupted) | Err(LpError::NodeLimit) => {
+                complete = false;
+                break;
+            }
+            other => other?,
+        };
         total_iterations += solution.iterations;
         total_nodes += solution.nodes;
+        if solution.status == Status::LimitReached {
+            complete = false;
+        }
         if !solution.status.has_solution() {
             break;
         }
@@ -355,6 +396,7 @@ pub fn solve_ilp(
 
     Ok(IlpOutcome {
         packages,
+        complete,
         stats: EvalStats {
             strategy: StrategyUsed::Ilp,
             candidates: view.candidate_count(),
@@ -387,7 +429,13 @@ mod tests {
              SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
              MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(out.packages.len(), 1);
         let (pkg, obj) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 3);
@@ -447,7 +495,13 @@ mod tests {
              MAXIMIZE SUM(P.expected_return)",
         );
         assert!(linearization_obstacle(spec.view()).is_none());
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         let (pkg, _) = &out.packages[0];
         assert!(spec.is_valid(pkg).unwrap());
         // Verify the 30% constraint numerically.
@@ -479,7 +533,13 @@ mod tests {
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) >= 100000",
         );
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert!(out.packages.is_empty());
     }
 
@@ -491,7 +551,13 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1500 \
              MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 4).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            4,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         assert_eq!(out.packages.len(), 4);
         for (p, _) in &out.packages {
             assert!(spec.is_valid(p).unwrap());
@@ -516,7 +582,13 @@ mod tests {
             "SELECT PACKAGE(R) AS P FROM recipes R REPEAT 3 \
              SUCH THAT COUNT(*) = 3 AND SUM(P.calories) <= 4200 MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         let (pkg, _) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 3);
         assert!(pkg.max_multiplicity() <= 3);
@@ -536,7 +608,13 @@ mod tests {
             &t,
             "SELECT PACKAGE(R) AS P FROM recipes R MAXIMIZE SUM(P.protein)",
         );
-        let out = solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         // Every recipe has positive protein → optimum takes all of them.
         let (pkg, _) = &out.packages[0];
         assert_eq!(pkg.cardinality(), 30);

@@ -26,8 +26,16 @@
 //!   [`solver::LocalSearchSolver`] (Section 4.2 k-replacement search,
 //!   [`local_search`]) and [`solver::GreedySolver`] ([`greedy`] construction
 //!   with feasibility repair). Solvers only see the view — never the base
-//!   table — which is what makes parallel, sharded or cached solving a
-//!   drop-in extension.
+//!   table — and are `Send + Sync`, which is what makes parallel, sharded
+//!   or cached solving a drop-in extension.
+//! * **[`budget`] + [`portfolio`] — anytime evaluation.** Every solver
+//!   honours one cooperative [`budget::Budget`] (deadline + shared stop
+//!   flag, threaded down to the LP solver's pivot loop) and returns its
+//!   best-so-far result with `optimal: false` on expiry.
+//!   [`portfolio::PortfolioSolver`] races several solvers over one view
+//!   with scoped threads: cheap heuristics deliver a package immediately,
+//!   the exact ILP supersedes them if it finishes inside the budget, and
+//!   the first provably-optimal result cancels the rest of the race.
 //! * **[`engine`] — the planner.** [`engine::PackageEngine`] resolves the
 //!   `Auto` policy, derives cardinality bounds ([`pruning`], short-circuiting
 //!   provably-infeasible queries), runs the chosen solver through the trait,
@@ -59,6 +67,7 @@
 //! assert_eq!(best.cardinality(), 3);
 //! ```
 
+pub mod budget;
 pub mod config;
 pub mod diversity;
 pub mod engine;
@@ -69,6 +78,7 @@ pub mod greedy;
 pub mod ilp;
 pub mod local_search;
 pub mod package;
+pub mod portfolio;
 pub mod pruning;
 pub mod result;
 pub mod solver;
@@ -77,10 +87,12 @@ pub mod suggest;
 pub mod summary;
 pub mod view;
 
+pub use budget::Budget;
 pub use config::{EngineConfig, Strategy};
 pub use engine::{PackageEngine, QueryPlan};
 pub use error::PbError;
 pub use package::Package;
+pub use portfolio::PortfolioSolver;
 pub use result::{EvalStats, PackageResult, StrategyUsed};
 pub use solver::{SolveOptions, SolveOutcome, Solver};
 pub use spec::PackageSpec;

@@ -22,14 +22,14 @@
 //! member — the exact change that makes the neighbourhood scan cheap enough
 //! to matter at scale.
 
-use std::time::Instant;
-
 use minidb::ops::{cross_join, filter, scan, Relation};
 use minidb::{BinaryOp, Expr, Table, TupleId};
 use paql::ObjectiveDirection;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::budget::Budget;
+use crate::error::PbError;
 use crate::greedy::{random_cardinality, starting_package, StartHeuristic};
 use crate::package::Package;
 use crate::result::{EvalStats, StrategyUsed};
@@ -50,6 +50,9 @@ pub struct LocalSearchOptions {
     pub seed: u64,
     /// How many distinct feasible packages to keep (best first).
     pub keep: usize,
+    /// Cooperative wall-clock budget; on expiry the search stops scanning
+    /// and returns the best packages recorded so far.
+    pub budget: Budget,
 }
 
 impl Default for LocalSearchOptions {
@@ -60,6 +63,7 @@ impl Default for LocalSearchOptions {
             restarts: 8,
             seed: 42,
             keep: 1,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -81,7 +85,9 @@ pub fn local_search(
     view: &CandidateView,
     opts: &LocalSearchOptions,
 ) -> PbResult<LocalSearchOutcome> {
-    let start = Instant::now();
+    // Stats clock only — deadline decisions all go through the budget.
+    let start = std::time::Instant::now();
+    let budget = &opts.budget;
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut best: Vec<(Package, Option<f64>)> = Vec::new();
     let mut moves = 0u64;
@@ -90,7 +96,7 @@ pub fn local_search(
     let direction = view.direction();
 
     for restart in 0..opts.restarts.max(1) {
-        if view.candidate_count() == 0 {
+        if view.candidate_count() == 0 || budget.expired() {
             break;
         }
         let start_package = if restart == 0 {
@@ -102,15 +108,20 @@ pub fn local_search(
             resize_to(view, &mut p, target, &mut rng);
             p
         };
-        let mut state = view
-            .project(&start_package)
-            .expect("starting packages draw from the candidate set");
+        let mut state = view.project(&start_package).ok_or_else(|| {
+            PbError::Internal(
+                "local-search starting package contains tuples outside the candidate set".into(),
+            )
+        })?;
         let mut current_score = state.score();
         record(&state, current_score, &mut best, direction, opts.keep);
 
         for _ in 0..opts.max_moves {
+            if budget.expired() {
+                break;
+            }
             let (neighbour, neighbour_score, evals) =
-                best_neighbour(&state, current_score, opts.k, direction);
+                best_neighbour(&state, current_score, opts.k, direction, budget);
             evaluations += evals;
             match neighbour {
                 Some(changes) if lex_better(neighbour_score, current_score, direction) => {
@@ -215,6 +226,7 @@ fn best_neighbour(
     current_score: (f64, Option<f64>),
     k: usize,
     direction: ObjectiveDirection,
+    budget: &Budget,
 ) -> (Option<Move>, (f64, Option<f64>), u64) {
     let view = state.view();
     let n = view.candidate_count();
@@ -236,9 +248,15 @@ fn best_neighbour(
         }
     };
 
+    // The neighbourhood scan is the hot loop of the whole strategy, so the
+    // deadline is checked between inner scans (each O(n) with O(#terms)
+    // deltas); an expired scan returns the best move seen so far.
     // Single-tuple replacements (k = 1), always explored.
     for &out in &members {
         for inn in 0..n {
+            if inn.is_multiple_of(256) && budget.expired() {
+                return (best, best_score, evaluations);
+            }
             if inn == out {
                 continue;
             }
@@ -257,6 +275,9 @@ fn best_neighbour(
         for (ai, &out_a) in members.iter().enumerate() {
             for &out_b in members.iter().skip(ai + 1) {
                 for in_a in 0..n {
+                    if budget.expired() {
+                        return (best, best_score, evaluations);
+                    }
                     for in_b in in_a..n {
                         let changes = [(out_a, -1), (out_b, -1), (in_a, 1), (in_b, 1)];
                         if !move_is_legal(state, &changes) {
@@ -272,6 +293,9 @@ fn best_neighbour(
     // Cardinality-changing moves: add one candidate / drop one member. These
     // help when the starting cardinality guess was off.
     for inn in 0..n {
+        if inn.is_multiple_of(256) && budget.expired() {
+            return (best, best_score, evaluations);
+        }
         let changes = [(inn, 1)];
         if !move_is_legal(state, &changes) {
             continue;
@@ -396,7 +420,13 @@ mod tests {
     fn quality_is_close_to_the_ilp_optimum() {
         let t = recipes(200, Seed(2));
         let spec = spec_for(&t, MEAL_QUERY);
-        let exact = crate::ilp::solve_ilp(spec.view(), &SolverConfig::default(), 1).unwrap();
+        let exact = crate::ilp::solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
         let heuristic = local_search(
             spec.view(),
             &LocalSearchOptions {

@@ -1,0 +1,340 @@
+//! Portfolio racing: several solvers, one view, one deadline.
+//!
+//! SketchRefine-style systems get their latency guarantees by racing cheap
+//! approximate solvers against exact ones; this module does the same over
+//! the [`Solver`] seam. A [`PortfolioSolver`] spawns one scoped thread per
+//! worker strategy, all borrowing the same [`crate::view::CandidateView`]
+//! and sharing one [`crate::budget::Budget`]:
+//!
+//! * the cheap workers (greedy, local search) produce a feasible package
+//!   almost immediately — the anytime answer;
+//! * the exact worker (ILP) keeps running; if it finishes inside the budget
+//!   its provably-optimal result supersedes the heuristics and the race is
+//!   cancelled early via the shared stop flag;
+//! * at the deadline every worker returns its best-so-far result
+//!   cooperatively, and the best one wins.
+//!
+//! Workers that cannot evaluate the query at all (e.g. the ILP translation
+//! of a non-conjunctive formula) simply drop out of the race; the race only
+//! fails when *every* worker fails.
+
+use std::sync::mpsc;
+use std::thread;
+
+use paql::ObjectiveDirection;
+
+use crate::config::Strategy;
+use crate::error::PbError;
+use crate::package::Package;
+use crate::result::{EvalStats, StrategyUsed};
+use crate::solver::{solver_for, SolveOptions, SolveOutcome, Solver};
+use crate::view::CandidateView;
+use crate::PbResult;
+
+/// Races a set of worker strategies concurrently over one candidate view.
+///
+/// The returned outcome carries the winning worker's packages and `optimal`
+/// flag, with stats aggregated across the whole race (`nodes` / `iterations`
+/// summed over every worker, strategy reported as
+/// [`StrategyUsed::Portfolio`]). With a single worker the packages,
+/// objectives and optimality flag are exactly the underlying solver's —
+/// racing is a pure wrapper, never a result transformation.
+///
+/// Winner ranking is deterministic given the worker outcomes: a worker with
+/// packages beats one without, a provably-optimal outcome beats a heuristic
+/// one, then the better first-package objective wins, and ties keep the
+/// earliest worker in the configured order.
+#[derive(Debug, Clone)]
+pub struct PortfolioSolver {
+    workers: Vec<Strategy>,
+}
+
+impl PortfolioSolver {
+    /// A portfolio racing the given strategies (in order; the order only
+    /// breaks ties). `Auto` and nested `Portfolio` workers are rejected, as
+    /// is an empty worker set.
+    pub fn new(workers: Vec<Strategy>) -> PbResult<Self> {
+        if workers.is_empty() {
+            return Err(PbError::Internal(
+                "a portfolio needs at least one worker strategy".into(),
+            ));
+        }
+        for w in &workers {
+            if matches!(w, Strategy::Auto | Strategy::Portfolio) {
+                return Err(PbError::Internal(format!(
+                    "{w:?} is not a valid portfolio worker"
+                )));
+            }
+        }
+        Ok(PortfolioSolver { workers })
+    }
+
+    /// The strategies this portfolio races.
+    pub fn workers(&self) -> &[Strategy] {
+        &self.workers
+    }
+}
+
+impl Default for PortfolioSolver {
+    /// The canonical race: exact ILP against the two heuristics.
+    fn default() -> Self {
+        PortfolioSolver {
+            workers: vec![Strategy::Ilp, Strategy::LocalSearch, Strategy::Greedy],
+        }
+    }
+}
+
+/// True when outcome `a` should win the race over outcome `b`.
+fn beats(a: &SolveOutcome, b: &SolveOutcome, direction: ObjectiveDirection) -> bool {
+    let a_has = !a.packages.is_empty();
+    let b_has = !b.packages.is_empty();
+    if a_has != b_has {
+        return a_has;
+    }
+    if a.optimal != b.optimal {
+        return a.optimal;
+    }
+    if a_has {
+        let x = a.packages[0].1;
+        let y = b.packages[0].1;
+        if x != y {
+            return Package::better_objective(direction, x, y);
+        }
+    }
+    false
+}
+
+impl Solver for PortfolioSolver {
+    fn strategy(&self) -> StrategyUsed {
+        StrategyUsed::Portfolio
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let start = std::time::Instant::now();
+        let solvers: Vec<Box<dyn Solver>> = self
+            .workers
+            .iter()
+            .map(|&w| solver_for(w))
+            .collect::<PbResult<_>>()?;
+        // Workers race on a *child* of the caller's budget: it inherits the
+        // deadline and observes the caller's cancellation, but cancelling the
+        // race (below) never trips the flag inside the caller's options.
+        let race = opts.budget.child();
+
+        let mut slots: Vec<Option<PbResult<SolveOutcome>>> = thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, PbResult<SolveOutcome>)>();
+            for (i, solver) in solvers.iter().enumerate() {
+                let tx = tx.clone();
+                let worker_opts = SolveOptions {
+                    budget: race.clone(),
+                    ..opts.clone()
+                };
+                scope.spawn(move || {
+                    let result = solver.solve(view, &worker_opts);
+                    // The receiver outlives the scope; a send can only fail
+                    // if the collector below already drained and dropped,
+                    // which cannot happen while workers run.
+                    let _ = tx.send((i, result));
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<PbResult<SolveOutcome>>> =
+                (0..solvers.len()).map(|_| None).collect();
+            while let Ok((i, result)) = rx.recv() {
+                // A provably-optimal result cannot be improved by any other
+                // worker: cancel the losers instead of waiting them out.
+                if matches!(&result, Ok(o) if o.optimal) {
+                    race.cancel();
+                }
+                slots[i] = Some(result);
+            }
+            slots
+        });
+
+        let direction = view.direction();
+        let mut winner: Option<usize> = None;
+        let mut first_err: Option<PbError> = None;
+        let mut nodes = 0u64;
+        let mut iterations = 0u64;
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Some(Ok(outcome)) => {
+                    nodes += outcome.stats.nodes;
+                    iterations += outcome.stats.iterations;
+                    let better = match winner {
+                        None => true,
+                        Some(w) => match &slots[w] {
+                            Some(Ok(current)) => beats(outcome, current, direction),
+                            _ => true,
+                        },
+                    };
+                    if better {
+                        winner = Some(i);
+                    }
+                }
+                // A worker that cannot evaluate the query drops out; the
+                // race fails only when everyone does.
+                Some(Err(e)) if first_err.is_none() => first_err = Some(e.clone()),
+                Some(Err(_)) | None => {}
+            }
+        }
+
+        match winner {
+            Some(w) => {
+                let chosen = slots[w]
+                    .take()
+                    .expect("winner slot was filled above")
+                    .expect("winner slot holds an Ok outcome");
+                Ok(SolveOutcome {
+                    packages: chosen.packages,
+                    optimal: chosen.optimal,
+                    stats: EvalStats {
+                        strategy: StrategyUsed::Portfolio,
+                        candidates: view.candidate_count(),
+                        nodes,
+                        iterations,
+                        elapsed: start.elapsed(),
+                    },
+                })
+            }
+            None => Err(first_err.unwrap_or_else(|| {
+                PbError::Internal("portfolio race finished with no worker results".into())
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::solver::{GreedySolver, IlpSolver, LocalSearchSolver};
+    use crate::spec::PackageSpec;
+    use datagen::{recipes, Seed};
+    use minidb::Table;
+    use paql::compile;
+    use std::time::Duration;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn racing_returns_the_ilp_optimum_on_linear_queries() {
+        let t = recipes(250, Seed(1));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let opts = SolveOptions::default();
+        let race = PortfolioSolver::default()
+            .solve(spec.view(), &opts)
+            .unwrap();
+        // Reusing the same options doubles as a regression test: the race's
+        // internal cancel must not poison the caller's budget.
+        assert!(!opts.budget.expired());
+        let exact = IlpSolver.solve(spec.view(), &opts).unwrap();
+        assert!(
+            race.optimal,
+            "the exact worker finished, so the race is optimal"
+        );
+        assert_eq!(race.stats.strategy, StrategyUsed::Portfolio);
+        assert_eq!(
+            race.packages.first().map(|(_, o)| *o),
+            exact.packages.first().map(|(_, o)| *o),
+        );
+        for (p, _) in &race.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn ilp_dropping_out_still_wins_with_heuristics() {
+        // AVG is not linearizable: the ILP worker errors out of the race and
+        // the heuristics must still deliver a feasible package.
+        let t = recipes(200, Seed(2));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+             MAXIMIZE SUM(P.protein)",
+        );
+        let out = PortfolioSolver::default()
+            .solve(spec.view(), &SolveOptions::default())
+            .unwrap();
+        assert!(!out.packages.is_empty());
+        assert!(!out.optimal, "no exact worker survived");
+        for (p, _) in &out.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn single_worker_portfolio_is_a_pure_wrapper() {
+        let t = recipes(150, Seed(3));
+        let spec = spec_for(&t, MEAL_QUERY);
+        for (workers, solver) in [
+            (
+                vec![Strategy::LocalSearch],
+                Box::new(LocalSearchSolver) as Box<dyn Solver>,
+            ),
+            (
+                vec![Strategy::Greedy],
+                Box::new(GreedySolver) as Box<dyn Solver>,
+            ),
+        ] {
+            let opts = SolveOptions::default();
+            let race = PortfolioSolver::new(workers)
+                .unwrap()
+                .solve(spec.view(), &opts)
+                .unwrap();
+            let alone = solver.solve(spec.view(), &opts).unwrap();
+            assert_eq!(race.packages, alone.packages);
+            assert_eq!(race.optimal, alone.optimal);
+            assert_eq!(race.stats.nodes, alone.stats.nodes);
+            assert_eq!(race.stats.iterations, alone.stats.iterations);
+        }
+    }
+
+    #[test]
+    fn invalid_worker_sets_are_rejected() {
+        assert!(PortfolioSolver::new(Vec::new()).is_err());
+        assert!(PortfolioSolver::new(vec![Strategy::Auto]).is_err());
+        assert!(PortfolioSolver::new(vec![Strategy::Ilp, Strategy::Portfolio]).is_err());
+        assert!(PortfolioSolver::new(vec![Strategy::Ilp, Strategy::Greedy]).is_ok());
+    }
+
+    #[test]
+    fn all_workers_failing_reports_the_first_error() {
+        // Exhaustive enumeration refuses > 64 candidates, and it is the only
+        // worker: the race has nobody left and must surface the error.
+        let t = recipes(150, Seed(4));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let err = PortfolioSolver::new(vec![Strategy::Exhaustive])
+            .unwrap()
+            .solve(spec.view(), &SolveOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, PbError::Unsupported(_)));
+    }
+
+    #[test]
+    fn deadline_race_returns_a_feasible_package_quickly() {
+        let t = recipes(1000, Seed(5));
+        let spec = spec_for(&t, MEAL_QUERY);
+        // Generous enough for the greedy worker even in debug builds, tight
+        // enough that the race cannot wait out an unbounded exact solve.
+        let opts = SolveOptions {
+            budget: Budget::with_limit(Duration::from_millis(200)),
+            ..SolveOptions::default()
+        };
+        let out = PortfolioSolver::default()
+            .solve(spec.view(), &opts)
+            .unwrap();
+        assert!(!out.packages.is_empty());
+        for (p, _) in &out.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+}

@@ -21,6 +21,9 @@ pub enum StrategyUsed {
     LocalSearch,
     /// Pure greedy construction with feasibility repair.
     Greedy,
+    /// A portfolio race across several solvers (the stats aggregate every
+    /// worker; the packages come from the winning worker).
+    Portfolio,
 }
 
 impl fmt::Display for StrategyUsed {
@@ -31,6 +34,7 @@ impl fmt::Display for StrategyUsed {
             StrategyUsed::Exhaustive => "exhaustive",
             StrategyUsed::LocalSearch => "local-search",
             StrategyUsed::Greedy => "greedy",
+            StrategyUsed::Portfolio => "portfolio",
         };
         write!(f, "{s}")
     }

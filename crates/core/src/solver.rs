@@ -9,19 +9,23 @@
 //!
 //! Solvers consume only the columnar [`CandidateView`] (never the base
 //! table), which makes them interchangeable, individually testable, and the
-//! seam future scaling work plugs into: a parallel portfolio solver, a
-//! sharded solve, or a cached solve are all `impl Solver` away. The engine's
-//! planner ([`crate::engine::PackageEngine`]) selects and chains them:
-//! pruning bounds first, then the solver, then validation.
-
-use std::time::Instant;
+//! seam scaling work plugs into — the parallel
+//! [`crate::portfolio::PortfolioSolver`] races any of them concurrently over
+//! one borrowed view, and a sharded or cached solve is equally `impl Solver`
+//! away. Every solver honours the cooperative [`Budget`] in its options:
+//! deadline expiry or cancellation means "return your best result so far,
+//! flagged non-optimal", never an error. The engine's planner
+//! ([`crate::engine::PackageEngine`]) selects and chains them: pruning
+//! bounds first, then the solver, then validation.
 
 use lp_solver::SolverConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::budget::Budget;
 use crate::config::{EngineConfig, Strategy};
 use crate::enumerate::{enumerate, EnumerationOptions};
+use crate::error::PbError;
 use crate::greedy::{starting_package, StartHeuristic};
 use crate::ilp::solve_ilp;
 use crate::local_search::{local_search, LocalSearchOptions};
@@ -47,10 +51,16 @@ pub struct SolveOptions {
     pub local_restarts: usize,
     /// Seed for randomized components.
     pub seed: u64,
+    /// Wall-clock budget and cancellation flag for this evaluation. The
+    /// budget is *armed* when the options are built; the engine re-arms it
+    /// per plan run ([`SolveOptions::rearmed`]), and clones share the stop
+    /// flag so a portfolio race can cancel all of its workers at once.
+    pub budget: Budget,
 }
 
 impl SolveOptions {
     /// Projects the solver-relevant fields out of an engine configuration.
+    /// The budget is armed now, from `config.time_budget`.
     pub fn from_config(config: &EngineConfig) -> Self {
         SolveOptions {
             num_packages: config.num_packages,
@@ -60,6 +70,16 @@ impl SolveOptions {
             max_local_moves: config.max_local_moves,
             local_restarts: config.local_restarts,
             seed: config.seed,
+            budget: Budget::starting_now(config.time_budget),
+        }
+    }
+
+    /// These options with the budget re-armed: same limit, deadline measured
+    /// from now, fresh stop flag.
+    pub fn rearmed(&self) -> Self {
+        SolveOptions {
+            budget: self.budget.rearmed(),
+            ..self.clone()
         }
     }
 }
@@ -97,7 +117,15 @@ impl SolveOutcome {
 }
 
 /// A package-query evaluation strategy over a columnar candidate view.
-pub trait Solver {
+///
+/// Solvers are `Send + Sync` so the engine can race them concurrently over
+/// one borrowed view ([`crate::portfolio::PortfolioSolver`]); every
+/// implementation is stateless, all per-solve state lives in `opts`.
+///
+/// Deadline contract: when `opts.budget` expires mid-solve, return the best
+/// result found so far with `optimal: false` — never an error, never an
+/// unbounded overrun.
+pub trait Solver: Send + Sync {
     /// Which strategy this solver implements (reported in [`EvalStats`]).
     fn strategy(&self) -> StrategyUsed;
 
@@ -115,10 +143,10 @@ impl Solver for IlpSolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
-        let out = solve_ilp(view, &opts.solver, opts.num_packages)?;
+        let out = solve_ilp(view, &opts.solver, opts.num_packages, &opts.budget)?;
         Ok(SolveOutcome {
             packages: out.packages,
-            optimal: true,
+            optimal: out.complete,
             stats: out.stats,
         })
     }
@@ -148,6 +176,7 @@ impl Solver for EnumerationSolver {
                 prune: self.prune,
                 max_nodes: opts.max_enumeration_nodes,
                 keep: opts.num_packages,
+                budget: opts.budget.clone(),
             },
         )?;
         let complete = out.complete;
@@ -177,6 +206,7 @@ impl Solver for LocalSearchSolver {
                 restarts: opts.local_restarts,
                 seed: opts.seed,
                 keep: opts.num_packages,
+                budget: opts.budget.clone(),
             },
         )?;
         Ok(SolveOutcome {
@@ -200,7 +230,9 @@ impl Solver for GreedySolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
-        let start = Instant::now();
+        // Stats clock only — deadline decisions all go through the budget.
+        let start = std::time::Instant::now();
+        let budget = &opts.budget;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut evaluations = 0u64;
         let mut moves = 0u64;
@@ -208,16 +240,24 @@ impl Solver for GreedySolver {
 
         if view.candidate_count() > 0 {
             let greedy = starting_package(view, StartHeuristic::Greedy, &mut rng);
-            let mut state = view
-                .project(&greedy)
-                .expect("greedy construction draws from the candidate set");
+            let mut state = view.project(&greedy).ok_or_else(|| {
+                PbError::Internal(
+                    "greedy starting package contains tuples outside the candidate set".into(),
+                )
+            })?;
             // Repair pass: accept single add/drop moves while they strictly
             // reduce the violation (delta-evaluated on the view's columns).
+            // Each pass scans the whole candidate set, so the budget is
+            // checked per pass and periodically within one; on expiry the
+            // best-so-far state is returned (optimal is false regardless).
             let mut violation = state.violation();
-            while violation > 0.0 {
+            'repair: while violation > 0.0 && !budget.expired() {
                 let mut best_change: Option<(usize, i64)> = None;
                 let mut best_violation = violation;
                 for idx in 0..view.candidate_count() {
+                    if idx.is_multiple_of(256) && idx > 0 && budget.expired() {
+                        break 'repair;
+                    }
                     for delta in [1i64, -1] {
                         let mult = state.multiplicity(idx) as i64;
                         if mult + delta < 0 || mult + delta > view.max_multiplicity() as i64 {
@@ -261,7 +301,8 @@ impl Solver for GreedySolver {
 }
 
 /// Maps an explicit strategy to its solver. `Auto` is resolved by the
-/// planner before this point and is rejected here.
+/// planner before this point and is rejected here. `Portfolio` resolves to
+/// the default worker trio; the planner builds configured portfolios itself.
 pub fn solver_for(strategy: Strategy) -> PbResult<Box<dyn Solver>> {
     Ok(match strategy {
         Strategy::Ilp => Box::new(IlpSolver),
@@ -269,6 +310,7 @@ pub fn solver_for(strategy: Strategy) -> PbResult<Box<dyn Solver>> {
         Strategy::Exhaustive => Box::new(EnumerationSolver { prune: false }),
         Strategy::LocalSearch => Box::new(LocalSearchSolver),
         Strategy::Greedy => Box::new(GreedySolver),
+        Strategy::Portfolio => Box::new(crate::portfolio::PortfolioSolver::default()),
         Strategy::Auto => {
             return Err(crate::error::PbError::Internal(
                 "Strategy::Auto must be resolved by the planner before solver dispatch".into(),
@@ -358,6 +400,7 @@ mod tests {
             Strategy::Exhaustive,
             Strategy::LocalSearch,
             Strategy::Greedy,
+            Strategy::Portfolio,
         ] {
             assert!(solver_for(s).is_ok());
         }

@@ -1,0 +1,122 @@
+//! Determinism suite: same seed + same query ⇒ identical outcome.
+//!
+//! Every sequential solver must be a pure function of (view, options) — two
+//! runs from independently built engines return byte-identical packages,
+//! objectives and optimality flags. The portfolio adds threads, so it cannot
+//! promise cross-run timing, but with a single worker it must be a pure
+//! wrapper: exactly the underlying solver's result.
+
+use datagen::{recipes, Seed};
+use minidb::Catalog;
+use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::{PackageEngine, PackageResult};
+
+fn engine(n: usize, strategy: Strategy, seed: u64) -> PackageEngine {
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(n, Seed(7)));
+    PackageEngine::with_config(
+        catalog,
+        EngineConfig::with_strategy(strategy).with_seed(seed),
+    )
+}
+
+fn run(n: usize, strategy: Strategy, seed: u64, query: &str) -> PackageResult {
+    engine(n, strategy, seed)
+        .execute_paql(query)
+        .unwrap_or_else(|e| panic!("{strategy:?} failed: {e}"))
+}
+
+const LINEAR_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+    MAXIMIZE SUM(P.protein)";
+
+const NON_LINEAR_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+    MAXIMIZE SUM(P.protein)";
+
+fn assert_identical(a: &PackageResult, b: &PackageResult, context: &str) {
+    assert_eq!(a.packages, b.packages, "{context}: packages differ");
+    assert_eq!(a.objectives, b.objectives, "{context}: objectives differ");
+    assert_eq!(a.optimal, b.optimal, "{context}: optimality differs");
+    assert_eq!(
+        a.stats.strategy, b.stats.strategy,
+        "{context}: strategy differs"
+    );
+    assert_eq!(a.stats.nodes, b.stats.nodes, "{context}: nodes differ");
+    assert_eq!(
+        a.stats.iterations, b.stats.iterations,
+        "{context}: iterations differ"
+    );
+}
+
+#[test]
+fn sequential_solvers_are_deterministic_across_engine_instances() {
+    // (strategy, relation size): enumeration needs tiny inputs, the rest run
+    // on a few hundred candidates.
+    let cases = [
+        (Strategy::Ilp, 200),
+        (Strategy::PrunedEnumeration, 16),
+        (Strategy::Exhaustive, 14),
+        (Strategy::LocalSearch, 200),
+        (Strategy::Greedy, 200),
+    ];
+    for (strategy, n) in cases {
+        for seed in [1u64, 42] {
+            let first = run(n, strategy, seed, LINEAR_QUERY);
+            let second = run(n, strategy, seed, LINEAR_QUERY);
+            assert_identical(&first, &second, &format!("{strategy:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn local_search_is_deterministic_on_non_linear_queries_too() {
+    for seed in [3u64, 99] {
+        let first = run(250, Strategy::LocalSearch, seed, NON_LINEAR_QUERY);
+        let second = run(250, Strategy::LocalSearch, seed, NON_LINEAR_QUERY);
+        assert_identical(&first, &second, &format!("local search seed {seed}"));
+    }
+}
+
+#[test]
+fn different_seeds_may_differ_but_stay_valid() {
+    // Not a determinism requirement per se, but the guard that the seed is
+    // actually reaching the randomized components: local search results are
+    // valid under every seed.
+    for seed in [1u64, 2, 3] {
+        let r = run(200, Strategy::LocalSearch, seed, LINEAR_QUERY);
+        assert!(!r.is_empty());
+    }
+}
+
+#[test]
+fn single_worker_portfolio_matches_the_underlying_solver() {
+    for worker in [Strategy::Ilp, Strategy::LocalSearch, Strategy::Greedy] {
+        let mut portfolio_engine = engine(200, Strategy::Portfolio, 42);
+        portfolio_engine.config_mut().portfolio_workers = vec![worker];
+        let raced = portfolio_engine.execute_paql(LINEAR_QUERY).unwrap();
+        let alone = run(200, worker, 42, LINEAR_QUERY);
+        assert_eq!(raced.packages, alone.packages, "worker {worker:?}");
+        assert_eq!(raced.objectives, alone.objectives, "worker {worker:?}");
+        assert_eq!(raced.optimal, alone.optimal, "worker {worker:?}");
+        // The race aggregates its workers' counters; with one worker the
+        // totals are exactly the underlying solver's.
+        assert_eq!(raced.stats.nodes, alone.stats.nodes, "worker {worker:?}");
+        assert_eq!(
+            raced.stats.iterations, alone.stats.iterations,
+            "worker {worker:?}"
+        );
+    }
+}
+
+#[test]
+fn full_portfolio_race_is_deterministic_on_linear_queries() {
+    // With an unlimited budget the exact worker always finishes and always
+    // supersedes the heuristics, so even the multi-threaded race has one
+    // reproducible answer on linear queries.
+    let first = run(300, Strategy::Portfolio, 42, LINEAR_QUERY);
+    let second = run(300, Strategy::Portfolio, 42, LINEAR_QUERY);
+    assert_eq!(first.packages, second.packages);
+    assert_eq!(first.objectives, second.objectives);
+    assert!(first.optimal && second.optimal);
+}

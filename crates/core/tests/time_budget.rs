@@ -1,0 +1,207 @@
+//! Time-budget regression suite: no solver may ignore its deadline.
+//!
+//! The contract under test (see `packagebuilder::budget`): with a
+//! `time_limit` of 10 ms, every solver terminates within ~2× the limit —
+//! measured here with extra absolute slack for debug-profile builds and CI
+//! scheduler noise — and returns its best-so-far result with
+//! `optimal: false` instead of erroring or running unbounded. Before this
+//! suite existed, `GreedySolver`'s repair loop started an `Instant` and
+//! never looked at it again: a hostile candidate set ran unbounded.
+
+use std::time::{Duration, Instant};
+
+use datagen::{recipes, Seed};
+use minidb::{Catalog, Table};
+use packagebuilder::budget::Budget;
+use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::portfolio::PortfolioSolver;
+use packagebuilder::solver::{
+    EnumerationSolver, GreedySolver, IlpSolver, LocalSearchSolver, SolveOptions, Solver,
+};
+use packagebuilder::spec::PackageSpec;
+use packagebuilder::PackageEngine;
+use paql::compile;
+
+/// The budget every solver must honour.
+const LIMIT: Duration = Duration::from_millis(10);
+/// Fixed per-solve setup that is proportional to the candidate count, not
+/// to the time limit, and so does not scale down with it: chiefly the ILP
+/// translation (one variable + row entries per candidate; ~30 ms for 15k
+/// candidates in a debug build, where this suite runs), plus scheduler
+/// noise headroom for CI.
+const SETUP_SLACK: Duration = Duration::from_millis(60);
+
+/// Allowed wall-clock for one budgeted solve: the contract's ~2× factor on
+/// the limit, plus the fixed setup slack above.
+fn allowed(limit: Duration) -> Duration {
+    limit * 2 + SETUP_SLACK
+}
+
+/// The largest datagen scenario in the suite: a recipes relation far beyond
+/// anything a 10 ms budget could finish, with a query whose repair/search
+/// phases are long (a 300-tuple package forces hundreds of greedy repair
+/// passes over the full candidate set).
+fn hostile_table() -> Table {
+    recipes(15_000, Seed(20140901))
+}
+
+const HOSTILE_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 300 AND SUM(P.calories) BETWEEN 150000 AND 180000 \
+    MAXIMIZE SUM(P.protein)";
+
+fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+    let analyzed = compile(q, table.schema()).unwrap();
+    PackageSpec::build(&analyzed, table).unwrap()
+}
+
+fn budgeted_options() -> SolveOptions {
+    SolveOptions {
+        budget: Budget::with_limit(LIMIT),
+        ..SolveOptions::default()
+    }
+}
+
+#[test]
+fn every_solver_terminates_within_twice_the_time_limit() {
+    let table = hostile_table();
+    let spec = spec_for(&table, HOSTILE_QUERY);
+    let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
+        ("ilp", Box::new(IlpSolver)),
+        ("local-search", Box::new(LocalSearchSolver)),
+        ("greedy", Box::new(GreedySolver)),
+        ("portfolio", Box::new(PortfolioSolver::default())),
+    ];
+    for (name, solver) in solvers {
+        let opts = budgeted_options();
+        let start = Instant::now();
+        let out = solver
+            .solve(spec.view(), &opts)
+            .unwrap_or_else(|e| panic!("{name} must truncate, not fail: {e}"));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed <= allowed(LIMIT),
+            "{name} overran its {LIMIT:?} budget: took {elapsed:?} (allowed {:?})",
+            allowed(LIMIT)
+        );
+        assert!(
+            !out.optimal,
+            "{name} claimed optimality for a truncated solve"
+        );
+    }
+}
+
+#[test]
+fn enumeration_terminates_within_twice_the_time_limit() {
+    // The enumeration DFS recurses once per candidate index, so its largest
+    // *runnable* scenario is bounded by stack depth, not by the budget:
+    // 2,000 candidates keep the recursion shallow while the 2^2000-state
+    // search space still dwarfs any 10 ms allowance.
+    let table = recipes(2_000, Seed(20140901));
+    let spec = spec_for(
+        &table,
+        "SELECT PACKAGE(R) AS P FROM recipes R \
+         SUCH THAT COUNT(*) = 40 AND SUM(P.calories) BETWEEN 20000 AND 24000 \
+         MAXIMIZE SUM(P.protein)",
+    );
+    let opts = budgeted_options();
+    let start = Instant::now();
+    let out = EnumerationSolver { prune: true }
+        .solve(spec.view(), &opts)
+        .unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed <= allowed(LIMIT),
+        "pruned enumeration overran its {LIMIT:?} budget: took {elapsed:?}"
+    );
+    assert!(!out.optimal);
+}
+
+#[test]
+fn greedy_repair_honours_a_tiny_time_limit_on_a_large_candidate_set() {
+    // The original bug: the repair loop (`while violation > 0.0`) never
+    // checked SolverConfig::time_limit, so this exact shape — a large
+    // candidate set and a high-cardinality window needing hundreds of repair
+    // moves — ran unbounded.
+    let table = hostile_table();
+    let spec = spec_for(&table, HOSTILE_QUERY);
+    let opts = SolveOptions {
+        budget: Budget::with_limit(Duration::from_millis(1)),
+        ..SolveOptions::default()
+    };
+    let start = Instant::now();
+    let out = GreedySolver.solve(spec.view(), &opts).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed <= allowed(Duration::from_millis(1)),
+        "greedy ignored a 1 ms budget: took {elapsed:?}"
+    );
+    assert!(!out.optimal);
+    // Best-so-far contract: expiry yields a (possibly empty) truncated
+    // result, never an error. Any package it does return must be valid.
+    for (p, _) in &out.packages {
+        assert!(spec.is_valid(p).unwrap());
+    }
+}
+
+#[test]
+fn expired_budgets_return_immediately_with_best_so_far() {
+    let table = hostile_table();
+    let spec = spec_for(&table, HOSTILE_QUERY);
+    let opts = SolveOptions {
+        budget: Budget::with_limit(Duration::ZERO),
+        ..SolveOptions::default()
+    };
+    for solver in [
+        Box::new(IlpSolver) as Box<dyn Solver>,
+        Box::new(EnumerationSolver { prune: true }),
+        Box::new(LocalSearchSolver),
+        Box::new(GreedySolver),
+    ] {
+        let start = Instant::now();
+        let out = solver.solve(spec.view(), &opts).unwrap();
+        assert!(!out.optimal);
+        assert!(
+            start.elapsed() < allowed(Duration::ZERO),
+            "{} did not bail out of an already-expired budget",
+            solver.strategy()
+        );
+    }
+}
+
+#[test]
+fn cancellation_stops_a_running_solver() {
+    // The stop flag alone (no deadline) must end the race: arm an unlimited
+    // budget, trip it, and the solver returns promptly.
+    let table = hostile_table();
+    let spec = spec_for(&table, HOSTILE_QUERY);
+    let opts = SolveOptions::default();
+    opts.budget.cancel();
+    let start = Instant::now();
+    let out = GreedySolver.solve(spec.view(), &opts).unwrap();
+    assert!(!out.optimal);
+    assert!(start.elapsed() < allowed(Duration::ZERO));
+}
+
+#[test]
+fn engine_time_budget_reaches_the_solver_and_reports_non_optimal() {
+    let mut catalog = Catalog::new();
+    catalog.register(hostile_table());
+    let engine = PackageEngine::with_config(
+        catalog,
+        EngineConfig::with_strategy(Strategy::Ilp).with_time_budget(LIMIT),
+    );
+    let start = Instant::now();
+    let result = engine.execute_paql(HOSTILE_QUERY).unwrap();
+    let elapsed = start.elapsed();
+    // The engine path additionally parses the query and builds the columnar
+    // view (linear in the relation, outside the solve budget by design), so
+    // it gets one extra helping of setup slack on top of the solver bound.
+    assert!(
+        elapsed <= allowed(LIMIT) + SETUP_SLACK,
+        "engine run overran the configured budget: {elapsed:?}"
+    );
+    assert!(
+        !result.optimal,
+        "a truncated engine run must not claim optimality"
+    );
+}

@@ -12,7 +12,7 @@ use std::time::Instant;
 use crate::problem::{Problem, Sense, VarType};
 use crate::simplex::solve_lp;
 use crate::solution::{Solution, Status};
-use crate::{LpResult, SolverConfig};
+use crate::{LpError, LpResult, SolverConfig};
 
 /// A subproblem waiting to be expanded.
 struct Node {
@@ -95,6 +95,9 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
     let mut total_iterations = 0usize;
     let mut nodes = 0usize;
     let mut limit_hit = false;
+    // Distinguishes a cooperative stop (deadline/cancellation) from an
+    // exhausted node budget when no incumbent exists to return.
+    let mut interrupted = false;
 
     while let Some(node) = heap.pop() {
         if nodes >= config.max_nodes {
@@ -104,8 +107,14 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
         if let Some(limit) = config.time_limit {
             if start.elapsed() >= limit {
                 limit_hit = true;
+                interrupted = true;
                 break;
             }
+        }
+        if config.interrupted() {
+            limit_hit = true;
+            interrupted = true;
+            break;
         }
         // Bound-based pruning against the incumbent.
         if let Some(inc) = &incumbent {
@@ -115,7 +124,16 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
         }
         nodes += 1;
 
-        let relax = solve_lp(problem, Some(&node.bounds), config)?;
+        let relax = match solve_lp(problem, Some(&node.bounds), config) {
+            // An interrupted relaxation is a limit, not a failure: keep the
+            // incumbent found so far (reported as LimitReached below).
+            Err(LpError::Interrupted) => {
+                limit_hit = true;
+                interrupted = true;
+                break;
+            }
+            other => other?,
+        };
         total_iterations += relax.iterations;
         match relax.status {
             Status::Infeasible => continue,
@@ -220,8 +238,10 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
             Ok(sol)
         }
         None => {
-            if limit_hit {
-                Err(crate::LpError::NodeLimit)
+            if interrupted {
+                Err(LpError::Interrupted)
+            } else if limit_hit {
+                Err(LpError::NodeLimit)
             } else {
                 Ok(Solution {
                     status: Status::Infeasible,

@@ -14,6 +14,9 @@ pub enum LpError {
     /// Branch and bound exceeded its node budget before proving optimality
     /// and without finding any incumbent.
     NodeLimit,
+    /// The solve was stopped cooperatively (deadline passed or stop flag set)
+    /// before any solution was available.
+    Interrupted,
     /// Numerical trouble that the solver could not recover from.
     Numerical(String),
 }
@@ -26,6 +29,9 @@ impl fmt::Display for LpError {
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
             LpError::NodeLimit => {
                 write!(f, "branch-and-bound node limit reached with no incumbent")
+            }
+            LpError::Interrupted => {
+                write!(f, "solve interrupted by deadline or cancellation")
             }
             LpError::Numerical(m) => write!(f, "numerical error: {m}"),
         }

@@ -59,6 +59,18 @@ pub struct SolverConfig {
     pub max_nodes: usize,
     /// Wall-clock limit for a MILP solve (None = unlimited).
     pub time_limit: Option<std::time::Duration>,
+    /// Absolute deadline for the solve. Unlike [`SolverConfig::time_limit`]
+    /// (which is measured from the start of `solve_milp`), the deadline is
+    /// shared by every layer down to the simplex pivot loop, so a single
+    /// long LP relaxation cannot overshoot the budget.
+    pub deadline: Option<std::time::Instant>,
+    /// Cooperative cancellation flags, checked alongside the deadline (any
+    /// one tripping interrupts the solve). A caller's own flag and an
+    /// engine budget's flag coexist: contributors append, never overwrite.
+    /// Setting one makes the solver return [`LpError::Interrupted`]
+    /// (simplex) or stop with the current incumbent (branch and bound) at
+    /// the next check point.
+    pub stop: Vec<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// Feasibility / reduced-cost tolerance.
     pub tolerance: f64,
     /// Integrality tolerance: a value within this distance of an integer is
@@ -74,6 +86,8 @@ impl Default for SolverConfig {
             max_iterations: 50_000,
             max_nodes: 100_000,
             time_limit: None,
+            deadline: None,
+            stop: Vec::new(),
             tolerance: 1e-7,
             int_tolerance: 1e-6,
             refactor_every: 64,
@@ -87,6 +101,22 @@ impl SolverConfig {
     pub fn with_time_limit(mut self, limit: std::time::Duration) -> Self {
         self.time_limit = Some(limit);
         self
+    }
+
+    /// True when any stop flag is set or the deadline has passed. Checked
+    /// periodically by the simplex and branch-and-bound loops.
+    pub fn interrupted(&self) -> bool {
+        if self
+            .stop
+            .iter()
+            .any(|stop| stop.load(std::sync::atomic::Ordering::Relaxed))
+        {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) => std::time::Instant::now() >= deadline,
+            None => false,
+        }
     }
 }
 

@@ -362,6 +362,13 @@ impl Tableau {
             if self.iterations >= config.max_iterations {
                 return Err(LpError::IterationLimit);
             }
+            // The deadline check reaches the pivot loop so that one long LP
+            // solve cannot overshoot a small budget: a pivot prices every
+            // column (O(m·n) on thousands of columns), so checking every few
+            // pivots costs nothing relative to the work it bounds.
+            if self.iterations.is_multiple_of(8) && config.interrupted() {
+                return Err(LpError::Interrupted);
+            }
             self.iterations += 1;
             since_refactor += 1;
             if since_refactor >= config.refactor_every {
