@@ -34,6 +34,15 @@ pub enum Strategy {
     /// The worker set comes from [`EngineConfig::portfolio_workers`].
     /// `Auto` picks this for large queries it cannot hand to the ILP.
     Portfolio,
+    /// Partition → sketch → refine
+    /// ([`crate::sketch_refine::SketchRefineSolver`]): partition the
+    /// candidates along the quality-sensitive columns, solve a tiny ILP over
+    /// one representative per partition, then refine the picked partitions
+    /// with small per-partition sub-ILPs. Near-optimal at a fraction of the
+    /// monolithic ILP's latency; `Auto` prefers it over plain ILP for
+    /// linearizable queries with at least
+    /// [`EngineConfig::sketch_threshold`] candidates.
+    SketchRefine,
 }
 
 /// Tunable engine parameters.
@@ -77,6 +86,16 @@ pub struct EngineConfig {
     /// the race without failing it. `Auto` and `Portfolio` are not valid
     /// workers.
     pub portfolio_workers: Vec<Strategy>,
+    /// Maximum partition size for [`Strategy::SketchRefine`]: the largest
+    /// sub-ILP the refinement phase will solve, and (inversely) the size of
+    /// the sketch ILP — median halving yields partitions holding between
+    /// half this bound and the bound itself, i.e. roughly `n / size` to
+    /// `2n / size` representatives.
+    pub sketch_partition_size: usize,
+    /// Candidate-set size at or above which `Auto` prefers sketch→refine
+    /// over the monolithic ILP for linearizable queries. Below it the exact
+    /// ILP is fast enough that approximation buys nothing.
+    pub sketch_threshold: usize,
 }
 
 impl Default for EngineConfig {
@@ -93,7 +112,14 @@ impl Default for EngineConfig {
             seed: 42,
             time_budget: None,
             portfolio_threshold: 256,
-            portfolio_workers: vec![Strategy::Ilp, Strategy::LocalSearch, Strategy::Greedy],
+            portfolio_workers: vec![
+                Strategy::Ilp,
+                Strategy::SketchRefine,
+                Strategy::LocalSearch,
+                Strategy::Greedy,
+            ],
+            sketch_partition_size: 64,
+            sketch_threshold: 4096,
         }
     }
 }

@@ -160,23 +160,37 @@ impl<'v> Searcher<'v> {
                 }
             }
             Some((direction, _)) => {
-                self.best.push(entry);
+                // `best` is kept sorted best-first, so recording a package is
+                // a binary-search insert + truncate, not a full re-sort per
+                // feasible package. The rank uses `total_cmp` (like greedy
+                // and local search) instead of `partial_cmp(..).unwrap_or(Equal)`,
+                // so a NaN objective cannot silently compare Equal and
+                // corrupt the top-k order; NaN and un-evaluable (None)
+                // objectives both rank last for either direction (total_cmp
+                // alone would put NaN *above* +inf and crown it the
+                // "maximum").
                 let dir = *direction;
-                self.best.sort_by(|a, b| {
-                    let cmp = match (a.1, b.1) {
-                        (Some(x), Some(y)) => {
-                            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
-                        }
-                        (Some(_), None) => std::cmp::Ordering::Greater,
-                        (None, Some(_)) => std::cmp::Ordering::Less,
+                let rank = |a: &Option<f64>, b: &Option<f64>| -> std::cmp::Ordering {
+                    let evaluable = |o: &Option<f64>| o.filter(|x| !x.is_nan());
+                    match (evaluable(a), evaluable(b)) {
+                        (Some(x), Some(y)) => match dir {
+                            ObjectiveDirection::Maximize => y.total_cmp(&x),
+                            ObjectiveDirection::Minimize => x.total_cmp(&y),
+                        },
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
                         (None, None) => std::cmp::Ordering::Equal,
-                    };
-                    match dir {
-                        ObjectiveDirection::Maximize => cmp.reverse(),
-                        ObjectiveDirection::Minimize => cmp,
                     }
-                });
-                self.best.truncate(self.opts.keep);
+                };
+                // Insert after any equal-ranked entries (stable, matching the
+                // previous stable-sort tie behaviour).
+                let pos = self
+                    .best
+                    .partition_point(|e| rank(&e.1, &entry.1) != std::cmp::Ordering::Greater);
+                if pos < self.opts.keep {
+                    self.best.insert(pos, entry);
+                    self.best.truncate(self.opts.keep);
+                }
             }
         }
         Ok(())
@@ -225,47 +239,78 @@ impl<'v> Searcher<'v> {
         false
     }
 
-    fn dfs(&mut self, idx: usize) -> PbResult<()> {
-        if self.aborted {
-            return Ok(());
+    /// Depth-first search over multiplicity assignments, driven by an
+    /// explicit worklist instead of recursion: the recursive formulation
+    /// nested one stack frame per candidate index, which overflowed the
+    /// thread stack past ~10k candidates. The worklist replays the exact
+    /// recursive order — `Visit` is a node entry (counted, budget-checked,
+    /// pruned), `Enter` applies one multiplicity on the way down, `Undo`
+    /// retracts it on the way back up — so node counts and traversal order
+    /// are identical to the old `dfs`.
+    fn search(&mut self) -> PbResult<()> {
+        enum Step {
+            /// Enter the search node at this candidate index.
+            Visit(usize),
+            /// Assign `mult` at `idx`, then visit `idx + 1`.
+            Enter(usize, u32),
+            /// Retract the assignment of `mult` at `idx`.
+            Undo(usize, u32),
         }
-        self.nodes += 1;
-        if self.nodes > self.opts.max_nodes {
-            self.aborted = true;
-            return Ok(());
-        }
-        // Deadline check every 256 nodes: cheap relative to the per-node
-        // work, frequent enough that a 10 ms budget overshoots by well under
-        // its own length.
-        if self.nodes.is_multiple_of(256) && self.opts.budget.expired() {
-            self.aborted = true;
-            return Ok(());
-        }
-        if self.prune_subtree(idx) {
-            return Ok(());
-        }
-        if idx == self.view.candidate_count() {
-            // A leaf is a complete multiplicity assignment.
-            if !self.opts.prune
-                || (self.cardinality >= self.bounds.lower
-                    && self.cardinality <= self.bounds.upper.unwrap_or(u64::MAX))
-            {
-                self.record_if_feasible()?;
+        let n = self.view.candidate_count();
+        let max_mult = self.view.max_multiplicity();
+        let mut work: Vec<Step> = vec![Step::Visit(0)];
+        while let Some(step) = work.pop() {
+            match step {
+                Step::Undo(idx, mult) => {
+                    for (c, lc) in self.linear.iter().enumerate() {
+                        self.sums[c] -= lc.coeffs[idx] * mult as f64;
+                    }
+                    self.cardinality -= mult as u64;
+                    self.current[idx] = 0;
+                }
+                Step::Enter(idx, mult) => {
+                    self.current[idx] = mult;
+                    self.cardinality += mult as u64;
+                    for (c, lc) in self.linear.iter().enumerate() {
+                        self.sums[c] += lc.coeffs[idx] * mult as f64;
+                    }
+                    // LIFO: the undo runs after the whole subtree below.
+                    work.push(Step::Undo(idx, mult));
+                    work.push(Step::Visit(idx + 1));
+                }
+                Step::Visit(idx) => {
+                    self.nodes += 1;
+                    if self.nodes > self.opts.max_nodes {
+                        self.aborted = true;
+                        return Ok(());
+                    }
+                    // Deadline check every 256 nodes: cheap relative to the
+                    // per-node work, frequent enough that a 10 ms budget
+                    // overshoots by well under its own length.
+                    if self.nodes.is_multiple_of(256) && self.opts.budget.expired() {
+                        self.aborted = true;
+                        return Ok(());
+                    }
+                    if self.prune_subtree(idx) {
+                        continue;
+                    }
+                    if idx == n {
+                        // A leaf is a complete multiplicity assignment.
+                        if !self.opts.prune
+                            || (self.cardinality >= self.bounds.lower
+                                && self.cardinality <= self.bounds.upper.unwrap_or(u64::MAX))
+                        {
+                            self.record_if_feasible()?;
+                        }
+                        continue;
+                    }
+                    // Push high multiplicities first so the pop order tries
+                    // mult = 0 first, exactly like the recursive loop did.
+                    for mult in (0..=max_mult).rev() {
+                        work.push(Step::Enter(idx, mult));
+                    }
+                }
             }
-            return Ok(());
-        }
-        for mult in 0..=self.view.max_multiplicity() {
-            self.current[idx] = mult;
-            self.cardinality += mult as u64;
-            for (c, lc) in self.linear.iter().enumerate() {
-                self.sums[c] += lc.coeffs[idx] * mult as f64;
-            }
-            self.dfs(idx + 1)?;
-            for (c, lc) in self.linear.iter().enumerate() {
-                self.sums[c] -= lc.coeffs[idx] * mult as f64;
-            }
-            self.cardinality -= mult as u64;
-            self.current[idx] = 0;
         }
         Ok(())
     }
@@ -304,7 +349,7 @@ pub fn enumerate(view: &CandidateView, opts: EnumerationOptions) -> PbResult<Enu
             },
         });
     }
-    searcher.dfs(0)?;
+    searcher.search()?;
     let complete = !searcher.aborted;
     Ok(EnumerationOutcome {
         packages: searcher.best.clone(),
@@ -484,15 +529,86 @@ mod tests {
     }
 
     #[test]
-    fn non_linear_formulas_still_enumerate_correctly() {
-        // AVG is not linearizable, so no partial-sum pruning applies, but the
-        // enumeration must still validate exactly.
+    fn nan_objectives_rank_last_not_first() {
+        // Regression: the old `partial_cmp(..).unwrap_or(Equal)` let a NaN
+        // objective float anywhere in the top-k; naive `total_cmp` would
+        // crown it the maximum (NaN > +inf in the total order). It must rank
+        // with the un-evaluable packages, i.e. last.
+        use minidb::{tuple, ColumnType, Schema, Table};
+        let mut t = Table::new(
+            "t",
+            Schema::build(&[("w", ColumnType::Float), ("v", ColumnType::Float)]),
+        );
+        t.insert(tuple!(1.0, 5.0)).unwrap();
+        t.insert(tuple!(1.0, f64::NAN)).unwrap();
+        t.insert(tuple!(1.0, 7.0)).unwrap();
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 1 MAXIMIZE SUM(P.v)",
+        );
+        let out = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                keep: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.packages.len(), 3);
+        assert_eq!(out.packages[0].1, Some(7.0), "finite optimum must lead");
+        assert_eq!(out.packages[1].1, Some(5.0));
+        assert!(out.packages[2].1.unwrap().is_nan(), "NaN ranks last");
+    }
+
+    #[test]
+    fn avg_constraints_prune_soundly() {
+        // AVG-vs-constant atoms now contribute partial-sum rows (via the
+        // multiply-through-by-COUNT rewrite); the pruned search must still
+        // agree with the exhaustive one.
         let t = uniform_table("t", 12, 5.0, 10.0, Seed(8));
         let spec = spec_for(
             &t,
             "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) = 2 AND AVG(P.w) <= 7 MAXIMIZE SUM(P.v)",
         );
+        let pruned = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
+        let full = enumerate(
+            spec.view(),
+            EnumerationOptions {
+                prune: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (p, _) in &pruned.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+        match (pruned.packages.first(), full.packages.first()) {
+            (None, None) => {}
+            (Some((_, a)), Some((_, b))) => {
+                assert!(
+                    (a.unwrap() - b.unwrap()).abs() < 1e-9,
+                    "pruning changed the AVG optimum"
+                );
+            }
+            other => panic!("pruning changed feasibility: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_linear_formulas_still_enumerate_correctly() {
+        // AVG vs AVG is genuinely non-linear, so no partial-sum pruning
+        // applies, but the enumeration must still validate exactly.
+        let t = uniform_table("t", 12, 5.0, 10.0, Seed(8));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T \
+             SUCH THAT COUNT(*) = 2 AND AVG(P.w) <= AVG(P.v) + 10 MAXIMIZE SUM(P.v)",
+        );
         let out = enumerate(spec.view(), EnumerationOptions::default()).unwrap();
+        assert!(
+            !out.packages.is_empty(),
+            "every 2-subset satisfies the slack AVG bound"
+        );
         for (p, _) in &out.packages {
             assert!(spec.is_valid(p).unwrap());
         }

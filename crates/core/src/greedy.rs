@@ -1,14 +1,17 @@
 //! Greedy construction of starting packages for the local search and the
-//! standalone [`crate::solver::GreedySolver`].
+//! standalone [`crate::solver::GreedySolver`], plus the shared
+//! feasibility-repair pass the greedy solver and the sketch→refine fallback
+//! both run.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::budget::Budget;
 use crate::ilp::linearize_objective;
 use crate::package::Package;
 use crate::pruning::derive_bounds;
-use crate::view::CandidateView;
+use crate::view::{CandidateView, ViewState};
 
 /// How to pick the tuples of a starting package.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +82,48 @@ pub fn starting_package(
         }
     }
     package
+}
+
+/// Feasibility-repair pass: accept single add/drop moves while they strictly
+/// reduce the violation (delta-evaluated on the view's columns). Each pass
+/// scans the whole candidate set, so the budget is checked per pass and
+/// periodically within one; on expiry the state is left at its best-so-far.
+/// Returns `(evaluations, moves)` for the caller's stats.
+pub(crate) fn repair_to_feasibility(state: &mut ViewState<'_>, budget: &Budget) -> (u64, u64) {
+    let view = state.view();
+    let mut evaluations = 0u64;
+    let mut moves = 0u64;
+    let mut violation = state.violation();
+    'repair: while violation > 0.0 && !budget.expired() {
+        let mut best_change: Option<(usize, i64)> = None;
+        let mut best_violation = violation;
+        for idx in 0..view.candidate_count() {
+            if idx.is_multiple_of(256) && idx > 0 && budget.expired() {
+                break 'repair;
+            }
+            for delta in [1i64, -1] {
+                let mult = state.multiplicity(idx) as i64;
+                if mult + delta < 0 || mult + delta > view.max_multiplicity() as i64 {
+                    continue;
+                }
+                evaluations += 1;
+                let (v, _) = state.score_with(&[(idx, delta)]);
+                if v + 1e-9 < best_violation {
+                    best_violation = v;
+                    best_change = Some((idx, delta));
+                }
+            }
+        }
+        match best_change {
+            Some((idx, delta)) => {
+                state.apply(idx, delta);
+                violation = best_violation;
+                moves += 1;
+            }
+            None => break, // stuck — the repair gives up, feasible or not
+        }
+    }
+    (evaluations, moves)
 }
 
 fn starting_cardinality(view: &CandidateView, lower: u64, upper: Option<u64>) -> u64 {

@@ -11,10 +11,14 @@
 //! row, so linearization never touches the base table or evaluates an
 //! expression per tuple — it combines precomputed columns.
 //!
-//! Not every PaQL query is linearizable: AVG/MIN/MAX aggregates, `<>`
+//! Not every PaQL query is linearizable: MIN/MAX aggregates, `<>`
 //! comparisons, and non-conjunctive formulas (OR/NOT) have no direct linear
 //! form — exactly the "solver limitations" the paper discusses in Section 5.
-//! For those queries the engine falls back to enumeration or local search.
+//! Global AVG comparisons against constants *are* linearizable by the
+//! classical multiply-through-by-COUNT rewrite
+//! (`AVG(attr) ⋈ c ⟺ SUM(attr) − c·COUNT ⋈ 0 ∧ COUNT ≥ 1`); only the
+//! genuinely non-linear AVG shapes (AVG vs AVG, AVG objectives) fall back to
+//! enumeration or local search.
 
 use lp_solver::{ConstraintOp, LpError, Problem, Sense, SolverConfig, Status, VarId, VarType};
 use paql::{AggFunc, CmpOp, ObjectiveDirection};
@@ -87,6 +91,13 @@ pub enum NonLinearReason {
     NotEqualComparison,
     /// Aggregates are multiplied or divided by each other.
     NonLinearArithmetic,
+    /// An AVG aggregate is compared against something other than a constant
+    /// (e.g. AVG vs AVG): multiplying through by COUNT no longer yields a
+    /// linear row.
+    AvgVsNonConstant,
+    /// An AVG aggregate appears in the objective, where there is no
+    /// comparison to multiply through by COUNT.
+    AvgInObjective,
 }
 
 impl std::fmt::Display for NonLinearReason {
@@ -99,6 +110,15 @@ impl std::fmt::Display for NonLinearReason {
             NonLinearReason::NotEqualComparison => write!(f, "'<>' comparisons are not linear"),
             NonLinearReason::NonLinearArithmetic => {
                 write!(f, "aggregates are multiplied or divided together")
+            }
+            NonLinearReason::AvgVsNonConstant => {
+                write!(
+                    f,
+                    "AVG is only linearizable when compared against a constant bound"
+                )
+            }
+            NonLinearReason::AvgInObjective => {
+                write!(f, "an AVG objective has no comparison to linearize against")
             }
         }
     }
@@ -153,32 +173,137 @@ pub fn linearize_expr(
     }
 }
 
-/// Linearizes one compiled constraint into `Σ c_i x_i op rhs` form.
-pub fn linearize_constraint(
-    view: &CandidateView,
-    c: &CompiledConstraint,
-) -> Result<LinearConstraint, NonLinearReason> {
-    let lhs = linearize_expr(view, &c.lhs)?;
-    let rhs = linearize_expr(view, &c.rhs)?;
-    // Move everything to the left: (lhs - rhs) op 0.
-    let diff = lhs.combine(&rhs, -1.0);
-    let bound = -diff.constant;
-    // Strict inequalities are approximated by a small epsilon; package
-    // attribute sums are far coarser than 1e-6 in every workload we generate.
-    const EPS: f64 = 1e-6;
-    let (op, rhs) = match c.op {
+/// Strict inequalities are approximated by a small epsilon; package
+/// attribute sums are far coarser than 1e-6 in every workload we generate.
+const EPS: f64 = 1e-6;
+
+/// Translates a comparison into `ConstraintOp` + rhs, with the epsilon
+/// approximation for strict inequalities. `<>` has no linear form.
+fn comparison_row(op: CmpOp, bound: f64) -> Result<(ConstraintOp, f64), NonLinearReason> {
+    Ok(match op {
         CmpOp::LtEq => (ConstraintOp::Le, bound),
         CmpOp::Lt => (ConstraintOp::Le, bound - EPS),
         CmpOp::GtEq => (ConstraintOp::Ge, bound),
         CmpOp::Gt => (ConstraintOp::Ge, bound + EPS),
         CmpOp::Eq => (ConstraintOp::Eq, bound),
         CmpOp::NotEq => return Err(NonLinearReason::NotEqualComparison),
-    };
-    Ok(LinearConstraint {
-        coeffs: diff.coeffs,
-        op,
-        rhs,
     })
+}
+
+/// The term id when `expr` is a lone AVG aggregate call.
+fn lone_avg_term(view: &CandidateView, expr: &CompiledExpr) -> Option<usize> {
+    match expr {
+        CompiledExpr::Term(id) if view.terms()[*id].func == AggFunc::Avg => Some(*id),
+        _ => None,
+    }
+}
+
+/// Mirrors a comparison when its operands are swapped (`a op b` ⟺ `b op' a`).
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::NotEq => CmpOp::NotEq,
+    }
+}
+
+/// Linearizes a global AVG comparison against a constant:
+/// `AVG(attr) ⋈ c  ⟺  SUM(attr) − c·COUNT(included) ⋈ 0  ∧  COUNT(included) ≥ 1`.
+///
+/// The multiplication by COUNT is sound because the support row forces a
+/// positive count; the support row itself encodes that `AVG ⋈ c` is
+/// *unsatisfied* (not vacuously true) when the aggregate is NULL, exactly
+/// matching the interpreted and columnar evaluation semantics. The COUNT in
+/// both rows uses the AVG term's own inclusion mask, so `FILTER`ed AVG
+/// aggregates divide by the filtered count, as they should.
+fn linearize_avg_comparison(
+    view: &CandidateView,
+    term_id: usize,
+    op: CmpOp,
+    bound: f64,
+) -> Result<Vec<LinearConstraint>, NonLinearReason> {
+    let term = &view.terms()[term_id];
+    let main: Vec<f64> = term
+        .coeffs
+        .iter()
+        .zip(&term.included)
+        .map(|(&c, &inc)| if inc { c - bound } else { 0.0 })
+        .collect();
+    let support: Vec<f64> = term
+        .included
+        .iter()
+        .map(|&inc| if inc { 1.0 } else { 0.0 })
+        .collect();
+    let (row_op, rhs) = comparison_row(op, 0.0)?;
+    Ok(vec![
+        LinearConstraint {
+            coeffs: main,
+            op: row_op,
+            rhs,
+        },
+        LinearConstraint {
+            coeffs: support,
+            op: ConstraintOp::Ge,
+            rhs: 1.0,
+        },
+    ])
+}
+
+/// Linearizes one compiled constraint into `Σ c_i x_i op rhs` rows — one row
+/// for a plain linear comparison, two for an AVG-vs-constant comparison (the
+/// multiplied-through row plus its non-NULL support row).
+pub fn linearize_constraint(
+    view: &CandidateView,
+    c: &CompiledConstraint,
+) -> Result<Vec<LinearConstraint>, NonLinearReason> {
+    let lhs = linearize_expr(view, &c.lhs);
+    let rhs = linearize_expr(view, &c.rhs);
+    if let (Ok(lhs), Ok(rhs)) = (&lhs, &rhs) {
+        // Move everything to the left: (lhs - rhs) op 0.
+        let diff = lhs.clone().combine(rhs, -1.0);
+        let bound = -diff.constant;
+        let (op, rhs) = comparison_row(c.op, bound)?;
+        return Ok(vec![LinearConstraint {
+            coeffs: diff.coeffs,
+            op,
+            rhs,
+        }]);
+    }
+    // The direct path failed; a global AVG compared against a constant is
+    // still classically linearizable by multiplying through by COUNT.
+    match (lone_avg_term(view, &c.lhs), lone_avg_term(view, &c.rhs)) {
+        (Some(id), None) => match rhs {
+            Ok(r) if r.is_constant() => linearize_avg_comparison(view, id, c.op, r.constant),
+            Ok(_) | Err(NonLinearReason::NonLinearAggregate("AVG")) => {
+                Err(NonLinearReason::AvgVsNonConstant)
+            }
+            Err(e) => Err(e),
+        },
+        (None, Some(id)) => match lhs {
+            Ok(l) if l.is_constant() => {
+                linearize_avg_comparison(view, id, mirror(c.op), l.constant)
+            }
+            Ok(_) | Err(NonLinearReason::NonLinearAggregate("AVG")) => {
+                Err(NonLinearReason::AvgVsNonConstant)
+            }
+            Err(e) => Err(e),
+        },
+        (Some(_), Some(_)) => Err(NonLinearReason::AvgVsNonConstant),
+        (None, None) => {
+            let err = lhs.err().or(rhs.err()).expect("direct path failed");
+            // An AVG buried inside arithmetic (e.g. `2 * AVG(x) <= 10`) is
+            // reported with the precise AVG reason rather than the generic
+            // aggregate obstacle.
+            if err == NonLinearReason::NonLinearAggregate("AVG") {
+                Err(NonLinearReason::AvgVsNonConstant)
+            } else {
+                Err(err)
+            }
+        }
+    }
 }
 
 /// Collects the atoms of a compiled formula when it is purely conjunctive.
@@ -198,24 +323,30 @@ fn conjunctive_atoms(f: &CompiledFormula) -> Option<Vec<&CompiledConstraint>> {
 }
 
 /// Linearizes the view's `SUCH THAT` formula (must be conjunctive). Views
-/// without a formula linearize to no constraints.
+/// without a formula linearize to no constraints; AVG-vs-constant atoms
+/// contribute two rows each (see [`linearize_constraint`]).
 pub fn linearize_formula(view: &CandidateView) -> Result<Vec<LinearConstraint>, NonLinearReason> {
     let formula = match view.compiled_formula() {
         None => return Ok(Vec::new()),
         Some(f) => f,
     };
     let atoms = conjunctive_atoms(formula).ok_or(NonLinearReason::NotConjunctive)?;
-    atoms
-        .into_iter()
-        .map(|c| linearize_constraint(view, c))
-        .collect()
+    let mut rows = Vec::with_capacity(atoms.len());
+    for c in atoms {
+        rows.extend(linearize_constraint(view, c)?);
+    }
+    Ok(rows)
 }
 
-/// Linearizes the view's objective, when it has one.
+/// Linearizes the view's objective, when it has one. An AVG objective stays
+/// rejected — there is no comparison to multiply the COUNT through.
 pub fn linearize_objective(view: &CandidateView) -> Result<Option<LinearAgg>, NonLinearReason> {
     match view.compiled_objective() {
         None => Ok(None),
-        Some(expr) => linearize_expr(view, expr).map(Some),
+        Some(expr) => match linearize_expr(view, expr) {
+            Err(NonLinearReason::NonLinearAggregate("AVG")) => Err(NonLinearReason::AvgInObjective),
+            other => other.map(Some),
+        },
     }
 }
 
@@ -448,15 +579,6 @@ mod tests {
         let t = recipes(50, Seed(2));
         let spec = spec_for(
             &t,
-            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.calories) <= 600 AND COUNT(*) = 3",
-        );
-        assert!(matches!(
-            linearization_obstacle(spec.view()),
-            Some(NonLinearReason::NonLinearAggregate("AVG"))
-        ));
-
-        let spec = spec_for(
-            &t,
             "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 3 OR COUNT(*) = 4",
         );
         assert!(matches!(
@@ -481,6 +603,118 @@ mod tests {
             linearization_obstacle(spec.view()),
             Some(NonLinearReason::NonLinearArithmetic)
         ));
+
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT MIN(P.calories) >= 100 AND COUNT(*) = 3",
+        );
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::NonLinearAggregate("MIN"))
+        ));
+    }
+
+    #[test]
+    fn avg_against_constants_is_linearizable_but_avg_vs_avg_is_not() {
+        let t = recipes(50, Seed(2));
+        // AVG ⋈ constant (either side, BETWEEN included) linearizes now.
+        for q in [
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.calories) <= 600 AND COUNT(*) = 3",
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT 600 >= AVG(P.calories) AND COUNT(*) = 3",
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 MAXIMIZE SUM(P.protein)",
+        ] {
+            let spec = spec_for(&t, q);
+            assert!(
+                linearization_obstacle(spec.view()).is_none(),
+                "expected linearizable: {q}"
+            );
+        }
+        // AVG vs AVG and AVG inside arithmetic stay rejected, precisely.
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.calories) >= AVG(P.protein)",
+        );
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::AvgVsNonConstant)
+        ));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT AVG(P.calories) <= SUM(P.protein)",
+        );
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::AvgVsNonConstant)
+        ));
+        // An AVG objective has no comparison to multiply through.
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R SUCH THAT COUNT(*) = 3 MAXIMIZE AVG(P.protein)",
+        );
+        assert!(matches!(
+            linearization_obstacle(spec.view()),
+            Some(NonLinearReason::AvgInObjective)
+        ));
+    }
+
+    #[test]
+    fn avg_constrained_queries_solve_via_ilp_and_match_enumeration() {
+        let t = recipes(16, Seed(9));
+        let q = "SELECT PACKAGE(R) AS P FROM recipes R \
+                 SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+                 MAXIMIZE SUM(P.protein)";
+        let spec = spec_for(&t, q);
+        let ilp = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let oracle = crate::enumerate::enumerate(
+            spec.view(),
+            crate::enumerate::EnumerationOptions::default(),
+        )
+        .unwrap();
+        assert!(oracle.complete, "oracle must be exact");
+        let a = ilp.packages.first().map(|(_, o)| o.unwrap());
+        let b = oracle.packages.first().map(|(_, o)| o.unwrap());
+        match (a, b) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6, "ilp {x} vs enumeration {y}"),
+            (None, None) => {}
+            other => panic!("ilp and enumeration disagree on feasibility: {other:?}"),
+        }
+        for (p, _) in &ilp.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn avg_linearization_never_accepts_the_empty_aggregate() {
+        // AVG(x) <= c over an empty (or fully filtered-out) member set is
+        // NULL, which does NOT satisfy the constraint; the support row must
+        // keep the ILP from exploiting 0 − c·0 ⋈ 0 vacuously.
+        let t = recipes(30, Seed(10));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT AVG(P.calories) FILTER (WHERE R.gluten = 'free') <= 600 \
+             MINIMIZE COUNT(*)",
+        );
+        assert!(linearization_obstacle(spec.view()).is_none());
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        // The minimizer would love the empty package, but that makes the AVG
+        // NULL: any returned package must contain a gluten-free member.
+        let (pkg, _) = out.packages.first().expect("a singleton package exists");
+        assert!(pkg.cardinality() >= 1);
+        assert!(spec.is_valid(pkg).unwrap());
     }
 
     #[test]

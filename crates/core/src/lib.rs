@@ -36,6 +36,14 @@
 //!   with scoped threads: cheap heuristics deliver a package immediately,
 //!   the exact ILP supersedes them if it finishes inside the budget, and
 //!   the first provably-optimal result cancels the rest of the race.
+//! * **[`partition`] + [`sketch_refine`] — scaling past the monolithic
+//!   ILP.** For large linearizable queries,
+//!   [`sketch_refine::SketchRefineSolver`] partitions the candidates offline
+//!   (size-bounded k-d splits of the view's term columns), solves a tiny
+//!   "sketch" ILP over one representative per partition, then refines the
+//!   picked partitions one small sub-ILP at a time (with the SketchRefine
+//!   paper's failed-partition backtracking and a greedy anytime fallback) —
+//!   near-optimal packages at a fraction of the monolithic ILP's latency.
 //! * **[`engine`] — the planner.** [`engine::PackageEngine`] resolves the
 //!   `Auto` policy, derives cardinality bounds ([`pruning`], short-circuiting
 //!   provably-infeasible queries), runs the chosen solver through the trait,
@@ -78,9 +86,11 @@ pub mod greedy;
 pub mod ilp;
 pub mod local_search;
 pub mod package;
+pub mod partition;
 pub mod portfolio;
 pub mod pruning;
 pub mod result;
+pub mod sketch_refine;
 pub mod solver;
 pub mod spec;
 pub mod suggest;
@@ -94,6 +104,7 @@ pub use error::PbError;
 pub use package::Package;
 pub use portfolio::PortfolioSolver;
 pub use result::{EvalStats, PackageResult, StrategyUsed};
+pub use sketch_refine::SketchRefineSolver;
 pub use solver::{SolveOptions, SolveOutcome, Solver};
 pub use spec::PackageSpec;
 pub use view::{CandidateView, ViewState};

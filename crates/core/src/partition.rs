@@ -1,0 +1,301 @@
+//! Offline candidate partitioning for the sketch→refine solver.
+//!
+//! SketchRefine (Brucato, Abouzied, Meliou: "Scalable Package Queries in
+//! Relational Database Systems", PVLDB 9(7), 2016) and its successor
+//! Progressive Shading (Mai et al.: "Scaling Package Queries to a Billion
+//! Tuples via Progressive Partitioning", 2023) both rest on the same offline
+//! step: group the candidate tuples into size-bounded partitions that are
+//! *tight* on the quality-sensitive attributes — the attributes the query's
+//! constraints and objective aggregate over — and summarize each partition by
+//! one representative row so a tiny "sketch" problem can stand in for the
+//! full one.
+//!
+//! This module implements that step over the columnar
+//! [`CandidateView`]: a k-d-style recursive median split of the candidate
+//! index space along the view's term coefficient columns (those *are* the
+//! quality-sensitive attributes — every aggregate the query can observe has a
+//! column here). Splitting always halves the widest remaining column, so the
+//! partitions end up compact in the coordinates that matter and nothing else.
+//! The result is deterministic given a seed: the seed only rotates the scan
+//! order used to break ties between equally-wide columns.
+
+use crate::view::CandidateView;
+
+/// One partition of the candidate set.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Candidate indices (into the view's candidate order), ascending.
+    pub members: Vec<usize>,
+    /// The representative row: per-term mean coefficient over the members
+    /// (excluded members contribute 0, exactly as they do to the term's
+    /// aggregates).
+    pub centroid: Vec<f64>,
+}
+
+impl Partition {
+    /// Total multiplicity capacity of this partition: how many package slots
+    /// its members can fill under the view's `REPEAT` bound.
+    pub fn capacity(&self, view: &CandidateView) -> u64 {
+        self.members.len() as u64 * view.max_multiplicity() as u64
+    }
+
+    /// Mean of an arbitrary per-candidate coefficient column over the
+    /// members — the partition's "representative coefficient" for that
+    /// column. This is what the sketch problem aggregates constraint rows
+    /// with.
+    pub fn mean_of(&self, coeffs: &[f64]) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        self.members.iter().map(|&i| coeffs[i]).sum::<f64>() / self.members.len() as f64
+    }
+}
+
+/// A size-bounded partitioning of a view's candidate set.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    partitions: Vec<Partition>,
+    /// Candidate index → partition id.
+    assignment: Vec<usize>,
+}
+
+impl Partitioning {
+    /// The partitions, ordered by their smallest member index (stable ids).
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Partition id of a candidate index.
+    pub fn partition_of(&self, candidate_idx: usize) -> usize {
+        self.assignment[candidate_idx]
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when the view had no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+}
+
+/// Partitions the view's candidates into groups of at most
+/// `max_partition_size` by recursive median splits of the widest term
+/// column. Deterministic given `seed` (the seed breaks ties between
+/// equally-wide columns by rotating the scan order).
+pub fn partition_view(view: &CandidateView, max_partition_size: usize, seed: u64) -> Partitioning {
+    partition_view_budgeted(
+        view,
+        max_partition_size,
+        seed,
+        &crate::budget::Budget::unlimited(),
+    )
+    .expect("an unlimited budget cannot expire")
+}
+
+/// [`partition_view`] with a cooperative deadline: the split worklist checks
+/// the budget between iterations and returns `None` on expiry, so a caller
+/// whose budget ran out mid-partitioning (the sketch solver after a slow
+/// greedy baseline) stops within one split instead of finishing the whole
+/// `O(n log n)` job. A completed partitioning is identical to the unbudgeted
+/// one.
+pub fn partition_view_budgeted(
+    view: &CandidateView,
+    max_partition_size: usize,
+    seed: u64,
+    budget: &crate::budget::Budget,
+) -> Option<Partitioning> {
+    let n = view.candidate_count();
+    let max_size = max_partition_size.max(1);
+    let terms = view.terms();
+
+    let mut leaves: Vec<Vec<usize>> = Vec::new();
+    let mut work: Vec<Vec<usize>> = if n == 0 {
+        Vec::new()
+    } else {
+        vec![(0..n).collect()]
+    };
+    while let Some(mut members) = work.pop() {
+        if budget.expired() {
+            return None;
+        }
+        if members.len() <= max_size {
+            leaves.push(members);
+            continue;
+        }
+        // Pick the widest coefficient column over this subset; the seed
+        // rotates the scan start so ties resolve per seed, deterministically.
+        let mut best: Option<(usize, f64)> = None;
+        let dims = terms.len();
+        for k in 0..dims {
+            let d = (k + seed as usize) % dims;
+            let col = &terms[d].coeffs;
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &i in &members {
+                lo = lo.min(col[i]);
+                hi = hi.max(col[i]);
+            }
+            let spread = hi - lo;
+            if spread > best.map(|(_, s)| s).unwrap_or(0.0) {
+                best = Some((d, spread));
+            }
+        }
+        if let Some((d, _)) = best {
+            let col = &terms[d].coeffs;
+            members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
+        }
+        // No splittable column (no terms, or all values identical): the
+        // members are still in ascending index order, so halving by position
+        // stays deterministic.
+        let right = members.split_off(members.len() / 2);
+        work.push(right);
+        work.push(members);
+    }
+
+    let mut partitions: Vec<Partition> = leaves
+        .into_iter()
+        .map(|mut members| {
+            members.sort_unstable();
+            let centroid = terms
+                .iter()
+                .map(|t| members.iter().map(|&i| t.coeffs[i]).sum::<f64>() / members.len() as f64)
+                .collect();
+            Partition { members, centroid }
+        })
+        .collect();
+    partitions.sort_by_key(|p| p.members[0]);
+
+    let mut assignment = vec![0usize; n];
+    for (pid, p) in partitions.iter().enumerate() {
+        for &i in &p.members {
+            assignment[i] = pid;
+        }
+    }
+    Some(Partitioning {
+        partitions,
+        assignment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PackageSpec;
+    use datagen::{recipes, Seed};
+    use minidb::Table;
+    use paql::compile;
+
+    fn view_for(table: &Table, q: &str) -> CandidateView {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap().view().clone()
+    }
+
+    const QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
+        MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn partitions_cover_every_candidate_exactly_once() {
+        let t = recipes(500, Seed(1));
+        let v = view_for(&t, QUERY);
+        let p = partition_view(&v, 32, 7);
+        let mut seen = vec![false; v.candidate_count()];
+        for (pid, part) in p.partitions().iter().enumerate() {
+            assert!(!part.members.is_empty());
+            assert!(part.members.len() <= 32);
+            for &i in &part.members {
+                assert!(!seen[i], "candidate {i} appears in two partitions");
+                seen[i] = true;
+                assert_eq!(p.partition_of(i), pid);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some candidate unassigned");
+    }
+
+    #[test]
+    fn partitioning_is_deterministic_per_seed() {
+        let t = recipes(400, Seed(2));
+        let v = view_for(&t, QUERY);
+        let a = partition_view(&v, 16, 42);
+        let b = partition_view(&v, 16, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.partitions().iter().zip(b.partitions()) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.centroid, y.centroid);
+        }
+    }
+
+    #[test]
+    fn partitions_are_tight_on_the_split_columns() {
+        // The per-partition spread of the widest column must be (weakly)
+        // smaller than the global spread — that's the whole point of
+        // quality-aware splitting.
+        let t = recipes(600, Seed(3));
+        let v = view_for(&t, QUERY);
+        let p = partition_view(&v, 16, 1);
+        for (d, term) in v.terms().iter().enumerate() {
+            let global_lo = term.coeffs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let global_hi = term
+                .coeffs
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            if global_hi - global_lo <= 0.0 {
+                continue;
+            }
+            let mut max_local = 0.0f64;
+            for part in p.partitions() {
+                let lo = part
+                    .members
+                    .iter()
+                    .map(|&i| term.coeffs[i])
+                    .fold(f64::INFINITY, f64::min);
+                let hi = part
+                    .members
+                    .iter()
+                    .map(|&i| term.coeffs[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                max_local = max_local.max(hi - lo);
+            }
+            assert!(
+                max_local <= global_hi - global_lo,
+                "term {d}: local spread exceeds global"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_views_partition_cleanly() {
+        let t = recipes(5, Seed(4));
+        let v = view_for(&t, QUERY);
+        let p = partition_view(&v, 16, 0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.partitions()[0].members.len(), 5);
+
+        let t = recipes(20, Seed(5));
+        let analyzed = compile(
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.calories < 0 SUCH THAT COUNT(*) = 1",
+            t.schema(),
+        )
+        .unwrap();
+        let spec = PackageSpec::build(&analyzed, &t).unwrap();
+        let p = partition_view(spec.view(), 16, 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn centroids_are_member_means() {
+        let t = recipes(100, Seed(6));
+        let v = view_for(&t, QUERY);
+        let p = partition_view(&v, 8, 3);
+        for part in p.partitions() {
+            for (d, term) in v.terms().iter().enumerate() {
+                let mean = part.mean_of(&term.coeffs);
+                assert!((part.centroid[d] - mean).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -24,6 +24,9 @@ pub enum StrategyUsed {
     /// A portfolio race across several solvers (the stats aggregate every
     /// worker; the packages come from the winning worker).
     Portfolio,
+    /// Partition → sketch → refine (the stats aggregate the greedy baseline,
+    /// the sketch ILP and every per-partition sub-ILP).
+    SketchRefine,
 }
 
 impl fmt::Display for StrategyUsed {
@@ -35,6 +38,7 @@ impl fmt::Display for StrategyUsed {
             StrategyUsed::LocalSearch => "local-search",
             StrategyUsed::Greedy => "greedy",
             StrategyUsed::Portfolio => "portfolio",
+            StrategyUsed::SketchRefine => "sketch-refine",
         };
         write!(f, "{s}")
     }

@@ -1,0 +1,500 @@
+//! The sketch→refine solver: near-optimal packages over large relations.
+//!
+//! Monolithic ILP translation puts all `n` candidates in one problem, which
+//! is exact but scales poorly (the 25 ms portfolio race at n = 20 000 returns
+//! whatever greedy found, because no exact solver can finish in time).
+//! SketchRefine (Brucato, Abouzied, Meliou: "Scalable Package Queries in
+//! Relational Database Systems", PVLDB 9(7), 2016) showed the scalable
+//! alternative, later pushed to a billion tuples by Progressive Shading
+//! (Mai et al., 2023): solve a coarse problem first, then localize the exact
+//! work. Three phases over the [`crate::view::CandidateView`]:
+//!
+//! 1. **Partition** ([`crate::partition`]): size-bounded k-d splits of the
+//!    candidate set along the view's term columns — the quality-sensitive
+//!    attributes — each partition summarized by its centroid row.
+//! 2. **Sketch**: a tiny ILP with one integer variable `y_p ∈ [0, cap_p]`
+//!    per partition (multiplicity bound = partition capacity), whose
+//!    constraint rows and objective are the *linearized* original rows
+//!    aggregated by partition mean. Its solution says how many tuples to
+//!    draw from each partition.
+//! 3. **Refine**: partitions with `y_p > 0` are refined one at a time —
+//!    a sub-ILP over just that partition's real tuples, with every other
+//!    partition's contribution fixed (already-refined actuals) or estimated
+//!    (still-sketched centroids). A failed sub-ILP triggers the paper's
+//!    backtracking rule: the failed partition is re-refined *first* and the
+//!    pass restarts; exhausted backtracks degrade to greedy per-partition
+//!    fills. Deadline pressure at any point falls back to greedy fills plus
+//!    the shared repair pass — every intermediate result honours the anytime
+//!    contract (`optimal: false`, never an error, never an overrun).
+//!
+//! The greedy baseline runs first, so the solver's answer is never worse
+//! than [`crate::solver::GreedySolver`]'s — sketch→refine only replaces it
+//! when the refined package scores strictly better. Inside the default
+//! portfolio race this duplicates the separate greedy worker's (cheap) run;
+//! that is deliberate: the baseline is what makes this solver's own result
+//! anytime-safe and its quality floor deterministic, race or no race.
+
+use lp_solver::{Problem, Sense, VarId, VarType};
+use paql::ObjectiveDirection;
+
+use crate::error::PbError;
+use crate::greedy::repair_to_feasibility;
+use crate::ilp::{linearize_formula, linearize_objective, LinearConstraint};
+use crate::package::Package;
+use crate::partition::{partition_view_budgeted, Partition};
+use crate::result::{EvalStats, StrategyUsed};
+use crate::solver::{GreedySolver, SolveOptions, SolveOutcome, Solver};
+use crate::view::{CandidateView, ViewState};
+use crate::PbResult;
+
+/// How many failed-partition backtracks the refinement tolerates before
+/// degrading the remaining sub-problems to greedy fills.
+const MAX_BACKTRACKS: usize = 3;
+
+/// Partition → sketch → refine evaluation (see the module docs).
+///
+/// Requires a linearizable query (same condition as [`crate::solver::IlpSolver`]);
+/// non-linearizable queries get [`PbError::Unsupported`], which also lets the
+/// solver drop out of a portfolio race cleanly. Returns a single package
+/// (`num_packages` is a documented no-op here, like the greedy solver).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SketchRefineSolver;
+
+impl Solver for SketchRefineSolver {
+    fn strategy(&self) -> StrategyUsed {
+        StrategyUsed::SketchRefine
+    }
+
+    fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        let start = std::time::Instant::now();
+        let rows = linearize_formula(view).map_err(|r| {
+            PbError::Unsupported(format!("sketch-refine requires a linearizable query: {r}"))
+        })?;
+        let objective = linearize_objective(view).map_err(|r| {
+            PbError::Unsupported(format!(
+                "sketch-refine requires a linearizable objective: {r}"
+            ))
+        })?;
+        if view.candidate_count() == 0 {
+            return Ok(SolveOutcome::empty(StrategyUsed::SketchRefine, 0, false));
+        }
+
+        // Greedy baseline first: the anytime answer, and the floor the
+        // refined package must beat to be returned.
+        let baseline = GreedySolver.solve(view, opts)?;
+        let mut counters = Counters {
+            nodes: baseline.stats.nodes,
+            iterations: baseline.stats.iterations,
+        };
+        let mut best: Option<(Package, Option<f64>)> = baseline.packages.into_iter().next();
+
+        if !opts.budget.expired() {
+            let refined = sketch_and_refine(
+                view,
+                &rows,
+                objective.as_ref().map(|o| o.coeffs.as_slice()),
+                opts,
+                &mut counters,
+            );
+            if let Some((package, obj)) = refined {
+                let direction = view.direction();
+                let replace = match &best {
+                    None => true,
+                    Some((_, cur)) => Package::better_objective(direction, obj, *cur),
+                };
+                if replace {
+                    best = Some((package, obj));
+                }
+            }
+        }
+
+        Ok(SolveOutcome {
+            packages: best.into_iter().collect(),
+            optimal: false,
+            stats: EvalStats {
+                strategy: StrategyUsed::SketchRefine,
+                candidates: view.candidate_count(),
+                nodes: counters.nodes,
+                iterations: counters.iterations,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+}
+
+/// Aggregated LP work across the sketch and every sub-ILP.
+struct Counters {
+    nodes: u64,
+    iterations: u64,
+}
+
+/// Runs phases 1–3; `None` means the sketch was infeasible or the refined
+/// package could not be repaired to feasibility (the greedy baseline then
+/// stands).
+fn sketch_and_refine(
+    view: &CandidateView,
+    rows: &[LinearConstraint],
+    obj_coeffs: Option<&[f64]>,
+    opts: &SolveOptions,
+    counters: &mut Counters,
+) -> Option<(Package, Option<f64>)> {
+    // Partitioning and the means matrix are O(n log n) / O(rows·n) setup; on
+    // a nearly-spent budget (a slow greedy baseline under a tight race
+    // deadline) they must not push the solver past its ~2x-deadline
+    // contract, so both are budget-checked as they go.
+    let partitioning =
+        partition_view_budgeted(view, opts.sketch_partition_size, opts.seed, &opts.budget)?;
+    let parts = partitioning.partitions();
+    if parts.is_empty() {
+        return None;
+    }
+    // Representative coefficients: the partition mean of every constraint row
+    // and of the objective. `means[c][p]` is row `c` aggregated over
+    // partition `p`.
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        if opts.budget.expired() {
+            return None;
+        }
+        means.push(parts.iter().map(|p| p.mean_of(&row.coeffs)).collect());
+    }
+    let obj_means: Option<Vec<f64>> =
+        obj_coeffs.map(|o| parts.iter().map(|p| p.mean_of(o)).collect());
+    if opts.budget.expired() {
+        return None;
+    }
+
+    // Phase 2 — the sketch ILP over one variable per partition.
+    let sense = match view.direction() {
+        ObjectiveDirection::Maximize => Sense::Maximize,
+        ObjectiveDirection::Minimize => Sense::Minimize,
+    };
+    let mut problem = Problem::new(sense);
+    let vars: Vec<VarId> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| {
+            problem.add_var(
+                format!("y_{p}"),
+                VarType::Integer,
+                0.0,
+                part.capacity(view) as f64,
+            )
+        })
+        .collect();
+    for (c, row) in rows.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = means[c]
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != 0.0)
+            .map(|(p, &m)| (vars[p], m))
+            .collect();
+        problem.add_constraint_terms(format!("g{c}"), &terms, row.op, row.rhs);
+    }
+    if let Some(om) = &obj_means {
+        for (p, &m) in om.iter().enumerate() {
+            if m != 0.0 {
+                problem.set_objective_coeff(vars[p], m);
+            }
+        }
+    }
+    let mut config = opts.solver.clone();
+    opts.budget.apply_to_solver(&mut config);
+    let sketch = match lp_solver::solve(&problem, &config) {
+        Ok(s) if s.status.has_solution() => s,
+        _ => return None,
+    };
+    counters.nodes += sketch.nodes as u64;
+    counters.iterations += sketch.iterations as u64;
+    let counts: Vec<u64> = parts
+        .iter()
+        .enumerate()
+        .map(|(p, part)| (sketch.value_rounded(vars[p]).max(0) as u64).min(part.capacity(view)))
+        .collect();
+
+    // Phase 3 — refine picked partitions, most-loaded first (deterministic:
+    // ties break on partition id).
+    let mut order: Vec<usize> = (0..parts.len()).filter(|&p| counts[p] > 0).collect();
+    order.sort_by_key(|&p| (std::cmp::Reverse(counts[p]), p));
+    if order.is_empty() {
+        // The sketch says the empty package: only useful if it is feasible.
+        let state = ViewState::empty(view);
+        return state
+            .is_feasible()
+            .then(|| (state.to_package(), state.objective_value()));
+    }
+
+    let ctx = RefineCtx {
+        view,
+        rows,
+        obj_coeffs,
+        parts,
+        means: &means,
+        counts: &counts,
+        opts,
+    };
+    let mut backtracks = 0;
+    let mut state = loop {
+        match refine_pass(&ctx, &order, true, counters) {
+            Ok(state) => break state,
+            Err(failed) => {
+                backtracks += 1;
+                let already_first = order.first() == Some(&failed);
+                if backtracks >= MAX_BACKTRACKS || already_first || opts.budget.expired() {
+                    // Backtracking exhausted: a non-strict pass greedy-fills
+                    // whatever still fails instead of giving up.
+                    break refine_pass(&ctx, &order, false, counters)
+                        .expect("non-strict refine passes cannot fail");
+                }
+                // The paper's backtracking rule: re-refine the failed
+                // partition first, where the full constraint slack is still
+                // available to it.
+                order.retain(|&p| p != failed);
+                order.insert(0, failed);
+            }
+        }
+    };
+
+    if !state.is_feasible() {
+        let (evals, _) = repair_to_feasibility(&mut state, &opts.budget);
+        counters.iterations += evals;
+    }
+    state
+        .is_feasible()
+        .then(|| (state.to_package(), state.objective_value()))
+}
+
+/// Shared inputs of one refinement pass.
+struct RefineCtx<'a> {
+    view: &'a CandidateView,
+    rows: &'a [LinearConstraint],
+    obj_coeffs: Option<&'a [f64]>,
+    parts: &'a [Partition],
+    means: &'a [Vec<f64>],
+    counts: &'a [u64],
+    opts: &'a SolveOptions,
+}
+
+/// One refinement pass over `order`. Strict passes report the first
+/// partition whose sub-ILP fails; non-strict passes greedy-fill it and carry
+/// on (and therefore always succeed). Budget expiry mid-pass greedy-fills
+/// the remaining partitions — the anytime degradation, never an error.
+fn refine_pass<'v>(
+    ctx: &RefineCtx<'v>,
+    order: &[usize],
+    strict: bool,
+    counters: &mut Counters,
+) -> Result<ViewState<'v>, usize> {
+    let mut state = ViewState::empty(ctx.view);
+    let mut fixed = vec![0.0; ctx.rows.len()];
+    // Estimated contribution of every still-sketched partition, per row.
+    let mut rem: Vec<f64> = ctx
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(c, _)| {
+            order
+                .iter()
+                .map(|&p| ctx.counts[p] as f64 * ctx.means[c][p])
+                .sum()
+        })
+        .collect();
+
+    for (pos, &p) in order.iter().enumerate() {
+        // This partition stops being an estimate now, whatever happens next.
+        for (c, r) in rem.iter_mut().enumerate() {
+            *r -= ctx.counts[p] as f64 * ctx.means[c][p];
+        }
+        if ctx.opts.budget.expired() {
+            for &q in &order[pos..] {
+                greedy_fill(ctx, q, &mut state);
+            }
+            return Ok(state);
+        }
+        match solve_partition(ctx, p, &fixed, &rem, counters) {
+            Some(assignment) => {
+                for &(idx, mult) in &assignment {
+                    state.apply(idx, mult as i64);
+                    for (c, row) in ctx.rows.iter().enumerate() {
+                        fixed[c] += row.coeffs[idx] * mult as f64;
+                    }
+                }
+            }
+            None if strict => return Err(p),
+            None => {
+                // Each candidate belongs to exactly one partition, so the
+                // fill's contribution is exactly p's members' multiplicities.
+                greedy_fill(ctx, p, &mut state);
+                for (c, row) in ctx.rows.iter().enumerate() {
+                    fixed[c] += ctx.parts[p]
+                        .members
+                        .iter()
+                        .map(|&i| row.coeffs[i] * state.multiplicity(i) as f64)
+                        .sum::<f64>();
+                }
+            }
+        }
+    }
+    Ok(state)
+}
+
+/// Sub-ILP over one partition's real tuples: the original rows with every
+/// other partition's contribution moved to the right-hand side.
+fn solve_partition(
+    ctx: &RefineCtx<'_>,
+    p: usize,
+    fixed: &[f64],
+    rem: &[f64],
+    counters: &mut Counters,
+) -> Option<Vec<(usize, u32)>> {
+    let members = &ctx.parts[p].members;
+    let r = ctx.view.max_multiplicity() as f64;
+    let mut problem = Problem::new(match ctx.view.direction() {
+        ObjectiveDirection::Maximize => Sense::Maximize,
+        ObjectiveDirection::Minimize => Sense::Minimize,
+    });
+    let vars: Vec<VarId> = members
+        .iter()
+        .map(|&i| problem.add_var(format!("x_{i}"), VarType::Integer, 0.0, r))
+        .collect();
+    for (c, row) in ctx.rows.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = members
+            .iter()
+            .enumerate()
+            .filter(|(_, &i)| row.coeffs[i] != 0.0)
+            .map(|(k, &i)| (vars[k], row.coeffs[i]))
+            .collect();
+        problem.add_constraint_terms(format!("g{c}"), &terms, row.op, row.rhs - fixed[c] - rem[c]);
+    }
+    if let Some(obj) = ctx.obj_coeffs {
+        for (k, &i) in members.iter().enumerate() {
+            if obj[i] != 0.0 {
+                problem.set_objective_coeff(vars[k], obj[i]);
+            }
+        }
+    }
+    let mut config = ctx.opts.solver.clone();
+    ctx.opts.budget.apply_to_solver(&mut config);
+    let solution = match lp_solver::solve(&problem, &config) {
+        Ok(s) if s.status.has_solution() => s,
+        _ => return None,
+    };
+    counters.nodes += solution.nodes as u64;
+    counters.iterations += solution.iterations as u64;
+    Some(
+        members
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &i)| {
+                let mult = solution.value_rounded(vars[k]).max(0) as u32;
+                (mult > 0).then_some((i, mult.min(ctx.view.max_multiplicity())))
+            })
+            .collect(),
+    )
+}
+
+/// Greedy degradation for one partition: take its sketched multiplicity in
+/// objective-coefficient order (best first, deterministic), round-robin over
+/// `REPEAT` slots — the refinement analogue of the greedy start heuristic.
+fn greedy_fill(ctx: &RefineCtx<'_>, p: usize, state: &mut ViewState<'_>) {
+    let mut members = ctx.parts[p].members.clone();
+    if let Some(obj) = ctx.obj_coeffs {
+        let maximize = matches!(ctx.view.direction(), ObjectiveDirection::Maximize);
+        members.sort_by(|&a, &b| {
+            let cmp = if maximize {
+                obj[b].total_cmp(&obj[a])
+            } else {
+                obj[a].total_cmp(&obj[b])
+            };
+            cmp.then(a.cmp(&b))
+        });
+    }
+    let mut remaining = ctx.counts[p];
+    'outer: for _ in 0..ctx.view.max_multiplicity() {
+        for &i in &members {
+            if remaining == 0 {
+                break 'outer;
+            }
+            if state.multiplicity(i) < ctx.view.max_multiplicity() {
+                state.apply(i, 1);
+                remaining -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PackageSpec;
+    use datagen::{recipes, Seed};
+    use minidb::Table;
+    use paql::compile;
+
+    fn spec_for<'a>(table: &'a Table, q: &str) -> PackageSpec<'a> {
+        let analyzed = compile(q, table.schema()).unwrap();
+        PackageSpec::build(&analyzed, table).unwrap()
+    }
+
+    const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+        SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+    #[test]
+    fn refined_packages_are_valid_and_beat_or_match_greedy() {
+        let t = recipes(2_000, Seed(1));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let opts = SolveOptions::default();
+        let out = SketchRefineSolver.solve(spec.view(), &opts).unwrap();
+        assert_eq!(out.stats.strategy, StrategyUsed::SketchRefine);
+        assert!(!out.optimal, "sketch-refine is approximate by design");
+        let (p, obj) = out.packages.first().expect("a meal plan exists at n=2000");
+        assert!(spec.is_valid(p).unwrap());
+        let greedy = GreedySolver.solve(spec.view(), &opts).unwrap();
+        if let Some((_, g)) = greedy.packages.first() {
+            assert!(obj.unwrap() + 1e-9 >= g.unwrap(), "worse than greedy");
+        }
+    }
+
+    #[test]
+    fn non_linearizable_queries_are_rejected_with_unsupported() {
+        let t = recipes(100, Seed(2));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 3 AND AVG(P.calories) >= AVG(P.protein)",
+        );
+        let err = SketchRefineSolver
+            .solve(spec.view(), &SolveOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, PbError::Unsupported(_)));
+    }
+
+    #[test]
+    fn empty_candidate_sets_yield_an_empty_outcome() {
+        let t = recipes(50, Seed(3));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.calories < 0 SUCH THAT COUNT(*) = 1",
+        );
+        let out = SketchRefineSolver
+            .solve(spec.view(), &SolveOptions::default())
+            .unwrap();
+        assert!(out.packages.is_empty());
+        assert!(!out.optimal);
+    }
+
+    #[test]
+    fn expired_budgets_return_the_anytime_result_without_error() {
+        let t = recipes(2_000, Seed(4));
+        let spec = spec_for(&t, MEAL_QUERY);
+        let opts = SolveOptions {
+            budget: crate::budget::Budget::with_limit(std::time::Duration::ZERO),
+            ..SolveOptions::default()
+        };
+        let out = SketchRefineSolver.solve(spec.view(), &opts).unwrap();
+        assert!(!out.optimal);
+        for (p, _) in &out.packages {
+            assert!(spec.is_valid(p).unwrap());
+        }
+    }
+}

@@ -49,6 +49,9 @@ pub struct SolveOptions {
     pub max_local_moves: usize,
     /// Local search: number of restarts.
     pub local_restarts: usize,
+    /// Sketch→refine: maximum partition size (bounds each refinement
+    /// sub-ILP).
+    pub sketch_partition_size: usize,
     /// Seed for randomized components.
     pub seed: u64,
     /// Wall-clock budget and cancellation flag for this evaluation. The
@@ -69,6 +72,7 @@ impl SolveOptions {
             replacement_k: config.replacement_k,
             max_local_moves: config.max_local_moves,
             local_restarts: config.local_restarts,
+            sketch_partition_size: config.sketch_partition_size,
             seed: config.seed,
             budget: Budget::starting_now(config.time_budget),
         }
@@ -245,41 +249,12 @@ impl Solver for GreedySolver {
                     "greedy starting package contains tuples outside the candidate set".into(),
                 )
             })?;
-            // Repair pass: accept single add/drop moves while they strictly
-            // reduce the violation (delta-evaluated on the view's columns).
-            // Each pass scans the whole candidate set, so the budget is
-            // checked per pass and periodically within one; on expiry the
-            // best-so-far state is returned (optimal is false regardless).
-            let mut violation = state.violation();
-            'repair: while violation > 0.0 && !budget.expired() {
-                let mut best_change: Option<(usize, i64)> = None;
-                let mut best_violation = violation;
-                for idx in 0..view.candidate_count() {
-                    if idx.is_multiple_of(256) && idx > 0 && budget.expired() {
-                        break 'repair;
-                    }
-                    for delta in [1i64, -1] {
-                        let mult = state.multiplicity(idx) as i64;
-                        if mult + delta < 0 || mult + delta > view.max_multiplicity() as i64 {
-                            continue;
-                        }
-                        evaluations += 1;
-                        let (v, _) = state.score_with(&[(idx, delta)]);
-                        if v + 1e-9 < best_violation {
-                            best_violation = v;
-                            best_change = Some((idx, delta));
-                        }
-                    }
-                }
-                match best_change {
-                    Some((idx, delta)) => {
-                        state.apply(idx, delta);
-                        violation = best_violation;
-                        moves += 1;
-                    }
-                    None => break, // stuck — greedy gives up, feasible or not
-                }
-            }
+            // Shared repair pass (also the sketch→refine fallback): on budget
+            // expiry the best-so-far state is returned (optimal is false
+            // regardless).
+            let (evals, repair_moves) = crate::greedy::repair_to_feasibility(&mut state, budget);
+            evaluations += evals;
+            moves += repair_moves;
             if state.is_feasible() {
                 let objective = state.objective_value();
                 packages.push((state.to_package(), objective));
@@ -310,6 +285,7 @@ pub fn solver_for(strategy: Strategy) -> PbResult<Box<dyn Solver>> {
         Strategy::Exhaustive => Box::new(EnumerationSolver { prune: false }),
         Strategy::LocalSearch => Box::new(LocalSearchSolver),
         Strategy::Greedy => Box::new(GreedySolver),
+        Strategy::SketchRefine => Box::new(crate::sketch_refine::SketchRefineSolver),
         Strategy::Portfolio => Box::new(crate::portfolio::PortfolioSolver::default()),
         Strategy::Auto => {
             return Err(crate::error::PbError::Internal(
@@ -400,6 +376,7 @@ mod tests {
             Strategy::Exhaustive,
             Strategy::LocalSearch,
             Strategy::Greedy,
+            Strategy::SketchRefine,
             Strategy::Portfolio,
         ] {
             assert!(solver_for(s).is_ok());

@@ -30,8 +30,10 @@ const LINEAR_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
     SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 \
     MAXIMIZE SUM(P.protein)";
 
+// AVG-vs-constant is linearizable since the multiply-through-by-COUNT
+// rewrite; AVG vs AVG is one of the shapes that genuinely is not.
 const NON_LINEAR_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
-    SUCH THAT COUNT(*) = 3 AND AVG(P.calories) BETWEEN 400 AND 700 \
+    SUCH THAT COUNT(*) = 3 AND AVG(P.calories) >= AVG(P.protein) \
     MAXIMIZE SUM(P.protein)";
 
 fn assert_identical(a: &PackageResult, b: &PackageResult, context: &str) {
@@ -59,6 +61,7 @@ fn sequential_solvers_are_deterministic_across_engine_instances() {
         (Strategy::Exhaustive, 14),
         (Strategy::LocalSearch, 200),
         (Strategy::Greedy, 200),
+        (Strategy::SketchRefine, 400),
     ];
     for (strategy, n) in cases {
         for seed in [1u64, 42] {
@@ -91,7 +94,12 @@ fn different_seeds_may_differ_but_stay_valid() {
 
 #[test]
 fn single_worker_portfolio_matches_the_underlying_solver() {
-    for worker in [Strategy::Ilp, Strategy::LocalSearch, Strategy::Greedy] {
+    for worker in [
+        Strategy::Ilp,
+        Strategy::LocalSearch,
+        Strategy::Greedy,
+        Strategy::SketchRefine,
+    ] {
         let mut portfolio_engine = engine(200, Strategy::Portfolio, 42);
         portfolio_engine.config_mut().portfolio_workers = vec![worker];
         let raced = portfolio_engine.execute_paql(LINEAR_QUERY).unwrap();

@@ -19,7 +19,7 @@ use packagebuilder::solver::{
     EnumerationSolver, GreedySolver, IlpSolver, LocalSearchSolver, SolveOptions, Solver,
 };
 use packagebuilder::spec::PackageSpec;
-use packagebuilder::PackageEngine;
+use packagebuilder::{PackageEngine, SketchRefineSolver};
 use paql::compile;
 
 /// The budget every solver must honour.
@@ -69,6 +69,7 @@ fn every_solver_terminates_within_twice_the_time_limit() {
         ("ilp", Box::new(IlpSolver)),
         ("local-search", Box::new(LocalSearchSolver)),
         ("greedy", Box::new(GreedySolver)),
+        ("sketch-refine", Box::new(SketchRefineSolver)),
         ("portfolio", Box::new(PortfolioSolver::default())),
     ];
     for (name, solver) in solvers {
@@ -91,12 +92,13 @@ fn every_solver_terminates_within_twice_the_time_limit() {
 }
 
 #[test]
-fn enumeration_terminates_within_twice_the_time_limit() {
-    // The enumeration DFS recurses once per candidate index, so its largest
-    // *runnable* scenario is bounded by stack depth, not by the budget:
-    // 2,000 candidates keep the recursion shallow while the 2^2000-state
-    // search space still dwarfs any 10 ms allowance.
-    let table = recipes(2_000, Seed(20140901));
+fn enumeration_terminates_within_twice_the_time_limit_on_20k_candidates() {
+    // Regression test for the DFS stack overflow: the search used to recurse
+    // once per candidate index, so anything past ~10k candidates blew the
+    // thread stack before the budget could even matter. With the explicit
+    // worklist the full 20,000-candidate hostile scenario must run — and
+    // still honour its 10 ms budget.
+    let table = recipes(20_000, Seed(20140901));
     let spec = spec_for(
         &table,
         "SELECT PACKAGE(R) AS P FROM recipes R \
@@ -156,6 +158,7 @@ fn expired_budgets_return_immediately_with_best_so_far() {
         Box::new(EnumerationSolver { prune: true }),
         Box::new(LocalSearchSolver),
         Box::new(GreedySolver),
+        Box::new(SketchRefineSolver),
     ] {
         let start = Instant::now();
         let out = solver.solve(spec.view(), &opts).unwrap();
