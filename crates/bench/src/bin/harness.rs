@@ -7,6 +7,10 @@
 //! cargo run --release -p pb-bench --bin harness            # all experiments
 //! cargo run --release -p pb-bench --bin harness -- e1 e3   # a subset
 //! ```
+//!
+//! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch` and
+//! `cache` run the PR-baseline experiments and write the corresponding
+//! `BENCH_*.json` files.
 
 use std::time::Instant;
 
@@ -70,6 +74,12 @@ fn main() {
     }
     if want("sketch") {
         sketch_refine_scaling();
+    }
+    if want("cache") && !cache_reuse() {
+        // Bit-identity of cache hits is deterministic (unlike the timing
+        // verdicts), so a mismatch is a real regression and must fail CI.
+        eprintln!("CACHE experiment: warm cache-hit results differ from cold results");
+        std::process::exit(1);
     }
 }
 
@@ -394,6 +404,117 @@ fn sketch_refine_scaling() {
         Ok(()) => println!("\n(wrote BENCH_sketch.json)\n"),
         Err(e) => println!("\n(could not write BENCH_sketch.json: {e})\n"),
     }
+}
+
+/// CACHE — the cross-query view & partition cache on a repeated query. The
+/// claim under test: real workloads re-solve the same relation + base
+/// predicate with varying constraints, and the engine's `ViewCache` makes
+/// every solve after the first skip candidate evaluation, column
+/// materialization, statistics *and* (on the sketch path) the k-d
+/// partitioning — leaving pure solver time. Each n runs the meal-plan query
+/// three times on one engine: `cold` (miss, builds and banks everything),
+/// `warm`/`warm2` (hits). The verdict checks the warm pass is strictly
+/// faster and the answers are bit-identical — cached building blocks must
+/// never change results. Writes `BENCH_cache.json` as the machine-readable
+/// baseline for future PRs. Returns false when any warm result differs from
+/// its cold result, so the caller can fail the process (the CI gate).
+fn cache_reuse() -> bool {
+    let mut all_identical = true;
+    println!("## CACHE — repeated-query view & partition cache (meal plan)\n");
+    let widths = [6, 8, 12, 12, 14, 14];
+    print_header(
+        &[
+            "n",
+            "pass",
+            "build (ms)",
+            "solve (ms)",
+            "objective",
+            "cache h/m",
+        ],
+        &widths,
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    // Both sizes leave the meal query's gluten-free candidate set (~42% of
+    // n) at or above `sketch_threshold`, so Auto rides the sketch→refine
+    // path and the offline partitioning is part of what the cache amortizes.
+    // Smaller inputs fall to the monolithic ILP, whose solve time dwarfs
+    // view construction — caching is latency-neutral there by design.
+    for n in [12_000usize, 20_000] {
+        let engine = recipe_engine(n, Strategy::Auto);
+        let query = paql::parse(MEAL_PLAN_QUERY).unwrap();
+        // (pass, build ms, solve ms, objective, best package).
+        type Pass<'a> = (&'a str, f64, f64, Option<f64>, Option<Package>);
+        let mut passes: Vec<Pass> = Vec::new();
+        for pass in ["cold", "warm", "warm2"] {
+            let t0 = Instant::now();
+            let spec = engine.build_spec(&query).unwrap();
+            let build = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let r = engine.execute_spec(&spec).unwrap();
+            let solve = t1.elapsed().as_secs_f64() * 1e3;
+            let stats = engine.view_cache().stats();
+            print_row(
+                &[
+                    n.to_string(),
+                    pass.into(),
+                    format!("{build:.3}"),
+                    format!("{solve:.3}"),
+                    r.best_objective()
+                        .map(|o| format!("{o:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                    format!("{}/{}", stats.hits, stats.misses),
+                ],
+                &widths,
+            );
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"pass\": \"{pass}\", \"build_ms\": {build:.3}, \
+                 \"solve_ms\": {solve:.3}, \"total_ms\": {:.3}, \"objective\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}",
+                build + solve,
+                r.best_objective()
+                    .map(|o| format!("{o:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+                stats.hits,
+                stats.misses,
+            ));
+            passes.push((pass, build, solve, r.best_objective(), r.best().cloned()));
+        }
+        let cold = passes.iter().find(|(p, ..)| *p == "cold").unwrap();
+        let warm = passes.iter().find(|(p, ..)| *p == "warm").unwrap();
+        let identical = passes
+            .iter()
+            .all(|(_, _, _, obj, best)| (*obj, best) == (cold.3, &cold.4));
+        let speedup = (cold.1 + cold.2) / (warm.1 + warm.2).max(1e-9);
+        print_row(
+            &[
+                n.to_string(),
+                "verdict".into(),
+                format!("{:.1}x", cold.1 / warm.1.max(1e-9)),
+                format!("{speedup:.1}x total"),
+                if identical {
+                    "identical".into()
+                } else {
+                    "DIFFERENT (!)".into()
+                },
+                if cold.1 + cold.2 > warm.1 + warm.2 {
+                    "faster".into()
+                } else {
+                    "SLOWER".into()
+                },
+            ],
+            &widths,
+        );
+        all_identical &= identical;
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"cache_reuse\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_cache.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_cache.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_cache.json: {e})\n"),
+    }
+    all_identical
 }
 
 fn e1_pruning() {

@@ -12,9 +12,11 @@ use lp_solver::SolverConfig;
 /// benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
-    /// Let the engine pick (ILP when the query is linear and conjunctive,
-    /// enumeration for tiny candidate sets, a solver portfolio for large
-    /// queries the ILP cannot take, local search otherwise).
+    /// Let the engine pick: enumeration for tiny candidate sets; for
+    /// linearizable conjunctive queries the ILP, switching to sketch→refine
+    /// at [`EngineConfig::sketch_threshold`] candidates (single-package
+    /// requests); for the rest a solver portfolio at
+    /// [`EngineConfig::portfolio_threshold`] and plain local search below.
     Auto,
     /// Translate to an integer linear program and call the solver.
     Ilp,
@@ -96,6 +98,18 @@ pub struct EngineConfig {
     /// over the monolithic ILP for linearizable queries. Below it the exact
     /// ILP is fast enough that approximation buys nothing.
     pub sketch_threshold: usize,
+    /// Whether the engine routes view construction through its
+    /// [`crate::cache::ViewCache`], reusing materialized columns, candidate
+    /// statistics and sketch→refine partitionings across repeated queries on
+    /// the same relation and base predicate. Safe to leave on: cache keys
+    /// embed the relation's [`minidb::Table::fingerprint`], so a mutated
+    /// relation can never serve a stale view, and cache hits are
+    /// bit-identical to cold builds.
+    pub cache: bool,
+    /// How many `(relation, base predicate)` banks the engine's view cache
+    /// retains (least-recently-used eviction). 0 disables storage entirely;
+    /// the capacity is read when the engine is constructed.
+    pub view_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -120,6 +134,8 @@ impl Default for EngineConfig {
             ],
             sketch_partition_size: 64,
             sketch_threshold: 4096,
+            cache: true,
+            view_cache_capacity: crate::cache::DEFAULT_VIEW_CACHE_CAPACITY,
         }
     }
 }
@@ -149,6 +165,19 @@ impl EngineConfig {
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self.solver.time_limit = Some(budget);
+        self
+    }
+
+    /// Enables or disables the cross-query view cache.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the view cache capacity (entries; 0 disables storage). Applied
+    /// when an engine is constructed from this configuration.
+    pub fn with_view_cache_capacity(mut self, capacity: usize) -> Self {
+        self.view_cache_capacity = capacity;
         self
     }
 }

@@ -13,6 +13,7 @@
 use minidb::Catalog;
 use paql::{analyze, parse, AnalyzedQuery, PaqlQuery};
 
+use crate::cache::ViewCache;
 use crate::config::{EngineConfig, Strategy};
 use crate::error::PbError;
 use crate::ilp::linearization_obstacle;
@@ -45,24 +46,60 @@ pub struct QueryPlan {
 /// system "heuristically combines" SQL-based generate-and-validate,
 /// constraint solvers, pruning and local search — [`Strategy::Auto`] encodes
 /// that policy.
+///
+/// An engine is also a *session* over its [`ViewCache`]: repeated queries on
+/// the same relation and base predicate reuse materialized view columns and
+/// sketch→refine partitionings across [`PackageEngine::execute`] calls (see
+/// [`crate::cache`]), and cloned engines — or engines built with
+/// [`PackageEngine::with_shared_cache`] — warm each other's queries.
 #[derive(Debug, Clone)]
 pub struct PackageEngine {
     catalog: Catalog,
     config: EngineConfig,
+    cache: ViewCache,
 }
 
 impl PackageEngine {
     /// Creates an engine with default configuration.
     pub fn new(catalog: Catalog) -> Self {
-        PackageEngine {
-            catalog,
-            config: EngineConfig::default(),
-        }
+        Self::with_config(catalog, EngineConfig::default())
     }
 
     /// Creates an engine with an explicit configuration.
     pub fn with_config(catalog: Catalog, config: EngineConfig) -> Self {
-        PackageEngine { catalog, config }
+        let cache = ViewCache::new(config.view_cache_capacity);
+        PackageEngine {
+            catalog,
+            config,
+            cache,
+        }
+    }
+
+    /// Creates an engine sharing an existing view cache — several engines
+    /// (or threads, the cache is `Send + Sync`) serving the same workload
+    /// can warm each other's repeated queries. Fingerprinted keys make this
+    /// safe even when the engines' catalogs hold different relation
+    /// versions.
+    pub fn with_shared_cache(catalog: Catalog, config: EngineConfig, cache: ViewCache) -> Self {
+        PackageEngine {
+            catalog,
+            config,
+            cache,
+        }
+    }
+
+    /// The engine's view cache (inspect [`ViewCache::stats`], share it via
+    /// [`PackageEngine::with_shared_cache`], or reclaim memory with
+    /// [`ViewCache::clear`] / [`ViewCache::invalidate_relation`]).
+    pub fn view_cache(&self) -> &ViewCache {
+        &self.cache
+    }
+
+    /// Drops cached views of `relation`. Memory reclamation only — a mutated
+    /// or re-registered relation changes its fingerprint and therefore
+    /// already misses every stale entry.
+    pub fn invalidate_relation(&self, relation: &str) {
+        self.cache.invalidate_relation(relation);
     }
 
     /// The engine's catalog.
@@ -91,11 +128,10 @@ impl PackageEngine {
         self.execute(&query)
     }
 
-    /// Analyzes and evaluates an already-parsed query.
+    /// Analyzes and evaluates an already-parsed query (through the view
+    /// cache when [`EngineConfig::cache`] is on).
     pub fn execute(&self, query: &PaqlQuery) -> PbResult<PackageResult> {
-        let analyzed = self.analyze(query)?;
-        let table = self.relation(&analyzed.query)?;
-        let spec = PackageSpec::build(&analyzed, table)?;
+        let spec = self.build_spec(query)?;
         self.execute_spec(&spec)
     }
 
@@ -113,11 +149,17 @@ impl PackageEngine {
     }
 
     /// Builds the executable spec for a query (exposed for the interface
-    /// layers: exploration, suggestion, summaries).
+    /// layers: exploration, suggestion, summaries). Routed through the view
+    /// cache when [`EngineConfig::cache`] is on, so repeated builds reuse
+    /// materialized columns and partitionings.
     pub fn build_spec<'a>(&'a self, query: &PaqlQuery) -> PbResult<PackageSpec<'a>> {
         let analyzed = self.analyze(query)?;
         let table = self.relation(&analyzed.query)?;
-        PackageSpec::build(&analyzed, table)
+        if self.config.cache {
+            PackageSpec::build_cached(&analyzed, table, &self.cache)
+        } else {
+            PackageSpec::build(&analyzed, table)
+        }
     }
 
     /// Evaluates a spec with the configured strategy.

@@ -44,6 +44,14 @@
 //!   picked partitions one small sub-ILP at a time (with the SketchRefine
 //!   paper's failed-partition backtracking and a greedy anytime fallback) —
 //!   near-optimal packages at a fraction of the monolithic ILP's latency.
+//! * **[`cache`] — cross-query reuse.** Real workloads repeat the same
+//!   relation + base predicate with varying constraints; the engine's
+//!   [`cache::ViewCache`] banks materialized term columns, candidate
+//!   statistics and sketch→refine partitionings under fingerprinted keys
+//!   (LRU-evicted, mutation-proof by construction), so a repeated query
+//!   skips view construction and partitioning entirely and a query that
+//!   adds aggregate terms pays only for the missing columns. Cache hits are
+//!   bit-identical to cold builds.
 //! * **[`engine`] — the planner.** [`engine::PackageEngine`] resolves the
 //!   `Auto` policy, derives cardinality bounds ([`pruning`], short-circuiting
 //!   provably-infeasible queries), runs the chosen solver through the trait,
@@ -76,6 +84,7 @@
 //! ```
 
 pub mod budget;
+pub mod cache;
 pub mod config;
 pub mod diversity;
 pub mod engine;
@@ -98,6 +107,7 @@ pub mod summary;
 pub mod view;
 
 pub use budget::Budget;
+pub use cache::{CacheStats, PartitionMemo, ViewCache};
 pub use config::{EngineConfig, Strategy};
 pub use engine::{PackageEngine, QueryPlan};
 pub use error::PbError;

@@ -41,7 +41,7 @@ use crate::error::PbError;
 use crate::greedy::repair_to_feasibility;
 use crate::ilp::{linearize_formula, linearize_objective, LinearConstraint};
 use crate::package::Package;
-use crate::partition::{partition_view_budgeted, Partition};
+use crate::partition::Partition;
 use crate::result::{EvalStats, StrategyUsed};
 use crate::solver::{GreedySolver, SolveOptions, SolveOutcome, Solver};
 use crate::view::{CandidateView, ViewState};
@@ -141,9 +141,11 @@ fn sketch_and_refine(
     // Partitioning and the means matrix are O(n log n) / O(rows·n) setup; on
     // a nearly-spent budget (a slow greedy baseline under a tight race
     // deadline) they must not push the solver past its ~2x-deadline
-    // contract, so both are budget-checked as they go.
-    let partitioning =
-        partition_view_budgeted(view, opts.sketch_partition_size, opts.seed, &opts.budget)?;
+    // contract, so both are budget-checked as they go. The partitioning goes
+    // through the view's memo: a repeated query (or a second worker over a
+    // clone of this view) reuses the one computed before, and an engine with
+    // caching on carries it across queries entirely.
+    let partitioning = view.partitioning(opts.sketch_partition_size, opts.seed, &opts.budget)?;
     let parts = partitioning.partitions();
     if parts.is_empty() {
         return None;

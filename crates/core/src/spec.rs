@@ -2,12 +2,32 @@
 
 use minidb::eval::eval_predicate;
 use minidb::stats::TableStats;
-use minidb::{Table, TupleId};
+use minidb::{Expr, Table, TupleId};
 use paql::{AnalyzedQuery, GlobalFormula, Objective, PaqlQuery};
 
+use crate::cache::ViewCache;
 use crate::package::Package;
 use crate::view::CandidateView;
 use crate::PbResult;
+
+/// Evaluates a query's base (`WHERE`) predicate over a table: the candidate
+/// tuple ids, in id order — the paper's "use SQL to evaluate the base
+/// constraints" step (`SELECT * FROM R WHERE <base>`). `None` keeps every
+/// tuple. Shared by [`PackageSpec::build`] and the [`ViewCache`] cold path.
+pub fn base_candidates(table: &Table, where_clause: Option<&Expr>) -> PbResult<Vec<TupleId>> {
+    let mut candidates = Vec::new();
+    match where_clause {
+        None => candidates.extend(table.iter().map(|(id, _)| id)),
+        Some(pred) => {
+            for (id, tuple) in table.iter() {
+                if eval_predicate(pred, table.schema(), tuple)? {
+                    candidates.push(id);
+                }
+            }
+        }
+    }
+    Ok(candidates)
+}
 
 /// A package query bound to a concrete table: the candidate tuples that
 /// survive the base constraints, the global formula, the objective and the
@@ -43,17 +63,7 @@ impl<'a> PackageSpec<'a> {
     /// same pass, borrowing rows straight from the table (no clones).
     pub fn build(analyzed: &AnalyzedQuery, table: &'a Table) -> PbResult<Self> {
         let query = analyzed.query.clone();
-        let mut candidates = Vec::new();
-        match &query.where_clause {
-            None => candidates.extend(table.iter().map(|(id, _)| id)),
-            Some(pred) => {
-                for (id, tuple) in table.iter() {
-                    if eval_predicate(pred, table.schema(), tuple)? {
-                        candidates.push(id);
-                    }
-                }
-            }
-        }
+        let candidates = base_candidates(table, query.where_clause.as_ref())?;
         let view = CandidateView::build(
             table,
             candidates.clone(),
@@ -67,6 +77,30 @@ impl<'a> PackageSpec<'a> {
             formula: query.such_that.clone(),
             objective: query.objective.clone(),
             candidates,
+            view,
+            query,
+        })
+    }
+
+    /// [`PackageSpec::build`] through a [`ViewCache`]: candidate evaluation,
+    /// statistics and term columns are reused from the cache when the
+    /// relation contents and base predicate match a cached bank (with only
+    /// missing term columns materialized), and banked for future queries
+    /// otherwise. The resulting spec is indistinguishable from a cold build
+    /// — see the cache module docs for the determinism argument.
+    pub fn build_cached(
+        analyzed: &AnalyzedQuery,
+        table: &'a Table,
+        cache: &ViewCache,
+    ) -> PbResult<Self> {
+        let query = analyzed.query.clone();
+        let view = cache.view_for(&query, table)?;
+        Ok(PackageSpec {
+            table,
+            candidates: view.candidates().to_vec(),
+            max_multiplicity: query.max_multiplicity(),
+            formula: query.such_that.clone(),
+            objective: query.objective.clone(),
             view,
             query,
         })

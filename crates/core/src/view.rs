@@ -20,16 +20,29 @@
 //! the debug oracle: `columnar_matches_interpreted` asserts agreement on
 //! random queries, and the property suite in `tests/columnar_oracle.rs`
 //! exercises both paths over every datagen scenario.
+//!
+//! Since the [`crate::cache`] subsystem landed, a view can also be
+//! *assembled* from previously materialized building blocks
+//! ([`CandidateView::assemble`]): the candidate list, statistics and any
+//! already-built term columns are reused verbatim and only the columns the
+//! new query adds are computed from the base table. Every view additionally
+//! carries a [`crate::cache::PartitionMemo`] so the sketch→refine solver's
+//! offline partitioning is computed at most once per (view contents,
+//! partition size, seed) — including across cached queries.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use minidb::eval::{eval, eval_predicate};
 use minidb::stats::TableStats;
-use minidb::{Table, TupleId};
+use minidb::{Table, Tuple, TupleId};
 use paql::ast::GlobalArithOp;
 use paql::{AggCall, AggFunc, CmpOp, GlobalExpr, GlobalFormula, Objective, ObjectiveDirection};
 
+use crate::budget::Budget;
+use crate::cache::PartitionMemo;
 use crate::package::Package;
+use crate::partition::Partitioning;
 use crate::PbResult;
 
 /// Penalty for constraints whose sides cannot be evaluated (NULL aggregate),
@@ -133,6 +146,7 @@ pub struct CandidateView {
     objective: Option<Objective>,
     compiled_objective: Option<CompiledExpr>,
     stats: TableStats,
+    partition_memo: PartitionMemo,
 }
 
 impl CandidateView {
@@ -147,12 +161,75 @@ impl CandidateView {
         formula: Option<GlobalFormula>,
         objective: Option<Objective>,
     ) -> PbResult<Self> {
-        let schema = table.schema();
-        let rows: Vec<&minidb::Tuple> = candidates
+        let rows: Vec<&Tuple> = candidates
             .iter()
             .map(|id| table.require(*id))
             .collect::<Result<_, _>>()?;
-        let stats = TableStats::of_row_refs(schema, rows.iter().copied());
+        let stats = TableStats::of_row_refs(table.schema(), rows.iter().copied());
+        // The prefetched rows ride along so column materialization does not
+        // fetch them a second time.
+        Self::assemble_impl(
+            table,
+            candidates,
+            stats,
+            max_multiplicity,
+            formula,
+            objective,
+            |_| None,
+            Some(rows),
+        )
+    }
+
+    /// Assembles a view from precomputed building blocks: the candidate list
+    /// and statistics are adopted verbatim, and each required term column is
+    /// first requested from `column_source` — only columns the source does
+    /// not have are materialized from the base table. With a source that
+    /// always returns `None` this is exactly [`CandidateView::build`]; with
+    /// the engine's [`crate::cache::ViewCache`] as the source, a repeated
+    /// query skips per-row evaluation entirely and a query that adds
+    /// aggregate terms pays only for the new columns.
+    ///
+    /// The resulting view is bit-identical to a cold [`CandidateView::build`]
+    /// of the same query: terms are interned in the query's own discovery
+    /// order, so compiled expressions, column order — and therefore solver
+    /// results — do not depend on whether columns came from the source.
+    pub fn assemble(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        stats: TableStats,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
+    ) -> PbResult<Self> {
+        Self::assemble_impl(
+            table,
+            candidates,
+            stats,
+            max_multiplicity,
+            formula,
+            objective,
+            column_source,
+            None,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_impl<'t>(
+        table: &'t Table,
+        candidates: Vec<TupleId>,
+        stats: TableStats,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        mut column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
+        prefetched: Option<Vec<&'t Tuple>>,
+    ) -> PbResult<Self> {
+        let schema = table.schema();
+        // Candidate rows are only fetched when some column must actually be
+        // materialized (and `build` hands down the rows it already fetched
+        // for statistics) — on a full cache hit the table is never touched.
+        let mut rows: Option<Vec<&Tuple>> = prefetched;
 
         // Collect the distinct aggregate terms of the formula and objective.
         let mut term_keys: Vec<AggCall> = Vec::new();
@@ -211,9 +288,25 @@ impl CandidateView {
             .as_ref()
             .map(|o| compile_expr(&o.expr, &mut term_keys, &mut intern));
 
-        // Materialize one column pair per term.
+        // Materialize one column pair per term, unless the source already
+        // has the column (a cache hit on that term).
         let mut terms = Vec::with_capacity(term_keys.len());
         for call in &term_keys {
+            if let Some(column) = column_source(call) {
+                debug_assert_eq!(column.coeffs.len(), candidates.len());
+                terms.push(column);
+                continue;
+            }
+            let rows = match rows {
+                Some(ref rows) => rows,
+                None => {
+                    let fetched = candidates
+                        .iter()
+                        .map(|id| table.require(*id))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    rows.get_or_insert(fetched)
+                }
+            };
             let mut coeffs = vec![0.0; candidates.len()];
             let mut included = vec![false; candidates.len()];
             for (i, tuple) in rows.iter().enumerate() {
@@ -264,7 +357,40 @@ impl CandidateView {
             objective,
             compiled_objective,
             stats,
+            partition_memo: PartitionMemo::default(),
         })
+    }
+
+    /// The sketch→refine partitioning of this view's candidates, memoized
+    /// per `(max_partition_size, seed)`: computed on first request (honouring
+    /// `budget` — `None` on expiry, and nothing is memoized), returned from
+    /// the memo afterwards. Clones of a view share the memo, and a view
+    /// assembled through the engine's [`crate::cache::ViewCache`] shares it
+    /// with every past and future view of the same cached columns — which is
+    /// how a repeated query skips partitioning entirely.
+    ///
+    /// A memoized partitioning is identical to a freshly computed one
+    /// ([`crate::partition::partition_view`] is deterministic per seed), so
+    /// results never depend on whether this hit the memo.
+    pub fn partitioning(
+        &self,
+        max_partition_size: usize,
+        seed: u64,
+        budget: &Budget,
+    ) -> Option<Arc<Partitioning>> {
+        self.partition_memo
+            .get_or_compute(self, max_partition_size, seed, budget)
+    }
+
+    /// Replaces the partition memo (the cache wires in the shared, per-column
+    /// -signature memo after assembly — see [`crate::cache::ViewCache`]).
+    pub(crate) fn set_partition_memo(&mut self, memo: PartitionMemo) {
+        self.partition_memo = memo;
+    }
+
+    /// The view's partition memo (shared with clones of this view).
+    pub fn partition_memo(&self) -> &PartitionMemo {
+        &self.partition_memo
     }
 
     /// The candidate tuples, in id order.

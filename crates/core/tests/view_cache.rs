@@ -1,0 +1,218 @@
+//! Engine-level tests of the cross-query view cache ([`packagebuilder::cache`]):
+//! warm solves must be bit-identical to cold solves, relation mutation must
+//! never serve a stale view, and the cached building blocks (columns,
+//! partitionings) must actually be reused.
+
+use std::sync::Arc;
+
+use datagen::{recipes, Seed};
+use minidb::{Catalog, Tuple, Value};
+use packagebuilder::budget::Budget;
+use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::{PackageEngine, ViewCache};
+
+const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+    SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500 MAXIMIZE SUM(P.protein)";
+
+const SMALL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R \
+    SUCH THAT COUNT(*) = 2 AND SUM(P.calories) <= 1200 MAXIMIZE SUM(P.protein)";
+
+fn engine(n: usize, seed: u64, config: EngineConfig) -> PackageEngine {
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(n, Seed(seed)));
+    PackageEngine::with_config(catalog, config)
+}
+
+/// A recipe row no generated recipe can beat: tiny calories, huge protein.
+fn super_recipe(id: i64) -> Tuple {
+    Tuple::new(vec![
+        Value::Int(id),
+        Value::Text("engineered protein bar".into()),
+        Value::Text("snack".into()),
+        Value::Text("american".into()),
+        Value::Float(100.0), // calories
+        Value::Float(500.0), // protein
+        Value::Float(1.0),   // fat
+        Value::Float(1.0),   // carbs
+        Value::Float(0.0),   // sugar
+        Value::Float(50.0),  // sodium
+        Value::Float(0.0),   // fiber
+        Value::Text("free".into()),
+        Value::Bool(true),
+        Value::Int(1),
+        Value::Float(2.0),
+        Value::Float(5.0),
+    ])
+}
+
+#[test]
+fn warm_solves_are_bit_identical_to_cold_solves() {
+    // Same engine, same query, every strategy that Auto can deploy plus the
+    // sketch path the cache most benefits: the second (cached) solve must
+    // return exactly the first solve's package.
+    for strategy in [
+        Strategy::Auto,
+        Strategy::Ilp,
+        Strategy::SketchRefine,
+        Strategy::LocalSearch,
+        Strategy::Greedy,
+    ] {
+        let e = engine(
+            2_000,
+            11,
+            EngineConfig::with_strategy(strategy).with_seed(11),
+        );
+        let cold = e.execute_paql(MEAL_QUERY).unwrap();
+        let warm = e.execute_paql(MEAL_QUERY).unwrap();
+        assert_eq!(
+            cold.best(),
+            warm.best(),
+            "{strategy:?}: warm package differs from cold"
+        );
+        assert_eq!(cold.objectives, warm.objectives, "{strategy:?}");
+        let stats = e.view_cache().stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "{strategy:?}");
+        // The hit rebuilt nothing: every column came from the bank.
+        assert_eq!(stats.columns_built, 3, "{strategy:?}");
+        assert_eq!(stats.columns_reused, 3, "{strategy:?}");
+    }
+}
+
+#[test]
+fn cached_engines_agree_with_uncached_engines() {
+    let cached = engine(1_500, 3, EngineConfig::default().with_seed(3));
+    let uncached = engine(
+        1_500,
+        3,
+        EngineConfig::default().with_seed(3).with_cache(false),
+    );
+    let a = cached.execute_paql(MEAL_QUERY).unwrap();
+    let b = cached.execute_paql(MEAL_QUERY).unwrap(); // warm
+    let c = uncached.execute_paql(MEAL_QUERY).unwrap();
+    assert_eq!(a.best(), c.best());
+    assert_eq!(b.best(), c.best());
+    assert_eq!(uncached.view_cache().stats().misses, 0, "cache disabled");
+    assert!(uncached.view_cache().is_empty());
+}
+
+#[test]
+fn mutating_the_relation_never_serves_a_stale_view() {
+    // The regression the cache must not introduce: solve, mutate the base
+    // table, solve again — the second answer must reflect the new contents.
+    let mut e = engine(60, 5, EngineConfig::with_strategy(Strategy::Ilp));
+    let before = e.execute_paql(SMALL_QUERY).unwrap();
+    let stale_objective = before.best_objective().unwrap();
+
+    let id = e.catalog().table("recipes").unwrap().len() as i64;
+    e.catalog_mut()
+        .table_mut("recipes")
+        .unwrap()
+        .insert(super_recipe(id))
+        .unwrap();
+
+    let after = e.execute_paql(SMALL_QUERY).unwrap();
+    let fresh_objective = after.best_objective().unwrap();
+    assert!(
+        fresh_objective > stale_objective + 100.0,
+        "stale view served: {fresh_objective} vs {stale_objective}"
+    );
+    // The engineered recipe is in the winning package.
+    let best = after.best().unwrap();
+    assert!(best.tuple_ids().iter().any(|t| t.index() == id as usize));
+    // Both solves were misses — the fingerprint moved, nothing could hit.
+    let stats = e.view_cache().stats();
+    assert_eq!((stats.misses, stats.hits), (2, 0));
+
+    // And a from-scratch engine over the same mutated catalog agrees.
+    let fresh = PackageEngine::new(e.catalog().clone());
+    let oracle = fresh.execute_paql(SMALL_QUERY).unwrap();
+    assert_eq!(after.best(), oracle.best());
+}
+
+#[test]
+fn re_registering_a_relation_invalidates_too() {
+    let mut e = engine(80, 7, EngineConfig::with_strategy(Strategy::Ilp));
+    let before = e.execute_paql(SMALL_QUERY).unwrap();
+    // Replace the relation wholesale with a differently-seeded table.
+    e.catalog_mut().register(recipes(80, Seed(8)));
+    let after = e.execute_paql(SMALL_QUERY).unwrap();
+    let fresh = PackageEngine::new(e.catalog().clone());
+    assert_eq!(
+        after.best_objective(),
+        fresh.execute_paql(SMALL_QUERY).unwrap().best_objective()
+    );
+    // (The two seeds may coincidentally share an objective; the strong
+    // assertion is agreement with the oracle plus the forced miss below.)
+    assert_eq!(e.view_cache().stats().hits, 0);
+    assert_eq!(e.view_cache().stats().misses, 2);
+    let _ = before;
+}
+
+#[test]
+fn partitioning_is_computed_once_across_repeated_queries() {
+    let e = engine(1_000, 9, EngineConfig::default().with_seed(9));
+    let query = paql::parse(MEAL_QUERY).unwrap();
+    let spec_a = e.build_spec(&query).unwrap();
+    let spec_b = e.build_spec(&query).unwrap();
+    let pa = spec_a
+        .view()
+        .partitioning(64, 9, &Budget::unlimited())
+        .unwrap();
+    let pb = spec_b
+        .view()
+        .partitioning(64, 9, &Budget::unlimited())
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(&pa, &pb),
+        "second spec re-partitioned instead of pulling the memo"
+    );
+    assert_eq!(pa.len(), pb.len());
+}
+
+#[test]
+fn engines_can_share_a_cache() {
+    let cache = ViewCache::new(8);
+    let mut catalog = Catalog::new();
+    catalog.register(recipes(400, Seed(13)));
+    let a =
+        PackageEngine::with_shared_cache(catalog.clone(), EngineConfig::default(), cache.clone());
+    let b = PackageEngine::with_shared_cache(catalog, EngineConfig::default(), cache.clone());
+    let ra = a.execute_paql(MEAL_QUERY).unwrap();
+    let rb = b.execute_paql(MEAL_QUERY).unwrap(); // warm, via a's work
+    assert_eq!(ra.best(), rb.best());
+    assert_eq!((cache.stats().misses, cache.stats().hits), (1, 1));
+    // Cloned engines share too (a clone is another session over the cache).
+    let c = a.clone();
+    c.execute_paql(MEAL_QUERY).unwrap();
+    assert_eq!(cache.stats().hits, 2);
+}
+
+#[test]
+fn explicit_invalidation_reclaims_entries() {
+    let e = engine(200, 17, EngineConfig::default());
+    e.execute_paql(MEAL_QUERY).unwrap();
+    assert_eq!(e.view_cache().len(), 1);
+    e.invalidate_relation("recipes");
+    assert!(e.view_cache().is_empty());
+    // Next solve rebuilds and re-banks; correctness is unaffected.
+    let again = e.execute_paql(MEAL_QUERY).unwrap();
+    assert!(!again.is_empty());
+    assert_eq!(e.view_cache().len(), 1);
+}
+
+#[test]
+fn term_subset_queries_extend_rather_than_rebuild() {
+    let e = engine(500, 19, EngineConfig::default());
+    // Prime with a narrower query (2 terms), then run the meal query (3
+    // terms): only SUM(protein) should be materialized the second time.
+    e.execute_paql(
+        "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
+         SUCH THAT COUNT(*) = 3 AND SUM(P.calories) BETWEEN 2000 AND 2500",
+    )
+    .unwrap();
+    e.execute_paql(MEAL_QUERY).unwrap();
+    let stats = e.view_cache().stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+    assert_eq!(stats.columns_reused, 2);
+    assert_eq!(stats.columns_built, 3, "2 on the miss + 1 extension");
+}

@@ -306,7 +306,10 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Column(c) => write!(f, "{c}"),
-            Expr::Literal(Value::Text(s)) => write!(f, "'{s}'"),
+            // Embedded quotes are doubled (the SQL escape the lexers accept),
+            // so the rendering is unambiguous — distinct literals can never
+            // print alike. The engine's view cache keys on this rendering.
+            Expr::Literal(Value::Text(s)) => write!(f, "'{}'", s.replace('\'', "''")),
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
             Expr::Unary {
@@ -349,8 +352,9 @@ impl fmt::Display for Expr {
                 negated,
             } => write!(
                 f,
-                "({expr} {}LIKE '{pattern}')",
-                if *negated { "NOT " } else { "" }
+                "({expr} {}LIKE '{}')",
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
             ),
         }
     }
@@ -366,6 +370,36 @@ mod tests {
             .eq(Expr::lit("free"))
             .and(Expr::col("calories").lt_eq(Expr::lit(500)));
         assert_eq!(e.to_string(), "((gluten = 'free') AND (calories <= 500))");
+    }
+
+    #[test]
+    fn display_escapes_embedded_quotes_unambiguously() {
+        // A single literal containing `a', 'b` must not render like the
+        // two-element list ('a', 'b') — cache keys depend on it.
+        let tricky = Expr::col("x").eq(Expr::lit("a', 'b"));
+        assert_eq!(tricky.to_string(), "(x = 'a'', ''b')");
+        let list = Expr::InList {
+            expr: Box::new(Expr::col("x")),
+            list: vec![Expr::lit("a"), Expr::lit("b")],
+            negated: false,
+        };
+        assert_eq!(list.to_string(), "(x IN ('a', 'b'))");
+        assert_ne!(
+            Expr::InList {
+                expr: Box::new(Expr::col("x")),
+                list: vec![Expr::lit("a', 'b")],
+                negated: false,
+            }
+            .to_string(),
+            list.to_string()
+        );
+        // LIKE patterns escape the same way.
+        let like = Expr::Like {
+            expr: Box::new(Expr::col("x")),
+            pattern: "a'b%".into(),
+            negated: false,
+        };
+        assert_eq!(like.to_string(), "(x LIKE 'a''b%')");
     }
 
     #[test]

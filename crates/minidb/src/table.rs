@@ -1,11 +1,20 @@
 //! Tables: a schema plus an append-only vector of rows.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::DbError;
 use crate::schema::Schema;
 use crate::tuple::{Tuple, TupleId};
 use crate::DbResult;
+
+/// Source of content fingerprints: a process-wide counter, so no two
+/// distinct table states can ever share a stamp (see [`Table::fingerprint`]).
+static NEXT_FINGERPRINT: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_fingerprint() -> u64 {
+    NEXT_FINGERPRINT.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An in-memory, append-only table.
 ///
@@ -17,6 +26,7 @@ pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Tuple>,
+    fingerprint: u64,
 }
 
 impl Table {
@@ -26,7 +36,23 @@ impl Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            fingerprint: fresh_fingerprint(),
         }
+    }
+
+    /// A stamp identifying this table's current contents, for cache keying.
+    ///
+    /// Every mutation ([`Table::insert`] and friends) replaces the stamp with
+    /// a fresh process-wide unique value, so two `Table` values carry the
+    /// same fingerprint only when one is an (unmutated) clone of the other —
+    /// i.e. their rows are guaranteed identical. Derived data keyed by
+    /// fingerprint (the engine's view cache) therefore can never be served
+    /// stale: mutating a relation silently invalidates every cached entry
+    /// for it. The stamp is *not* content-addressed — reloading identical
+    /// rows into a new table yields a different fingerprint, which costs a
+    /// cache rebuild but never correctness.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Table name.
@@ -68,6 +94,7 @@ impl Table {
         }
         let id = TupleId(self.rows.len() as u32);
         self.rows.push(tuple);
+        self.fingerprint = fresh_fingerprint();
         Ok(id)
     }
 
@@ -228,6 +255,25 @@ mod tests {
             s.get(TupleId(0)).unwrap().values()[0],
             Value::Text("salad".into())
         );
+    }
+
+    #[test]
+    fn fingerprints_change_on_mutation_and_survive_clones() {
+        let mut t = recipes();
+        let before = t.fingerprint();
+        let clone = t.clone();
+        // An unmutated clone has identical contents, so it shares the stamp.
+        assert_eq!(clone.fingerprint(), before);
+        t.insert(tuple!("soup", 150.0, "free")).unwrap();
+        assert_ne!(t.fingerprint(), before, "mutation must refresh the stamp");
+        // Divergent mutations of clones never collide.
+        let mut a = t.clone();
+        let mut b = t.clone();
+        a.insert(tuple!("rice", 200.0, "free")).unwrap();
+        b.insert(tuple!("rice", 200.0, "free")).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Distinct tables are always distinct, even with identical rows.
+        assert_ne!(recipes().fingerprint(), recipes().fingerprint());
     }
 
     #[test]

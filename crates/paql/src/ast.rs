@@ -32,8 +32,11 @@ impl AggFunc {
     }
 
     /// True for the aggregates that are linear functions of tuple
-    /// multiplicities (COUNT and SUM); only these translate directly into ILP
-    /// constraints. AVG/MIN/MAX require the search-based strategies.
+    /// multiplicities (COUNT and SUM); only these translate directly into
+    /// ILP constraints. AVG is additionally *linearizable* when compared
+    /// against a constant (the engine multiplies through by COUNT); AVG vs
+    /// non-constants, AVG objectives and MIN/MAX require the search-based
+    /// strategies.
     pub fn is_linear(&self) -> bool {
         matches!(self, AggFunc::Count | AggFunc::Sum)
     }
