@@ -8,9 +8,9 @@
 //! cargo run --release -p pb-bench --bin harness -- e1 e3   # a subset
 //! ```
 //!
-//! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch` and
-//! `cache` run the PR-baseline experiments and write the corresponding
-//! `BENCH_*.json` files.
+//! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch`,
+//! `cache` and `parallel` run the PR-baseline experiments and write the
+//! corresponding `BENCH_*.json` files.
 
 use std::time::Instant;
 
@@ -79,6 +79,12 @@ fn main() {
         // Bit-identity of cache hits is deterministic (unlike the timing
         // verdicts), so a mismatch is a real regression and must fail CI.
         eprintln!("CACHE experiment: warm cache-hit results differ from cold results");
+        std::process::exit(1);
+    }
+    if want("parallel") && !parallel_scaling() {
+        // Chunk-order reductions make thread count result-invariant by
+        // construction; a mismatch is a real determinism regression.
+        eprintln!("PARALLEL experiment: parallel and sequential packages differ");
         std::process::exit(1);
     }
 }
@@ -513,6 +519,107 @@ fn cache_reuse() -> bool {
     match std::fs::write("BENCH_cache.json", &json) {
         Ok(()) => println!("\n(wrote BENCH_cache.json)\n"),
         Err(e) => println!("\n(could not write BENCH_cache.json: {e})\n"),
+    }
+    all_identical
+}
+
+/// PARALLEL — the chunked columnar layout's intra-solver fan-out on a
+/// threads × n grid over the meal-plan scenario. Two claims under test:
+///
+/// 1. **Determinism** (the gate): the same query + seed yields *bit-identical*
+///    packages and objectives at every `num_threads` — chunk boundaries are
+///    fixed and reductions combine in chunk order, so threads may change
+///    wall-clock only. Any mismatch makes the caller exit nonzero.
+/// 2. **Scaling** (informational): on multi-core hosts the data-parallel
+///    scans (partitioning spreads, repair, neighbourhood) shorten; on a
+///    single-core host the chunked path must simply not regress.
+///
+/// Writes `BENCH_parallel.json` as the machine-readable baseline. Returns
+/// false when any parallel run's package differs from the sequential
+/// reference.
+fn parallel_scaling() -> bool {
+    use packagebuilder::config::default_num_threads;
+    let mut all_identical = true;
+    println!("## PARALLEL — chunked fan-out across threads × n (meal plan)\n");
+    let widths = [6, 16, 8, 12, 14, 12];
+    print_header(
+        &[
+            "n",
+            "strategy",
+            "threads",
+            "time (ms)",
+            "objective",
+            "identical",
+        ],
+        &widths,
+    );
+    let host = default_num_threads();
+    let mut thread_grid: Vec<usize> = vec![1, 2];
+    if host > 2 {
+        thread_grid.push(host);
+    }
+    let mut json_rows: Vec<String> = Vec::new();
+    for n in [2_000usize, 8_000, 20_000] {
+        for (label, strategy) in [
+            ("sketch-refine", Strategy::SketchRefine),
+            ("local-search", Strategy::LocalSearch),
+        ] {
+            // The sequential run is the reference every parallel run must
+            // reproduce bit for bit.
+            let mut reference: Option<(Option<f64>, Option<Package>)> = None;
+            for &threads in &thread_grid {
+                let mut engine = recipe_engine(n, strategy);
+                engine.config_mut().num_threads = threads;
+                let t0 = Instant::now();
+                let r = run(&engine, MEAL_PLAN_QUERY);
+                let elapsed = t0.elapsed();
+                let outcome = (r.best_objective(), r.best().cloned());
+                let identical = match &reference {
+                    None => {
+                        reference = Some(outcome.clone());
+                        true
+                    }
+                    Some(reference) => *reference == outcome,
+                };
+                all_identical &= identical;
+                print_row(
+                    &[
+                        n.to_string(),
+                        label.into(),
+                        threads.to_string(),
+                        ms(elapsed),
+                        outcome
+                            .0
+                            .map(|o| format!("{o:.1}"))
+                            .unwrap_or_else(|| "-".into()),
+                        if identical {
+                            "identical".into()
+                        } else {
+                            "DIFFERENT (!)".into()
+                        },
+                    ],
+                    &widths,
+                );
+                json_rows.push(format!(
+                    "    {{\"n\": {n}, \"strategy\": \"{label}\", \"threads\": {threads}, \
+                     \"ms\": {:.3}, \"objective\": {}, \"identical\": {identical}}}",
+                    elapsed.as_secs_f64() * 1e3,
+                    outcome
+                        .0
+                        .map(|o| format!("{o:.3}"))
+                        .unwrap_or_else(|| "null".into()),
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"parallel_scaling\",\n  \"query\": \"meal_plan\",\n  \
+         \"host_threads\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_parallel.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_parallel.json: {e})\n"),
     }
     all_identical
 }

@@ -67,8 +67,9 @@ use minidb::{Expr, Table, TupleId};
 use paql::{AggCall, PaqlQuery};
 
 use crate::budget::Budget;
+use crate::par::ParExec;
 use crate::partition::{partition_view_budgeted, Partitioning};
-use crate::spec::base_candidates;
+use crate::spec::base_candidates_par;
 use crate::view::{CandidateView, TermColumn};
 use crate::PbResult;
 
@@ -112,15 +113,19 @@ impl PartitionMemo {
     }
 
     /// The memoized partitioning for `(max_partition_size, seed)`, computing
-    /// (and memoizing) it on first request. Returns `None` — memoizing
-    /// nothing — when `budget` expires mid-computation, exactly like
-    /// [`partition_view_budgeted`].
+    /// (and memoizing) it on first request — with the k-d spread scans fanned
+    /// out over `par`. Returns `None` — memoizing nothing — when `budget`
+    /// expires mid-computation, exactly like [`partition_view_budgeted`].
+    /// The thread count never changes the partitioning (chunk-ordered
+    /// reductions), so memo entries computed at different `par` values are
+    /// interchangeable.
     pub fn get_or_compute(
         &self,
         view: &CandidateView,
         max_partition_size: usize,
         seed: u64,
         budget: &Budget,
+        par: ParExec,
     ) -> Option<Arc<Partitioning>> {
         let key = (max_partition_size, seed);
         if let Some(p) = self.lock().get(&key) {
@@ -134,6 +139,7 @@ impl PartitionMemo {
             max_partition_size,
             seed,
             budget,
+            par,
         )?);
         Some(self.lock().entry(key).or_insert(fresh).clone())
     }
@@ -273,6 +279,19 @@ impl ViewCache {
     /// sharing a cache do not serialize their (potentially expensive) cold
     /// builds behind one another.
     pub fn view_for(&self, query: &PaqlQuery, table: &Table) -> PbResult<CandidateView> {
+        self.view_for_par(query, table, ParExec::sequential())
+    }
+
+    /// [`ViewCache::view_for`] with candidate evaluation and cache-miss
+    /// column materialization fanned out over `par` (the engine passes its
+    /// configured executor here). Thread count never changes the resulting
+    /// view, so warm hits primed at any `par` serve every other.
+    pub fn view_for_par(
+        &self,
+        query: &PaqlQuery,
+        table: &Table,
+        par: ParExec,
+    ) -> PbResult<CandidateView> {
         let key = ViewKey::of(table, query.where_clause.as_ref());
 
         // Phase 1 — snapshot the bank (if any) under the lock. Column
@@ -283,13 +302,14 @@ impl ViewCache {
             if inner.capacity == 0 {
                 // Disabled: behave exactly like the uncached path.
                 drop(inner);
-                let candidates = base_candidates(table, query.where_clause.as_ref())?;
-                return CandidateView::build(
+                let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
+                return CandidateView::build_par(
                     table,
                     candidates,
                     query.max_multiplicity(),
                     query.such_that.clone(),
                     query.objective.clone(),
+                    par,
                 );
             }
             match inner.entries.iter().position(|(k, _)| *k == key) {
@@ -317,7 +337,7 @@ impl ViewCache {
         let (mut view, reused) = match snapshot {
             Some((candidates, stats, term_keys, columns)) => {
                 let mut reused = 0u64;
-                let view = CandidateView::assemble(
+                let view = CandidateView::assemble_par(
                     table,
                     candidates,
                     stats,
@@ -332,17 +352,19 @@ impl ViewCache {
                         reused += col.is_some() as u64;
                         col
                     },
+                    par,
                 )?;
                 (view, reused)
             }
             None => {
-                let candidates = base_candidates(table, query.where_clause.as_ref())?;
-                let view = CandidateView::build(
+                let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
+                let view = CandidateView::build_par(
                     table,
                     candidates,
                     query.max_multiplicity(),
                     query.such_that.clone(),
                     query.objective.clone(),
+                    par,
                 )?;
                 (view, 0)
             }
@@ -476,6 +498,7 @@ fn adopt_columns(bank: &mut TermBank, view: &CandidateView) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::base_candidates;
     use datagen::{recipes, Seed};
     use paql::parse;
 
@@ -498,8 +521,8 @@ mod tests {
         assert_eq!(a.candidates(), b.candidates());
         assert_eq!(a.terms().len(), b.terms().len());
         for (x, y) in a.terms().iter().zip(b.terms()) {
-            assert_eq!(x.coeffs, y.coeffs);
-            assert_eq!(x.included, y.included);
+            assert_eq!(x.coeffs(), y.coeffs());
+            assert_eq!(x.included(), y.included());
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
@@ -559,8 +582,8 @@ mod tests {
         assert_eq!(warm.candidates(), cold.candidates());
         assert_eq!(warm.term_keys(), cold.term_keys());
         for (w, c) in warm.terms().iter().zip(cold.terms()) {
-            assert_eq!(w.coeffs, c.coeffs);
-            assert_eq!(w.included, c.included);
+            assert_eq!(w.coeffs(), c.coeffs());
+            assert_eq!(w.included(), c.included());
         }
     }
 
@@ -594,11 +617,17 @@ mod tests {
         let t = recipes(500, Seed(4));
         let cache = ViewCache::new(4);
         let (a, b) = view_pair(&cache, &t, MEAL);
-        let pa = a.partitioning(64, 7, &Budget::unlimited()).unwrap();
-        let pb = b.partitioning(64, 7, &Budget::unlimited()).unwrap();
+        let pa = a
+            .partitioning(64, 7, &Budget::unlimited(), ParExec::sequential())
+            .unwrap();
+        let pb = b
+            .partitioning(64, 7, &Budget::unlimited(), ParExec::sequential())
+            .unwrap();
         assert!(Arc::ptr_eq(&pa, &pb), "partitioning computed twice");
         // A different (size, seed) is a different memo slot, not a clash.
-        let pc = b.partitioning(32, 7, &Budget::unlimited()).unwrap();
+        let pc = b
+            .partitioning(32, 7, &Budget::unlimited(), ParExec::sequential())
+            .unwrap();
         assert!(!Arc::ptr_eq(&pa, &pc));
     }
 

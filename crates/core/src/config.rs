@@ -110,10 +110,64 @@ pub struct EngineConfig {
     /// retains (least-recently-used eviction). 0 disables storage entirely;
     /// the capacity is read when the engine is constructed.
     pub view_cache_capacity: usize,
+    /// The engine's **shared thread budget**: how many threads one query
+    /// evaluation may use in total, across both portfolio racing *and*
+    /// intra-solver chunk fan-out (view materialization, partitioning,
+    /// repair and neighbourhood scans — see [`crate::par`]). The portfolio
+    /// divides this budget among its racing workers
+    /// ([`crate::par::ParExec::split`]), so workers and their inner loops
+    /// never oversubscribe the host together.
+    ///
+    /// Defaults to [`default_num_threads`]:
+    /// `std::thread::available_parallelism()`, overridable with the
+    /// `PB_THREADS` environment variable. Results are bit-identical at
+    /// every value — this knob trades wall-clock for cores, never answers.
+    pub num_threads: usize,
+}
+
+/// The engine's default thread budget: the `PB_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// `std::thread::available_parallelism()` (1 when even that is unknown).
+///
+/// `PB_THREADS=1` forces fully sequential evaluation — the CI matrix runs
+/// the whole test suite that way to pin the guarantee that thread count
+/// never changes results.
+pub fn default_num_threads() -> usize {
+    match std::env::var("PB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(t) if t >= 1 => t,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The default portfolio worker set for a host with `num_threads` threads.
+///
+/// Racing four workers on a one-core host buys little beyond
+/// deadline-bounding while quadrupling the work the core time-shares, so the
+/// default race is sized from the thread budget. The floor is the trio that
+/// covers every regime — [`Strategy::Ilp`] (provable optimality, and the
+/// early-cancel that ends an unlimited-budget race), [`Strategy::SketchRefine`]
+/// (near-optimal answers inside tight deadlines, where the ILP cannot
+/// finish) and [`Strategy::Greedy`] (the anytime worker that can evaluate
+/// *every* query, so the race never comes home empty-handed) —
+/// [`Strategy::LocalSearch`], the most CPU-hungry heuristic and redundant
+/// with greedy as a feasibility floor, only joins at four threads and up.
+/// [`Strategy::Greedy`] is always the closer.
+pub fn default_portfolio_workers(num_threads: usize) -> Vec<Strategy> {
+    let specialists = [Strategy::Ilp, Strategy::SketchRefine, Strategy::LocalSearch];
+    let slots = num_threads.clamp(3, specialists.len() + 1);
+    let mut workers: Vec<Strategy> = specialists.into_iter().take(slots - 1).collect();
+    workers.push(Strategy::Greedy);
+    workers
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
+        let num_threads = default_num_threads();
         EngineConfig {
             strategy: Strategy::Auto,
             num_packages: 1,
@@ -126,16 +180,12 @@ impl Default for EngineConfig {
             seed: 42,
             time_budget: None,
             portfolio_threshold: 256,
-            portfolio_workers: vec![
-                Strategy::Ilp,
-                Strategy::SketchRefine,
-                Strategy::LocalSearch,
-                Strategy::Greedy,
-            ],
+            portfolio_workers: default_portfolio_workers(num_threads),
             sketch_partition_size: 64,
             sketch_threshold: 4096,
             cache: true,
             view_cache_capacity: crate::cache::DEFAULT_VIEW_CACHE_CAPACITY,
+            num_threads,
         }
     }
 }
@@ -180,6 +230,18 @@ impl EngineConfig {
         self.view_cache_capacity = capacity;
         self
     }
+
+    /// Sets the shared thread budget (clamped to at least 1) and resizes the
+    /// default portfolio worker set to match. A worker set the caller
+    /// already customized is left alone.
+    pub fn with_num_threads(mut self, threads: usize) -> Self {
+        let threads = threads.max(1);
+        if self.portfolio_workers == default_portfolio_workers(self.num_threads) {
+            self.portfolio_workers = default_portfolio_workers(threads);
+        }
+        self.num_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +254,55 @@ mod tests {
         assert_eq!(c.strategy, Strategy::Auto);
         assert_eq!(c.num_packages, 1);
         assert!(c.enumeration_threshold >= 10);
+        assert!(c.num_threads >= 1);
+        assert_eq!(
+            c.portfolio_workers,
+            default_portfolio_workers(c.num_threads)
+        );
+    }
+
+    #[test]
+    fn portfolio_sizing_tracks_the_thread_budget() {
+        // Always at least exact + greedy; greedy always closes the set.
+        for t in 0usize..10 {
+            let workers = default_portfolio_workers(t);
+            assert!(workers.len() >= 3, "t={t}");
+            assert!(workers.len() <= 4, "t={t}");
+            assert_eq!(*workers.last().unwrap(), Strategy::Greedy, "t={t}");
+            assert_eq!(workers[0], Strategy::Ilp, "t={t}");
+        }
+        assert_eq!(
+            default_portfolio_workers(1),
+            vec![Strategy::Ilp, Strategy::SketchRefine, Strategy::Greedy]
+        );
+        assert_eq!(
+            default_portfolio_workers(3),
+            vec![Strategy::Ilp, Strategy::SketchRefine, Strategy::Greedy]
+        );
+        assert_eq!(
+            default_portfolio_workers(8),
+            vec![
+                Strategy::Ilp,
+                Strategy::SketchRefine,
+                Strategy::LocalSearch,
+                Strategy::Greedy
+            ]
+        );
+    }
+
+    #[test]
+    fn with_num_threads_resizes_only_the_default_worker_set() {
+        let c = EngineConfig::default().with_num_threads(1);
+        assert_eq!(c.num_threads, 1);
+        assert_eq!(c.portfolio_workers, default_portfolio_workers(1));
+        // A customized worker set survives a thread-budget change.
+        let custom = EngineConfig {
+            portfolio_workers: vec![Strategy::LocalSearch],
+            ..EngineConfig::default()
+        }
+        .with_num_threads(8);
+        assert_eq!(custom.portfolio_workers, vec![Strategy::LocalSearch]);
+        assert_eq!(EngineConfig::default().with_num_threads(0).num_threads, 1);
     }
 
     #[test]

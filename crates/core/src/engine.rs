@@ -155,10 +155,11 @@ impl PackageEngine {
     pub fn build_spec<'a>(&'a self, query: &PaqlQuery) -> PbResult<PackageSpec<'a>> {
         let analyzed = self.analyze(query)?;
         let table = self.relation(&analyzed.query)?;
+        let par = crate::par::ParExec::new(self.config.num_threads);
         if self.config.cache {
-            PackageSpec::build_cached(&analyzed, table, &self.cache)
+            PackageSpec::build_cached_par(&analyzed, table, &self.cache, par)
         } else {
-            PackageSpec::build(&analyzed, table)
+            PackageSpec::build_par(&analyzed, table, par)
         }
     }
 

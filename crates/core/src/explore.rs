@@ -192,7 +192,12 @@ impl ExplorationSession {
                     ),
                 });
             } else if texts.len() == 1 {
-                let v = texts.iter().next().expect("non-empty set");
+                // len() == 1 guarantees an element; if that invariant ever
+                // breaks, report it (PR-2 convention) rather than panicking
+                // a user-facing suggestion pass.
+                let v = texts.iter().next().ok_or_else(|| {
+                    PbError::Internal("singleton text set yielded no element".into())
+                })?;
                 out.push(Suggestion {
                     kind: crate::suggest::SuggestionKind::BaseConstraint,
                     paql: format!("{} = '{}'", col.name, v),

@@ -10,6 +10,7 @@ use rand::Rng;
 use crate::budget::Budget;
 use crate::ilp::linearize_objective;
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::pruning::derive_bounds;
 use crate::view::{CandidateView, ViewState};
 
@@ -86,33 +87,68 @@ pub fn starting_package(
 
 /// Feasibility-repair pass: accept single add/drop moves while they strictly
 /// reduce the violation (delta-evaluated on the view's columns). Each pass
-/// scans the whole candidate set, so the budget is checked per pass and
-/// periodically within one; on expiry the state is left at its best-so-far.
+/// scans the whole candidate set in fixed-width chunks fanned out over
+/// `par`; per-chunk local bests combine in chunk order (first strictly
+/// better move wins, exactly the sequential scan's tie-breaking), so the
+/// repair trajectory is bit-identical at every thread count. The budget is
+/// checked per chunk, not per element: a chunk that observes expiry marks
+/// the pass interrupted and the state is left at its best-so-far.
 /// Returns `(evaluations, moves)` for the caller's stats.
-pub(crate) fn repair_to_feasibility(state: &mut ViewState<'_>, budget: &Budget) -> (u64, u64) {
+pub(crate) fn repair_to_feasibility(
+    state: &mut ViewState<'_>,
+    budget: &Budget,
+    par: ParExec,
+) -> (u64, u64) {
     let view = state.view();
+    let n = view.candidate_count();
+    let max_mult = view.max_multiplicity() as i64;
     let mut evaluations = 0u64;
     let mut moves = 0u64;
     let mut violation = state.violation();
-    'repair: while violation > 0.0 && !budget.expired() {
+    while violation > 0.0 && !budget.expired() {
+        // One pass: chunk-local best move (`None` chunk = expired marker).
+        let chunk_bests = {
+            let snapshot: &ViewState<'_> = state;
+            par.run_chunks(n, |_, range| {
+                if budget.expired() {
+                    return None;
+                }
+                let mut evals = 0u64;
+                let mut best: Option<(f64, usize, i64)> = None;
+                for idx in range {
+                    for delta in [1i64, -1] {
+                        let mult = snapshot.multiplicity(idx) as i64;
+                        if mult + delta < 0 || mult + delta > max_mult {
+                            continue;
+                        }
+                        evals += 1;
+                        let (v, _) = snapshot.score_with(&[(idx, delta)]);
+                        if v + 1e-9 < best.map_or(violation, |(b, _, _)| b) {
+                            best = Some((v, idx, delta));
+                        }
+                    }
+                }
+                Some((evals, best))
+            })
+        };
+        let mut expired = false;
         let mut best_change: Option<(usize, i64)> = None;
         let mut best_violation = violation;
-        for idx in 0..view.candidate_count() {
-            if idx.is_multiple_of(256) && idx > 0 && budget.expired() {
-                break 'repair;
-            }
-            for delta in [1i64, -1] {
-                let mult = state.multiplicity(idx) as i64;
-                if mult + delta < 0 || mult + delta > view.max_multiplicity() as i64 {
-                    continue;
-                }
-                evaluations += 1;
-                let (v, _) = state.score_with(&[(idx, delta)]);
+        for chunk in chunk_bests {
+            let Some((evals, best)) = chunk else {
+                expired = true;
+                break;
+            };
+            evaluations += evals;
+            if let Some((v, idx, delta)) = best {
                 if v + 1e-9 < best_violation {
                     best_violation = v;
                     best_change = Some((idx, delta));
                 }
             }
+        }
+        if expired {
+            break;
         }
         match best_change {
             Some((idx, delta)) => {

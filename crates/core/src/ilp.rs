@@ -141,7 +141,7 @@ pub fn linearize_expr(
             }
             debug_assert!(matches!(term.func, AggFunc::Count | AggFunc::Sum));
             Ok(LinearAgg {
-                coeffs: term.coeffs.clone(),
+                coeffs: term.coeffs().to_vec(),
                 constant: 0.0,
             })
         }
@@ -227,13 +227,13 @@ fn linearize_avg_comparison(
 ) -> Result<Vec<LinearConstraint>, NonLinearReason> {
     let term = &view.terms()[term_id];
     let main: Vec<f64> = term
-        .coeffs
+        .coeffs()
         .iter()
-        .zip(&term.included)
+        .zip(term.included())
         .map(|(&c, &inc)| if inc { c - bound } else { 0.0 })
         .collect();
     let support: Vec<f64> = term
-        .included
+        .included()
         .iter()
         .map(|&inc| if inc { 1.0 } else { 0.0 })
         .collect();

@@ -44,6 +44,18 @@
 //!   picked partitions one small sub-ILP at a time (with the SketchRefine
 //!   paper's failed-partition backtracking and a greedy anytime fallback) —
 //!   near-optimal packages at a fraction of the monolithic ILP's latency.
+//! * **[`par`] — chunked data parallelism.** Term columns are dense but
+//!   logically chunked at a fixed 4096-element width
+//!   ([`view::TermColumn`], with per-chunk sum/min/max metadata that also
+//!   feeds [`pruning`]); [`par::ParExec`] — a scoped-`std::thread` chunk
+//!   executor with no external dependencies — fans every candidate scan
+//!   (view materialization, partitioning spreads, greedy repair, the local
+//!   search's neighbourhood) out over one engine-wide thread budget
+//!   ([`config::EngineConfig::num_threads`], shared with the portfolio via
+//!   [`par::ParExec::split`]). Fixed chunk boundaries + chunk-order
+//!   reductions make results **bit-identical at every thread count**, and
+//!   budgets are checked per chunk so the anytime contract survives the
+//!   fan-out.
 //! * **[`cache`] — cross-query reuse.** Real workloads repeat the same
 //!   relation + base predicate with varying constraints; the engine's
 //!   [`cache::ViewCache`] banks materialized term columns, candidate
@@ -95,6 +107,7 @@ pub mod greedy;
 pub mod ilp;
 pub mod local_search;
 pub mod package;
+pub mod par;
 pub mod partition;
 pub mod portfolio;
 pub mod pruning;
@@ -112,6 +125,7 @@ pub use config::{EngineConfig, Strategy};
 pub use engine::{PackageEngine, QueryPlan};
 pub use error::PbError;
 pub use package::Package;
+pub use par::ParExec;
 pub use portfolio::PortfolioSolver;
 pub use result::{EvalStats, PackageResult, StrategyUsed};
 pub use sketch_refine::SketchRefineSolver;

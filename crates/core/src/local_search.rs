@@ -32,6 +32,7 @@ use crate::budget::Budget;
 use crate::error::PbError;
 use crate::greedy::{random_cardinality, starting_package, StartHeuristic};
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::result::{EvalStats, StrategyUsed};
 use crate::view::{CandidateView, ViewState};
 use crate::PbResult;
@@ -53,6 +54,10 @@ pub struct LocalSearchOptions {
     /// Cooperative wall-clock budget; on expiry the search stops scanning
     /// and returns the best packages recorded so far.
     pub budget: Budget,
+    /// Chunk fan-out executor for the neighbourhood scans (see
+    /// [`crate::par`]); the search's accepted-move trajectory is
+    /// bit-identical at every thread count.
+    pub par: ParExec,
 }
 
 impl Default for LocalSearchOptions {
@@ -64,6 +69,7 @@ impl Default for LocalSearchOptions {
             seed: 42,
             keep: 1,
             budget: Budget::unlimited(),
+            par: ParExec::sequential(),
         }
     }
 }
@@ -121,7 +127,7 @@ pub fn local_search(
                 break;
             }
             let (neighbour, neighbour_score, evals) =
-                best_neighbour(&state, current_score, opts.k, direction, budget);
+                best_neighbour(&state, current_score, opts.k, direction, budget, opts.par);
             evaluations += evals;
             match neighbour {
                 Some(changes) if lex_better(neighbour_score, current_score, direction) => {
@@ -216,17 +222,29 @@ fn move_is_legal(state: &ViewState<'_>, changes: &[(usize, i64)]) -> bool {
     true
 }
 
+/// One chunk's scan result: `None` when the chunk observed budget expiry and
+/// skipped; otherwise the neighbour evaluations performed plus the chunk's
+/// best move strictly better than the incoming score bar.
+type ChunkScan = Option<(u64, Option<((f64, Option<f64>), Move)>)>;
+
 /// Finds the best move in the k-replacement neighbourhood (plus add/remove
 /// moves when the cardinality is allowed to change). Every neighbour is
 /// scored through the view's delta evaluation — no package clones, no
-/// re-aggregation. Returns the best move, its score and how many neighbours
-/// were evaluated.
+/// re-aggregation — and the scans fan out over `par` in fixed-width chunks
+/// of the (member × candidate) move space. Per-chunk local bests merge in
+/// chunk order with strict improvement, which reproduces the sequential
+/// scan's "earliest occurrence of the optimum wins" tie-breaking exactly,
+/// so the selected move is bit-identical at every thread count. The budget
+/// is checked per chunk (not per element); an expired scan returns the best
+/// move seen so far. Returns the best move, its score and how many
+/// neighbours were evaluated.
 fn best_neighbour(
     state: &ViewState<'_>,
     current_score: (f64, Option<f64>),
     k: usize,
     direction: ObjectiveDirection,
     budget: &Budget,
+    par: ParExec,
 ) -> (Option<Move>, (f64, Option<f64>), u64) {
     let view = state.view();
     let n = view.candidate_count();
@@ -236,41 +254,72 @@ fn best_neighbour(
 
     let members: Vec<usize> = state.member_indices().collect();
 
-    let consider = |changes: &[(usize, i64)],
-                    best: &mut Option<Move>,
-                    best_score: &mut (f64, Option<f64>),
-                    evaluations: &mut u64| {
-        *evaluations += 1;
-        let s = state.score_with(changes);
-        if lex_better(s, *best_score, direction) {
-            *best_score = s;
-            *best = Some(changes.to_vec());
+    // Folds one scan's chunk results (in chunk order) into the running best;
+    // returns true when some chunk observed expiry, i.e. the caller should
+    // return its best-so-far immediately.
+    let merge = |results: Vec<ChunkScan>,
+                 best: &mut Option<Move>,
+                 best_score: &mut (f64, Option<f64>),
+                 evaluations: &mut u64|
+     -> bool {
+        for chunk in results {
+            let Some((evals, found)) = chunk else {
+                return true;
+            };
+            *evaluations += evals;
+            if let Some((score, mv)) = found {
+                if lex_better(score, *best_score, direction) {
+                    *best_score = score;
+                    *best = Some(mv);
+                }
+            }
         }
+        false
     };
 
-    // The neighbourhood scan is the hot loop of the whole strategy, so the
-    // deadline is checked between inner scans (each O(n) with O(#terms)
-    // deltas); an expired scan returns the best move seen so far.
-    // Single-tuple replacements (k = 1), always explored.
-    for &out in &members {
-        for inn in 0..n {
-            if inn.is_multiple_of(256) && budget.expired() {
-                return (best, best_score, evaluations);
+    // Single-tuple replacements (k = 1), always explored: the flattened
+    // (outgoing member × incoming candidate) pair space, pair
+    // `p = (members[p / n], p % n)`, walked chunk by chunk without a
+    // division per pair.
+    if !members.is_empty() && n > 0 {
+        let results = par.run_chunks(members.len() * n, |_, range| -> ChunkScan {
+            if budget.expired() {
+                return None;
             }
-            if inn == out {
-                continue;
+            let bar = best_score;
+            let mut evals = 0u64;
+            let mut found: Option<((f64, Option<f64>), Move)> = None;
+            let mut out_pos = range.start / n;
+            let mut inn = range.start % n;
+            for _ in range {
+                let out = members[out_pos];
+                if inn != out {
+                    let changes = [(out, -1), (inn, 1)];
+                    if move_is_legal(state, &changes) {
+                        evals += 1;
+                        let s = state.score_with(&changes);
+                        if lex_better(s, found.as_ref().map_or(bar, |(fs, _)| *fs), direction) {
+                            found = Some((s, changes.to_vec()));
+                        }
+                    }
+                }
+                inn += 1;
+                if inn == n {
+                    inn = 0;
+                    out_pos += 1;
+                }
             }
-            let changes = [(out, -1), (inn, 1)];
-            if !move_is_legal(state, &changes) {
-                continue;
-            }
-            consider(&changes, &mut best, &mut best_score, &mut evaluations);
+            Some((evals, found))
+        });
+        if merge(results, &mut best, &mut best_score, &mut evaluations) {
+            return (best, best_score, evaluations);
         }
     }
 
     // Pairwise replacements (k = 2): the paper's 2k-way join. The
-    // neighbourhood is |P|²·n² in the worst case, so it is only explored when
-    // requested and when no single replacement improves.
+    // neighbourhood is |P|²·n² in the worst case, so it is only explored
+    // when requested and when no single replacement improves (and stays
+    // sequential: the quadratic blow-up, not the scan, is its cost).
     if k >= 2 && best.is_none() && members.len() >= 2 {
         for (ai, &out_a) in members.iter().enumerate() {
             for &out_b in members.iter().skip(ai + 1) {
@@ -283,7 +332,12 @@ fn best_neighbour(
                         if !move_is_legal(state, &changes) {
                             continue;
                         }
-                        consider(&changes, &mut best, &mut best_score, &mut evaluations);
+                        evaluations += 1;
+                        let s = state.score_with(&changes);
+                        if lex_better(s, best_score, direction) {
+                            best_score = s;
+                            best = Some(changes.to_vec());
+                        }
                     }
                 }
             }
@@ -291,20 +345,40 @@ fn best_neighbour(
     }
 
     // Cardinality-changing moves: add one candidate / drop one member. These
-    // help when the starting cardinality guess was off.
-    for inn in 0..n {
-        if inn.is_multiple_of(256) && budget.expired() {
-            return (best, best_score, evaluations);
+    // help when the starting cardinality guess was off. The add scan is
+    // chunked like the swaps; the drop scan is |P| evaluations and stays
+    // inline.
+    let results = par.run_chunks(n, |_, range| -> ChunkScan {
+        if budget.expired() {
+            return None;
         }
-        let changes = [(inn, 1)];
-        if !move_is_legal(state, &changes) {
-            continue;
+        let bar = best_score;
+        let mut evals = 0u64;
+        let mut found: Option<((f64, Option<f64>), Move)> = None;
+        for inn in range {
+            let changes = [(inn, 1)];
+            if !move_is_legal(state, &changes) {
+                continue;
+            }
+            evals += 1;
+            let s = state.score_with(&changes);
+            if lex_better(s, found.as_ref().map_or(bar, |(fs, _)| *fs), direction) {
+                found = Some((s, changes.to_vec()));
+            }
         }
-        consider(&changes, &mut best, &mut best_score, &mut evaluations);
+        Some((evals, found))
+    });
+    if merge(results, &mut best, &mut best_score, &mut evaluations) {
+        return (best, best_score, evaluations);
     }
     for &out in &members {
         let changes = [(out, -1)];
-        consider(&changes, &mut best, &mut best_score, &mut evaluations);
+        evaluations += 1;
+        let s = state.score_with(&changes);
+        if lex_better(s, best_score, direction) {
+            best_score = s;
+            best = Some(changes.to_vec());
+        }
     }
 
     (best, best_score, evaluations)

@@ -1,0 +1,280 @@
+//! The data-parallel chunk executor behind the columnar core.
+//!
+//! Every hot loop in the engine — column materialization, the base-predicate
+//! candidate scan, the k-d partitioner's spread scans, greedy repair and the
+//! local search's neighbourhood scan — walks the candidate set in
+//! **fixed-width chunks** of [`CHUNK_WIDTH`] elements. [`ParExec`] fans those
+//! chunks out over scoped `std::thread` workers (no external dependencies)
+//! and hands the per-chunk results back **in chunk order**, which is the
+//! whole determinism story:
+//!
+//! * Chunk boundaries depend only on the element count, never on the thread
+//!   count, so every chunk computes exactly the same value no matter which
+//!   worker runs it or when.
+//! * Reductions combine per-chunk results left to right (chunk 0 first), so
+//!   floating-point rounding and tie-breaking ("first strictly better move
+//!   wins") are identical at every `num_threads` — including 1, where the
+//!   executor degrades to a plain sequential loop over the same chunks with
+//!   no thread machinery at all.
+//!
+//! Together these make solver results **bit-identical regardless of thread
+//! count**; `tests/parallel_determinism.rs` asserts exactly that across the
+//! datagen scenarios, and the `harness -- parallel` experiment gates it in
+//! release mode.
+//!
+//! The anytime contract survives fan-out because callers check their
+//! cooperative [`crate::budget::Budget`] **per chunk, not per element**: a
+//! chunk closure that observes expiry returns an "expired" marker instead of
+//! scanning, the chunk-order reduction stops at the first marker, and the
+//! solver returns its best-so-far result exactly as the sequential code
+//! would.
+//!
+//! Thread budgets are a shared resource: [`ParExec::split`] divides one
+//! executor's threads among concurrent consumers, which is how the portfolio
+//! race gives each racing worker `num_threads / workers` threads for its own
+//! intra-solver fan-out instead of oversubscribing the host.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Width of one column chunk, in elements. 4096 `f64`s = 32 KiB — two or
+/// eight L1 data caches' worth depending on the core, and a multiple of
+/// every SIMD vector width in sight, so per-chunk inner loops vectorize and
+/// stay cache-resident. The width is a fixed constant (never derived from
+/// the thread count): chunk boundaries are part of the determinism contract.
+pub const CHUNK_WIDTH: usize = 4096;
+
+/// Number of fixed-width chunks covering `n` elements (0 for an empty range).
+pub fn chunk_count(n: usize) -> usize {
+    n.div_ceil(CHUNK_WIDTH)
+}
+
+/// The half-open element range of chunk `c` over `n` elements.
+pub fn chunk_range(c: usize, n: usize) -> Range<usize> {
+    let start = c * CHUNK_WIDTH;
+    start..(start + CHUNK_WIDTH).min(n)
+}
+
+/// A chunk fan-out executor with a fixed thread budget.
+///
+/// Cheap to copy and to pass down through [`crate::solver::SolveOptions`];
+/// carries nothing but the thread count. With `threads() == 1` (or a single
+/// chunk of work) every operation runs inline on the caller's thread —
+/// sequential evaluation is the degenerate case of the same chunked code
+/// path, not a separate implementation, which is what keeps the two
+/// bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParExec {
+    threads: usize,
+}
+
+impl ParExec {
+    /// An executor that never spawns: all chunks run inline, in order.
+    pub fn sequential() -> Self {
+        ParExec { threads: 1 }
+    }
+
+    /// An executor with a thread budget of `threads` (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParExec {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Divides this executor's thread budget among `ways` concurrent
+    /// consumers (at least 1 each). The portfolio race uses this so `W`
+    /// racing workers and their intra-solver fan-out share one core budget:
+    /// each worker's executor gets `threads / W`.
+    pub fn split(self, ways: usize) -> ParExec {
+        ParExec::new(self.threads / ways.max(1))
+    }
+
+    /// Maps every [`CHUNK_WIDTH`]-wide chunk of `0..n` through `f`,
+    /// returning the results **in chunk order**.
+    ///
+    /// `f` is called with `(chunk_index, element_range)` exactly once per
+    /// chunk. Workers pull chunks from a shared counter, so the *assignment*
+    /// of chunks to threads is timing-dependent — but the result vector is
+    /// not: slot `c` always holds `f(c, chunk_range(c, n))`, and `f` must be
+    /// a pure function of its arguments (plus captured shared state) for the
+    /// executor's determinism guarantee to mean anything.
+    pub fn run_chunks<R, F>(self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        self.run_chunks_width(n, CHUNK_WIDTH, f)
+    }
+
+    /// [`ParExec::run_chunks`] with an explicit chunk width, for work whose
+    /// natural unit is larger than one element (e.g. one partition of the
+    /// sketch solver). The width must never be derived from the thread
+    /// count — fixed boundaries are what keep results thread-independent.
+    pub fn run_chunks_width<R, F>(self, n: usize, width: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+    {
+        let width = width.max(1);
+        let chunks = n.div_ceil(width);
+        let range = |c: usize| (c * width)..((c + 1) * width).min(n);
+        let workers = self.threads.min(chunks);
+        if workers <= 1 {
+            // Sequential degradation: same chunks, same order, no threads.
+            return (0..chunks).map(|c| f(c, range(c))).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, R)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    if tx.send((c, f(c, range(c)))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (c, r) in rx {
+                slots[c] = Some(r);
+            }
+        });
+        // Every chunk index was claimed exactly once and either sent its
+        // result or panicked — and a worker panic propagates out of the
+        // scope above before this line can run.
+        slots
+            .into_iter()
+            .map(|s| s.expect("scoped worker filled every chunk slot"))
+            .collect()
+    }
+
+    /// Maps chunks through `f` and folds the results **in chunk order**
+    /// (`None` for an empty range). The left-to-right fold is what makes
+    /// floating-point reductions and first-wins tie-breaking independent of
+    /// the thread count.
+    pub fn fold_chunks<R, F, G>(self, n: usize, f: F, fold: G) -> Option<R>
+    where
+        R: Send,
+        F: Fn(usize, Range<usize>) -> R + Sync,
+        G: FnMut(R, R) -> R,
+    {
+        self.run_chunks(n, f).into_iter().reduce(fold)
+    }
+}
+
+impl Default for ParExec {
+    fn default() -> Self {
+        ParExec::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_math_covers_the_range_exactly_once() {
+        for n in [
+            0usize,
+            1,
+            CHUNK_WIDTH - 1,
+            CHUNK_WIDTH,
+            CHUNK_WIDTH + 1,
+            3 * CHUNK_WIDTH + 17,
+        ] {
+            let chunks = chunk_count(n);
+            let mut covered = 0usize;
+            for c in 0..chunks {
+                let r = chunk_range(c, n);
+                assert_eq!(r.start, covered, "gap before chunk {c} at n={n}");
+                assert!(r.len() <= CHUNK_WIDTH);
+                assert!(!r.is_empty());
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "chunks must cover 0..{n}");
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_chunk_order_at_every_thread_count() {
+        let n = 5 * CHUNK_WIDTH + 123;
+        let expected: Vec<(usize, usize)> = ParExec::sequential()
+            .run_chunks(n, |c, r| (c, r.len()))
+            .into_iter()
+            .collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = ParExec::new(threads).run_chunks(n, |c, r| (c, r.len()));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fold_is_left_to_right_in_chunk_order() {
+        let n = 4 * CHUNK_WIDTH;
+        // A non-commutative fold detects any deviation from chunk order.
+        let seq = ParExec::sequential()
+            .fold_chunks(
+                n,
+                |c, _| vec![c],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+        assert_eq!(seq, vec![0, 1, 2, 3]);
+        let par = ParExec::new(4)
+            .fold_chunks(
+                n,
+                |c, _| vec![c],
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(ParExec::new(4).fold_chunks(0, |c, _| c, |a, _| a), None);
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once_in_parallel() {
+        let n = 16 * CHUNK_WIDTH;
+        let calls = AtomicU64::new(0);
+        let out = ParExec::new(8).run_chunks(n, |c, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            c
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 16);
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_divides_the_thread_budget() {
+        assert_eq!(ParExec::new(8).split(4).threads(), 2);
+        assert_eq!(ParExec::new(8).split(3).threads(), 2);
+        assert_eq!(ParExec::new(2).split(4).threads(), 1);
+        assert_eq!(ParExec::new(1).split(0).threads(), 1);
+        assert_eq!(ParExec::new(0).threads(), 1, "budget clamps to 1");
+    }
+
+    #[test]
+    fn explicit_widths_respect_boundaries() {
+        let got = ParExec::new(3).run_chunks_width(10, 4, |c, r| (c, r.start, r.end));
+        assert_eq!(got, vec![(0, 0, 4), (1, 4, 8), (2, 8, 10)]);
+    }
+}

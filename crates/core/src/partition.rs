@@ -19,6 +19,7 @@
 //! The result is deterministic given a seed: the seed only rotates the scan
 //! order used to break ties between equally-wide columns.
 
+use crate::par::ParExec;
 use crate::view::CandidateView;
 
 /// One partition of the candidate set.
@@ -91,21 +92,26 @@ pub fn partition_view(view: &CandidateView, max_partition_size: usize, seed: u64
         max_partition_size,
         seed,
         &crate::budget::Budget::unlimited(),
+        ParExec::sequential(),
     )
     .expect("an unlimited budget cannot expire")
 }
 
-/// [`partition_view`] with a cooperative deadline: the split worklist checks
-/// the budget between iterations and returns `None` on expiry, so a caller
-/// whose budget ran out mid-partitioning (the sketch solver after a slow
-/// greedy baseline) stops within one split instead of finishing the whole
-/// `O(n log n)` job. A completed partitioning is identical to the unbudgeted
-/// one.
+/// [`partition_view`] with a cooperative deadline and a chunk fan-out
+/// executor. The split worklist checks the budget between iterations and
+/// returns `None` on expiry, so a caller whose budget ran out
+/// mid-partitioning (the sketch solver after a slow greedy baseline) stops
+/// within one split instead of finishing the whole `O(n log n)` job. The
+/// widest-column spread scans — the data-heavy part of each split — fan out
+/// over `par` in fixed-width member chunks; min/max reductions combine in
+/// chunk order, so the partitioning is bit-identical at every thread count,
+/// and a completed run is identical to the unbudgeted one.
 pub fn partition_view_budgeted(
     view: &CandidateView,
     max_partition_size: usize,
     seed: u64,
     budget: &crate::budget::Budget,
+    par: ParExec,
 ) -> Option<Partitioning> {
     let n = view.candidate_count();
     let max_size = max_partition_size.max(1);
@@ -127,24 +133,37 @@ pub fn partition_view_budgeted(
         }
         // Pick the widest coefficient column over this subset; the seed
         // rotates the scan start so ties resolve per seed, deterministically.
+        // The per-column scan is chunked over the member list (min/max are
+        // order-independent, so the fan-out cannot change the pick); small
+        // subsets deep in the recursion fall back to the inline loop
+        // automatically because they span a single chunk.
         let mut best: Option<(usize, f64)> = None;
         let dims = terms.len();
         for k in 0..dims {
             let d = (k + seed as usize) % dims;
-            let col = &terms[d].coeffs;
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &i in &members {
-                lo = lo.min(col[i]);
-                hi = hi.max(col[i]);
-            }
+            let col = terms[d].coeffs();
+            let (lo, hi) = par
+                .fold_chunks(
+                    members.len(),
+                    |_, range| {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        for &i in &members[range] {
+                            lo = lo.min(col[i]);
+                            hi = hi.max(col[i]);
+                        }
+                        (lo, hi)
+                    },
+                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                )
+                .unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
             let spread = hi - lo;
             if spread > best.map(|(_, s)| s).unwrap_or(0.0) {
                 best = Some((d, spread));
             }
         }
         if let Some((d, _)) = best {
-            let col = &terms[d].coeffs;
+            let col = terms[d].coeffs();
             members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
         }
         // No splittable column (no terms, or all values identical): the
@@ -161,7 +180,7 @@ pub fn partition_view_budgeted(
             members.sort_unstable();
             let centroid = terms
                 .iter()
-                .map(|t| members.iter().map(|&i| t.coeffs[i]).sum::<f64>() / members.len() as f64)
+                .map(|t| members.iter().map(|&i| t.coeffs()[i]).sum::<f64>() / members.len() as f64)
                 .collect();
             Partition { members, centroid }
         })
@@ -237,9 +256,9 @@ mod tests {
         let v = view_for(&t, QUERY);
         let p = partition_view(&v, 16, 1);
         for (d, term) in v.terms().iter().enumerate() {
-            let global_lo = term.coeffs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let global_lo = term.coeffs().iter().cloned().fold(f64::INFINITY, f64::min);
             let global_hi = term
-                .coeffs
+                .coeffs()
                 .iter()
                 .cloned()
                 .fold(f64::NEG_INFINITY, f64::max);
@@ -251,12 +270,12 @@ mod tests {
                 let lo = part
                     .members
                     .iter()
-                    .map(|&i| term.coeffs[i])
+                    .map(|&i| term.coeffs()[i])
                     .fold(f64::INFINITY, f64::min);
                 let hi = part
                     .members
                     .iter()
-                    .map(|&i| term.coeffs[i])
+                    .map(|&i| term.coeffs()[i])
                     .fold(f64::NEG_INFINITY, f64::max);
                 max_local = max_local.max(hi - lo);
             }
@@ -293,7 +312,7 @@ mod tests {
         let p = partition_view(&v, 8, 3);
         for part in p.partitions() {
             for (d, term) in v.terms().iter().enumerate() {
-                let mean = part.mean_of(&term.coeffs);
+                let mean = part.mean_of(term.coeffs());
                 assert!((part.centroid[d] - mean).abs() < 1e-12);
             }
         }

@@ -128,6 +128,12 @@ impl Solver for PortfolioSolver {
         // deadline and observes the caller's cancellation, but cancelling the
         // race (below) never trips the flag inside the caller's options.
         let race = opts.budget.child();
+        // One shared thread budget: racing workers and their intra-solver
+        // chunk fan-out split `opts.par` instead of multiplying it — W
+        // workers × (threads / W) inner threads never oversubscribe what the
+        // caller granted. (The split changes wall-clock only; every solver's
+        // result is bit-identical at any thread count.)
+        let worker_par = opts.par.split(solvers.len());
 
         let mut slots: Vec<Option<PbResult<SolveOutcome>>> = thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, PbResult<SolveOutcome>)>();
@@ -135,6 +141,7 @@ impl Solver for PortfolioSolver {
                 let tx = tx.clone();
                 let worker_opts = SolveOptions {
                     budget: race.clone(),
+                    par: worker_par,
                     ..opts.clone()
                 };
                 scope.spawn(move || {
@@ -190,10 +197,19 @@ impl Solver for PortfolioSolver {
 
         match winner {
             Some(w) => {
+                // The winner index was only ever set while inspecting a
+                // `Some(Ok(..))` slot; if that invariant ever breaks, fail
+                // the solve (PR-2 convention) instead of panicking the race.
                 let chosen = slots[w]
                     .take()
-                    .expect("winner slot was filled above")
-                    .expect("winner slot holds an Ok outcome");
+                    .ok_or_else(|| {
+                        PbError::Internal("portfolio winner slot is unexpectedly empty".into())
+                    })?
+                    .map_err(|e| {
+                        PbError::Internal(format!(
+                            "portfolio winner slot holds an error outcome: {e}"
+                        ))
+                    })?;
                 Ok(SolveOutcome {
                     packages: chosen.packages,
                     optimal: chosen.optimal,

@@ -12,8 +12,17 @@
 //! Bounds derived from different constraints intersect. With `n` candidate
 //! tuples and no repetition, pruning shrinks the search space from `2^n` to
 //! `Σ_{k=l}^{u} C(n,k)` "without losing any valid solution".
+//!
+//! Since the chunked column layout, the MIN/MAX of an aggregated expression
+//! comes from the term column's per-chunk metadata
+//! ([`crate::view::TermColumn::chunk_meta`], combined in chunk order —
+//! `O(#chunks)`, no rescans): the range covers exactly the entries that can
+//! contribute to the aggregate, so `FILTER`ed SUM constraints get a sound
+//! *tighter* lower bound from the filtered value range, and SUM over
+//! arbitrary argument expressions (not just plain columns) yields bounds at
+//! all. Whole-column candidate statistics remain the fallback.
 
-use paql::{AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula};
+use paql::{AggCall, AggFunc, CmpOp, GlobalConstraint, GlobalExpr, GlobalFormula};
 
 use crate::view::CandidateView;
 
@@ -132,13 +141,9 @@ fn bounds_from_constraint(view: &CandidateView, c: &GlobalConstraint) -> Cardina
             }
         }
         AggFunc::Sum => {
-            let col = match &agg.arg {
-                Some(minidb::Expr::Column(c)) => c.clone(),
-                _ => return CardinalityBounds::unbounded(),
-            };
-            let stats = match view.stats().column(&col) {
-                Some(s) if !s.is_empty() => *s,
-                _ => return CardinalityBounds::unbounded(),
+            let range = match contribution_range(view, agg) {
+                Some(range) => range,
+                None => return CardinalityBounds::unbounded(),
             };
             let mut bounds = CardinalityBounds::unbounded();
             // Lower bound: SUM(col) >= L with L > 0 needs at least ⌈L / MAX⌉ tuples.
@@ -147,19 +152,35 @@ fn bounds_from_constraint(view: &CandidateView, c: &GlobalConstraint) -> Cardina
                 _ => None,
             };
             if let Some(target) = lower_target {
-                if target > 0.0 && stats.max > 0.0 {
-                    bounds.lower = (target / stats.max).ceil() as u64;
+                if target > 0.0 && range.max > 0.0 {
+                    bounds.lower = (target / range.max).ceil() as u64;
+                }
+                // Infeasibility probe from the chunked partial sums: with no
+                // negative contribution, even the full candidate set at
+                // maximum multiplicity reaches only r·Σ — a lower target
+                // beyond that is unsatisfiable by any package. (Sound for
+                // filtered aggregates too: only included entries can ever
+                // contribute to the sum.)
+                if range.min >= 0.0 && target > range.sum * view.max_multiplicity() as f64 {
+                    return CardinalityBounds {
+                        lower: 1,
+                        upper: Some(0),
+                    };
                 }
             }
             // Upper bound: SUM(col) <= U with every value ≥ MIN > 0 allows at
-            // most ⌊U / MIN⌋ tuples.
+            // most ⌊U / MIN⌋ tuples. The cap assumes *every* package member
+            // contributes at least MIN, so it is only sound when the
+            // aggregate skips nobody: no FILTER (members outside the filter
+            // raise cardinality without raising the sum — see above) and no
+            // excluded candidates (a NULL argument does the same).
             let upper_target = match op {
                 CmpOp::LtEq | CmpOp::Lt | CmpOp::Eq => Some(constant),
                 _ => None,
             };
             if let Some(target) = upper_target {
-                if stats.min > 0.0 && !filtered {
-                    bounds.upper = Some((target / stats.min).floor().max(0.0) as u64);
+                if range.min > 0.0 && !filtered && range.covers_all {
+                    bounds.upper = Some((target / range.min).floor().max(0.0) as u64);
                 }
             }
             bounds
@@ -167,6 +188,52 @@ fn bounds_from_constraint(view: &CandidateView, c: &GlobalConstraint) -> Cardina
         // AVG/MIN/MAX do not constrain cardinality.
         _ => CardinalityBounds::unbounded(),
     }
+}
+
+/// What an aggregate's contributing candidates look like: the MIN/MAX/Σ of
+/// their per-tuple contributions, and whether *every* candidate contributes
+/// (no `FILTER` rejections, no NULL arguments) — the condition the
+/// ⌊U / MIN⌋ upper bound needs to be sound.
+struct ContributionRange {
+    min: f64,
+    max: f64,
+    sum: f64,
+    covers_all: bool,
+}
+
+/// The [`ContributionRange`] of an aggregate over the candidates that can
+/// actually contribute to it.
+///
+/// Preferred source: the term column's chunked metadata
+/// ([`crate::view::TermColumn::chunk_meta`], per-chunk partials combined in
+/// chunk order) — every formula atom has a term column, the range respects
+/// the aggregate's own `FILTER`/NULL inclusion mask, and it works for
+/// arbitrary argument expressions. Fallback (e.g. when nothing is included
+/// and the metadata is empty): whole-column candidate statistics, matching
+/// the pre-chunking behaviour.
+fn contribution_range(view: &CandidateView, agg: &AggCall) -> Option<ContributionRange> {
+    if let Some(idx) = view.term_keys().iter().position(|k| k == agg) {
+        let term = &view.terms()[idx];
+        if let (Some(min), Some(max)) = (term.included_min(), term.included_max()) {
+            return Some(ContributionRange {
+                min,
+                max,
+                sum: term.included_sum(),
+                covers_all: term.included_count() == term.coeffs().len() as u64,
+            });
+        }
+    }
+    let col = match &agg.arg {
+        Some(minidb::Expr::Column(c)) => c,
+        _ => return None,
+    };
+    let stats = view.stats().column(col)?;
+    (!stats.is_empty()).then_some(ContributionRange {
+        min: stats.min,
+        max: stats.max,
+        sum: stats.sum,
+        covers_all: stats.nulls == 0,
+    })
 }
 
 fn extract_constant(e: &GlobalExpr) -> Option<f64> {
@@ -341,6 +408,80 @@ mod tests {
         let u = b.upper.unwrap();
         assert!(u <= 12, "upper bound {u} should be at most 12");
         assert!(u >= 10);
+    }
+
+    #[test]
+    fn null_skipping_members_void_the_upper_bound() {
+        // ⌊U / MIN⌋ assumes every member contributes at least MIN; a NULL
+        // argument contributes nothing while still raising COUNT(*), so the
+        // cap must not be derived. Regression for the chunk-metadata range:
+        // {the 60-contributor + two NULL rows} is a valid package that a
+        // ⌊100/60⌋ = 1 upper bound would wrongly prune.
+        use minidb::{Column, ColumnType, Schema, Tuple, Value};
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Float)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.insert(Tuple::new(vec![Value::Float(60.0)])).unwrap();
+        for _ in 0..3 {
+            t.insert(Tuple::new(vec![Value::Null])).unwrap();
+        }
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT COUNT(*) >= 3 AND SUM(P.a) <= 100",
+        );
+        let b = derive_bounds(spec.view());
+        assert_eq!(b.upper, None, "NULL-skipping members must void the cap");
+        assert!(!b.is_empty());
+        let pkg = crate::package::Package::from_ids([
+            minidb::TupleId(0),
+            minidb::TupleId(1),
+            minidb::TupleId(2),
+        ]);
+        assert!(
+            spec.is_valid(&pkg).unwrap(),
+            "the pruned-away package is valid"
+        );
+    }
+
+    #[test]
+    fn expression_arguments_yield_bounds_from_chunk_metadata() {
+        // Pre-chunking, only plain-column SUMs had statistics; the term
+        // column covers arbitrary argument expressions. w ∈ [10, 20] so
+        // w + w ∈ [20, 40]: SUM(w + w) >= 200 needs ≥ ⌈200/40⌉ = 5 members,
+        // and <= 400 allows ≤ ⌊400/20⌋ = 20.
+        let t = uniform_table("t", 50, 10.0, 20.0, Seed(11));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.w + P.w) BETWEEN 200 AND 400",
+        );
+        let b = derive_bounds(spec.view());
+        assert!(b.lower >= 5, "lower {} should be at least 5", b.lower);
+        let u = b.upper.expect("full coverage permits an upper bound");
+        assert!(u <= 20, "upper {u} should be at most 20");
+    }
+
+    #[test]
+    fn unreachable_sum_targets_prove_infeasibility() {
+        // 5 tuples with w ≤ 20: no package reaches SUM(w) >= 1000, which the
+        // chunked partial sums prove without running any solver.
+        let t = uniform_table("t", 5, 10.0, 20.0, Seed(12));
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.w) >= 1000",
+        );
+        assert!(derive_bounds(spec.view()).is_empty());
+        // A reachable target stays feasible.
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T SUCH THAT SUM(P.w) >= 30",
+        );
+        assert!(!derive_bounds(spec.view()).is_empty());
+        // REPEAT raises the reachable total: the same 1000 target may need
+        // many copies but is no longer provably impossible at REPEAT 50.
+        let spec = spec_for(
+            &t,
+            "SELECT PACKAGE(T) AS P FROM t T REPEAT 50 SUCH THAT SUM(P.w) >= 1000",
+        );
+        assert!(!derive_bounds(spec.view()).is_empty());
     }
 
     #[test]

@@ -33,6 +33,15 @@
 //! portfolio race this duplicates the separate greedy worker's (cheap) run;
 //! that is deliberate: the baseline is what makes this solver's own result
 //! anytime-safe and its quality floor deterministic, race or no race.
+//!
+//! Data parallelism (since the chunked columnar layout): the offline
+//! partitioning's spread scans and the representative-means matrix fan out
+//! over [`crate::solver::SolveOptions::par`] in fixed chunks, with the
+//! cooperative budget checked per chunk. The refine loop itself stays
+//! sequential *by data dependence* — each sub-ILP's right-hand side folds in
+//! the actuals of every partition refined before it — so its unit of work
+//! (and of budget checking) is one partition, which is exactly a chunk of
+//! candidates by construction.
 
 use lp_solver::{Problem, Sense, VarId, VarType};
 use paql::ObjectiveDirection;
@@ -95,7 +104,7 @@ impl Solver for SketchRefineSolver {
                 objective.as_ref().map(|o| o.coeffs.as_slice()),
                 opts,
                 &mut counters,
-            );
+            )?;
             if let Some((package, obj)) = refined {
                 let direction = view.direction();
                 let replace = match &best {
@@ -128,42 +137,86 @@ struct Counters {
     iterations: u64,
 }
 
-/// Runs phases 1–3; `None` means the sketch was infeasible or the refined
-/// package could not be repaired to feasibility (the greedy baseline then
-/// stands).
+/// How many partitions one chunk of the representative-means computation
+/// covers: at the default partition size (64), 64 partitions ≈ 4096 member
+/// rows per chunk — the same cache-friendly granularity as the columnar
+/// chunk width, and fixed (never thread-derived) so the fan-out stays
+/// deterministic.
+const MEANS_PARTITIONS_PER_CHUNK: usize = 64;
+
+/// Runs phases 1–3; `Ok(None)` means the sketch was infeasible, the budget
+/// ran out mid-setup, or the refined package could not be repaired to
+/// feasibility (the greedy baseline then stands). `Err` is reserved for
+/// internal invariant violations.
 fn sketch_and_refine(
     view: &CandidateView,
     rows: &[LinearConstraint],
     obj_coeffs: Option<&[f64]>,
     opts: &SolveOptions,
     counters: &mut Counters,
-) -> Option<(Package, Option<f64>)> {
+) -> crate::PbResult<Option<(Package, Option<f64>)>> {
     // Partitioning and the means matrix are O(n log n) / O(rows·n) setup; on
     // a nearly-spent budget (a slow greedy baseline under a tight race
     // deadline) they must not push the solver past its ~2x-deadline
-    // contract, so both are budget-checked as they go. The partitioning goes
+    // contract, so both are budget-checked as they go — per chunk, not per
+    // element, now that both fan out over `opts.par`. The partitioning goes
     // through the view's memo: a repeated query (or a second worker over a
     // clone of this view) reuses the one computed before, and an engine with
     // caching on carries it across queries entirely.
-    let partitioning = view.partitioning(opts.sketch_partition_size, opts.seed, &opts.budget)?;
+    let partitioning = match view.partitioning(
+        opts.sketch_partition_size,
+        opts.seed,
+        &opts.budget,
+        opts.par,
+    ) {
+        Some(p) => p,
+        None => return Ok(None),
+    };
     let parts = partitioning.partitions();
     if parts.is_empty() {
-        return None;
+        return Ok(None);
     }
     // Representative coefficients: the partition mean of every constraint row
     // and of the objective. `means[c][p]` is row `c` aggregated over
-    // partition `p`.
+    // partition `p` — per-partition values computed independently (no
+    // cross-partition reduction), so the chunk fan-out is trivially
+    // bit-identical at every thread count.
+    let partition_means = |coeffs: &[f64]| -> Option<Vec<f64>> {
+        let chunks =
+            opts.par
+                .run_chunks_width(parts.len(), MEANS_PARTITIONS_PER_CHUNK, |_, range| {
+                    if opts.budget.expired() {
+                        return None;
+                    }
+                    Some(
+                        parts[range]
+                            .iter()
+                            .map(|p| p.mean_of(coeffs))
+                            .collect::<Vec<f64>>(),
+                    )
+                });
+        let mut means = Vec::with_capacity(parts.len());
+        for chunk in chunks {
+            means.extend(chunk?);
+        }
+        Some(means)
+    };
     let mut means: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
     for row in rows {
-        if opts.budget.expired() {
-            return None;
+        match partition_means(&row.coeffs) {
+            Some(m) => means.push(m),
+            None => return Ok(None),
         }
-        means.push(parts.iter().map(|p| p.mean_of(&row.coeffs)).collect());
     }
-    let obj_means: Option<Vec<f64>> =
-        obj_coeffs.map(|o| parts.iter().map(|p| p.mean_of(o)).collect());
+    let obj_means: Option<Vec<f64>> = match obj_coeffs {
+        Some(o) => match partition_means(o) {
+            Some(m) => Some(m),
+            None => return Ok(None),
+        },
+        None => None,
+    };
     if opts.budget.expired() {
-        return None;
+        return Ok(None);
     }
 
     // Phase 2 — the sketch ILP over one variable per partition.
@@ -204,7 +257,7 @@ fn sketch_and_refine(
     opts.budget.apply_to_solver(&mut config);
     let sketch = match lp_solver::solve(&problem, &config) {
         Ok(s) if s.status.has_solution() => s,
-        _ => return None,
+        _ => return Ok(None),
     };
     counters.nodes += sketch.nodes as u64;
     counters.iterations += sketch.iterations as u64;
@@ -221,9 +274,9 @@ fn sketch_and_refine(
     if order.is_empty() {
         // The sketch says the empty package: only useful if it is feasible.
         let state = ViewState::empty(view);
-        return state
+        return Ok(state
             .is_feasible()
-            .then(|| (state.to_package(), state.objective_value()));
+            .then(|| (state.to_package(), state.objective_value())));
     }
 
     let ctx = RefineCtx {
@@ -244,9 +297,15 @@ fn sketch_and_refine(
                 let already_first = order.first() == Some(&failed);
                 if backtracks >= MAX_BACKTRACKS || already_first || opts.budget.expired() {
                     // Backtracking exhausted: a non-strict pass greedy-fills
-                    // whatever still fails instead of giving up.
-                    break refine_pass(&ctx, &order, false, counters)
-                        .expect("non-strict refine passes cannot fail");
+                    // whatever still fails instead of giving up. Such a pass
+                    // cannot report a failed partition by construction — if
+                    // one ever does, surface it as an internal error (PR-2
+                    // convention) instead of panicking mid-solve.
+                    break refine_pass(&ctx, &order, false, counters).map_err(|p| {
+                        PbError::Internal(format!(
+                            "non-strict refine pass reported failed partition {p}"
+                        ))
+                    })?;
                 }
                 // The paper's backtracking rule: re-refine the failed
                 // partition first, where the full constraint slack is still
@@ -258,12 +317,12 @@ fn sketch_and_refine(
     };
 
     if !state.is_feasible() {
-        let (evals, _) = repair_to_feasibility(&mut state, &opts.budget);
+        let (evals, _) = repair_to_feasibility(&mut state, &opts.budget, opts.par);
         counters.iterations += evals;
     }
-    state
+    Ok(state
         .is_feasible()
-        .then(|| (state.to_package(), state.objective_value()))
+        .then(|| (state.to_package(), state.objective_value())))
 }
 
 /// Shared inputs of one refinement pass.

@@ -30,6 +30,7 @@ use crate::greedy::{starting_package, StartHeuristic};
 use crate::ilp::solve_ilp;
 use crate::local_search::{local_search, LocalSearchOptions};
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::result::{EvalStats, StrategyUsed};
 use crate::view::CandidateView;
 use crate::PbResult;
@@ -59,6 +60,12 @@ pub struct SolveOptions {
     /// per plan run ([`SolveOptions::rearmed`]), and clones share the stop
     /// flag so a portfolio race can cancel all of its workers at once.
     pub budget: Budget,
+    /// Chunk fan-out executor for this solve's data-parallel scans
+    /// (materialization, partitioning, repair, neighbourhood). Sized from
+    /// [`EngineConfig::num_threads`]; the portfolio hands each racing worker
+    /// a [`ParExec::split`] share so the race and the inner loops draw on
+    /// one thread budget. Results are bit-identical at every thread count.
+    pub par: ParExec,
 }
 
 impl SolveOptions {
@@ -75,6 +82,7 @@ impl SolveOptions {
             sketch_partition_size: config.sketch_partition_size,
             seed: config.seed,
             budget: Budget::starting_now(config.time_budget),
+            par: ParExec::new(config.num_threads),
         }
     }
 
@@ -211,6 +219,7 @@ impl Solver for LocalSearchSolver {
                 seed: opts.seed,
                 keep: opts.num_packages,
                 budget: opts.budget.clone(),
+                par: opts.par,
             },
         )?;
         Ok(SolveOutcome {
@@ -252,7 +261,8 @@ impl Solver for GreedySolver {
             // Shared repair pass (also the sketch→refine fallback): on budget
             // expiry the best-so-far state is returned (optimal is false
             // regardless).
-            let (evals, repair_moves) = crate::greedy::repair_to_feasibility(&mut state, budget);
+            let (evals, repair_moves) =
+                crate::greedy::repair_to_feasibility(&mut state, budget, opts.par);
             evaluations += evals;
             moves += repair_moves;
             if state.is_feasible() {

@@ -7,6 +7,7 @@ use paql::{AnalyzedQuery, GlobalFormula, Objective, PaqlQuery};
 
 use crate::cache::ViewCache;
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::view::CandidateView;
 use crate::PbResult;
 
@@ -15,16 +16,37 @@ use crate::PbResult;
 /// constraints" step (`SELECT * FROM R WHERE <base>`). `None` keeps every
 /// tuple. Shared by [`PackageSpec::build`] and the [`ViewCache`] cold path.
 pub fn base_candidates(table: &Table, where_clause: Option<&Expr>) -> PbResult<Vec<TupleId>> {
-    let mut candidates = Vec::new();
-    match where_clause {
-        None => candidates.extend(table.iter().map(|(id, _)| id)),
-        Some(pred) => {
-            for (id, tuple) in table.iter() {
-                if eval_predicate(pred, table.schema(), tuple)? {
-                    candidates.push(id);
-                }
+    base_candidates_par(table, where_clause, ParExec::sequential())
+}
+
+/// [`base_candidates`] with the predicate scan fanned out over `par` in
+/// fixed-width row chunks. Per-chunk match lists concatenate in chunk order
+/// (and tuple ids are insertion indices), so the candidate list — and any
+/// evaluation error: first failing chunk, first failing row — is identical
+/// at every thread count.
+pub fn base_candidates_par(
+    table: &Table,
+    where_clause: Option<&Expr>,
+    par: ParExec,
+) -> PbResult<Vec<TupleId>> {
+    let pred = match where_clause {
+        None => return Ok(table.iter().map(|(id, _)| id).collect()),
+        Some(pred) => pred,
+    };
+    let rows = table.rows();
+    let schema = table.schema();
+    let chunks = par.run_chunks(rows.len(), |_, range| -> PbResult<Vec<TupleId>> {
+        let mut matched = Vec::new();
+        for i in range {
+            if eval_predicate(pred, schema, &rows[i])? {
+                matched.push(TupleId(i as u32));
             }
         }
+        Ok(matched)
+    });
+    let mut candidates = Vec::new();
+    for chunk in chunks {
+        candidates.extend(chunk?);
     }
     Ok(candidates)
 }
@@ -62,14 +84,23 @@ impl<'a> PackageSpec<'a> {
     /// candidate rows are profiled and lowered into the columnar view in the
     /// same pass, borrowing rows straight from the table (no clones).
     pub fn build(analyzed: &AnalyzedQuery, table: &'a Table) -> PbResult<Self> {
+        Self::build_par(analyzed, table, ParExec::sequential())
+    }
+
+    /// [`PackageSpec::build`] with the base-predicate scan and column
+    /// materialization fanned out over `par` (see [`crate::par`]); the
+    /// engine passes its configured executor here. Bit-identical to the
+    /// sequential build at every thread count.
+    pub fn build_par(analyzed: &AnalyzedQuery, table: &'a Table, par: ParExec) -> PbResult<Self> {
         let query = analyzed.query.clone();
-        let candidates = base_candidates(table, query.where_clause.as_ref())?;
-        let view = CandidateView::build(
+        let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
+        let view = CandidateView::build_par(
             table,
             candidates.clone(),
             query.max_multiplicity(),
             query.such_that.clone(),
             query.objective.clone(),
+            par,
         )?;
         Ok(PackageSpec {
             table,
@@ -93,8 +124,19 @@ impl<'a> PackageSpec<'a> {
         table: &'a Table,
         cache: &ViewCache,
     ) -> PbResult<Self> {
+        Self::build_cached_par(analyzed, table, cache, ParExec::sequential())
+    }
+
+    /// [`PackageSpec::build_cached`] with cache-miss work (candidate
+    /// evaluation, missing-column materialization) fanned out over `par`.
+    pub fn build_cached_par(
+        analyzed: &AnalyzedQuery,
+        table: &'a Table,
+        cache: &ViewCache,
+        par: ParExec,
+    ) -> PbResult<Self> {
         let query = analyzed.query.clone();
-        let view = cache.view_for(&query, table)?;
+        let view = cache.view_for_par(&query, table, par)?;
         Ok(PackageSpec {
             table,
             candidates: view.candidates().to_vec(),

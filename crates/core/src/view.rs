@@ -42,6 +42,7 @@ use paql::{AggCall, AggFunc, CmpOp, GlobalExpr, GlobalFormula, Objective, Object
 use crate::budget::Budget;
 use crate::cache::PartitionMemo;
 use crate::package::Package;
+use crate::par::{chunk_count, chunk_range, ParExec};
 use crate::partition::Partitioning;
 use crate::PbResult;
 
@@ -49,8 +50,47 @@ use crate::PbResult;
 /// identical to the interpreted path's constant.
 const UNEVALUABLE_PENALTY: f64 = 1e9;
 
+/// Precomputed aggregates of one [`crate::par::CHUNK_WIDTH`]-wide chunk of a
+/// [`TermColumn`], over the chunk's *included* entries only.
+///
+/// Chunk metadata is computed once at column materialization (per chunk, so
+/// the values are identical no matter how many threads built the column) and
+/// lets consumers answer whole-column questions — the value range feeding
+/// [`crate::pruning::derive_bounds`], for instance — in `O(#chunks)` by
+/// combining the per-chunk values **in chunk order**, without rescanning the
+/// column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkMeta {
+    /// Sum of the included entries' coefficients (0.0 when none).
+    pub sum: f64,
+    /// Minimum included coefficient (`+∞` when the chunk has none).
+    pub min: f64,
+    /// Maximum included coefficient (`-∞` when the chunk has none).
+    pub max: f64,
+    /// Number of included entries in the chunk.
+    pub included: u32,
+}
+
 /// One aggregate term (`SUM(P.calories)`, `COUNT(*) FILTER (WHERE ...)`, …)
 /// lowered to columns over the candidate set.
+///
+/// # Chunked layout
+///
+/// The coefficient and inclusion columns are dense, contiguous vectors (the
+/// layout autovectorizers and caches want), logically divided into
+/// fixed-width chunks of [`crate::par::CHUNK_WIDTH`] elements with a [`ChunkMeta`]
+/// (partial sum, min/max, included count over the chunk's included entries)
+/// kept per chunk. Two invariants make this the substrate for deterministic
+/// data parallelism:
+///
+/// * **Chunk boundaries are fixed** — always `CHUNK_WIDTH` elements, derived
+///   from the candidate count alone, never from the thread count.
+/// * **Reductions combine chunks in chunk order** — so any whole-column
+///   value derived from the metadata (or from a parallel scan chunked the
+///   same way) is bit-identical at every `num_threads`.
+///
+/// Columns are immutable after construction ([`TermColumn::new`] computes
+/// the metadata once); the cache shares them by `Arc` across queries.
 #[derive(Debug, Clone)]
 pub struct TermColumn {
     /// The aggregate function.
@@ -58,10 +98,91 @@ pub struct TermColumn {
     /// Per-candidate contribution: the argument value (1.0 for `COUNT(*)`),
     /// forced to 0.0 where the candidate is excluded so SUM/COUNT become
     /// plain dot products with the multiplicity vector.
-    pub coeffs: Vec<f64>,
+    coeffs: Vec<f64>,
     /// Per-candidate inclusion: the `FILTER` predicate passed and the
     /// argument was non-NULL (always true for `COUNT(*)` modulo filter).
-    pub included: Vec<bool>,
+    included: Vec<bool>,
+    /// Per-chunk partial aggregates over the included entries.
+    chunks: Vec<ChunkMeta>,
+}
+
+impl TermColumn {
+    /// Builds a column from its dense coefficient and inclusion vectors,
+    /// computing the per-chunk metadata (the only way to construct one, so
+    /// the metadata can never drift from the columns).
+    pub fn new(func: AggFunc, coeffs: Vec<f64>, included: Vec<bool>) -> Self {
+        assert_eq!(coeffs.len(), included.len());
+        let chunks = (0..chunk_count(coeffs.len()))
+            .map(|c| {
+                let mut meta = ChunkMeta {
+                    sum: 0.0,
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                    included: 0,
+                };
+                for i in chunk_range(c, coeffs.len()) {
+                    if included[i] {
+                        meta.sum += coeffs[i];
+                        meta.min = meta.min.min(coeffs[i]);
+                        meta.max = meta.max.max(coeffs[i]);
+                        meta.included += 1;
+                    }
+                }
+                meta
+            })
+            .collect();
+        TermColumn {
+            func,
+            coeffs,
+            included,
+            chunks,
+        }
+    }
+
+    /// Per-candidate contributions (see the struct docs).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Per-candidate inclusion mask (see the struct docs).
+    pub fn included(&self) -> &[bool] {
+        &self.included
+    }
+
+    /// The per-chunk metadata, one entry per [`crate::par::CHUNK_WIDTH`]-wide chunk.
+    pub fn chunk_meta(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// Number of included entries (combining chunk metadata).
+    pub fn included_count(&self) -> u64 {
+        self.chunks.iter().map(|m| m.included as u64).sum()
+    }
+
+    /// Sum of the included entries' coefficients, combining the per-chunk
+    /// partial sums in chunk order (so the value is bit-identical no matter
+    /// how the column was built). Feeds the pruning layer's reachable-sum
+    /// infeasibility probe.
+    pub fn included_sum(&self) -> f64 {
+        self.chunks.iter().map(|m| m.sum).sum()
+    }
+
+    /// Minimum coefficient over the included entries (`None` when no entry
+    /// is included), combined from the chunk metadata in chunk order.
+    pub fn included_min(&self) -> Option<f64> {
+        (self.included_count() > 0)
+            .then(|| self.chunks.iter().fold(f64::INFINITY, |a, m| a.min(m.min)))
+    }
+
+    /// Maximum coefficient over the included entries (`None` when no entry
+    /// is included), combined from the chunk metadata in chunk order.
+    pub fn included_max(&self) -> Option<f64> {
+        (self.included_count() > 0).then(|| {
+            self.chunks
+                .iter()
+                .fold(f64::NEG_INFINITY, |a, m| a.max(m.max))
+        })
+    }
 }
 
 /// Running aggregates of one term over one package.
@@ -150,7 +271,8 @@ pub struct CandidateView {
 }
 
 impl CandidateView {
-    /// Lowers a query (candidates + formula + objective) into columns.
+    /// Lowers a query (candidates + formula + objective) into columns,
+    /// sequentially — [`CandidateView::build_par`] with a 1-thread executor.
     ///
     /// Evaluation errors (non-numeric aggregate arguments, unknown columns)
     /// surface here, once, instead of on every package evaluation.
@@ -160,6 +282,29 @@ impl CandidateView {
         max_multiplicity: u32,
         formula: Option<GlobalFormula>,
         objective: Option<Objective>,
+    ) -> PbResult<Self> {
+        Self::build_par(
+            table,
+            candidates,
+            max_multiplicity,
+            formula,
+            objective,
+            ParExec::sequential(),
+        )
+    }
+
+    /// [`CandidateView::build`] with column materialization fanned out over
+    /// `par` ([`crate::par::CHUNK_WIDTH`]-wide chunks of the candidate set per task).
+    /// The resulting view is bit-identical at every thread count: chunks
+    /// write disjoint fixed ranges and evaluation errors are reported in
+    /// chunk order.
+    pub fn build_par(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        par: ParExec,
     ) -> PbResult<Self> {
         let rows: Vec<&Tuple> = candidates
             .iter()
@@ -177,6 +322,7 @@ impl CandidateView {
             objective,
             |_| None,
             Some(rows),
+            par,
         )
     }
 
@@ -202,6 +348,33 @@ impl CandidateView {
         objective: Option<Objective>,
         column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
     ) -> PbResult<Self> {
+        Self::assemble_par(
+            table,
+            candidates,
+            stats,
+            max_multiplicity,
+            formula,
+            objective,
+            column_source,
+            ParExec::sequential(),
+        )
+    }
+
+    /// [`CandidateView::assemble`] with cache-miss column materialization
+    /// fanned out over `par`, chunk by chunk (the engine's cached build path
+    /// uses this, so only the columns a query actually adds pay evaluation
+    /// cost — and they pay it in parallel).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_par(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        stats: TableStats,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
+        par: ParExec,
+    ) -> PbResult<Self> {
         Self::assemble_impl(
             table,
             candidates,
@@ -211,6 +384,7 @@ impl CandidateView {
             objective,
             column_source,
             None,
+            par,
         )
     }
 
@@ -224,6 +398,7 @@ impl CandidateView {
         objective: Option<Objective>,
         mut column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
         prefetched: Option<Vec<&'t Tuple>>,
+        par: ParExec,
     ) -> PbResult<Self> {
         let schema = table.schema();
         // Candidate rows are only fetched when some column must actually be
@@ -289,11 +464,16 @@ impl CandidateView {
             .map(|o| compile_expr(&o.expr, &mut term_keys, &mut intern));
 
         // Materialize one column pair per term, unless the source already
-        // has the column (a cache hit on that term).
+        // has the column (a cache hit on that term). Materialization fans
+        // out over fixed-width candidate chunks: each chunk evaluates its
+        // rows into chunk-local buffers, and the buffers are stitched back
+        // in chunk order — disjoint fixed ranges, so the column (and any
+        // evaluation error: first failing chunk, first failing row) is
+        // identical at every thread count.
         let mut terms = Vec::with_capacity(term_keys.len());
         for call in &term_keys {
             if let Some(column) = column_source(call) {
-                debug_assert_eq!(column.coeffs.len(), candidates.len());
+                debug_assert_eq!(column.coeffs().len(), candidates.len());
                 terms.push(column);
                 continue;
             }
@@ -307,44 +487,17 @@ impl CandidateView {
                     rows.get_or_insert(fetched)
                 }
             };
-            let mut coeffs = vec![0.0; candidates.len()];
-            let mut included = vec![false; candidates.len()];
-            for (i, tuple) in rows.iter().enumerate() {
-                if let Some(filter) = &call.filter {
-                    if !eval_predicate(filter, schema, tuple)? {
-                        continue;
-                    }
-                }
-                match &call.arg {
-                    None => {
-                        // COUNT(*): every filtered-in member contributes 1.
-                        coeffs[i] = 1.0;
-                        included[i] = true;
-                    }
-                    Some(arg) => {
-                        let v = eval(arg, schema, tuple)?;
-                        if v.is_null() {
-                            // NULL arguments are skipped for every aggregate
-                            // (COUNT(expr) included), matching SQL.
-                            continue;
-                        }
-                        let value = v.expect_f64(&format!("argument of {}", call.func.name()))?;
-                        // COUNT(expr) counts included members: its linear
-                        // coefficient is 1, not the argument's value.
-                        coeffs[i] = if call.func == AggFunc::Count {
-                            1.0
-                        } else {
-                            value
-                        };
-                        included[i] = true;
-                    }
-                }
-            }
-            terms.push(TermColumn {
-                func: call.func,
-                coeffs,
-                included,
+            let chunks = par.run_chunks(candidates.len(), |_, range| {
+                materialize_chunk(call, schema, &rows[range])
             });
+            let mut coeffs = Vec::with_capacity(candidates.len());
+            let mut included = Vec::with_capacity(candidates.len());
+            for chunk in chunks {
+                let (c, inc) = chunk?;
+                coeffs.extend(c);
+                included.extend(inc);
+            }
+            terms.push(TermColumn::new(call.func, coeffs, included));
         }
 
         Ok(CandidateView {
@@ -377,9 +530,10 @@ impl CandidateView {
         max_partition_size: usize,
         seed: u64,
         budget: &Budget,
+        par: ParExec,
     ) -> Option<Arc<Partitioning>> {
         self.partition_memo
-            .get_or_compute(self, max_partition_size, seed, budget)
+            .get_or_compute(self, max_partition_size, seed, budget, par)
     }
 
     /// Replaces the partition memo (the cache wires in the shared, per-column
@@ -500,6 +654,51 @@ impl CandidateView {
     }
 }
 
+/// Evaluates one fixed-width chunk of a term column into chunk-local
+/// coefficient/inclusion buffers (stitched back in chunk order by the
+/// caller — see [`CandidateView::assemble_par`]). Pure per-row work, which
+/// is what makes the chunk fan-out deterministic.
+fn materialize_chunk(
+    call: &AggCall,
+    schema: &minidb::Schema,
+    rows: &[&Tuple],
+) -> PbResult<(Vec<f64>, Vec<bool>)> {
+    let mut coeffs = vec![0.0; rows.len()];
+    let mut included = vec![false; rows.len()];
+    for (i, tuple) in rows.iter().enumerate() {
+        if let Some(filter) = &call.filter {
+            if !eval_predicate(filter, schema, tuple)? {
+                continue;
+            }
+        }
+        match &call.arg {
+            None => {
+                // COUNT(*): every filtered-in member contributes 1.
+                coeffs[i] = 1.0;
+                included[i] = true;
+            }
+            Some(arg) => {
+                let v = eval(arg, schema, tuple)?;
+                if v.is_null() {
+                    // NULL arguments are skipped for every aggregate
+                    // (COUNT(expr) included), matching SQL.
+                    continue;
+                }
+                let value = v.expect_f64(&format!("argument of {}", call.func.name()))?;
+                // COUNT(expr) counts included members: its linear
+                // coefficient is 1, not the argument's value.
+                coeffs[i] = if call.func == AggFunc::Count {
+                    1.0
+                } else {
+                    value
+                };
+                included[i] = true;
+            }
+        }
+    }
+    Ok((coeffs, included))
+}
+
 /// Incremental package accumulator over a [`CandidateView`].
 ///
 /// Holds the multiplicity multiset (by candidate index) and the running
@@ -537,6 +736,7 @@ impl<'v> ViewState<'v> {
     }
 
     /// Multiplicity of the candidate at `idx`.
+    #[inline]
     pub fn multiplicity(&self, idx: usize) -> u32 {
         self.members.get(&idx).copied().unwrap_or(0)
     }
@@ -747,6 +947,7 @@ struct Scratch<'s, 'v> {
 }
 
 impl Scratch<'_, '_> {
+    #[inline]
     fn multiplicity(&self, idx: usize) -> u32 {
         let mut m = self.base.multiplicity(idx) as i64;
         for &(i, d) in self.changes {
@@ -757,6 +958,7 @@ impl Scratch<'_, '_> {
         m.max(0) as u32
     }
 
+    #[inline]
     fn accum(&self, term_id: usize) -> TermAccum {
         let term = &self.base.view.terms[term_id];
         let mut accum = self.base.accums[term_id];
@@ -788,6 +990,7 @@ impl Scratch<'_, '_> {
         accum
     }
 
+    #[inline]
     fn term_value(&mut self, term_id: usize) -> Option<f64> {
         let term = &self.base.view.terms[term_id];
         let accum = self.accum(term_id);

@@ -9,6 +9,7 @@ use datagen::{recipes, Seed};
 use minidb::{Catalog, Tuple, Value};
 use packagebuilder::budget::Budget;
 use packagebuilder::config::{EngineConfig, Strategy};
+use packagebuilder::par::ParExec;
 use packagebuilder::{PackageEngine, ViewCache};
 
 const MEAL_QUERY: &str = "SELECT PACKAGE(R) AS P FROM recipes R WHERE R.gluten = 'free' \
@@ -156,11 +157,11 @@ fn partitioning_is_computed_once_across_repeated_queries() {
     let spec_b = e.build_spec(&query).unwrap();
     let pa = spec_a
         .view()
-        .partitioning(64, 9, &Budget::unlimited())
+        .partitioning(64, 9, &Budget::unlimited(), ParExec::sequential())
         .unwrap();
     let pb = spec_b
         .view()
-        .partitioning(64, 9, &Budget::unlimited())
+        .partitioning(64, 9, &Budget::unlimited(), ParExec::sequential())
         .unwrap();
     assert!(
         Arc::ptr_eq(&pa, &pb),
