@@ -9,8 +9,8 @@
 //! ```
 //!
 //! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch`,
-//! `cache` and `parallel` run the PR-baseline experiments and write the
-//! corresponding `BENCH_*.json` files.
+//! `cache`, `parallel` and `bnb` run the PR-baseline experiments and write
+//! the corresponding `BENCH_*.json` files.
 
 use std::time::Instant;
 
@@ -85,6 +85,15 @@ fn main() {
         // Chunk-order reductions make thread count result-invariant by
         // construction; a mismatch is a real determinism regression.
         eprintln!("PARALLEL experiment: parallel and sequential packages differ");
+        std::process::exit(1);
+    }
+    if want("bnb") && !bnb_exact_core() {
+        // Parallel branch and bound merges frontier batches in a fixed
+        // order; a thread-dependent solution (or even a drifting node or
+        // iteration counter) is a real determinism regression.
+        eprintln!(
+            "BNB experiment: multi-thread exact solutions differ from the 1-thread reference"
+        );
         std::process::exit(1);
     }
 }
@@ -620,6 +629,179 @@ fn parallel_scaling() -> bool {
     match std::fs::write("BENCH_parallel.json", &json) {
         Ok(()) => println!("\n(wrote BENCH_parallel.json)\n"),
         Err(e) => println!("\n(could not write BENCH_parallel.json: {e})\n"),
+    }
+    all_identical
+}
+
+/// BNB — the exact core after parallel branch and bound + warm-started
+/// simplex, on a threads × n grid over the meal-plan scenario. Three claims
+/// under test:
+///
+/// 1. **Determinism** (the gate): the exact solve returns bit-identical
+///    packages, objectives, optimality flags *and* node/iteration counters
+///    at every thread count — frontier batches have fixed composition and
+///    merge in batch order, so threads change wall-clock only. Any mismatch
+///    makes the caller exit nonzero.
+/// 2. **Single-thread speed** (informational): warm-started children (dual
+///    simplex from the parent's basis) should put the 1-thread exact solve
+///    well under the pre-parallel baseline recorded in the SKETCH/PORTFOLIO
+///    experiments.
+/// 3. **Scaling** (informational): on multi-core hosts the batched LP
+///    relaxation solves shorten wall-clock further; the objective-gap column
+///    records how close sketch→refine gets to the proven optimum it races.
+///
+/// Writes `BENCH_bnb.json` (host core count included) as the
+/// machine-readable baseline. Returns false when any multi-thread run
+/// differs from its 1-thread reference.
+fn bnb_exact_core() -> bool {
+    use packagebuilder::config::default_num_threads;
+    let mut all_identical = true;
+    println!("## BNB — parallel branch & bound with warm starts across threads × n (meal plan)\n");
+    let widths = [6, 16, 8, 12, 14, 10, 12];
+    print_header(
+        &[
+            "n",
+            "strategy",
+            "threads",
+            "time (ms)",
+            "objective",
+            "optimal?",
+            "identical",
+        ],
+        &widths,
+    );
+    let host = default_num_threads();
+    let mut thread_grid: Vec<usize> = vec![1, 2];
+    if host > 2 {
+        thread_grid.push(host);
+    }
+    let mut json_rows: Vec<String> = Vec::new();
+    for n in [2_000usize, 8_000, 20_000] {
+        // The approximate rival first: sketch→refine at one thread, the
+        // latency/quality bar the exact core is chasing.
+        let sketch_engine = recipe_engine(n, Strategy::SketchRefine);
+        let t0 = Instant::now();
+        let sketch = run(&sketch_engine, MEAL_PLAN_QUERY);
+        let sketch_time = t0.elapsed();
+        let sketch_obj = sketch.best_objective();
+        print_row(
+            &[
+                n.to_string(),
+                "sketch-refine".into(),
+                "1".into(),
+                ms(sketch_time),
+                sketch_obj
+                    .map(|o| format!("{o:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                "no".into(),
+                "-".into(),
+            ],
+            &widths,
+        );
+        json_rows.push(format!(
+            "    {{\"n\": {n}, \"strategy\": \"sketch-refine\", \"threads\": 1, \
+             \"ms\": {:.3}, \"objective\": {}, \"optimal\": false, \
+             \"nodes\": {}, \"iterations\": {}, \"identical\": true}}",
+            sketch_time.as_secs_f64() * 1e3,
+            sketch_obj
+                .map(|o| format!("{o:.3}"))
+                .unwrap_or_else(|| "null".into()),
+            sketch.stats.nodes,
+            sketch.stats.iterations,
+        ));
+
+        // The exact solve across the thread grid; 1 thread is the reference
+        // every wider run must reproduce down to the counters.
+        type Fingerprint = (Option<u64>, Option<Package>, bool, u64, u64);
+        let mut reference: Option<(Fingerprint, std::time::Duration, Option<f64>)> = None;
+        for &threads in &thread_grid {
+            let mut engine = recipe_engine(n, Strategy::Ilp);
+            engine.config_mut().num_threads = threads;
+            let t0 = Instant::now();
+            let r = run(&engine, MEAL_PLAN_QUERY);
+            let elapsed = t0.elapsed();
+            let fp: Fingerprint = (
+                r.best_objective().map(f64::to_bits),
+                r.best().cloned(),
+                r.optimal,
+                r.stats.nodes,
+                r.stats.iterations,
+            );
+            let identical = match &reference {
+                None => {
+                    reference = Some((fp.clone(), elapsed, r.best_objective()));
+                    true
+                }
+                Some((reference, ..)) => *reference == fp,
+            };
+            all_identical &= identical;
+            print_row(
+                &[
+                    n.to_string(),
+                    "ilp".into(),
+                    threads.to_string(),
+                    ms(elapsed),
+                    r.best_objective()
+                        .map(|o| format!("{o:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                    if r.optimal { "yes".into() } else { "no".into() },
+                    if identical {
+                        "identical".into()
+                    } else {
+                        "DIFFERENT (!)".into()
+                    },
+                ],
+                &widths,
+            );
+            json_rows.push(format!(
+                "    {{\"n\": {n}, \"strategy\": \"ilp\", \"threads\": {threads}, \
+                 \"ms\": {:.3}, \"objective\": {}, \"optimal\": {}, \
+                 \"nodes\": {}, \"iterations\": {}, \"identical\": {identical}}}",
+                elapsed.as_secs_f64() * 1e3,
+                r.best_objective()
+                    .map(|o| format!("{o:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+                r.optimal,
+                r.stats.nodes,
+                r.stats.iterations,
+            ));
+        }
+        // Verdict: exact-vs-approximate latency and the objective gap the
+        // race pays for approximating.
+        if let Some((_, ilp_time, ilp_obj)) = &reference {
+            let gap = match (ilp_obj, sketch_obj) {
+                (Some(o), Some(s)) if *o > 0.0 => format!("{:.2}% gap", 100.0 * (o - s) / o),
+                _ => "-".into(),
+            };
+            print_row(
+                &[
+                    n.to_string(),
+                    "verdict".into(),
+                    "-".into(),
+                    format!(
+                        "{:.1}x sketch",
+                        ilp_time.as_secs_f64() / sketch_time.as_secs_f64().max(1e-9)
+                    ),
+                    gap,
+                    "-".into(),
+                    if all_identical {
+                        "identical".into()
+                    } else {
+                        "DIFFERENT (!)".into()
+                    },
+                ],
+                &widths,
+            );
+        }
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"bnb_exact_core\",\n  \"query\": \"meal_plan\",\n  \
+         \"host_threads\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_bnb.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_bnb.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_bnb.json: {e})\n"),
     }
     all_identical
 }

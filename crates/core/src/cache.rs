@@ -97,13 +97,40 @@ const MAX_BANK_MEMOS: usize = 32;
 /// the mechanism behind partition reuse: every [`CandidateView`] cloned or
 /// assembled from the same cached columns holds a clone of one memo, so
 /// whichever solver partitions first pays, and everyone after reads.
+///
+/// Since the warm-started exact core, the memo also carries **refinement
+/// sub-ILP solutions** (see [`PartitionMemo::sub_ilp`]): a repeated package
+/// query re-derives bit-identical per-partition sub-problems, and their
+/// proven-optimal solutions are as reusable as the partitioning itself.
 #[derive(Clone, Default)]
 pub struct PartitionMemo {
     inner: Arc<Mutex<MemoMap>>,
+    subs: Arc<Mutex<SubMap>>,
 }
 
 /// `(max_partition_size, seed)` → the memoized partitioning.
 type MemoMap = HashMap<(usize, u64), Arc<Partitioning>>;
+
+/// Bit-exact sub-ILP key → its proven-optimal solution.
+type SubMap = HashMap<Vec<u64>, Arc<SubIlpSolution>>;
+
+/// Growth bound for the sub-ILP solution memo; on overflow the map is
+/// cleared (a perf reset, never a correctness event — see
+/// [`PartitionMemo::store_sub_ilp`]).
+const MAX_SUB_MEMOS: usize = 1024;
+
+/// A memoized refinement sub-ILP outcome: the assignment (candidate index,
+/// multiplicity) plus the solver work it originally cost, so stats stay
+/// identical between a solved and a memo-served run.
+#[derive(Debug, Clone)]
+pub struct SubIlpSolution {
+    /// Chosen `(candidate index, multiplicity)` pairs, in member order.
+    pub assignment: Vec<(usize, u32)>,
+    /// Branch-and-bound nodes of the original solve.
+    pub nodes: u64,
+    /// Simplex iterations of the original solve.
+    pub iterations: u64,
+}
 
 impl PartitionMemo {
     fn lock(&self) -> MutexGuard<'_, MemoMap> {
@@ -152,6 +179,41 @@ impl PartitionMemo {
     /// True when nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
         self.lock().is_empty()
+    }
+
+    fn lock_subs(&self) -> MutexGuard<'_, SubMap> {
+        self.subs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The memoized solution of a refinement sub-ILP, if this exact
+    /// sub-problem has been solved to optimality before.
+    ///
+    /// `key` is a **bit-exact encoding** of the whole sub-problem (member
+    /// coefficients, operators, effective right-hand sides, bounds — see
+    /// `sub_ilp_key` in [`crate::sketch_refine`]), compared by value, so a
+    /// hit guarantees the solver would reproduce the stored assignment
+    /// exactly: serving it from the memo cannot change any result, only the
+    /// time it takes. That is the same cold-equals-warm contract the view
+    /// cache keeps.
+    pub fn sub_ilp(&self, key: &[u64]) -> Option<Arc<SubIlpSolution>> {
+        self.lock_subs().get(key).cloned()
+    }
+
+    /// Memoizes a sub-ILP solution under its bit-exact key. Callers must
+    /// only store solutions **proven optimal** for the keyed problem — a
+    /// limit-truncated incumbent depends on where the budget happened to
+    /// expire, which is exactly the nondeterminism the memo must not replay.
+    pub fn store_sub_ilp(&self, key: Vec<u64>, solution: SubIlpSolution) {
+        let mut subs = self.lock_subs();
+        if subs.len() >= MAX_SUB_MEMOS {
+            subs.clear();
+        }
+        subs.insert(key, Arc::new(solution));
+    }
+
+    /// Number of memoized sub-ILP solutions.
+    pub fn sub_ilp_len(&self) -> usize {
+        self.lock_subs().len()
     }
 }
 

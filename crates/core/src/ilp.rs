@@ -26,6 +26,7 @@ use paql::{AggFunc, CmpOp, ObjectiveDirection};
 use crate::budget::Budget;
 use crate::error::PbError;
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::result::{EvalStats, StrategyUsed};
 use crate::view::{CandidateView, CompiledConstraint, CompiledExpr, CompiledFormula};
 use crate::PbResult;
@@ -427,6 +428,13 @@ pub struct IlpOutcome {
     pub stats: EvalStats,
 }
 
+/// Minimum candidate count before the ILP hands its thread budget to the
+/// branch-and-bound layer. Below this a node LP solves in microseconds and
+/// per-solve worker spawn would dominate — small problems (sketch-refine
+/// sub-ILPs among them) stay inline. A size threshold, never a thread-count
+/// one, so it cannot affect result determinism.
+const PAR_MIN_CANDIDATES: usize = 512;
+
 /// Solves a view with the ILP strategy, returning up to `num_packages`
 /// packages (additional packages require binary multiplicities and use
 /// no-good cuts, per the paper's Section 5 discussion).
@@ -439,6 +447,21 @@ pub fn solve_ilp(
     solver: &SolverConfig,
     num_packages: usize,
     budget: &Budget,
+) -> PbResult<IlpOutcome> {
+    solve_ilp_par(view, solver, num_packages, budget, ParExec::sequential())
+}
+
+/// [`solve_ilp`] with a thread budget: `par.threads()` is handed to the
+/// branch-and-bound layer (via [`SolverConfig::num_threads`]), which solves
+/// each frontier batch's LP relaxations concurrently. Results are
+/// bit-identical at every thread count — the solver's batch boundaries and
+/// merge order are fixed — so this is purely a latency knob.
+pub fn solve_ilp_par(
+    view: &CandidateView,
+    solver: &SolverConfig,
+    num_packages: usize,
+    budget: &Budget,
+    par: ParExec,
 ) -> PbResult<IlpOutcome> {
     let start = std::time::Instant::now();
     // An already-spent budget skips even the translation (building one
@@ -459,6 +482,9 @@ pub fn solve_ilp(
     let IlpTranslation { mut problem, vars } = translate(view)?;
     let mut config = solver.clone();
     budget.apply_to_solver(&mut config);
+    if view.candidate_count() >= PAR_MIN_CANDIDATES {
+        config.num_threads = par.threads();
+    }
 
     let mut packages = Vec::new();
     let mut complete = true;

@@ -33,10 +33,25 @@
 //! executor's threads among concurrent consumers, which is how the portfolio
 //! race gives each racing worker `num_threads / workers` threads for its own
 //! intra-solver fan-out instead of oversubscribing the host.
+//!
+//! # The persistent pool
+//!
+//! Fan-outs execute on a process-wide pool of long-lived worker threads
+//! (spawned lazily on the first parallel scan, one per host core), not on
+//! per-scan `std::thread::scope` spawns: a package query runs hundreds of
+//! chunked scans, and ~50 µs of spawn/join per scan was pure overhead. The
+//! pool is **help-first**: the caller posts a job asking for up to
+//! `threads − 1` helpers, then immediately starts claiming chunks itself
+//! from the same shared counter. Helpers that arrive late (or never,
+//! because the pool is busy with another scan) only *speed the scan up* —
+//! the caller alone is always sufficient, so nested fan-outs and a
+//! saturated pool degrade to inline execution instead of deadlocking.
+//! Chunk *results* still land in their chunk-index slot, so which thread
+//! ran what remains invisible to the caller.
 
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 
 /// Width of one column chunk, in elements. 4096 `f64`s = 32 KiB — two or
 /// eight L1 data caches' worth depending on the core, and a multiple of
@@ -129,35 +144,54 @@ impl ParExec {
             // Sequential degradation: same chunks, same order, no threads.
             return (0..chunks).map(|c| f(c, range(c))).collect();
         }
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let (tx, rx) = mpsc::channel::<(usize, R)>();
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks {
-                        break;
-                    }
-                    if tx.send((c, f(c, range(c)))).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (c, r) in rx {
-                slots[c] = Some(r);
-            }
-        });
-        // Every chunk index was claimed exactly once and either sent its
-        // result or panicked — and a worker panic propagates out of the
-        // scope above before this line can run.
+
+        // Parallel path: result slots indexed by chunk, filled exactly once
+        // by whichever thread claims the chunk, read only after the job's
+        // completion barrier.
+        let slots: Vec<Slot<R>> = (0..chunks)
+            .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+            .collect();
+
+        /// Monomorphized chunk runner handed to the type-erased pool job.
+        ///
+        /// # Safety
+        /// `ctx` must point at a live `Ctx<R, F>` whose `slots` array has
+        /// `>= chunks` entries, and each `c` must be claimed at most once.
+        unsafe fn run_one<R, F>(ctx: *const (), c: usize)
+        where
+            R: Send,
+            F: Fn(usize, Range<usize>) -> R + Sync,
+        {
+            let ctx = unsafe { &*(ctx as *const Ctx<R, F>) };
+            let start = c * ctx.width;
+            let r = unsafe { (*ctx.f)(c, start..(start + ctx.width).min(ctx.n)) };
+            unsafe { (*(*ctx.slots.add(c)).0.get()).write(r) };
+        }
+
+        let ctx = Ctx {
+            n,
+            width,
+            slots: slots.as_ptr(),
+            f: &f as *const F,
+        };
+        let panicked = pool::run_erased(
+            chunks,
+            workers - 1,
+            &ctx as *const Ctx<R, F> as *const (),
+            run_one::<R, F>,
+        );
+        if panicked {
+            // Initialized results leak rather than risking a double read;
+            // mirrors the old scoped executor, where a worker panic
+            // propagated out of the scope before any slot was consumed.
+            std::mem::forget(slots);
+            panic!("parallel chunk worker panicked");
+        }
+        // The completion barrier in `run_erased` (Acquire on the done
+        // counter) ordered every slot write before this point.
         slots
             .into_iter()
-            .map(|s| s.expect("scoped worker filled every chunk slot"))
+            .map(|s| unsafe { s.0.into_inner().assume_init() })
             .collect()
     }
 
@@ -181,10 +215,217 @@ impl Default for ParExec {
     }
 }
 
+/// One result slot, written once by the claiming thread and read once by the
+/// caller after the completion barrier.
+struct Slot<R>(UnsafeCell<MaybeUninit<R>>);
+
+// SAFETY: the pool protocol guarantees exclusive access per slot — each
+// chunk index is claimed by exactly one thread (atomic counter), and the
+// caller reads only after observing `done == chunks` with Acquire ordering.
+unsafe impl<R: Send> Sync for Slot<R> {}
+
+/// Raw-pointer context for a type-erased fan-out; lives on the caller's
+/// stack for the duration of `pool::run_erased`, which must not return while
+/// any thread can still dereference it (see the pool's safety argument).
+struct Ctx<R, F> {
+    n: usize,
+    width: usize,
+    slots: *const Slot<R>,
+    f: *const F,
+}
+
+/// The process-wide persistent worker pool.
+///
+/// # Protocol
+///
+/// [`run_erased`](pool::run_erased) publishes a [`Job`](pool::Job) — a claim
+/// counter over `chunks` indices plus a type-erased chunk runner — enqueues
+/// up to `helpers` references to it for the pool's long-lived workers, and
+/// then **helps**: the calling thread claims chunks from the same counter
+/// until none remain, and finally blocks on the job's completion latch
+/// (`done == chunks`). Helpers do the same claim loop when they pick the job
+/// up; a helper that arrives after the counter is exhausted returns without
+/// ever touching the job's context pointer.
+///
+/// # Safety argument
+///
+/// The job holds a raw pointer into the caller's stack frame. That pointer
+/// is dereferenced only inside `run_chunk(ctx, c)` for a successfully
+/// claimed `c < chunks`, and every such call must finish (incrementing
+/// `done` with Release) before the caller's wait on `done == chunks`
+/// (Acquire) can succeed — so no dereference can happen after `run_erased`
+/// returns. Stale job references left in the queue by a fast scan are
+/// harmless: their claim counter is exhausted, so late workers drop them
+/// without a dereference.
+///
+/// # Why helping matters
+///
+/// The caller never *depends* on the pool: if every worker is busy with
+/// another scan (or the pool failed to spawn), the caller simply runs all
+/// chunks itself. That makes nested fan-outs trivially deadlock-free — an
+/// inner scan posted from a pool worker is just another job that its caller
+/// can fully drain alone.
+mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// Upper bound on pool threads, above any sane core count for this
+    /// workload.
+    const MAX_POOL_THREADS: usize = 64;
+
+    /// A posted fan-out: helpers and the caller claim chunk indices from
+    /// `next` and run `run_chunk` on each; `done` is the completion latch.
+    pub(super) struct Job {
+        next: AtomicUsize,
+        chunks: usize,
+        done: AtomicUsize,
+        panicked: AtomicBool,
+        ctx: *const (),
+        run_chunk: unsafe fn(*const (), usize),
+        lock: Mutex<()>,
+        cv: Condvar,
+    }
+
+    // SAFETY: `ctx` crosses threads by design; the dereference discipline is
+    // documented on the module. Everything else in the struct is Sync.
+    unsafe impl Send for Job {}
+    unsafe impl Sync for Job {}
+
+    impl Job {
+        /// Claims and runs chunks until the counter is exhausted. Run by the
+        /// caller and by any helper that picks the job up.
+        fn help(&self) {
+            loop {
+                let c = self.next.fetch_add(1, Ordering::Relaxed);
+                if c >= self.chunks {
+                    return;
+                }
+                // A panicking chunk still counts as done (otherwise the
+                // caller's latch would hang); the caller re-raises.
+                let r = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    (self.run_chunk)(self.ctx, c)
+                }));
+                if r.is_err() {
+                    self.panicked.store(true, Ordering::Relaxed);
+                }
+                if self.done.fetch_add(1, Ordering::Release) + 1 == self.chunks {
+                    let _g = self.lock.lock().unwrap();
+                    self.cv.notify_all();
+                }
+            }
+        }
+
+        /// Blocks until every chunk has run. The Acquire load pairs with the
+        /// Release increments in [`Job::help`], ordering all slot writes
+        /// before the caller's reads.
+        fn wait_done(&self) {
+            let mut g = self.lock.lock().unwrap();
+            while self.done.load(Ordering::Acquire) < self.chunks {
+                g = self.cv.wait(g).unwrap();
+            }
+        }
+    }
+
+    struct Shared {
+        queue: Mutex<VecDeque<Arc<Job>>>,
+        work: Condvar,
+    }
+
+    struct Pool {
+        shared: Arc<Shared>,
+        /// Worker threads actually spawned (0 if the host refused).
+        workers: usize,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let shared = Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+            });
+            let want = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_POOL_THREADS);
+            let mut workers = 0;
+            for _ in 0..want {
+                let sh = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("pb-par-worker".into())
+                    .spawn(move || worker_main(&sh));
+                if spawned.is_ok() {
+                    workers += 1;
+                }
+            }
+            Pool { shared, workers }
+        })
+    }
+
+    fn worker_main(sh: &Shared) {
+        loop {
+            let job = {
+                let mut q = sh.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = sh.work.wait(q).unwrap();
+                }
+            };
+            job.help();
+        }
+    }
+
+    /// Runs `chunks` chunk invocations of `run_chunk` with up to `helpers`
+    /// pool workers assisting the calling thread. Returns whether any chunk
+    /// panicked (the caller re-raises; results must then not be read).
+    ///
+    /// # Safety (for callers)
+    ///
+    /// `ctx` must stay valid until this function returns, and
+    /// `run_chunk(ctx, c)` must be safe for every `c < chunks` claimed at
+    /// most once. Both hold for the single call site in
+    /// [`ParExec::run_chunks_width`](super::ParExec::run_chunks_width).
+    pub(super) fn run_erased(
+        chunks: usize,
+        helpers: usize,
+        ctx: *const (),
+        run_chunk: unsafe fn(*const (), usize),
+    ) -> bool {
+        let job = Arc::new(Job {
+            next: AtomicUsize::new(0),
+            chunks,
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            ctx,
+            run_chunk,
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let p = pool();
+        let helpers = helpers.min(p.workers);
+        if helpers > 0 {
+            let mut q = p.shared.queue.lock().unwrap();
+            for _ in 0..helpers {
+                q.push_back(Arc::clone(&job));
+            }
+            drop(q);
+            p.shared.work.notify_all();
+        }
+        job.help();
+        job.wait_done();
+        job.panicked.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn chunk_math_covers_the_range_exactly_once() {
@@ -276,5 +517,34 @@ mod tests {
     fn explicit_widths_respect_boundaries() {
         let got = ParExec::new(3).run_chunks_width(10, 4, |c, r| (c, r.start, r.end));
         assert_eq!(got, vec![(0, 0, 4), (1, 4, 8), (2, 8, 10)]);
+    }
+
+    #[test]
+    fn pool_survives_many_back_to_back_scans() {
+        // The persistent pool must hand back correct, ordered results across
+        // repeated fan-outs (the per-query pattern: hundreds of scans reuse
+        // the same long-lived workers).
+        let n = 7 * CHUNK_WIDTH + 11;
+        let expected: Vec<usize> = ParExec::sequential().run_chunks(n, |_, r| r.len());
+        for _ in 0..50 {
+            assert_eq!(ParExec::new(4).run_chunks(n, |_, r| r.len()), expected);
+        }
+    }
+
+    #[test]
+    fn nested_fan_out_does_not_deadlock() {
+        // An outer scan whose chunk closures themselves fan out: inner jobs
+        // may find every pool worker busy, in which case their callers drain
+        // the chunks alone. Results stay ordered at both levels.
+        let outer = 4 * CHUNK_WIDTH;
+        let got = ParExec::new(4).run_chunks(outer, |c, _| {
+            let inner: usize = ParExec::new(4)
+                .run_chunks_width(3 * CHUNK_WIDTH, CHUNK_WIDTH, |ic, _| ic)
+                .into_iter()
+                .sum();
+            (c, inner)
+        });
+        let want: Vec<(usize, usize)> = (0..4).map(|c| (c, 3)).collect();
+        assert_eq!(got, want);
     }
 }

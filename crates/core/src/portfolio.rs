@@ -26,6 +26,7 @@ use paql::ObjectiveDirection;
 use crate::config::Strategy;
 use crate::error::PbError;
 use crate::package::Package;
+use crate::par::ParExec;
 use crate::result::{EvalStats, StrategyUsed};
 use crate::solver::{solver_for, SolveOptions, SolveOutcome, Solver};
 use crate::view::CandidateView;
@@ -92,6 +93,48 @@ impl Default for PortfolioSolver {
     }
 }
 
+/// Per-worker thread budgets for one race: a *weighted* split of the
+/// caller's [`ParExec`] rather than a uniform one.
+///
+/// The heuristic workers (greedy, local search, exhaustive enumeration) are
+/// inherently sequential scans — handing each of them `threads / W` cores
+/// would leave those cores idle for all but the first milliseconds of the
+/// race. Each heuristic gets exactly one thread, and the workers with a real
+/// intra-solver fan-out (the exact ILP's parallel branch and bound,
+/// sketch→refine's chunked scans) share everything that remains, earliest
+/// worker first on uneven remainders (deterministic). The total never
+/// exceeds the caller's grant; with no fan-out worker present, or nothing to
+/// spare beyond one thread per worker, this degrades to the uniform
+/// [`ParExec::split`]. Thread budgets change wall-clock only — every
+/// solver's result is bit-identical at any thread count — so the re-split
+/// can never change the race's winner ranking, just how fast the exact
+/// worker gets there.
+fn thread_split(workers: &[Strategy], par: ParExec) -> Vec<ParExec> {
+    let total = par.threads();
+    let wide: Vec<bool> = workers
+        .iter()
+        .map(|w| matches!(w, Strategy::Ilp | Strategy::SketchRefine))
+        .collect();
+    let n_wide = wide.iter().filter(|&&w| w).count();
+    if n_wide == 0 || total <= workers.len() {
+        return vec![par.split(workers.len()); workers.len()];
+    }
+    let spare = total - (workers.len() - n_wide);
+    let base = spare / n_wide;
+    let mut extra = spare % n_wide;
+    wide.iter()
+        .map(|&w| {
+            if w {
+                let t = base + usize::from(extra > 0);
+                extra = extra.saturating_sub(1);
+                ParExec::new(t)
+            } else {
+                ParExec::new(1)
+            }
+        })
+        .collect()
+}
+
 /// True when outcome `a` should win the race over outcome `b`.
 fn beats(a: &SolveOutcome, b: &SolveOutcome, direction: ObjectiveDirection) -> bool {
     let a_has = !a.packages.is_empty();
@@ -129,11 +172,11 @@ impl Solver for PortfolioSolver {
         // race (below) never trips the flag inside the caller's options.
         let race = opts.budget.child();
         // One shared thread budget: racing workers and their intra-solver
-        // chunk fan-out split `opts.par` instead of multiplying it — W
-        // workers × (threads / W) inner threads never oversubscribe what the
-        // caller granted. (The split changes wall-clock only; every solver's
-        // result is bit-identical at any thread count.)
-        let worker_par = opts.par.split(solvers.len());
+        // fan-out split `opts.par` instead of multiplying it — the per-worker
+        // grants never oversubscribe what the caller granted, and the split
+        // is weighted so the exact workers get the cores the sequential
+        // heuristics cannot use (see [`thread_split`]).
+        let worker_pars = thread_split(&self.workers, opts.par);
 
         let mut slots: Vec<Option<PbResult<SolveOutcome>>> = thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, PbResult<SolveOutcome>)>();
@@ -141,7 +184,7 @@ impl Solver for PortfolioSolver {
                 let tx = tx.clone();
                 let worker_opts = SolveOptions {
                     budget: race.clone(),
-                    par: worker_par,
+                    par: worker_pars[i],
                     ..opts.clone()
                 };
                 scope.spawn(move || {
@@ -321,6 +364,40 @@ mod tests {
             assert_eq!(race.optimal, alone.optimal);
             assert_eq!(race.stats.nodes, alone.stats.nodes);
             assert_eq!(race.stats.iterations, alone.stats.iterations);
+        }
+    }
+
+    #[test]
+    fn thread_split_favors_exact_workers_without_oversubscribing() {
+        let canonical = PortfolioSolver::default().workers;
+        // 8 threads over [Ilp, SketchRefine, LocalSearch, Greedy]: the two
+        // heuristics take 1 each, the two fan-out workers share the rest.
+        let grants: Vec<usize> = thread_split(&canonical, ParExec::new(8))
+            .into_iter()
+            .map(ParExec::threads)
+            .collect();
+        assert_eq!(grants, vec![3, 3, 1, 1]);
+        // An odd remainder lands on the earliest fan-out worker.
+        let grants: Vec<usize> = thread_split(&canonical, ParExec::new(9))
+            .into_iter()
+            .map(ParExec::threads)
+            .collect();
+        assert_eq!(grants, vec![4, 3, 1, 1]);
+        // Nothing to spare: degrade to the uniform split (1 thread each).
+        for total in [1, 2, 4] {
+            let grants = thread_split(&canonical, ParExec::new(total));
+            assert!(grants.iter().all(|g| g.threads() == 1));
+        }
+        // No fan-out worker at all: uniform split again.
+        let grants = thread_split(&[Strategy::Greedy, Strategy::LocalSearch], ParExec::new(16));
+        assert!(grants.iter().all(|g| g.threads() == 8));
+        // The total grant never exceeds the caller's budget.
+        for total in 1..=12 {
+            let sum: usize = thread_split(&canonical, ParExec::new(total))
+                .into_iter()
+                .map(ParExec::threads)
+                .sum();
+            assert!(sum <= total.max(canonical.len()));
         }
     }
 

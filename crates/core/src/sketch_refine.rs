@@ -43,9 +43,12 @@
 //! (and of budget checking) is one partition, which is exactly a chunk of
 //! candidates by construction.
 
-use lp_solver::{Problem, Sense, VarId, VarType};
+use std::collections::HashMap;
+
+use lp_solver::{ConstraintOp, Problem, Sense, VarId, VarType};
 use paql::ObjectiveDirection;
 
+use crate::cache::SubIlpSolution;
 use crate::error::PbError;
 use crate::greedy::repair_to_feasibility;
 use crate::ilp::{linearize_formula, linearize_objective, LinearConstraint};
@@ -288,9 +291,18 @@ fn sketch_and_refine(
         counts: &counts,
         opts,
     };
+    // Last successful sub-ILP assignment per partition, across backtracking
+    // passes of *this* query. A re-refined partition hints its previous
+    // assignment into `solve_milp_hinted` as the starting incumbent — the
+    // right-hand sides shift between passes, but the old package is often
+    // still feasible and near-optimal, so branch and bound starts with a
+    // strong bound instead of none. Hints are deterministic (the map is only
+    // read/written by partition id, never iterated), so the backtracking
+    // sequence stays bit-identical run to run.
+    let mut hints: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
     let mut backtracks = 0;
     let mut state = loop {
-        match refine_pass(&ctx, &order, true, counters) {
+        match refine_pass(&ctx, &order, true, &mut hints, counters) {
             Ok(state) => break state,
             Err(failed) => {
                 backtracks += 1;
@@ -301,7 +313,7 @@ fn sketch_and_refine(
                     // cannot report a failed partition by construction — if
                     // one ever does, surface it as an internal error (PR-2
                     // convention) instead of panicking mid-solve.
-                    break refine_pass(&ctx, &order, false, counters).map_err(|p| {
+                    break refine_pass(&ctx, &order, false, &mut hints, counters).map_err(|p| {
                         PbError::Internal(format!(
                             "non-strict refine pass reported failed partition {p}"
                         ))
@@ -344,6 +356,7 @@ fn refine_pass<'v>(
     ctx: &RefineCtx<'v>,
     order: &[usize],
     strict: bool,
+    hints: &mut HashMap<usize, Vec<(usize, u32)>>,
     counters: &mut Counters,
 ) -> Result<ViewState<'v>, usize> {
     let mut state = ViewState::empty(ctx.view);
@@ -372,8 +385,9 @@ fn refine_pass<'v>(
             }
             return Ok(state);
         }
-        match solve_partition(ctx, p, &fixed, &rem, counters) {
+        match solve_partition(ctx, p, &fixed, &rem, hints.get(&p), counters) {
             Some(assignment) => {
+                hints.insert(p, assignment.clone());
                 for &(idx, mult) in &assignment {
                     state.apply(idx, mult as i64);
                     for (c, row) in ctx.rows.iter().enumerate() {
@@ -399,16 +413,90 @@ fn refine_pass<'v>(
     Ok(state)
 }
 
+/// Bit-exact identity of one partition's sub-ILP, used as the
+/// [`crate::cache::PartitionMemo`] memo key (see [`PartitionMemo::sub_ilp`]).
+///
+/// The key encodes *everything* that determines the solve's result and its
+/// node/iteration counters: the partitioning identity (size, seed, partition
+/// id, member count), the multiplicity bound, the result-relevant solver
+/// knobs (tolerances and work limits — but not threads, deadlines, or stop
+/// flags, which by the determinism and anytime contracts can only truncate a
+/// solve, never change a *proven-optimal* one), and per row the operator,
+/// the effective right-hand side `rhs − fixed − rem`, and every member
+/// coefficient as raw `f64` bits. Keys are compared by value (a `HashMap`
+/// probe ends in `Eq`), so a hash collision can never serve a wrong answer.
+///
+/// [`PartitionMemo::sub_ilp`]: crate::cache::PartitionMemo::sub_ilp
+fn sub_ilp_key(ctx: &RefineCtx<'_>, p: usize, fixed: &[f64], rem: &[f64]) -> Vec<u64> {
+    let members = &ctx.parts[p].members;
+    let cfg = &ctx.opts.solver;
+    let mut key = Vec::with_capacity(9 + ctx.rows.len() * (members.len() + 2) + members.len() + 1);
+    key.push(ctx.opts.sketch_partition_size as u64);
+    key.push(ctx.opts.seed);
+    key.push(p as u64);
+    key.push(members.len() as u64);
+    key.push(ctx.view.max_multiplicity() as u64);
+    key.push(cfg.tolerance.to_bits());
+    key.push(cfg.int_tolerance.to_bits());
+    key.push(cfg.max_iterations as u64);
+    key.push(cfg.max_nodes as u64);
+    for (c, row) in ctx.rows.iter().enumerate() {
+        key.push(match row.op {
+            ConstraintOp::Le => 0,
+            ConstraintOp::Ge => 1,
+            ConstraintOp::Eq => 2,
+        });
+        key.push((row.rhs - fixed[c] - rem[c]).to_bits());
+        for &i in members.iter() {
+            key.push(row.coeffs[i].to_bits());
+        }
+    }
+    match ctx.obj_coeffs {
+        Some(obj) => {
+            key.push(1);
+            for &i in members.iter() {
+                key.push(obj[i].to_bits());
+            }
+        }
+        None => key.push(0),
+    }
+    key
+}
+
 /// Sub-ILP over one partition's real tuples: the original rows with every
 /// other partition's contribution moved to the right-hand side.
+///
+/// Two warm-start layers sit in front of the raw solve:
+///
+/// 1. **Cross-query memo** ([`crate::cache::PartitionMemo`]): an identical
+///    sub-problem solved to proven optimality before (same view, same
+///    partitioning, same effective right-hand sides — see [`sub_ilp_key`])
+///    replays its stored assignment *and counters* without solving at all.
+///    Replaying the counters keeps a memo-served run's [`EvalStats`]
+///    bit-identical to the run that did the work, preserving the cold/warm
+///    equality contract from the view-cache PR.
+/// 2. **Within-query hint**: on a backtracking re-refine, the partition's
+///    previous assignment seeds branch and bound's incumbent through
+///    [`lp_solver::solve_milp_hinted`] — an infeasible hint (the right-hand
+///    sides moved) is silently ignored, a feasible one prunes from node one.
+///
+/// [`EvalStats`]: crate::result::EvalStats
 fn solve_partition(
     ctx: &RefineCtx<'_>,
     p: usize,
     fixed: &[f64],
     rem: &[f64],
+    hint: Option<&Vec<(usize, u32)>>,
     counters: &mut Counters,
 ) -> Option<Vec<(usize, u32)>> {
     let members = &ctx.parts[p].members;
+    let memo = ctx.view.partition_memo();
+    let key = sub_ilp_key(ctx, p, fixed, rem);
+    if let Some(hit) = memo.sub_ilp(&key) {
+        counters.nodes += hit.nodes;
+        counters.iterations += hit.iterations;
+        return Some(hit.assignment.clone());
+    }
     let r = ctx.view.max_multiplicity() as f64;
     let mut problem = Problem::new(match ctx.view.direction() {
         ObjectiveDirection::Maximize => Sense::Maximize,
@@ -436,22 +524,43 @@ fn solve_partition(
     }
     let mut config = ctx.opts.solver.clone();
     ctx.opts.budget.apply_to_solver(&mut config);
-    let solution = match lp_solver::solve(&problem, &config) {
+    let hint_values: Option<Vec<f64>> = hint.map(|assignment| {
+        let mut v = vec![0.0; members.len()];
+        for &(i, mult) in assignment {
+            if let Some(k) = members.iter().position(|&m| m == i) {
+                v[k] = mult as f64;
+            }
+        }
+        v
+    });
+    let solution = match lp_solver::solve_milp_hinted(&problem, &config, hint_values.as_deref()) {
         Ok(s) if s.status.has_solution() => s,
         _ => return None,
     };
     counters.nodes += solution.nodes as u64;
     counters.iterations += solution.iterations as u64;
-    Some(
-        members
-            .iter()
-            .enumerate()
-            .filter_map(|(k, &i)| {
-                let mult = solution.value_rounded(vars[k]).max(0) as u32;
-                (mult > 0).then_some((i, mult.min(ctx.view.max_multiplicity())))
-            })
-            .collect(),
-    )
+    let assignment: Vec<(usize, u32)> = members
+        .iter()
+        .enumerate()
+        .filter_map(|(k, &i)| {
+            let mult = solution.value_rounded(vars[k]).max(0) as u32;
+            (mult > 0).then_some((i, mult.min(ctx.view.max_multiplicity())))
+        })
+        .collect();
+    // Only a *proven* optimum is reusable: a deadline- or limit-truncated
+    // incumbent depends on how far the search got, which the key must not
+    // (and does not) encode.
+    if solution.status == lp_solver::Status::Optimal {
+        memo.store_sub_ilp(
+            key,
+            SubIlpSolution {
+                assignment: assignment.clone(),
+                nodes: solution.nodes as u64,
+                iterations: solution.iterations as u64,
+            },
+        );
+    }
+    Some(assignment)
 }
 
 /// Greedy degradation for one partition: take its sketched multiplicity in

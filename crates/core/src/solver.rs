@@ -27,7 +27,7 @@ use crate::config::{EngineConfig, Strategy};
 use crate::enumerate::{enumerate, EnumerationOptions};
 use crate::error::PbError;
 use crate::greedy::{starting_package, StartHeuristic};
-use crate::ilp::solve_ilp;
+use crate::ilp::solve_ilp_par;
 use crate::local_search::{local_search, LocalSearchOptions};
 use crate::package::Package;
 use crate::par::ParExec;
@@ -155,7 +155,13 @@ impl Solver for IlpSolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
-        let out = solve_ilp(view, &opts.solver, opts.num_packages, &opts.budget)?;
+        let out = solve_ilp_par(
+            view,
+            &opts.solver,
+            opts.num_packages,
+            &opts.budget,
+            opts.par,
+        )?;
         Ok(SolveOutcome {
             packages: out.packages,
             optimal: out.complete,

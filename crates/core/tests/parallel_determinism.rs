@@ -18,7 +18,7 @@ use minidb::{Catalog, Table};
 use packagebuilder::budget::Budget;
 use packagebuilder::config::{EngineConfig, Strategy};
 use packagebuilder::par::ParExec;
-use packagebuilder::solver::{GreedySolver, LocalSearchSolver, SolveOptions, Solver};
+use packagebuilder::solver::{GreedySolver, IlpSolver, LocalSearchSolver, SolveOptions, Solver};
 use packagebuilder::spec::PackageSpec;
 use packagebuilder::{PackageEngine, PackageResult, SketchRefineSolver};
 use proptest::prelude::*;
@@ -250,6 +250,110 @@ fn parallel_view_builds_match_sequential_builds() {
             assert_eq!(s.included(), p.included(), "{threads} threads");
             assert_eq!(s.chunk_meta(), p.chunk_meta(), "{threads} threads");
         }
+    }
+}
+
+/// The exact core under fan-out: parallel branch and bound (batched frontier
+/// solves, merged in batch order — see `lp_solver::branch_bound`) returns
+/// bit-identical packages, objectives, optimality flags *and* node/iteration
+/// counters at every thread count. The candidate set is wide enough
+/// (2 000 ≥ the ILP's parallel threshold) that the thread budget genuinely
+/// reaches the solver, so this pins the whole plumbing chain:
+/// `EngineConfig::num_threads` → `SolveOptions::par` → `SolverConfig::num_threads`.
+#[test]
+fn exact_ilp_is_thread_count_invariant() {
+    let reference = run_at(recipes(2_000, Seed(11)), Strategy::Ilp, 1, WIDE_QUERY);
+    let ok = reference.as_ref().expect("exact solve at n=2000 succeeds");
+    assert!(ok.optimal, "the exact worker should prove optimality here");
+    for threads in [2usize, 8] {
+        let run = run_at(recipes(2_000, Seed(11)), Strategy::Ilp, threads, WIDE_QUERY);
+        assert_runs_identical(
+            &reference,
+            &run,
+            &format!("Ilp at {threads} threads, n=2000"),
+        );
+    }
+}
+
+/// Same pin across all four datagen scenarios at a width past the parallel
+/// threshold, with branching-heavy equality/band constraints so branch and
+/// bound explores a real frontier (an integral root relaxation would make
+/// the parallel path trivially identical).
+#[test]
+fn exact_ilp_is_thread_count_invariant_across_scenarios() {
+    let cases: [(Scenario, &str); 4] = [
+        (
+            Scenario::Recipes,
+            "SELECT PACKAGE(R) AS P FROM recipes R \
+             SUCH THAT COUNT(*) = 4 AND SUM(P.calories) BETWEEN 2400 AND 2600 \
+             MAXIMIZE SUM(P.protein)",
+        ),
+        (
+            Scenario::Stocks,
+            "SELECT PACKAGE(R) AS P FROM stocks R \
+             SUCH THAT COUNT(*) = 3 AND SUM(P.price) <= 260 MAXIMIZE SUM(P.expected_return)",
+        ),
+        (
+            Scenario::Travel,
+            "SELECT PACKAGE(R) AS P FROM travel_options R \
+             SUCH THAT COUNT(*) <= 4 AND SUM(P.price) <= 900 MAXIMIZE SUM(P.comfort)",
+        ),
+        (
+            Scenario::Synthetic,
+            "SELECT PACKAGE(R) AS P FROM t R \
+             SUCH THAT COUNT(*) = 5 AND SUM(P.w) <= 70 MAXIMIZE SUM(P.v)",
+        ),
+    ];
+    for (scenario, query) in cases {
+        let table = |seed| match scenario {
+            Scenario::Recipes => recipes(700, Seed(seed)),
+            Scenario::Stocks => stocks(700, Seed(seed)),
+            Scenario::Travel => travel_options(300, 250, 150, Seed(seed)),
+            Scenario::Synthetic => uniform_table("t", 700, 2.0, 30.0, Seed(seed)),
+        };
+        let reference = run_at(table(17), Strategy::Ilp, 1, query);
+        for threads in [2usize, 8] {
+            let run = run_at(table(17), Strategy::Ilp, threads, query);
+            assert_runs_identical(
+                &reference,
+                &run,
+                &format!("Ilp/{scenario:?} at {threads} threads"),
+            );
+        }
+    }
+}
+
+/// The anytime contract *inside* parallel branch and bound: a budget that
+/// expires while a frontier batch is in flight stops the search at the next
+/// batch boundary with the incumbent kept — never an error, never an
+/// unbounded overrun, never a claimed optimum.
+#[test]
+fn budget_expiry_mid_batch_keeps_the_anytime_contract() {
+    let table = recipes(4_000, Seed(20140901));
+    let query = "SELECT PACKAGE(R) AS P FROM recipes R \
+        SUCH THAT COUNT(*) = 10 AND SUM(P.calories) BETWEEN 5000 AND 5200 \
+        MAXIMIZE SUM(P.protein)";
+    let analyzed = paql::compile(query, table.schema()).unwrap();
+    let spec = PackageSpec::build(&analyzed, &table).unwrap();
+    let limit = Duration::from_millis(30);
+    let allowed = limit * 2 + Duration::from_millis(120);
+    let opts = SolveOptions {
+        budget: Budget::with_limit(limit),
+        par: ParExec::new(8),
+        ..SolveOptions::default()
+    };
+    let start = Instant::now();
+    let out = IlpSolver
+        .solve(spec.view(), &opts)
+        .expect("a truncated exact solve degrades, it does not fail");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed <= allowed,
+        "exact solver overran its {limit:?} budget under 8 threads: {elapsed:?}"
+    );
+    assert!(!out.optimal, "a truncated solve must not claim optimality");
+    for (p, _) in &out.packages {
+        assert!(spec.is_valid(p).unwrap());
     }
 }
 

@@ -171,6 +171,35 @@ fn partitioning_is_computed_once_across_repeated_queries() {
 }
 
 #[test]
+fn sub_ilp_memo_serves_warm_refines_with_identical_stats() {
+    // The refine phase memoizes each partition's *proven-optimal* sub-ILP in
+    // the cached view's `PartitionMemo`; a repeated query replays the stored
+    // assignments and their node/iteration counters instead of re-solving.
+    // The contract is the cache PR's, one level deeper: warm must equal cold
+    // down to the evaluation counters.
+    let e = engine(
+        2_000,
+        13,
+        EngineConfig::with_strategy(Strategy::SketchRefine).with_seed(13),
+    );
+    let cold = e.execute_paql(MEAL_QUERY).unwrap();
+    let query = paql::parse(MEAL_QUERY).unwrap();
+    let spec = e.build_spec(&query).unwrap();
+    assert!(
+        spec.view().partition_memo().sub_ilp_len() > 0,
+        "the cold refine pass stored no sub-ILP solutions"
+    );
+    let warm = e.execute_paql(MEAL_QUERY).unwrap();
+    assert_eq!(cold.best(), warm.best());
+    assert_eq!(cold.objectives, warm.objectives);
+    assert_eq!(cold.stats.nodes, warm.stats.nodes, "node counters drifted");
+    assert_eq!(
+        cold.stats.iterations, warm.stats.iterations,
+        "iteration counters drifted"
+    );
+}
+
+#[test]
 fn engines_can_share_a_cache() {
     let cache = ViewCache::new(8);
     let mut catalog = Catalog::new();

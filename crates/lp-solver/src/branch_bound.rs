@@ -2,34 +2,114 @@
 //!
 //! The MILP layer drives the LP relaxation solver of [`crate::simplex`]:
 //! each node tightens the bounds of one integer variable (floor/ceil of its
-//! fractional relaxation value). Nodes are explored best-bound-first so the
-//! incumbent improves quickly on package ILPs, whose relaxations are tight.
+//! fractional relaxation value). Child LPs are **warm-started** from their
+//! parent's optimal basis and solved inside a per-thread reusable
+//! [`crate::simplex::LpWorkspace`], so a node costs a few dual-simplex
+//! pivots instead of a full two-phase solve — and none of the `O(n)` tableau
+//! construction a fresh solve would pay.
+//!
+//! # Deterministic parallel exploration
+//!
+//! Nodes are explored best-bound-first in **fixed-size batches** of
+//! `NODE_BATCH` child LPs: the search pops frontier nodes in heap order,
+//! expands them into child jobs, solves every job's LP relaxation (on up to
+//! [`SolverConfig::num_threads`] threads), and merges the results — children
+//! pushed, incumbents updated, bounds pruned — **in job order**. Batch
+//! composition and merge order never depend on the thread count (the same
+//! chunk-order discipline as the engine's data-parallel scans), so the same
+//! problem + config yields bit-identical solutions, node counts and
+//! iteration counts at every `num_threads`, including 1, where the batch is
+//! simply solved inline with no thread machinery at all.
+//!
+//! Each node stores its **own** LP relaxation bound (solved eagerly when the
+//! node is created), so best-bound ordering and incumbent pruning use the
+//! tight child bound rather than the parent's, and [`Solution::gap`] is
+//! exact when a limit stops the search.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use crate::problem::{Problem, Sense, VarType};
-use crate::simplex::solve_lp;
+use crate::simplex::{solve_lp_warm, Basis, LpWorkspace, WarmAttempt};
 use crate::solution::{Solution, Status};
 use crate::{LpError, LpResult, SolverConfig};
 
-/// A subproblem waiting to be expanded.
-struct Node {
-    /// Per-variable bounds for this node.
-    bounds: Vec<(f64, f64)>,
-    /// Relaxation bound of the *parent* (used for best-first ordering).
-    bound: f64,
-    /// Depth in the tree (used to break ties depth-first, which finds
-    /// incumbents faster).
-    depth: usize,
+/// Number of child LPs gathered into one frontier batch. A fixed constant —
+/// never derived from the thread count — because batch boundaries are part
+/// of the determinism contract: they decide which nodes are solved before
+/// the incumbent can prune, and therefore the node count.
+const NODE_BATCH: usize = 16;
+
+/// One branching decision: variable `var` was clamped to `[lb, ub]`.
+///
+/// A node's full bound vector is the root bounds patched by its ancestor
+/// chain (nearest patch wins), materialized only when its LP is solved.
+/// Storing deltas instead of `O(n)` bound vectors keeps a frontier node to a
+/// few dozen bytes, which is what lets the heap hold thousands of nodes on
+/// 20 000-variable package ILPs.
+struct BoundPatch {
+    var: usize,
+    lb: f64,
+    ub: f64,
+    parent: Option<Arc<BoundPatch>>,
 }
 
-/// Max-heap ordering on the relaxation bound (we always maximize the
-/// *internal* bound, i.e. problems are normalized so larger is better).
+/// The effective bounds of `var` under a patch chain.
+fn effective_bounds(
+    root: &[(f64, f64)],
+    chain: &Option<Arc<BoundPatch>>,
+    var: usize,
+) -> (f64, f64) {
+    let mut cur = chain.as_deref();
+    while let Some(p) = cur {
+        if p.var == var {
+            return (p.lb, p.ub);
+        }
+        cur = p.parent.as_deref();
+    }
+    root[var]
+}
+
+/// Root bounds with the chain's patches applied (nearest patch per variable
+/// wins).
+fn materialize_bounds(root: &[(f64, f64)], chain: &Option<Arc<BoundPatch>>) -> Vec<(f64, f64)> {
+    let mut bounds = root.to_vec();
+    let mut seen: Vec<usize> = Vec::new();
+    let mut cur = chain.as_deref();
+    while let Some(p) = cur {
+        if !seen.contains(&p.var) {
+            bounds[p.var] = (p.lb, p.ub);
+            seen.push(p.var);
+        }
+        cur = p.parent.as_deref();
+    }
+    bounds
+}
+
+/// A frontier node whose LP relaxation has already been solved (eager
+/// bounds: the heap orders by each node's *own* relaxation bound).
+struct Node {
+    chain: Option<Arc<BoundPatch>>,
+    /// This node's own LP relaxation bound as a normalized "larger is
+    /// better" key.
+    bound: f64,
+    depth: u32,
+    /// Creation order; the final tie-break that makes the heap order total
+    /// and therefore reproducible.
+    seq: u64,
+    /// Most fractional integer variable of this node's relaxation.
+    branch_var: usize,
+    /// Its relaxation value (branching splits at floor/ceil of this).
+    branch_val: f64,
+    /// Parent basis for warm-starting the children, shared by both.
+    basis: Option<Arc<Basis>>,
+}
+
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.depth == other.depth
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -38,30 +118,401 @@ impl PartialOrd for Node {
         Some(self.cmp(other))
     }
 }
+/// Max-heap: best bound first, then deeper (finds incumbents faster), then
+/// earlier creation. `total_cmp` keeps the order total even if a bound is
+/// NaN (it then sorts consistently instead of corrupting the heap).
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         self.bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.bound)
             .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An unsolved child LP: bounds (as a patch chain) plus the parent basis to
+/// warm-start from. Cheap to clone — two `Arc`s and a depth.
+#[derive(Clone)]
+struct Job {
+    chain: Option<Arc<BoundPatch>>,
+    warm: Option<Arc<Basis>>,
+    depth: u32,
+}
+
+type JobResult = LpResult<(Solution, Option<Basis>)>;
+
+/// Solves one job's LP relaxation. Pure function of (problem, root bounds,
+/// config, job) — the determinism guarantee leans on this: `ws` is a
+/// per-thread [`LpWorkspace`] that amortizes tableau construction across the
+/// thousands of node LPs of one solve, and every call fully resets its
+/// mutable state, so *which* worker's workspace solves a job never affects
+/// the result.
+fn solve_job(
+    problem: &Problem,
+    config: &SolverConfig,
+    root_bounds: &[(f64, f64)],
+    job: &Job,
+    ws: &mut Option<LpWorkspace>,
+) -> JobResult {
+    let bounds = materialize_bounds(root_bounds, &job.chain);
+    if let (Some(ws), Some(warm)) = (ws.as_mut(), job.warm.as_deref()) {
+        match ws.solve(problem, &bounds, config, warm)? {
+            WarmAttempt::Done(solution, basis) => return Ok((solution, basis)),
+            WarmAttempt::Fallback(spent) => {
+                // The warm start didn't pan out (stale basis or numerical
+                // trouble): re-solve cold, charging the wasted pivots so
+                // iteration counts stay meaningful.
+                let (mut solution, basis) = solve_lp_warm(problem, Some(&bounds), config, None)?;
+                solution.iterations += spent;
+                return Ok((solution, basis));
+            }
+        }
+    }
+    solve_lp_warm(problem, Some(&bounds), config, job.warm.as_deref())
+}
+
+/// [`solve_job`] with a panic guard: a worker panic becomes a numerical
+/// error instead of deadlocking the pool (and the sequential path uses the
+/// same wrapper so both paths behave identically). `AssertUnwindSafe` is
+/// sound for the workspace because every [`LpWorkspace::solve`] starts by
+/// resetting all state a previous (even panicked) call could have left.
+fn run_job(
+    problem: &Problem,
+    config: &SolverConfig,
+    root_bounds: &[(f64, f64)],
+    job: &Job,
+    ws: &mut Option<LpWorkspace>,
+) -> JobResult {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        solve_job(problem, config, root_bounds, job, ws)
+    }))
+    .unwrap_or_else(|_| Err(LpError::Numerical("panic while solving node LP".into())))
+}
+
+/// Shared state of the per-solve worker pool. The pool lives for the whole
+/// MILP solve (threads spawn once, not per batch) and drains one batch at a
+/// time: the main thread installs the jobs, workers and the main thread
+/// claim indices from a shared counter, and results land in their slot so
+/// the merge happens in job order no matter which thread solved what.
+struct PoolState {
+    jobs: Vec<Job>,
+    results: Vec<Option<JobResult>>,
+    next: usize,
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Pool<'a> {
+    problem: &'a Problem,
+    config: &'a SolverConfig,
+    root_bounds: &'a [(f64, f64)],
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+fn worker_loop(pool: &Pool<'_>) {
+    let mut ws = LpWorkspace::new(pool.problem);
+    loop {
+        let (idx, job) = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.next < st.jobs.len() {
+                    break;
+                }
+                st = pool.work.wait(st).unwrap();
+            }
+            let idx = st.next;
+            st.next += 1;
+            (idx, st.jobs[idx].clone())
+        };
+        let r = run_job(pool.problem, pool.config, pool.root_bounds, &job, &mut ws);
+        let mut st = pool.state.lock().unwrap();
+        st.results[idx] = Some(r);
+        st.pending -= 1;
+        if st.pending == 0 {
+            pool.work.notify_all();
+        }
+    }
+}
+
+/// Runs one batch on the pool. The calling thread participates in the claim
+/// loop (so `num_threads = T` means `T` solving threads, not `T + 1`), then
+/// waits for the helpers to finish their claimed jobs. `ws` is the *calling
+/// thread's* workspace, owned by the caller so it survives across batches.
+fn solve_batch_pooled(
+    pool: &Pool<'_>,
+    jobs: &[Job],
+    ws: &mut Option<LpWorkspace>,
+) -> Vec<JobResult> {
+    {
+        let mut st = pool.state.lock().unwrap();
+        st.jobs = jobs.to_vec();
+        st.results = (0..jobs.len()).map(|_| None).collect();
+        st.next = 0;
+        st.pending = jobs.len();
+    }
+    pool.work.notify_all();
+    loop {
+        let claimed = {
+            let mut st = pool.state.lock().unwrap();
+            if st.next < st.jobs.len() {
+                let idx = st.next;
+                st.next += 1;
+                Some((idx, st.jobs[idx].clone()))
+            } else {
+                None
+            }
+        };
+        let Some((idx, job)) = claimed else { break };
+        let r = run_job(pool.problem, pool.config, pool.root_bounds, &job, ws);
+        let mut st = pool.state.lock().unwrap();
+        st.results[idx] = Some(r);
+        st.pending -= 1;
+    }
+    let mut st = pool.state.lock().unwrap();
+    while st.pending > 0 {
+        st = pool.work.wait(st).unwrap();
+    }
+    st.jobs.clear();
+    st.next = 0;
+    st.results
+        .drain(..)
+        .map(|r| r.expect("every claimed job stored a result"))
+        .collect()
+}
+
+/// Normalizes "better objective" to the problem's sense.
+fn obj_better(problem: &Problem, a: f64, b: f64) -> bool {
+    match problem.sense() {
+        Sense::Maximize => a > b + 1e-12,
+        Sense::Minimize => a < b - 1e-12,
+    }
+}
+
+/// Normalizes an objective to a "larger is better" bound key.
+fn key_of(problem: &Problem, obj: f64) -> f64 {
+    match problem.sense() {
+        Sense::Maximize => obj,
+        Sense::Minimize => -obj,
+    }
+}
+
+fn better_key(a: f64, b: f64) -> bool {
+    a > b + 1e-12
+}
+
+/// True when every variable with a nonzero objective coefficient is integer
+/// with an integral coefficient: the MILP objective can then only take
+/// integral values, so an LP relaxation bound can be **rounded towards the
+/// incumbent** (floored, in "larger is better" key space) before pruning.
+/// On objectives with many ties — the norm for package queries over
+/// rounded attribute data — this is what lets the search stop as soon as an
+/// incumbent matches the rounded bound instead of exhausting thousands of
+/// fractional nodes that could never beat it by a whole unit.
+fn objective_is_integral(problem: &Problem) -> bool {
+    problem
+        .variables()
+        .iter()
+        .zip(problem.objective())
+        .all(|(v, &c)| c == 0.0 || (v.ty == VarType::Integer && c.round() == c))
+}
+
+/// Rounds a "larger is better" bound key towards the incumbent when the
+/// objective is integral (no-op otherwise).
+fn round_key(key: f64, integral: bool) -> f64 {
+    if integral {
+        (key + 1e-6).floor()
+    } else {
+        key
+    }
+}
+
+/// Mutable search state threaded through the merge step.
+struct SearchState {
+    heap: BinaryHeap<Node>,
+    incumbent: Option<Solution>,
+    total_iterations: usize,
+    nodes: usize,
+    next_seq: u64,
+    /// The objective can only take integral values (see
+    /// [`objective_is_integral`]); bounds are rounded before pruning.
+    integral_obj: bool,
+}
+
+/// What merging one solved job decided.
+enum Merged {
+    /// Keep going (child pushed, incumbent updated, or node pruned/infeasible).
+    Continue,
+    /// The relaxation was unbounded: the MILP itself is unbounded.
+    Unbounded(Solution),
+}
+
+/// Merges one solved relaxation into the search state, in job order. This is
+/// the *only* place children are pushed and incumbents updated, which is
+/// what pins the exploration sequence regardless of which thread solved the
+/// LP.
+fn merge_one(
+    problem: &Problem,
+    config: &SolverConfig,
+    int_vars: &[usize],
+    st: &mut SearchState,
+    job: &Job,
+    relax: Solution,
+    basis: Option<Basis>,
+) -> Merged {
+    st.nodes += 1;
+    st.total_iterations += relax.iterations;
+    match relax.status {
+        Status::Infeasible => return Merged::Continue,
+        Status::Unbounded => {
+            // An unbounded relaxation means the MILP itself is unbounded (if
+            // any integer assignment is feasible) — report unbounded,
+            // matching common solver behaviour.
+            return Merged::Unbounded(Solution {
+                status: Status::Unbounded,
+                objective: relax.objective,
+                values: relax.values,
+                iterations: st.total_iterations,
+                nodes: st.nodes,
+                gap: None,
+            });
+        }
+        _ => {}
+    }
+
+    // Prune by bound: an incumbent merged earlier in this very batch prunes
+    // later results (their LP was already solved and counted, exactly as at
+    // one thread). The relaxation bound is rounded first when the objective
+    // is integral — a fractional lead under one whole unit cannot yield a
+    // better integer solution.
+    let bound_key = round_key(key_of(problem, relax.objective), st.integral_obj);
+    if let Some(inc) = &st.incumbent {
+        if !better_key(bound_key, key_of(problem, inc.objective)) {
+            return Merged::Continue;
+        }
+    }
+
+    // Find the most fractional integer variable (prefer values near .5).
+    let mut branch_var: Option<(usize, f64)> = None;
+    for &i in int_vars {
+        let v = relax.values[i];
+        let frac = (v - v.round()).abs();
+        if frac > config.int_tolerance {
+            let dist_to_half = (v - v.floor() - 0.5).abs();
+            let score = 0.5 - dist_to_half;
+            if branch_var.map(|(_, s)| score > s).unwrap_or(true) {
+                branch_var = Some((i, score));
+            }
+        }
+    }
+
+    match branch_var {
+        None => {
+            // Integral solution: candidate incumbent.
+            let mut values = relax.values;
+            for &i in int_vars {
+                values[i] = values[i].round();
+            }
+            let obj = problem.objective_value(&values);
+            if problem.is_feasible(&values, config.tolerance * 100.0)
+                && st
+                    .incumbent
+                    .as_ref()
+                    .map(|inc| obj_better(problem, obj, inc.objective))
+                    .unwrap_or(true)
+            {
+                st.incumbent = Some(Solution {
+                    status: Status::Optimal,
+                    objective: obj,
+                    values,
+                    iterations: 0,
+                    nodes: 0,
+                    gap: None,
+                });
+            }
+        }
+        Some((i, _)) => {
+            st.heap.push(Node {
+                chain: job.chain.clone(),
+                bound: bound_key,
+                depth: job.depth,
+                seq: st.next_seq,
+                branch_var: i,
+                branch_val: relax.values[i],
+                basis: basis.map(Arc::new),
+            });
+            st.next_seq += 1;
+        }
+    }
+    Merged::Continue
+}
+
+/// Assembles the final solution (status, counters, gap) from the search
+/// state.
+fn finish(
+    problem: &Problem,
+    mut st: SearchState,
+    limit_hit: bool,
+    interrupted: bool,
+) -> LpResult<Solution> {
+    match st.incumbent.take() {
+        Some(mut sol) => {
+            sol.iterations = st.total_iterations;
+            sol.nodes = st.nodes;
+            if limit_hit {
+                sol.status = Status::LimitReached;
+                // The heap is ordered by bound, so its top is the best open
+                // bound: the incumbent is within `gap` of optimal.
+                let inc_key = key_of(problem, sol.objective);
+                let best_open = st.heap.peek().map(|n| n.bound).unwrap_or(inc_key);
+                sol.gap = Some((best_open - inc_key).max(0.0) / (1.0 + inc_key.abs()));
+            } else {
+                sol.status = Status::Optimal;
+                sol.gap = Some(0.0);
+            }
+            Ok(sol)
+        }
+        None => {
+            if interrupted {
+                Err(LpError::Interrupted)
+            } else if limit_hit {
+                Err(LpError::NodeLimit)
+            } else {
+                Ok(Solution {
+                    status: Status::Infeasible,
+                    objective: f64::NAN,
+                    values: Vec::new(),
+                    iterations: st.total_iterations,
+                    nodes: st.nodes,
+                    gap: None,
+                })
+            }
+        }
     }
 }
 
 /// Solves a mixed-integer linear program by LP-relaxation branch and bound.
 pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution> {
-    problem.validate()?;
-    let start = Instant::now();
-    let _n = problem.num_vars();
+    solve_milp_hinted(problem, config, None)
+}
 
-    // Normalize "better" to "greater" regardless of sense.
-    let better = |a: f64, b: f64| match problem.sense() {
-        Sense::Maximize => a > b + 1e-12,
-        Sense::Minimize => a < b - 1e-12,
-    };
-    let bound_key = |obj: f64| match problem.sense() {
-        Sense::Maximize => obj,
-        Sense::Minimize => -obj,
-    };
+/// [`solve_milp`] with an optional feasibility *hint*: a candidate integer
+/// assignment (for example a cached partition solution from a previous
+/// query) that, when feasible, seeds the incumbent so bound pruning bites
+/// from the very first batch. A malformed or infeasible hint is silently
+/// ignored. The hint never changes the optimal objective value — it is a
+/// lower bound on solution quality, not a constraint — but it can change
+/// which of several tie-optimal assignments is returned, so callers that
+/// need reproducibility must supply the hint deterministically.
+pub fn solve_milp_hinted(
+    problem: &Problem,
+    config: &SolverConfig,
+    hint: Option<&[f64]>,
+) -> LpResult<Solution> {
+    problem.validate()?;
 
     let int_vars: Vec<usize> = problem
         .variables()
@@ -84,23 +535,127 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
         })
         .collect();
 
-    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
-    heap.push(Node {
-        bounds: root_bounds,
-        bound: f64::INFINITY,
-        depth: 0,
-    });
+    // A batch can never employ more than NODE_BATCH threads. Callers are
+    // expected to keep `num_threads = 1` for tiny problems, where a worker
+    // spawn costs more than the whole solve (the engine's ILP layer does).
+    let workers = config.num_threads.clamp(1, NODE_BATCH);
 
-    let mut incumbent: Option<Solution> = None;
-    let mut total_iterations = 0usize;
-    let mut nodes = 0usize;
+    if workers <= 1 {
+        let mut ws = LpWorkspace::new(problem);
+        let mut batch = |jobs: &[Job]| -> Vec<JobResult> {
+            jobs.iter()
+                .map(|j| run_job(problem, config, &root_bounds, j, &mut ws))
+                .collect()
+        };
+        return search(problem, config, hint, &int_vars, &root_bounds, &mut batch);
+    }
+
+    let pool = Pool {
+        problem,
+        config,
+        root_bounds: &root_bounds,
+        state: Mutex::new(PoolState {
+            jobs: Vec::new(),
+            results: Vec::new(),
+            next: 0,
+            pending: 0,
+            shutdown: false,
+        }),
+        work: Condvar::new(),
+    };
+    std::thread::scope(|s| {
+        for _ in 0..workers - 1 {
+            let p = &pool;
+            s.spawn(move || worker_loop(p));
+        }
+        let mut main_ws = LpWorkspace::new(problem);
+        let mut batch = |jobs: &[Job]| solve_batch_pooled(&pool, jobs, &mut main_ws);
+        let out = search(
+            problem,
+            config,
+            hint,
+            &int_vars,
+            pool.root_bounds,
+            &mut batch,
+        );
+        pool.state.lock().unwrap().shutdown = true;
+        pool.work.notify_all();
+        out
+    })
+}
+
+/// The batched best-bound search loop. `batch_solve` abstracts over the
+/// sequential and pooled executors; everything that decides *what* is solved
+/// and *how results merge* lives here, identically for both.
+fn search(
+    problem: &Problem,
+    config: &SolverConfig,
+    hint: Option<&[f64]>,
+    int_vars: &[usize],
+    root_bounds: &[(f64, f64)],
+    batch_solve: &mut dyn FnMut(&[Job]) -> Vec<JobResult>,
+) -> LpResult<Solution> {
+    let start = Instant::now();
+    let mut st = SearchState {
+        heap: BinaryHeap::new(),
+        incumbent: None,
+        total_iterations: 0,
+        nodes: 0,
+        next_seq: 0,
+        integral_obj: objective_is_integral(problem),
+    };
     let mut limit_hit = false;
     // Distinguishes a cooperative stop (deadline/cancellation) from an
     // exhausted node budget when no incumbent exists to return.
     let mut interrupted = false;
 
-    while let Some(node) = heap.pop() {
-        if nodes >= config.max_nodes {
+    // Seed the incumbent from the hint, if it checks out.
+    if let Some(h) = hint {
+        if h.len() == problem.num_vars() {
+            let mut values = h.to_vec();
+            for &i in int_vars {
+                values[i] = values[i].round();
+            }
+            if problem.is_feasible(&values, config.tolerance * 100.0) {
+                let objective = problem.objective_value(&values);
+                st.incumbent = Some(Solution {
+                    status: Status::Optimal,
+                    objective,
+                    values,
+                    iterations: 0,
+                    nodes: 0,
+                    gap: None,
+                });
+            }
+        }
+    }
+
+    // ---- Root node ----
+    let root_job = Job {
+        chain: None,
+        warm: None,
+        depth: 0,
+    };
+    let root_res = batch_solve(std::slice::from_ref(&root_job))
+        .pop()
+        .expect("one job in, one result out");
+    match root_res {
+        Err(LpError::Interrupted) => {
+            return finish(problem, st, true, true);
+        }
+        Err(e) => return Err(e),
+        Ok((relax, basis)) => {
+            if let Merged::Unbounded(sol) =
+                merge_one(problem, config, int_vars, &mut st, &root_job, relax, basis)
+            {
+                return Ok(sol);
+            }
+        }
+    }
+
+    // ---- Batched frontier loop ----
+    'outer: while !st.heap.is_empty() {
+        if st.nodes >= config.max_nodes {
             limit_hit = true;
             break;
         }
@@ -116,147 +671,90 @@ pub fn solve_milp(problem: &Problem, config: &SolverConfig) -> LpResult<Solution
             interrupted = true;
             break;
         }
-        // Bound-based pruning against the incumbent.
-        if let Some(inc) = &incumbent {
-            if node.bound.is_finite() && !better_key(node.bound, bound_key(inc.objective)) {
-                continue;
+        // Best-bound termination: the heap is bound-ordered, so if the top
+        // cannot beat the incumbent, no open node can.
+        if let Some(inc) = &st.incumbent {
+            if let Some(top) = st.heap.peek() {
+                if !better_key(top.bound, key_of(problem, inc.objective)) {
+                    st.heap.clear();
+                    break;
+                }
             }
         }
-        nodes += 1;
 
-        let relax = match solve_lp(problem, Some(&node.bounds), config) {
-            // An interrupted relaxation is a limit, not a failure: keep the
-            // incumbent found so far (reported as LimitReached below).
-            Err(LpError::Interrupted) => {
-                limit_hit = true;
-                interrupted = true;
-                break;
+        // Gather one batch of child jobs in deterministic heap order.
+        let mut jobs: Vec<Job> = Vec::with_capacity(NODE_BATCH);
+        while jobs.len() + 2 <= NODE_BATCH {
+            let Some(node) = st.heap.pop() else { break };
+            // Prune at pop: the incumbent may have improved since the push.
+            if let Some(inc) = &st.incumbent {
+                if !better_key(node.bound, key_of(problem, inc.objective)) {
+                    continue;
+                }
             }
-            other => other?,
-        };
-        total_iterations += relax.iterations;
-        match relax.status {
-            Status::Infeasible => continue,
-            Status::Unbounded => {
-                // An unbounded relaxation at the root means the MILP itself is
-                // unbounded (if any integer assignment is feasible) — report
-                // unbounded, matching common solver behaviour.
-                return Ok(Solution {
-                    status: Status::Unbounded,
-                    objective: relax.objective,
-                    values: relax.values,
-                    iterations: total_iterations,
-                    nodes,
+            let (lb, ub) = effective_bounds(root_bounds, &node.chain, node.branch_var);
+            let v = node.branch_val;
+            let down = v.floor();
+            let up = v.ceil();
+            if down >= lb - 1e-9 {
+                jobs.push(Job {
+                    chain: Some(Arc::new(BoundPatch {
+                        var: node.branch_var,
+                        lb,
+                        ub: down,
+                        parent: node.chain.clone(),
+                    })),
+                    warm: node.basis.clone(),
+                    depth: node.depth + 1,
                 });
             }
-            _ => {}
-        }
-
-        // Prune by bound.
-        if let Some(inc) = &incumbent {
-            if !better(relax.objective, inc.objective) {
-                continue;
+            if up <= ub + 1e-9 {
+                jobs.push(Job {
+                    chain: Some(Arc::new(BoundPatch {
+                        var: node.branch_var,
+                        lb: up,
+                        ub,
+                        parent: node.chain,
+                    })),
+                    warm: node.basis,
+                    depth: node.depth + 1,
+                });
             }
         }
-
-        // Find the most fractional integer variable.
-        let mut branch_var: Option<(usize, f64)> = None;
-        let mut best_frac = config.int_tolerance;
-        for &i in &int_vars {
-            let v = relax.values[i];
-            let frac = (v - v.round()).abs();
-            if frac > best_frac {
-                let dist_to_half = (v - v.floor() - 0.5).abs();
-                // Most-fractional rule: prefer values near .5.
-                let score = 0.5 - dist_to_half;
-                if branch_var.map(|(_, s)| score > s).unwrap_or(true) {
-                    branch_var = Some((i, score));
-                }
-                best_frac = best_frac.max(config.int_tolerance);
-            }
+        if jobs.is_empty() {
+            continue;
+        }
+        // Never start more LPs than the node budget allows, so the node
+        // count at which the limit trips is thread-independent.
+        let room = config.max_nodes.saturating_sub(st.nodes);
+        if jobs.len() > room {
+            jobs.truncate(room);
+            limit_hit = true;
         }
 
-        match branch_var {
-            None => {
-                // Integral solution: candidate incumbent.
-                let mut values = relax.values.clone();
-                for &i in &int_vars {
-                    values[i] = values[i].round();
+        let results = batch_solve(&jobs);
+        for (job, res) in jobs.iter().zip(results) {
+            match res {
+                Err(LpError::Interrupted) => {
+                    // An interrupted relaxation is a limit, not a failure:
+                    // keep the incumbent found so far.
+                    limit_hit = true;
+                    interrupted = true;
+                    break 'outer;
                 }
-                let obj = problem.objective_value(&values);
-                if problem.is_feasible(&values, config.tolerance * 100.0)
-                    && incumbent
-                        .as_ref()
-                        .map(|inc| better(obj, inc.objective))
-                        .unwrap_or(true)
-                {
-                    incumbent = Some(Solution {
-                        status: Status::Optimal,
-                        objective: obj,
-                        values,
-                        iterations: total_iterations,
-                        nodes,
-                    });
-                }
-            }
-            Some((i, _)) => {
-                let v = relax.values[i];
-                let (lb, ub) = node.bounds[i];
-                let down = v.floor();
-                let up = v.ceil();
-                if down >= lb - 1e-9 {
-                    let mut b = node.bounds.clone();
-                    b[i] = (lb, down);
-                    heap.push(Node {
-                        bounds: b,
-                        bound: bound_key(relax.objective),
-                        depth: node.depth + 1,
-                    });
-                }
-                if up <= ub + 1e-9 {
-                    let mut b = node.bounds.clone();
-                    b[i] = (up, ub);
-                    heap.push(Node {
-                        bounds: b,
-                        bound: bound_key(relax.objective),
-                        depth: node.depth + 1,
-                    });
+                Err(e) => return Err(e),
+                Ok((relax, basis)) => {
+                    if let Merged::Unbounded(sol) =
+                        merge_one(problem, config, int_vars, &mut st, job, relax, basis)
+                    {
+                        return Ok(sol);
+                    }
                 }
             }
         }
     }
 
-    match incumbent {
-        Some(mut sol) => {
-            sol.iterations = total_iterations;
-            sol.nodes = nodes;
-            sol.status = if limit_hit {
-                Status::LimitReached
-            } else {
-                Status::Optimal
-            };
-            Ok(sol)
-        }
-        None => {
-            if interrupted {
-                Err(LpError::Interrupted)
-            } else if limit_hit {
-                Err(LpError::NodeLimit)
-            } else {
-                Ok(Solution {
-                    status: Status::Infeasible,
-                    objective: f64::NAN,
-                    values: Vec::new(),
-                    iterations: total_iterations,
-                    nodes,
-                })
-            }
-        }
-    }
-}
-
-fn better_key(a: f64, b: f64) -> bool {
-    a > b + 1e-12
+    finish(problem, st, limit_hit, interrupted)
 }
 
 #[cfg(test)]
@@ -296,6 +794,7 @@ mod tests {
         // (weight 7); {a, b} and {a, c} both violate the weight limit.
         assert_eq!(s.objective.round() as i64, 10);
         assert!(p.is_feasible(&s.values, 1e-6));
+        assert_eq!(s.gap, Some(0.0));
         let _ = (a, b, c);
     }
 
@@ -360,7 +859,7 @@ mod tests {
 
     #[test]
     fn minimization_sense() {
-        // minimize 3a + 2b s.t. a + b >= 2, binary → a=0... a+b>=2 forces both.
+        // minimize 3a + 2b s.t. a + b >= 2, binary → a+b>=2 forces both.
         let mut p = Problem::new(Sense::Minimize);
         let a = p.add_binary("a");
         let b = p.add_binary("b");
@@ -442,5 +941,84 @@ mod tests {
             s.objective,
             best
         );
+    }
+
+    /// Builds a branching-heavy 24-variable knapsack (coprime-ish weights and
+    /// a tight capacity keep the LP relaxation fractional: ~240 nodes).
+    fn branching_heavy() -> Problem {
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..24).map(|i| p.add_binary(format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, ((i * 13) % 17) as f64 + 0.5 * ((i % 3) as f64));
+        }
+        let w: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 3.0 + ((i * 11) % 13) as f64))
+            .collect();
+        p.add_constraint_terms("cap", &w, ConstraintOp::Le, 47.0);
+        p
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let p = branching_heavy();
+        let reference = solve_milp(&p, &cfg()).unwrap();
+        assert!(reference.status.is_optimal());
+        for threads in [2usize, 8] {
+            let mut c = cfg();
+            c.num_threads = threads;
+            let s = solve_milp(&p, &c).unwrap();
+            assert_eq!(s.status, reference.status, "threads={threads}");
+            assert_eq!(
+                s.objective.to_bits(),
+                reference.objective.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(s.values, reference.values, "threads={threads}");
+            assert_eq!(s.nodes, reference.nodes, "threads={threads}");
+            assert_eq!(s.iterations, reference.iterations, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn hint_seeds_incumbent_without_changing_the_optimum() {
+        let p = branching_heavy();
+        let cold = solve_milp(&p, &cfg()).unwrap();
+        // Feasible hint: the optimum itself.
+        let hinted = solve_milp_hinted(&p, &cfg(), Some(&cold.values)).unwrap();
+        assert!(hinted.status.is_optimal());
+        assert_eq!(hinted.objective.to_bits(), cold.objective.to_bits());
+        assert!(
+            hinted.nodes <= cold.nodes,
+            "hinted explored {} nodes, cold {}",
+            hinted.nodes,
+            cold.nodes
+        );
+        // Garbage hints are ignored.
+        let bad_len = solve_milp_hinted(&p, &cfg(), Some(&[1.0])).unwrap();
+        assert_eq!(bad_len.objective.to_bits(), cold.objective.to_bits());
+        let infeasible_hint = vec![1.0; p.num_vars()];
+        let bad = solve_milp_hinted(&p, &cfg(), Some(&infeasible_hint)).unwrap();
+        assert_eq!(bad.objective.to_bits(), cold.objective.to_bits());
+    }
+
+    #[test]
+    fn gap_is_zero_when_proven_and_positive_when_cut_short() {
+        let p = branching_heavy();
+        let full = solve_milp(&p, &cfg()).unwrap();
+        assert_eq!(full.gap, Some(0.0));
+        // Tiny node budget with a feasible hint: the search stops early and
+        // must report how far the best open bound still is.
+        let greedy_hint = {
+            // all-zeros is feasible for a pure packing problem
+            vec![0.0; p.num_vars()]
+        };
+        let mut c = cfg();
+        c.max_nodes = 2;
+        let s = solve_milp_hinted(&p, &c, Some(&greedy_hint)).unwrap();
+        assert_eq!(s.status, Status::LimitReached);
+        let gap = s.gap.expect("limit-reached solves report a gap");
+        assert!(gap > 0.0, "gap was {gap}");
     }
 }

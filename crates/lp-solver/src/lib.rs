@@ -39,12 +39,12 @@ pub mod problem;
 pub mod simplex;
 pub mod solution;
 
-pub use branch_bound::solve_milp;
+pub use branch_bound::{solve_milp, solve_milp_hinted};
 pub use cuts::no_good_cut;
 pub use error::LpError;
 pub use expr::LinExpr;
 pub use problem::{Constraint, ConstraintOp, Problem, Sense, VarId, VarType, Variable};
-pub use simplex::solve_lp;
+pub use simplex::{solve_lp, solve_lp_warm, Basis, LpWorkspace, WarmAttempt};
 pub use solution::{Solution, Status};
 
 /// Result alias for solver operations.
@@ -78,6 +78,13 @@ pub struct SolverConfig {
     pub int_tolerance: f64,
     /// Refactorize the basis inverse every this many pivots.
     pub refactor_every: usize,
+    /// Thread budget for the branch-and-bound layer: LP relaxations of one
+    /// frontier batch are solved concurrently on up to this many threads.
+    /// The batch boundaries and the merge order are fixed (never derived
+    /// from this number), so the solver returns bit-identical solutions and
+    /// node counts at every thread count — see [`crate::branch_bound`].
+    /// `1` (the default) never spawns.
+    pub num_threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -91,6 +98,7 @@ impl Default for SolverConfig {
             tolerance: 1e-7,
             int_tolerance: 1e-6,
             refactor_every: 64,
+            num_threads: 1,
         }
     }
 }

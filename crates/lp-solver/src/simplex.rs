@@ -15,6 +15,18 @@
 //! lower or upper bound and may "bound flip" without a basis change. Dantzig
 //! pricing is used by default, with a switch to Bland's rule after a long run
 //! of degenerate pivots to guarantee termination.
+//!
+//! # Warm starts
+//!
+//! [`solve_lp_warm`] accepts a [`Basis`] snapshot from a previous solve of
+//! the *same problem shape* with different variable bounds — exactly the
+//! relationship between a branch-and-bound parent and its children. The warm
+//! path installs the snapshot, restores primal feasibility with a bounded
+//! dual simplex (tightening a bound leaves the parent basis dual feasible but
+//! may push one basic value outside its new bound), and finishes with the
+//! ordinary primal loop. Warm starting is a pure optimization: any mismatch
+//! or numerical trouble falls back to the cold two-phase start, so the
+//! returned solution is independent of the supplied basis.
 
 // Dense matrix kernels index flat `binv[pos * m + k]` storage; rewriting the
 // row/column loops as iterator chains obscures the linear algebra.
@@ -34,6 +46,60 @@ enum ColStatus {
     AtLower,
     AtUpper,
     Free,
+}
+
+/// The nonbasic status a column defaults to given its bounds; snapshots only
+/// record columns that deviate from this rule, which keeps them tiny.
+fn default_status(lb: f64, ub: f64) -> ColStatus {
+    if lb.is_finite() {
+        ColStatus::AtLower
+    } else if ub.is_finite() {
+        ColStatus::AtUpper
+    } else {
+        ColStatus::Free
+    }
+}
+
+/// A compact snapshot of a simplex basis, used by [`solve_lp_warm`] to start
+/// a solve from a previous optimal basis instead of from scratch.
+///
+/// The snapshot stores the basic column of every row plus only the nonbasic
+/// columns that do *not* rest at the default bound implied by their bounds
+/// (most columns of a package LP sit at their lower bound), so it costs a few
+/// dozen bytes per branch-and-bound node rather than `O(columns)`.
+///
+/// # Invariants
+///
+/// * A snapshot only applies to the same problem *shape* (equal row and
+///   column counts); [`solve_lp_warm`] verifies this and falls back to a
+///   cold start on any mismatch.
+/// * Statuses are positional ("at lower", "at upper"), not value-based, so a
+///   snapshot stays valid when bound *values* change — the branch-and-bound
+///   child relationship.
+/// * Warm starting never changes the optimum, only the iteration count: the
+///   dual-simplex repair either succeeds, proves the subproblem infeasible,
+///   or gives up and re-solves cold.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    m: u32,
+    ncols: u32,
+    /// Basic column of each row position.
+    basis: Vec<u32>,
+    /// Nonbasic columns whose status differs from the bound-implied default:
+    /// `(column, code)` with 0 = at lower, 1 = at upper, 2 = free.
+    nondefault: Vec<(u32, u8)>,
+}
+
+/// Outcome of the dual-simplex feasibility repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualOutcome {
+    /// All basic values are back inside their bounds; the basis is optimal
+    /// up to the primal cleanup pass.
+    Feasible,
+    /// The dual is unbounded: the subproblem has no feasible point.
+    Infeasible,
+    /// Pivot cap reached without converging; caller re-solves cold.
+    GaveUp,
 }
 
 /// Internal working representation of the LP.
@@ -175,6 +241,270 @@ impl Tableau {
         d
     }
 
+    /// w = B⁻¹ A_j.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(row, a) in &self.cols[j] {
+            if a != 0.0 {
+                for pos in 0..m {
+                    w[pos] += self.binv[pos * m + row] * a;
+                }
+            }
+        }
+        w
+    }
+
+    /// Rank-one update of B⁻¹ after the column with FTRAN image `w` entered
+    /// the basis at row `pos`.
+    fn update_binv(&mut self, pos: usize, w: &[f64]) -> LpResult<()> {
+        let m = self.m;
+        let piv = w[pos];
+        if piv.abs() <= PIVOT_TOL {
+            return Err(LpError::Numerical("pivot element too small".into()));
+        }
+        for k in 0..m {
+            self.binv[pos * m + k] /= piv;
+        }
+        for r in 0..m {
+            if r != pos && w[r].abs() > 0.0 {
+                let factor = w[r];
+                for k in 0..m {
+                    self.binv[r * m + k] -= factor * self.binv[pos * m + k];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots the current basis. See [`Basis`] for the encoding.
+    fn snapshot(&self) -> Basis {
+        let mut nondefault = Vec::new();
+        for j in 0..self.ncols {
+            let s = self.status[j];
+            if matches!(s, ColStatus::Basic(_)) {
+                continue;
+            }
+            if s != default_status(self.lb[j], self.ub[j]) {
+                let code = match s {
+                    ColStatus::AtUpper => 1u8,
+                    ColStatus::Free => 2,
+                    _ => 0,
+                };
+                nondefault.push((j as u32, code));
+            }
+        }
+        Basis {
+            m: self.m as u32,
+            ncols: self.ncols as u32,
+            basis: self.basis.iter().map(|&j| j as u32).collect(),
+            nondefault,
+        }
+    }
+
+    /// Installs a basis snapshot: statuses are reset to their bound-implied
+    /// defaults, the snapshot's exceptions and basic columns applied, and
+    /// B⁻¹ refactorized. Returns false (leaving the tableau unusable) on any
+    /// mismatch — the caller then solves cold.
+    fn install(&mut self, warm: &Basis) -> bool {
+        if warm.m as usize != self.m || warm.ncols as usize != self.ncols {
+            return false;
+        }
+        for j in 0..self.ncols {
+            self.status[j] = default_status(self.lb[j], self.ub[j]);
+        }
+        for &(j, code) in &warm.nondefault {
+            let j = j as usize;
+            if j >= self.ncols {
+                return false;
+            }
+            let s = match code {
+                0 => ColStatus::AtLower,
+                1 => ColStatus::AtUpper,
+                _ => ColStatus::Free,
+            };
+            // A status pointing at an infinite bound cannot hold a value;
+            // keep the default instead (defensive: branch-and-bound only
+            // tightens finite integer bounds).
+            let valid = match s {
+                ColStatus::AtLower => self.lb[j].is_finite(),
+                ColStatus::AtUpper => self.ub[j].is_finite(),
+                _ => true,
+            };
+            if valid {
+                self.status[j] = s;
+            }
+        }
+        for (pos, &j) in warm.basis.iter().enumerate() {
+            let j = j as usize;
+            if j >= self.ncols {
+                return false;
+            }
+            self.basis[pos] = j;
+            self.status[j] = ColStatus::Basic(pos);
+        }
+        self.refactorize().is_ok()
+    }
+
+    /// Bounded-variable dual simplex: restores primal feasibility of a
+    /// dual-feasible basis after bound changes (the warm-start repair).
+    ///
+    /// Each pivot picks the basic value with the largest bound violation as
+    /// the leaving variable and the entering column by the dual ratio test
+    /// (minimal `|d_j / α_j|` over columns whose movement shrinks the
+    /// violation), which preserves dual feasibility. An entering column that
+    /// would overshoot its own opposite bound is bound-flipped instead of
+    /// pivoted, exactly like the primal loop's bound flips.
+    fn dual_simplex(&mut self, config: &SolverConfig) -> LpResult<DualOutcome> {
+        let m = self.m;
+        // Warm starts need a handful of pivots (one per violated row, plus
+        // degeneracy slack); anything more suggests cycling, and the cold
+        // fallback is both safer and cheaper than fighting it.
+        let max_pivots = 100 + 20 * (m + 1);
+        let mut since_refactor = 0usize;
+        // Degenerate bound-flip cycles make no net progress on the total
+        // violation; detect the stall after a dozen pivots and hand the LP
+        // to the cold solver instead of burning the whole pivot cap on it.
+        let mut best_total_viol = f64::INFINITY;
+        let mut stalled = 0usize;
+        for _ in 0..max_pivots {
+            if self.iterations >= config.max_iterations {
+                return Err(LpError::IterationLimit);
+            }
+            if self.iterations.is_multiple_of(8) && config.interrupted() {
+                return Err(LpError::Interrupted);
+            }
+            // Leaving row: the largest bound violation among basic values.
+            let mut leave: Option<(usize, f64, bool)> = None; // (pos, violation, below)
+            let mut total_viol = 0.0;
+            for pos in 0..m {
+                let j = self.basis[pos];
+                let v = self.xb[pos];
+                let tol_j = config.tolerance * 10.0 * (1.0 + v.abs());
+                if self.lb[j].is_finite() && v < self.lb[j] - tol_j {
+                    let viol = self.lb[j] - v;
+                    total_viol += viol;
+                    if leave.map(|(_, best, _)| viol > best).unwrap_or(true) {
+                        leave = Some((pos, viol, true));
+                    }
+                } else if self.ub[j].is_finite() && v > self.ub[j] + tol_j {
+                    let viol = v - self.ub[j];
+                    total_viol += viol;
+                    if leave.map(|(_, best, _)| viol > best).unwrap_or(true) {
+                        leave = Some((pos, viol, false));
+                    }
+                }
+            }
+            let Some((pos, _, below)) = leave else {
+                return Ok(DualOutcome::Feasible);
+            };
+            if total_viol < best_total_viol - 1e-9 * (1.0 + best_total_viol.min(1e30)) {
+                best_total_viol = total_viol;
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > 12 {
+                    return Ok(DualOutcome::GaveUp);
+                }
+            }
+            self.iterations += 1;
+            since_refactor += 1;
+            if since_refactor >= config.refactor_every {
+                self.refactorize()?;
+                since_refactor = 0;
+            }
+            // α_j = (row `pos` of B⁻¹) · A_j for each nonbasic column.
+            let rho: Vec<f64> = self.binv[pos * m..(pos + 1) * m].to_vec();
+            let y = self.duals();
+            let mut entering: Option<(usize, f64)> = None; // (column, |d/α|)
+            for j in 0..self.ncols {
+                let dir = match self.status[j] {
+                    ColStatus::Basic(_) => continue,
+                    ColStatus::AtLower => 1.0,
+                    ColStatus::AtUpper => -1.0,
+                    ColStatus::Free => 0.0,
+                };
+                // Fixed columns (equality slacks, frozen artificials) cannot move.
+                if self.ub[j] - self.lb[j] <= 0.0 && self.lb[j].is_finite() {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(row, a) in &self.cols[j] {
+                    alpha += rho[row] * a;
+                }
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // Δxb[pos] = −Δx_j·α_j and Δx_j must respect the column's
+                // movable direction, so eligibility is a sign condition.
+                let eligible = if dir == 0.0 {
+                    true
+                } else if below {
+                    dir * alpha < 0.0
+                } else {
+                    dir * alpha > 0.0
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let ratio = (d / alpha).abs();
+                let better = match entering {
+                    None => true,
+                    Some((bj, best)) => {
+                        ratio < best - 1e-12 || ((ratio - best).abs() <= 1e-12 && j < bj)
+                    }
+                };
+                if better {
+                    entering = Some((j, ratio));
+                }
+            }
+            let Some((q, _)) = entering else {
+                return Ok(DualOutcome::Infeasible);
+            };
+            let w = self.ftran(q);
+            let alpha_q = w[pos];
+            if alpha_q.abs() <= PIVOT_TOL {
+                return Ok(DualOutcome::GaveUp);
+            }
+            let r = self.basis[pos];
+            let target = if below { self.lb[r] } else { self.ub[r] };
+            let step = (self.xb[pos] - target) / alpha_q; // Δx_q
+            let range = self.ub[q] - self.lb[q];
+            if range.is_finite() && step.abs() > range + 1e-12 {
+                // Bound flip: q moves to its opposite bound, the violation
+                // shrinks, and a later pivot finishes the repair.
+                if range <= 0.0 {
+                    return Ok(DualOutcome::GaveUp);
+                }
+                let flip = if step > 0.0 { range } else { -range };
+                for k in 0..m {
+                    self.xb[k] -= flip * w[k];
+                }
+                self.status[q] = if step > 0.0 {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+                continue;
+            }
+            let entering_value = self.nonbasic_value(q) + step;
+            for k in 0..m {
+                self.xb[k] -= step * w[k];
+            }
+            self.status[r] = if below {
+                ColStatus::AtLower
+            } else {
+                ColStatus::AtUpper
+            };
+            self.basis[pos] = q;
+            self.status[q] = ColStatus::Basic(pos);
+            self.xb[pos] = entering_value;
+            self.update_binv(pos, &w)?;
+        }
+        Ok(DualOutcome::GaveUp)
+    }
+
     /// Chooses an entering column; returns `(column, increasing)` or `None`
     /// when the current basis is optimal for the active cost vector.
     fn price(&self, tol: f64) -> Option<(usize, bool)> {
@@ -225,16 +555,7 @@ impl Tableau {
         };
         let m = self.m;
         let delta = if increasing { 1.0 } else { -1.0 };
-
-        // w = B⁻¹ A_q.
-        let mut w = vec![0.0; m];
-        for &(row, a) in &self.cols[q] {
-            if a != 0.0 {
-                for pos in 0..m {
-                    w[pos] += self.binv[pos * m + row] * a;
-                }
-            }
-        }
+        let w = self.ftran(q);
 
         // Ratio test. Basic values move by -t·delta·w.
         let entering_range = self.ub[q] - self.lb[q];
@@ -333,23 +654,7 @@ impl Tableau {
                 self.basis[pos] = q;
                 self.status[q] = ColStatus::Basic(pos);
                 self.xb[pos] = entering_value;
-
-                // Update B⁻¹: eliminate w in all rows except `pos`.
-                let piv = w[pos];
-                if piv.abs() <= PIVOT_TOL {
-                    return Err(LpError::Numerical("pivot element too small".into()));
-                }
-                for k in 0..m {
-                    self.binv[pos * m + k] /= piv;
-                }
-                for r in 0..m {
-                    if r != pos && w[r].abs() > 0.0 {
-                        let factor = w[r];
-                        for k in 0..m {
-                            self.binv[r * m + k] -= factor * self.binv[pos * m + k];
-                        }
-                    }
-                }
+                self.update_binv(pos, &w)?;
                 Ok(IterOutcome::Continue)
             }
         }
@@ -401,6 +706,27 @@ pub fn solve_lp(
     bound_overrides: Option<&[(f64, f64)]>,
     config: &SolverConfig,
 ) -> LpResult<Solution> {
+    solve_lp_warm(problem, bound_overrides, config, None).map(|(s, _)| s)
+}
+
+/// [`solve_lp`] plus warm starting: optionally resumes from a [`Basis`]
+/// snapshot of a previous solve and returns the final basis alongside the
+/// solution so the caller can chain further warm starts (branch and bound
+/// hands each child its parent's basis).
+///
+/// The warm path skips phase 1 entirely: it installs the snapshot, repairs
+/// primal feasibility with the dual simplex (a parent-optimal basis stays
+/// *dual* feasible when bounds tighten) and finishes with the ordinary
+/// primal loop. Shape mismatches, a dual-simplex give-up or numerical
+/// trouble all fall back to the cold two-phase start, so the returned
+/// solution does not depend on the supplied basis — only the iteration
+/// count does.
+pub fn solve_lp_warm(
+    problem: &Problem,
+    bound_overrides: Option<&[(f64, f64)]>,
+    config: &SolverConfig,
+    warm: Option<&Basis>,
+) -> LpResult<(Solution, Option<Basis>)> {
     problem.validate()?;
     if let Some(b) = bound_overrides {
         if b.len() != problem.num_vars() {
@@ -410,12 +736,11 @@ pub fn solve_lp(
                 problem.num_vars()
             )));
         }
-        for (i, (lb, ub)) in b.iter().enumerate() {
+        for (lb, ub) in b.iter() {
             if lb > ub {
                 // An empty domain at a branch-and-bound node is simply an
                 // infeasible subproblem, not a malformed input.
-                let _ = i;
-                return Ok(Solution::status_only(Status::Infeasible));
+                return Ok((Solution::status_only(Status::Infeasible), None));
             }
         }
     }
@@ -435,7 +760,7 @@ pub fn solve_lp(
 
     // Trivial case: no constraints. Push every variable to its favourable bound.
     if m == 0 {
-        return solve_unconstrained(problem, bound_overrides, config);
+        return solve_unconstrained(problem, bound_overrides, config).map(|s| (s, None));
     }
 
     // Internal objective is always minimization.
@@ -443,19 +768,276 @@ pub fn solve_lp(
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
-
     let ncols = n + m + m; // structural + slack + artificial
+
+    // ---- Warm path ----
+    let mut warm_spent = 0usize;
+    if let Some(wb) = warm {
+        if wb.m as usize == m && wb.ncols as usize == ncols {
+            let mut tab = build_shell(problem, &var_bounds);
+            // Canonical +1 artificials, frozen at zero: the warm basis does
+            // not need the residual-signed feasibility trick of the cold
+            // start, and a fixed sign keeps snapshots portable across nodes.
+            for row in 0..m {
+                let art = n + m + row;
+                tab.cols[art].push((row, 1.0));
+                tab.lb[art] = 0.0;
+                tab.ub[art] = 0.0;
+            }
+            for i in 0..n {
+                tab.cost[i] = obj_sign * problem.objective()[i];
+            }
+            if tab.install(wb) {
+                let attempt: LpResult<Option<(Solution, Option<Basis>)>> =
+                    (|| match tab.dual_simplex(config)? {
+                        DualOutcome::GaveUp => Ok(None),
+                        DualOutcome::Infeasible => {
+                            let mut s = Solution::status_only(Status::Infeasible);
+                            s.iterations = tab.iterations;
+                            Ok(Some((s, None)))
+                        }
+                        DualOutcome::Feasible => {
+                            let outcome = tab.optimize(config, true)?;
+                            Ok(Some(extract(problem, &var_bounds, &tab, outcome)))
+                        }
+                    })();
+                match attempt {
+                    Ok(Some(out)) => return Ok(out),
+                    // Give-up or numerical trouble: re-solve cold, carrying
+                    // the pivots already spent into the iteration budget.
+                    Ok(None) => warm_spent = tab.iterations,
+                    Err(LpError::Numerical(_)) => warm_spent = tab.iterations,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    // ---- Cold path: two-phase from scratch ----
+    let mut tab = build_shell(problem, &var_bounds);
+    tab.iterations = warm_spent;
+
+    // Residuals decide the sign of each artificial column so the initial
+    // basis is feasible (artificial value = |residual| ≥ 0).
+    let mut residual = tab.b.clone();
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..n + m {
+        let v = match tab.status[j] {
+            ColStatus::AtLower => tab.lb[j],
+            ColStatus::AtUpper => tab.ub[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(row, a) in &tab.cols[j] {
+                residual[row] -= a * v;
+            }
+        }
+    }
+    for row in 0..m {
+        let art = n + m + row;
+        let sign = if residual[row] >= 0.0 { 1.0 } else { -1.0 };
+        tab.cols[art].push((row, sign));
+        tab.lb[art] = 0.0;
+        tab.ub[art] = f64::INFINITY;
+        tab.basis[row] = art;
+        tab.status[art] = ColStatus::Basic(row);
+        tab.binv[row * m + row] = sign; // inverse of diag(sign) is itself
+        tab.xb[row] = residual[row].abs();
+    }
+
+    // Phase-1 cost: sum of artificials.
+    for row in 0..m {
+        tab.cost[n + m + row] = 1.0;
+    }
+
+    // ---- Phase 1 ----
+    match tab.optimize(config, false)? {
+        IterOutcome::Optimal => {}
+        IterOutcome::Unbounded => {
+            return Err(LpError::Numerical("phase-1 reported unbounded".into()))
+        }
+        IterOutcome::Continue => unreachable!(),
+    }
+    let infeasibility: f64 = (0..tab.m)
+        .map(|pos| {
+            let j = tab.basis[pos];
+            if j >= n + m {
+                tab.xb[pos].max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    let feas_scale = 1.0 + tab.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    if infeasibility > config.tolerance * feas_scale * 10.0 {
+        let mut s = Solution::status_only(Status::Infeasible);
+        s.iterations = tab.iterations;
+        return Ok((s, None));
+    }
+
+    // ---- Phase 2 ----
+    // Freeze artificials at zero and swap in the real objective.
+    for row in 0..m {
+        let art = n + m + row;
+        tab.ub[art] = 0.0;
+        if !matches!(tab.status[art], ColStatus::Basic(_)) {
+            tab.status[art] = ColStatus::AtLower;
+        }
+    }
+    tab.cost = vec![0.0; ncols];
+    for i in 0..n {
+        tab.cost[i] = obj_sign * problem.objective()[i];
+    }
+    tab.use_bland = false;
+    tab.degenerate_run = 0;
+
+    let outcome = tab.optimize(config, true)?;
+    Ok(extract(problem, &var_bounds, &tab, outcome))
+}
+
+/// Outcome of one [`LpWorkspace::solve`] attempt.
+pub enum WarmAttempt {
+    /// The warm solve finished; solution and next-warm-start basis inside.
+    Done(Solution, Option<Basis>),
+    /// The warm attempt gave up (basis mismatch, dual-simplex stall or
+    /// numerical trouble) after spending this many pivots; the caller should
+    /// re-solve cold and add the spent pivots to its iteration count.
+    Fallback(usize),
+}
+
+/// A reusable warm-solve workspace for branch and bound.
+///
+/// Every node of a branch-and-bound search solves the *same* LP with only
+/// the structural variable bounds changed, yet [`solve_lp_warm`] rebuilds
+/// the whole tableau shell per call — for package ILPs with thousands of
+/// columns that rebuild (one heap-allocated sparse column per variable)
+/// costs more than the handful of warm pivots it feeds. The workspace
+/// builds the shell once — columns, costs, right-hand sides, canonical
+/// frozen artificials — and each [`LpWorkspace::solve`] only rewrites the
+/// structural bounds in place before installing the caller's basis.
+///
+/// **Purity invariant**: a solve's result is a pure function of
+/// `(bounds, warm, config)`. The basis install resets every column
+/// status, rebuilds the basis and refactorizes, and the pivot-state fields
+/// (`iterations`, `use_bland`, `degenerate_run`) are reset per call, so no
+/// state leaks between solves — which is what lets the deterministic
+/// parallel search hand workspaces to arbitrary worker threads without
+/// affecting results (see `crate::branch_bound`).
+pub struct LpWorkspace {
+    tab: Tableau,
+}
+
+impl LpWorkspace {
+    /// Builds the shell for `problem`. Returns `None` for problems without
+    /// constraint rows (those take the trivial unconstrained path and never
+    /// benefit from reuse).
+    pub fn new(problem: &Problem) -> Option<Self> {
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+        if m == 0 {
+            return None;
+        }
+        let var_bounds = |i: usize| {
+            let v = &problem.variables()[i];
+            (v.lb, v.ub)
+        };
+        let mut tab = build_shell(problem, &var_bounds);
+        // Canonical +1 artificials frozen at zero, exactly as the warm path
+        // of [`solve_lp_warm`] builds them — snapshots are interchangeable
+        // between the two.
+        for row in 0..m {
+            let art = n + m + row;
+            tab.cols[art].push((row, 1.0));
+            tab.lb[art] = 0.0;
+            tab.ub[art] = 0.0;
+        }
+        let obj_sign = match problem.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        for i in 0..n {
+            tab.cost[i] = obj_sign * problem.objective()[i];
+        }
+        Some(LpWorkspace { tab })
+    }
+
+    /// Warm-solves `problem` under `bounds` from the basis `warm`, reusing
+    /// the prebuilt shell. Behaviour (statuses, pivots, results) is
+    /// identical to the warm path of [`solve_lp_warm`]; only the shell
+    /// construction is skipped. `bounds` must cover every structural
+    /// variable and `problem` must be the one the workspace was built for.
+    pub fn solve(
+        &mut self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+        config: &SolverConfig,
+        warm: &Basis,
+    ) -> LpResult<WarmAttempt> {
+        let n = problem.num_vars();
+        if bounds.len() != n {
+            return Err(LpError::InvalidProblem(format!(
+                "bound override length {} does not match variable count {}",
+                bounds.len(),
+                n
+            )));
+        }
+        for (lb, ub) in bounds.iter() {
+            if lb > ub {
+                return Ok(WarmAttempt::Done(
+                    Solution::status_only(Status::Infeasible),
+                    None,
+                ));
+            }
+        }
+        let tab = &mut self.tab;
+        for (i, &(lb, ub)) in bounds.iter().enumerate() {
+            tab.lb[i] = lb;
+            tab.ub[i] = ub;
+        }
+        tab.iterations = 0;
+        tab.use_bland = false;
+        tab.degenerate_run = 0;
+        if !tab.install(warm) {
+            return Ok(WarmAttempt::Fallback(tab.iterations));
+        }
+        let attempt: LpResult<Option<(Solution, Option<Basis>)>> =
+            (|| match tab.dual_simplex(config)? {
+                DualOutcome::GaveUp => Ok(None),
+                DualOutcome::Infeasible => {
+                    let mut s = Solution::status_only(Status::Infeasible);
+                    s.iterations = tab.iterations;
+                    Ok(Some((s, None)))
+                }
+                DualOutcome::Feasible => {
+                    let outcome = tab.optimize(config, true)?;
+                    Ok(Some(extract(problem, &|i| bounds[i], tab, outcome)))
+                }
+            })();
+        match attempt {
+            Ok(Some((s, b))) => Ok(WarmAttempt::Done(s, b)),
+            Ok(None) => Ok(WarmAttempt::Fallback(tab.iterations)),
+            Err(LpError::Numerical(_)) => Ok(WarmAttempt::Fallback(tab.iterations)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Builds the tableau shell shared by the warm and cold paths: structural
+/// and slack columns with their bounds and default statuses, empty
+/// artificial columns (each path fills those in its own way), zero costs.
+fn build_shell(problem: &Problem, var_bounds: &dyn Fn(usize) -> (f64, f64)) -> Tableau {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let ncols = n + m + m;
     let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ncols];
     let mut lb = vec![0.0; ncols];
     let mut ub = vec![f64::INFINITY; ncols];
-    let mut cost = vec![0.0; ncols];
     let mut b = vec![0.0; m];
 
     for i in 0..n {
         let (l, u) = var_bounds(i);
         lb[i] = l;
         ub[i] = u;
-        cost[i] = obj_sign * problem.objective()[i];
     }
     for (row, c) in problem.constraints().iter().enumerate() {
         b[row] = c.rhs;
@@ -482,120 +1064,43 @@ pub fn solve_lp(
         }
     }
 
-    // Initial nonbasic statuses for structural and slack columns.
     let mut status = vec![ColStatus::Free; ncols];
     #[allow(clippy::needless_range_loop)]
     for j in 0..n + m {
-        status[j] = if lb[j].is_finite() {
-            ColStatus::AtLower
-        } else if ub[j].is_finite() {
-            ColStatus::AtUpper
-        } else {
-            ColStatus::Free
-        };
+        status[j] = default_status(lb[j], ub[j]);
     }
 
-    // Residuals decide the sign of each artificial column so the initial
-    // basis is feasible (artificial value = |residual| ≥ 0).
-    let mut residual = b.clone();
-    #[allow(clippy::needless_range_loop)]
-    for j in 0..n + m {
-        let v = match status[j] {
-            ColStatus::AtLower => lb[j],
-            ColStatus::AtUpper => ub[j],
-            _ => 0.0,
-        };
-        if v != 0.0 {
-            for &(row, a) in &cols[j] {
-                residual[row] -= a * v;
-            }
-        }
-    }
-
-    let mut basis = vec![0usize; m];
-    let mut binv = vec![0.0; m * m];
-    let mut xb = vec![0.0; m];
-    for row in 0..m {
-        let art = n + m + row;
-        let sign = if residual[row] >= 0.0 { 1.0 } else { -1.0 };
-        cols[art].push((row, sign));
-        lb[art] = 0.0;
-        ub[art] = f64::INFINITY;
-        basis[row] = art;
-        status[art] = ColStatus::Basic(row);
-        binv[row * m + row] = sign; // inverse of diag(sign) is itself
-        xb[row] = residual[row].abs();
-    }
-
-    // Phase-1 cost: sum of artificials.
-    let mut phase1_cost = vec![0.0; ncols];
-    for row in 0..m {
-        phase1_cost[n + m + row] = 1.0;
-    }
-
-    let mut tab = Tableau {
+    Tableau {
         m,
         ncols,
         n_struct: n,
         cols,
         lb,
         ub,
-        cost: phase1_cost,
+        cost: vec![0.0; ncols],
         b,
         status,
-        basis,
-        binv,
-        xb,
+        basis: vec![0usize; m],
+        binv: vec![0.0; m * m],
+        xb: vec![0.0; m],
         iterations: 0,
         use_bland: false,
         degenerate_run: 0,
-    };
-
-    // ---- Phase 1 ----
-    match tab.optimize(config, false)? {
-        IterOutcome::Optimal => {}
-        IterOutcome::Unbounded => {
-            return Err(LpError::Numerical("phase-1 reported unbounded".into()))
-        }
-        IterOutcome::Continue => unreachable!(),
     }
-    let infeasibility: f64 = (0..tab.m)
-        .map(|pos| {
-            let j = tab.basis[pos];
-            if j >= n + m {
-                tab.xb[pos].max(0.0)
-            } else {
-                0.0
-            }
-        })
-        .sum();
-    let feas_scale = 1.0 + tab.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
-    if infeasibility > config.tolerance * feas_scale * 10.0 {
-        return Ok(Solution::status_only(Status::Infeasible));
-    }
+}
 
-    // ---- Phase 2 ----
-    // Freeze artificials at zero and swap in the real objective.
-    for row in 0..m {
-        let art = n + m + row;
-        tab.ub[art] = 0.0;
-        if !matches!(tab.status[art], ColStatus::Basic(_)) {
-            tab.status[art] = ColStatus::AtLower;
-        }
-    }
-    tab.cost = vec![0.0; ncols];
-    for i in 0..n {
-        tab.cost[i] = obj_sign * problem.objective()[i];
-    }
-    tab.use_bland = false;
-    tab.degenerate_run = 0;
-
-    let outcome = tab.optimize(config, true)?;
-
-    // Extract the structural solution.
+/// Extracts the structural solution and a basis snapshot from a finished
+/// tableau.
+fn extract(
+    problem: &Problem,
+    var_bounds: &dyn Fn(usize) -> (f64, f64),
+    tab: &Tableau,
+    outcome: IterOutcome,
+) -> (Solution, Option<Basis>) {
+    let n = problem.num_vars();
     let mut values = vec![0.0; n];
-    for j in 0..n {
-        values[j] = tab.nonbasic_value(j);
+    for (j, v) in values.iter_mut().enumerate() {
+        *v = tab.nonbasic_value(j);
     }
     // Clamp tiny numerical excursions back into the variable bounds.
     for (i, v) in values.iter_mut().enumerate() {
@@ -612,23 +1117,34 @@ pub fn solve_lp(
     }
 
     match outcome {
-        IterOutcome::Unbounded => Ok(Solution {
-            status: Status::Unbounded,
-            objective: match problem.sense() {
-                Sense::Maximize => f64::INFINITY,
-                Sense::Minimize => f64::NEG_INFINITY,
+        IterOutcome::Unbounded => (
+            Solution {
+                status: Status::Unbounded,
+                objective: match problem.sense() {
+                    Sense::Maximize => f64::INFINITY,
+                    Sense::Minimize => f64::NEG_INFINITY,
+                },
+                values,
+                iterations: tab.iterations,
+                nodes: 0,
+                gap: None,
             },
-            values,
-            iterations: tab.iterations,
-            nodes: 0,
-        }),
-        _ => Ok(Solution {
-            status: Status::Optimal,
-            objective: problem.objective_value(&values),
-            values,
-            iterations: tab.iterations,
-            nodes: 0,
-        }),
+            None,
+        ),
+        _ => {
+            let objective = problem.objective_value(&values);
+            (
+                Solution {
+                    status: Status::Optimal,
+                    objective,
+                    values,
+                    iterations: tab.iterations,
+                    nodes: 0,
+                    gap: None,
+                },
+                Some(tab.snapshot()),
+            )
+        }
     }
 }
 
@@ -673,6 +1189,7 @@ fn solve_unconstrained(
         values,
         iterations: 0,
         nodes: 0,
+        gap: None,
     })
 }
 

@@ -56,6 +56,11 @@ pub struct Solution {
     pub iterations: usize,
     /// Branch-and-bound nodes explored (0 for pure LPs).
     pub nodes: usize,
+    /// Relative optimality gap, reported by MILP solves: `0.0` when the
+    /// search proved optimality, `(best bound − incumbent) / (1 + |incumbent|)`
+    /// when a limit stopped it early, `None` for pure LP solves (where the
+    /// simplex optimum is exact by construction).
+    pub gap: Option<f64>,
 }
 
 impl Solution {
@@ -67,6 +72,7 @@ impl Solution {
             values: Vec::new(),
             iterations: 0,
             nodes: 0,
+            gap: None,
         }
     }
 
@@ -124,6 +130,7 @@ mod tests {
             values: vec![0.0, 0.9999999, 2.0000001, 1e-9],
             iterations: 0,
             nodes: 0,
+            gap: None,
         };
         assert_eq!(s.nonzero_rounded(), vec![(1, 1), (2, 2)]);
         assert_eq!(s.value_rounded(VarId::new(2)), 2);

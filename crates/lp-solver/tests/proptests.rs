@@ -1,6 +1,8 @@
 //! Property-based tests for the LP/MILP solver.
 
-use lp_solver::{solve, solve_lp, ConstraintOp, Problem, Sense, SolverConfig, Status, VarType};
+use lp_solver::{
+    solve, solve_lp, solve_lp_warm, ConstraintOp, Problem, Sense, SolverConfig, Status, VarType,
+};
 use proptest::prelude::*;
 
 fn cfg() -> SolverConfig {
@@ -83,6 +85,60 @@ proptest! {
                     "random feasible point beats the 'optimal' simplex solution"
                 );
             }
+        }
+    }
+
+    /// Warm-started re-solves after a bound change (the branch-and-bound
+    /// access pattern: clamp one variable to floor/ceil of its relaxation
+    /// value) reach the same optimum as a cold two-phase solve, in no more
+    /// simplex iterations.
+    #[test]
+    fn warm_start_matches_cold_solve_after_bound_change(
+        costs in prop::collection::vec(-10.0f64..10.0, 4..8),
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..5.0, 4..8), 2..5),
+        rhs_slack in prop::collection::vec(1.0f64..50.0, 2..5),
+        branch_pick in 0usize..8,
+        go_down_bit in 0u8..2,
+    ) {
+        let n = costs.len();
+        let m = rows.len().min(rhs_slack.len());
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("x{i}"), VarType::Continuous, 0.0, 3.0)).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, costs[i]);
+        }
+        for r in 0..m {
+            let coeffs: Vec<f64> = (0..n).map(|i| rows[r].get(i).copied().unwrap_or(0.0)).collect();
+            let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, coeffs[i])).collect();
+            p.add_constraint_terms(format!("r{r}"), &terms, ConstraintOp::Le, rhs_slack[r]);
+        }
+
+        // Parent solve, cold, keeping the optimal basis.
+        let (parent, basis) = solve_lp_warm(&p, None, &cfg(), None).unwrap();
+        prop_assert!(parent.status.is_optimal());
+        let basis = basis.expect("optimal LP solves return a basis");
+
+        // Branch: clamp one variable the way branch and bound would.
+        let go_down = go_down_bit == 0;
+        let i = branch_pick % n;
+        let v = parent.values[i];
+        let mut bounds: Vec<(f64, f64)> = p.variables().iter().map(|vv| (vv.lb, vv.ub)).collect();
+        bounds[i] = if go_down { (0.0, v.floor()) } else { (v.ceil(), 3.0) };
+
+        let cold = solve_lp(&p, Some(&bounds), &cfg()).unwrap();
+        let (warm, _) = solve_lp_warm(&p, Some(&bounds), &cfg(), Some(&basis)).unwrap();
+
+        prop_assert_eq!(warm.status, cold.status, "warm and cold disagree on status");
+        if cold.status.is_optimal() {
+            prop_assert!(
+                (warm.objective - cold.objective).abs() < 1e-6 * (1.0 + cold.objective.abs()),
+                "warm optimum {} differs from cold optimum {}", warm.objective, cold.objective
+            );
+            prop_assert!(p.is_feasible(&warm.values, 1e-6));
+            prop_assert!(
+                warm.iterations <= cold.iterations,
+                "warm start took {} iterations, cold only {}", warm.iterations, cold.iterations
+            );
         }
     }
 
