@@ -9,8 +9,8 @@
 //! ```
 //!
 //! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch`,
-//! `cache`, `parallel` and `bnb` run the PR-baseline experiments and write
-//! the corresponding `BENCH_*.json` files.
+//! `cache`, `parallel`, `bnb` and `paged` run the PR-baseline experiments
+//! and write the corresponding `BENCH_*.json` files.
 
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ use packagebuilder::spec::PackageSpec;
 use packagebuilder::suggest::{suggest, Highlight};
 use packagebuilder::summary::summarize;
 use pb_bench::{
-    ms, print_header, print_row, recipe_engine, recipe_table, run, MEAL_PLAN_QUERY,
+    ms, print_header, print_row, recipe_engine, recipe_table, resource_json, run, MEAL_PLAN_QUERY,
     MEAL_PLAN_QUERY_NO_FILTER,
 };
 
@@ -94,6 +94,14 @@ fn main() {
         eprintln!(
             "BNB experiment: multi-thread exact solutions differ from the 1-thread reference"
         );
+        std::process::exit(1);
+    }
+    if want("paged") && !paged_out_of_core() {
+        // Column storage mode is invisible to every consumer by contract;
+        // a paged run that differs from its resident reference (packages,
+        // objectives, or even the evaluation counters) is a real
+        // out-of-core correctness regression.
+        eprintln!("PAGED experiment: out-of-core results differ from the resident reference");
         std::process::exit(1);
     }
 }
@@ -186,7 +194,8 @@ fn eval_throughput() {
         ));
     }
     let json = format!(
-        "{{\n  \"experiment\": \"eval_throughput\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"eval_throughput\",\n  \"query\": \"meal_plan\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_eval.json", &json) {
@@ -298,7 +307,8 @@ fn portfolio_racing() {
         );
     }
     let json = format!(
-        "{{\n  \"experiment\": \"portfolio_racing\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"portfolio_racing\",\n  \"query\": \"meal_plan\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_portfolio.json", &json) {
@@ -412,7 +422,8 @@ fn sketch_refine_scaling() {
         print_row(&verdict, &widths);
     }
     let json = format!(
-        "{{\n  \"experiment\": \"sketch_refine_scaling\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"sketch_refine_scaling\",\n  \"query\": \"meal_plan\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_sketch.json", &json) {
@@ -522,7 +533,8 @@ fn cache_reuse() -> bool {
         all_identical &= identical;
     }
     let json = format!(
-        "{{\n  \"experiment\": \"cache_reuse\",\n  \"query\": \"meal_plan\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"cache_reuse\",\n  \"query\": \"meal_plan\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_cache.json", &json) {
@@ -623,7 +635,8 @@ fn parallel_scaling() -> bool {
     }
     let json = format!(
         "{{\n  \"experiment\": \"parallel_scaling\",\n  \"query\": \"meal_plan\",\n  \
-         \"host_threads\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"host_threads\": {host},\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_parallel.json", &json) {
@@ -796,12 +809,166 @@ fn bnb_exact_core() -> bool {
     }
     let json = format!(
         "{{\n  \"experiment\": \"bnb_exact_core\",\n  \"query\": \"meal_plan\",\n  \
-         \"host_threads\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"host_threads\": {host},\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
         json_rows.join(",\n")
     );
     match std::fs::write("BENCH_bnb.json", &json) {
         Ok(()) => println!("\n(wrote BENCH_bnb.json)\n"),
         Err(e) => println!("\n(could not write BENCH_bnb.json: {e})\n"),
+    }
+    all_identical
+}
+
+/// PAGED — the out-of-core column store: the meal-plan query solved twice
+/// per n, once with fully resident columns (the reference) and once forced
+/// out-of-core through a buffer pool capped far below the view's column
+/// bytes. Two claims under test:
+///
+/// 1. **Bit-identity** (the gate): the paged run returns the same packages,
+///    objectives, optimality flags and node/iteration counters as the
+///    resident run — storage mode decides where column bytes live, never
+///    results. Any mismatch makes the caller exit nonzero.
+/// 2. **Bounded memory** (informational): each paged cell records its pool
+///    hit/miss/eviction deltas, and the json carries the process's peak RSS,
+///    so future PRs can see the paged path genuinely faulting pages through
+///    a small pool instead of quietly going resident.
+///
+/// `PB_PAGED_LARGE=1` adds the out-of-core flagship row: n = 10^7 solved via
+/// sketch→refine with the pool capped below 25% of the view's column bytes
+/// (paged only — a resident reference at that scale is exactly the footprint
+/// the substrate exists to avoid).
+fn paged_out_of_core() -> bool {
+    use packagebuilder::par::chunk_count;
+    use packagebuilder::pool_stats;
+
+    let mut all_identical = true;
+    println!("## PAGED — out-of-core column store vs resident (meal plan)\n");
+    let widths = [9, 10, 12, 14, 12, 16, 12];
+    print_header(
+        &[
+            "n",
+            "mode",
+            "time (ms)",
+            "objective",
+            "pool pages",
+            "pool h/m/e",
+            "identical",
+        ],
+        &widths,
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+
+    // One solve in the requested storage mode, with the pool-counter deltas
+    // it produced. `pool: None` pins the build resident.
+    let solve = |n: usize, strategy: Strategy, pool: Option<usize>| {
+        let mut engine = recipe_engine(n, strategy);
+        match pool {
+            Some(pages) => {
+                engine.config_mut().column_memory_budget = 0;
+                engine.config_mut().pool_pages = pages;
+            }
+            None => engine.config_mut().column_memory_budget = usize::MAX,
+        }
+        let before = pool_stats();
+        let t0 = Instant::now();
+        let r = run(&engine, MEAL_PLAN_QUERY);
+        let elapsed = t0.elapsed();
+        let after = pool_stats();
+        (
+            r,
+            elapsed,
+            (
+                after.hits - before.hits,
+                after.misses - before.misses,
+                after.evictions - before.evictions,
+            ),
+        )
+    };
+    let mut emit = |n: usize,
+                    mode: &str,
+                    pool: Option<usize>,
+                    r: &packagebuilder::PackageResult,
+                    elapsed: std::time::Duration,
+                    (h, m, e): (u64, u64, u64),
+                    identical: bool| {
+        print_row(
+            &[
+                n.to_string(),
+                mode.into(),
+                ms(elapsed),
+                r.best_objective()
+                    .map(|o| format!("{o:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                pool.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                format!("{h}/{m}/{e}"),
+                if identical {
+                    "identical".into()
+                } else {
+                    "DIFFERENT (!)".into()
+                },
+            ],
+            &widths,
+        );
+        json_rows.push(format!(
+            "    {{\"n\": {n}, \"mode\": \"{mode}\", \"ms\": {:.3}, \"objective\": {}, \
+             \"optimal\": {}, \"nodes\": {}, \"iterations\": {}, \"pool_pages\": {}, \
+             \"pool_hits\": {h}, \"pool_misses\": {m}, \"pool_evictions\": {e}, \
+             \"identical\": {identical}}}",
+            elapsed.as_secs_f64() * 1e3,
+            r.best_objective()
+                .map(|o| format!("{o:.3}"))
+                .unwrap_or_else(|| "null".into()),
+            r.optimal,
+            r.stats.nodes,
+            r.stats.iterations,
+            pool.map(|p| p.to_string()).unwrap_or_else(|| "null".into()),
+        ));
+    };
+
+    for n in [2_000usize, 20_000, 120_000] {
+        // The pool cap: well under the view's upper-bound page count
+        // (3 term columns × one page per chunk of n), floored at the
+        // 2-page minimum for the small sizes.
+        let pool = (3 * chunk_count(n) / 16).max(2);
+        let (reference, ref_time, ref_pool) = solve(n, Strategy::Auto, None);
+        emit(n, "resident", None, &reference, ref_time, ref_pool, true);
+        let (paged, paged_time, paged_pool) = solve(n, Strategy::Auto, Some(pool));
+        let identical = paged.packages == reference.packages
+            && paged.objectives == reference.objectives
+            && paged.optimal == reference.optimal
+            && paged.stats.nodes == reference.stats.nodes
+            && paged.stats.iterations == reference.stats.iterations;
+        all_identical &= identical;
+        emit(
+            n,
+            "paged",
+            Some(pool),
+            &paged,
+            paged_time,
+            paged_pool,
+            identical,
+        );
+    }
+
+    // The flagship out-of-core row, opt-in because datagen alone takes a
+    // while at this scale: 10^7 rows via sketch→refine, pool under 25% of
+    // even the worst-case column footprint.
+    if std::env::var("PB_PAGED_LARGE").map(|v| v == "1") == Ok(true) {
+        let n = 10_000_000usize;
+        let pool = 3 * chunk_count(n) / 16;
+        let (r, elapsed, counters) = solve(n, Strategy::SketchRefine, Some(pool));
+        emit(n, "paged-large", Some(pool), &r, elapsed, counters, true);
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"paged_out_of_core\",\n  \"query\": \"meal_plan\",\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_paged.json", &json) {
+        Ok(()) => println!("\n(wrote BENCH_paged.json)\n"),
+        Err(e) => println!("\n(could not write BENCH_paged.json: {e})\n"),
     }
     all_identical
 }

@@ -58,6 +58,45 @@ pub fn ms(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// Peak resident set size of this process in bytes (Linux `VmHWM`), or 0
+/// where the proc interface is unavailable. Monotone over the process
+/// lifetime — record it at the end of an experiment to bound that
+/// experiment's memory footprint from above.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The resource fields every `BENCH_*.json` records: the process's peak RSS
+/// plus the cumulative buffer-pool counters of the out-of-core column store
+/// (all zero for a run whose views stayed resident). Rendered as top-level
+/// JSON members, ready to splice between `"query"` and `"rows"`.
+pub fn resource_json() -> String {
+    let pool = packagebuilder::pool_stats();
+    format!(
+        "  \"peak_rss_bytes\": {},\n  \"pool\": {{\"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"pages_spilled\": {}}},",
+        peak_rss_bytes(),
+        pool.hits,
+        pool.misses,
+        pool.evictions,
+        pool.pages_spilled
+    )
+}
+
 /// Prints a fixed-width table row for the harness output.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells

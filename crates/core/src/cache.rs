@@ -78,16 +78,18 @@ use crate::PbResult;
 /// [`crate::config::EngineConfig::view_cache_capacity`]).
 pub const DEFAULT_VIEW_CACHE_CAPACITY: usize = 16;
 
-/// Per-bank growth bounds: LRU caps the number of banks, these cap each
-/// bank. A workload whose queries keep introducing novel aggregate terms
-/// (distinct `FILTER` predicates, say) would otherwise grow its — always
-/// most-recently-used, hence never evicted — bank without bound. Crossing
-/// the column bound resets the bank to the current query's columns (and
-/// drops the memos, whose signatures index the old columns); crossing the
-/// memo bound just clears the memos. Resets only cost a rebuild, never
-/// correctness.
-const MAX_BANK_COLUMNS: usize = 32;
-/// See [`MAX_BANK_COLUMNS`].
+/// Default byte budget for column payload across every bank (resident +
+/// spilled bytes combined): 256 MiB. Enforced byte-accurately after each
+/// write-back — least-recently-used banks are evicted until the cache fits,
+/// and if the freshest bank alone overflows, it is reset to the current
+/// query's columns (memos go with it — their signatures index the old column
+/// order). Resets and evictions only cost a rebuild, never correctness.
+pub const DEFAULT_CACHE_BYTE_BUDGET: usize = 256 << 20;
+
+/// Growth bound on each bank's partition-memo table. Columns are bounded by
+/// bytes ([`DEFAULT_CACHE_BYTE_BUDGET`]); memos are tiny but unbounded in
+/// *count* (one per term signature), so a count cap remains. An overflowing
+/// memo table is simply cleared.
 const MAX_BANK_MEMOS: usize = 32;
 
 /// A shared memo of sketch→refine partitionings for one view's columns.
@@ -268,6 +270,20 @@ struct TermBank {
     memos: HashMap<Vec<usize>, PartitionMemo>,
 }
 
+impl TermBank {
+    /// In-memory column-payload bytes this bank holds.
+    fn resident_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.resident_bytes()).sum()
+    }
+
+    /// Spill-file column-payload bytes this bank keeps alive (a banked paged
+    /// column pins its spill store — and therefore its file — for exactly as
+    /// long as the bank can serve it).
+    fn spilled_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.spilled_bytes()).sum()
+    }
+}
+
 /// Counters describing a cache's activity (see [`ViewCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -285,16 +301,34 @@ pub struct CacheStats {
     /// Term columns materialized from the base table (on misses and on hits
     /// that extended the bank with new terms).
     pub columns_built: u64,
+    /// In-memory column-payload bytes currently banked, across all entries.
+    pub resident_bytes: usize,
+    /// Spill-file column-payload bytes currently kept alive by banked paged
+    /// columns, across all entries. Tracked separately from `resident_bytes`
+    /// because the two compete for different resources (RAM vs disk), but
+    /// both count against the cache's byte budget.
+    pub spilled_bytes: usize,
 }
 
 struct CacheInner {
     capacity: usize,
+    /// Total column-payload bytes (resident + spilled) the cache may retain.
+    byte_budget: usize,
     /// Most-recently-used first; evictions pop from the back.
     entries: Vec<(ViewKey, TermBank)>,
     hits: u64,
     misses: u64,
     columns_reused: u64,
     columns_built: u64,
+}
+
+impl CacheInner {
+    fn total_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, b)| b.resident_bytes() + b.spilled_bytes())
+            .sum()
+    }
 }
 
 /// An LRU cache of materialized view columns (and, via [`PartitionMemo`],
@@ -311,12 +345,23 @@ pub struct ViewCache {
 }
 
 impl ViewCache {
-    /// A cache retaining at most `capacity` `(relation, predicate)` banks.
+    /// A cache retaining at most `capacity` `(relation, predicate)` banks
+    /// under the default byte budget ([`DEFAULT_CACHE_BYTE_BUDGET`]).
     /// Capacity 0 disables storage: every lookup builds cold.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, DEFAULT_CACHE_BYTE_BUDGET)
+    }
+
+    /// [`ViewCache::new`] with an explicit column-payload byte budget
+    /// (resident + spilled combined). Enforced after every write-back by
+    /// evicting least-recently-used banks; a single bank larger than the
+    /// whole budget is reset to the newest query's columns (which are always
+    /// retained, so a hot query stays warm however small the budget).
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
         ViewCache {
             inner: Arc::new(Mutex::new(CacheInner {
                 capacity,
+                byte_budget,
                 entries: Vec::new(),
                 hits: 0,
                 misses: 0,
@@ -354,6 +399,27 @@ impl ViewCache {
         table: &Table,
         par: ParExec,
     ) -> PbResult<CandidateView> {
+        self.view_for_with(
+            query,
+            table,
+            &crate::column_store::ColumnPolicy::default(),
+            par,
+        )
+    }
+
+    /// [`ViewCache::view_for_par`] under an explicit
+    /// [`crate::column_store::ColumnPolicy`] governing whether cache-miss
+    /// columns are built resident or paged (see
+    /// [`CandidateView::build_par_with`]). Banked columns keep the storage
+    /// mode they were built with — storage mode never changes any result, so
+    /// hits primed under one policy serve queries running under another.
+    pub fn view_for_with(
+        &self,
+        query: &PaqlQuery,
+        table: &Table,
+        policy: &crate::column_store::ColumnPolicy,
+        par: ParExec,
+    ) -> PbResult<CandidateView> {
         let key = ViewKey::of(table, query.where_clause.as_ref());
 
         // Phase 1 — snapshot the bank (if any) under the lock. Column
@@ -365,12 +431,13 @@ impl ViewCache {
                 // Disabled: behave exactly like the uncached path.
                 drop(inner);
                 let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
-                return CandidateView::build_par(
+                return CandidateView::build_par_with(
                     table,
                     candidates,
                     query.max_multiplicity(),
                     query.such_that.clone(),
                     query.objective.clone(),
+                    policy,
                     par,
                 );
             }
@@ -399,7 +466,7 @@ impl ViewCache {
         let (mut view, reused) = match snapshot {
             Some((candidates, stats, term_keys, columns)) => {
                 let mut reused = 0u64;
-                let view = CandidateView::assemble_par(
+                let view = CandidateView::assemble_par_with(
                     table,
                     candidates,
                     stats,
@@ -414,18 +481,20 @@ impl ViewCache {
                         reused += col.is_some() as u64;
                         col
                     },
+                    policy,
                     par,
                 )?;
                 (view, reused)
             }
             None => {
                 let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
-                let view = CandidateView::build_par(
+                let view = CandidateView::build_par_with(
                     table,
                     candidates,
                     query.max_multiplicity(),
                     query.such_that.clone(),
                     query.objective.clone(),
+                    policy,
                     par,
                 )?;
                 (view, 0)
@@ -462,25 +531,28 @@ impl ViewCache {
                 &mut inner.entries[0].1
             }
         };
-        // Bounded growth: a bank that would overflow its column budget is
-        // reset to just this query's columns (memos go with it — their
-        // signatures index the old column order); an overflowing memo table
-        // is simply cleared. See MAX_BANK_COLUMNS.
-        let novel = view
-            .term_keys()
-            .iter()
-            .filter(|call| !bank.term_keys.iter().any(|k| k == *call))
-            .count();
-        if bank.term_keys.len() + novel > MAX_BANK_COLUMNS {
-            bank.term_keys.clear();
-            bank.columns.clear();
-            bank.memos.clear();
-        }
         if bank.memos.len() >= MAX_BANK_MEMOS {
             bank.memos.clear();
         }
-        let sig = adopt_columns(bank, &view);
-        view.set_partition_memo(bank.memos.entry(sig).or_default().clone());
+        let mut sig = adopt_columns(bank, &view);
+        // Byte-accurate budget enforcement (see [`DEFAULT_CACHE_BYTE_BUDGET`]
+        // and [`ViewCache::with_byte_budget`]): evict least-recently-used
+        // banks until the cache fits its byte budget; if the freshest bank
+        // alone still overflows, reset it to exactly this query's columns
+        // (and drop its memos — their signatures index the old column order).
+        // The current query's own columns are always retained, so however
+        // small the budget, a repeated query stays warm.
+        while inner.total_bytes() > inner.byte_budget && inner.entries.len() > 1 {
+            inner.entries.pop();
+        }
+        if inner.total_bytes() > inner.byte_budget {
+            let bank = &mut inner.entries[0].1;
+            bank.term_keys.clear();
+            bank.columns.clear();
+            bank.memos.clear();
+            sig = adopt_columns(bank, &view);
+        }
+        view.set_partition_memo(inner.entries[0].1.memos.entry(sig).or_default().clone());
         Ok(view)
     }
 
@@ -506,6 +578,8 @@ impl ViewCache {
             misses: inner.misses,
             columns_reused: inner.columns_reused,
             columns_built: inner.columns_built,
+            resident_bytes: inner.entries.iter().map(|(_, b)| b.resident_bytes()).sum(),
+            spilled_bytes: inner.entries.iter().map(|(_, b)| b.spilled_bytes()).sum(),
         }
     }
 
@@ -575,6 +649,19 @@ mod tests {
         )
     }
 
+    /// A build pinned to resident storage, so byte-budget arithmetic in the
+    /// tests below is exact regardless of the `PB_COLUMN_BUDGET` environment.
+    fn view_resident(cache: &ViewCache, query: &PaqlQuery, table: &Table) -> CandidateView {
+        cache
+            .view_for_with(
+                query,
+                table,
+                &crate::column_store::ColumnPolicy::resident(),
+                ParExec::sequential(),
+            )
+            .unwrap()
+    }
+
     #[test]
     fn repeated_queries_hit_and_reuse_every_column() {
         let t = recipes(300, Seed(1));
@@ -583,22 +670,31 @@ mod tests {
         assert_eq!(a.candidates(), b.candidates());
         assert_eq!(a.terms().len(), b.terms().len());
         for (x, y) in a.terms().iter().zip(b.terms()) {
-            assert_eq!(x.coeffs(), y.coeffs());
-            assert_eq!(x.included(), y.included());
+            assert_eq!(x.coeffs_vec(), y.coeffs_vec());
+            assert_eq!(x.included_vec(), y.included_vec());
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.columns_built, 3, "COUNT, SUM(cal), SUM(protein)");
         assert_eq!(stats.columns_reused, 3);
+        // Byte accounting sees the three banked columns.
+        let banked: usize = a
+            .terms()
+            .iter()
+            .map(|t| t.resident_bytes() + t.spilled_bytes())
+            .sum();
+        assert_eq!(stats.resident_bytes + stats.spilled_bytes, banked);
     }
 
     #[test]
-    fn bank_growth_is_bounded_by_resetting_on_overflow() {
+    fn bank_growth_is_bounded_by_the_byte_budget() {
         // Every query introduces a novel FILTER term on the same
-        // (relation, predicate) key; the bank must not grow without bound.
+        // (relation, predicate) key; the bank must not grow past the byte
+        // budget (here: room for about four 50-row columns).
         let t = recipes(50, Seed(42));
-        let cache = ViewCache::new(4);
+        let one_column = crate::column_store::column_bytes(50);
+        let cache = ViewCache::with_byte_budget(4, 4 * one_column + one_column / 2);
         let query_with_threshold = |c: usize| {
             parse(&format!(
                 "SELECT PACKAGE(R) AS P FROM recipes R \
@@ -606,19 +702,52 @@ mod tests {
             ))
             .unwrap()
         };
-        for c in 0..(2 * MAX_BANK_COLUMNS) {
-            cache.view_for(&query_with_threshold(c), &t).unwrap();
+        for c in 0..64 {
+            view_resident(&cache, &query_with_threshold(c), &t);
+            let stats = cache.stats();
+            assert!(
+                stats.resident_bytes + stats.spilled_bytes <= 4 * one_column + one_column / 2,
+                "bank exceeded its byte budget after query {c}"
+            );
         }
         assert_eq!(cache.len(), 1, "one key throughout");
         // The most recent term survived the last reset and is served warm...
         let built = cache.stats().columns_built;
-        cache
-            .view_for(&query_with_threshold(2 * MAX_BANK_COLUMNS - 1), &t)
-            .unwrap();
+        view_resident(&cache, &query_with_threshold(63), &t);
         assert_eq!(cache.stats().columns_built, built, "recent term banked");
         // ...while the very first term was dropped by a reset and rebuilds.
-        cache.view_for(&query_with_threshold(0), &t).unwrap();
+        view_resident(&cache, &query_with_threshold(0), &t);
         assert_eq!(cache.stats().columns_built, built + 1, "old term evicted");
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_banks_first() {
+        // Distinct WHERE predicates are distinct banks; with room for about
+        // two single-column banks, priming a third must evict the stalest
+        // bank, not the freshest.
+        let t = recipes(50, Seed(43));
+        let one_column = crate::column_store::column_bytes(50);
+        // Predicates every row passes, so all three banks weigh exactly one
+        // full column and the budget arithmetic below is exact.
+        let cache = ViewCache::with_byte_budget(8, 2 * one_column + one_column / 2);
+        let queries: Vec<PaqlQuery> = ["R.calories > 0", "R.calories > -1", "R.calories > -2"]
+            .iter()
+            .map(|w| {
+                parse(&format!(
+                    "SELECT PACKAGE(R) AS P FROM recipes R WHERE {w} SUCH THAT COUNT(*) = 1"
+                ))
+                .unwrap()
+            })
+            .collect();
+        view_resident(&cache, &queries[0], &t);
+        view_resident(&cache, &queries[1], &t);
+        assert_eq!(cache.len(), 2);
+        view_resident(&cache, &queries[2], &t); // over budget: evicts [0]
+        assert_eq!(cache.len(), 2, "byte budget evicted one bank");
+        view_resident(&cache, &queries[1], &t);
+        assert_eq!(cache.stats().hits, 1, "fresh bank survived");
+        view_resident(&cache, &queries[0], &t);
+        assert_eq!(cache.stats().misses, 4, "stale bank was the victim");
     }
 
     #[test]
@@ -644,8 +773,8 @@ mod tests {
         assert_eq!(warm.candidates(), cold.candidates());
         assert_eq!(warm.term_keys(), cold.term_keys());
         for (w, c) in warm.terms().iter().zip(cold.terms()) {
-            assert_eq!(w.coeffs(), c.coeffs());
-            assert_eq!(w.included(), c.included());
+            assert_eq!(w.coeffs_vec(), c.coeffs_vec());
+            assert_eq!(w.included_vec(), c.included_vec());
         }
     }
 

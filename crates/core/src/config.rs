@@ -110,6 +110,23 @@ pub struct EngineConfig {
     /// retains (least-recently-used eviction). 0 disables storage entirely;
     /// the capacity is read when the engine is constructed.
     pub view_cache_capacity: usize,
+    /// The resident budget, in bytes, for one view build's freshly
+    /// materialized term columns. At or below the budget the columns stay
+    /// dense in memory; above it they spill to a temp file and page back in
+    /// through a fixed-size buffer pool (see [`crate::column_store`]), so a
+    /// view over 10^7+ rows evaluates in bounded memory. `0` forces every
+    /// build out-of-core. Storage mode never changes results — solutions are
+    /// bit-identical either way. Defaults to
+    /// [`crate::column_store::default_column_memory_budget`] (the
+    /// `PB_COLUMN_BUDGET` environment variable, else 1 GiB).
+    pub column_memory_budget: usize,
+    /// Buffer-pool capacity, in pages (one page = one 4096-row column chunk
+    /// plus its inclusion mask, ~32 KiB), for columns that spill under
+    /// [`EngineConfig::column_memory_budget`]. Clamped to at least
+    /// [`crate::column_store::MIN_POOL_PAGES`]. Defaults to
+    /// [`crate::column_store::default_pool_pages`] (the `PB_POOL_PAGES`
+    /// environment variable, else 1024 pages ≈ 32 MiB).
+    pub pool_pages: usize,
     /// The engine's **shared thread budget**: how many threads one query
     /// evaluation may use in total, across both portfolio racing *and*
     /// intra-solver chunk fan-out (view materialization, partitioning,
@@ -185,6 +202,8 @@ impl Default for EngineConfig {
             sketch_threshold: 4096,
             cache: true,
             view_cache_capacity: crate::cache::DEFAULT_VIEW_CACHE_CAPACITY,
+            column_memory_budget: crate::column_store::default_column_memory_budget(),
+            pool_pages: crate::column_store::default_pool_pages(),
             num_threads,
         }
     }
@@ -228,6 +247,20 @@ impl EngineConfig {
     /// when an engine is constructed from this configuration.
     pub fn with_view_cache_capacity(mut self, capacity: usize) -> Self {
         self.view_cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the resident byte budget for freshly materialized view columns
+    /// (0 forces every view build out-of-core).
+    pub fn with_column_memory_budget(mut self, bytes: usize) -> Self {
+        self.column_memory_budget = bytes;
+        self
+    }
+
+    /// Sets the buffer-pool capacity, in pages, for spilled columns
+    /// (clamped to [`crate::column_store::MIN_POOL_PAGES`] when used).
+    pub fn with_pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
         self
     }
 

@@ -156,10 +156,14 @@ impl PackageEngine {
         let analyzed = self.analyze(query)?;
         let table = self.relation(&analyzed.query)?;
         let par = crate::par::ParExec::new(self.config.num_threads);
+        let policy = crate::column_store::ColumnPolicy {
+            memory_budget: self.config.column_memory_budget,
+            pool_pages: self.config.pool_pages,
+        };
         if self.config.cache {
-            PackageSpec::build_cached_par(&analyzed, table, &self.cache, par)
+            PackageSpec::build_cached_with(&analyzed, table, &self.cache, &policy, par)
         } else {
-            PackageSpec::build_par(&analyzed, table, par)
+            PackageSpec::build_with(&analyzed, table, &policy, par)
         }
     }
 

@@ -142,7 +142,7 @@ pub fn linearize_expr(
             }
             debug_assert!(matches!(term.func, AggFunc::Count | AggFunc::Sum));
             Ok(LinearAgg {
-                coeffs: term.coeffs().to_vec(),
+                coeffs: term.coeffs_vec(),
                 constant: 0.0,
             })
         }
@@ -227,17 +227,22 @@ fn linearize_avg_comparison(
     bound: f64,
 ) -> Result<Vec<LinearConstraint>, NonLinearReason> {
     let term = &view.terms()[term_id];
-    let main: Vec<f64> = term
-        .coeffs()
-        .iter()
-        .zip(term.included())
-        .map(|(&c, &inc)| if inc { c - bound } else { 0.0 })
-        .collect();
-    let support: Vec<f64> = term
-        .included()
-        .iter()
-        .map(|&inc| if inc { 1.0 } else { 0.0 })
-        .collect();
+    // One chunk pin serves both rows (paged columns fault each page once).
+    let mut main: Vec<f64> = Vec::with_capacity(term.len());
+    let mut support: Vec<f64> = Vec::with_capacity(term.len());
+    for c in 0..term.chunk_meta().len() {
+        let chunk = term.chunk(c);
+        let coeffs = chunk.coeffs();
+        for (i, &x) in coeffs.iter().enumerate() {
+            if chunk.included(i) {
+                main.push(x - bound);
+                support.push(1.0);
+            } else {
+                main.push(0.0);
+                support.push(0.0);
+            }
+        }
+    }
     let (row_op, rhs) = comparison_row(op, 0.0)?;
     Ok(vec![
         LinearConstraint {

@@ -56,6 +56,17 @@
 //!   reductions make results **bit-identical at every thread count**, and
 //!   budgets are checked per chunk so the anytime contract survives the
 //!   fan-out.
+//! * **[`column_store`] — out-of-core columns.** The same 4096-element
+//!   chunk is also the paging unit: above
+//!   [`config::EngineConfig::column_memory_budget`] a view's term columns
+//!   are written chunk by chunk to a temporary spill file and scanned back
+//!   through a small LRU buffer pool ([`config::EngineConfig::pool_pages`],
+//!   env overrides `PB_COLUMN_BUDGET` / `PB_POOL_PAGES`), while per-chunk
+//!   metadata stays resident for pruning and bounds. Storage mode is
+//!   invisible to every consumer: paged solves are bit-identical to
+//!   resident ones — same packages, objectives and counters — at every
+//!   thread count (`tests/paged_determinism.rs`), so candidate sets far
+//!   beyond RAM stream through a fixed number of page frames.
 //! * **[`cache`] — cross-query reuse.** Real workloads repeat the same
 //!   relation + base predicate with varying constraints; the engine's
 //!   [`cache::ViewCache`] banks materialized term columns, candidate
@@ -97,6 +108,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod column_store;
 pub mod config;
 pub mod diversity;
 pub mod engine;
@@ -121,6 +133,7 @@ pub mod view;
 
 pub use budget::Budget;
 pub use cache::{CacheStats, PartitionMemo, ViewCache};
+pub use column_store::{pool_stats, ColumnPolicy, PoolStats};
 pub use config::{EngineConfig, Strategy};
 pub use engine::{PackageEngine, QueryPlan};
 pub use error::PbError;

@@ -141,30 +141,51 @@ pub fn partition_view_budgeted(
         let dims = terms.len();
         for k in 0..dims {
             let d = (k + seed as usize) % dims;
-            let col = terms[d].coeffs();
-            let (lo, hi) = par
-                .fold_chunks(
-                    members.len(),
-                    |_, range| {
-                        let mut lo = f64::INFINITY;
-                        let mut hi = f64::NEG_INFINITY;
-                        for &i in &members[range] {
-                            lo = lo.min(col[i]);
-                            hi = hi.max(col[i]);
-                        }
-                        (lo, hi)
-                    },
-                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
-                )
-                .unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
+            // Resident columns keep the direct-slice chunk fan-out; paged
+            // columns scan through chunk-bucketed pins (min/max combination
+            // is order-independent, so both give the identical spread).
+            let (lo, hi) = match terms[d].resident_coeffs() {
+                Some(col) => par
+                    .fold_chunks(
+                        members.len(),
+                        |_, range| {
+                            let mut lo = f64::INFINITY;
+                            let mut hi = f64::NEG_INFINITY;
+                            for &i in &members[range] {
+                                lo = lo.min(col[i]);
+                                hi = hi.max(col[i]);
+                            }
+                            (lo, hi)
+                        },
+                        |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                    )
+                    .unwrap_or((f64::INFINITY, f64::NEG_INFINITY)),
+                None => terms[d].minmax_over(&members),
+            };
             let spread = hi - lo;
             if spread > best.map(|(_, s)| s).unwrap_or(0.0) {
                 best = Some((d, spread));
             }
         }
         if let Some((d, _)) = best {
-            let col = terms[d].coeffs();
-            members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
+            match terms[d].resident_coeffs() {
+                Some(col) => {
+                    members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
+                }
+                None => {
+                    // Gather the sort keys once (one pool pin per distinct
+                    // chunk) and sort a permutation — the comparator mirrors
+                    // the resident one exactly, so the split is identical.
+                    let keys = terms[d].gather_coeffs(&members);
+                    let mut order: Vec<u32> = (0..members.len() as u32).collect();
+                    order.sort_by(|&x, &y| {
+                        keys[x as usize]
+                            .total_cmp(&keys[y as usize])
+                            .then(members[x as usize].cmp(&members[y as usize]))
+                    });
+                    members = order.iter().map(|&p| members[p as usize]).collect();
+                }
+            }
         }
         // No splittable column (no terms, or all values identical): the
         // members are still in ascending index order, so halving by position
@@ -178,9 +199,17 @@ pub fn partition_view_budgeted(
         .into_iter()
         .map(|mut members| {
             members.sort_unstable();
+            // Members are ascending, so the paged path's in-order chunk
+            // cursor accumulates in the same order the resident slice scan
+            // does — bit-identical centroids.
             let centroid = terms
                 .iter()
-                .map(|t| members.iter().map(|&i| t.coeffs()[i]).sum::<f64>() / members.len() as f64)
+                .map(|t| match t.resident_coeffs() {
+                    Some(col) => {
+                        members.iter().map(|&i| col[i]).sum::<f64>() / members.len() as f64
+                    }
+                    None => t.sum_over_sorted(&members) / members.len() as f64,
+                })
                 .collect();
             Partition { members, centroid }
         })
@@ -256,12 +285,9 @@ mod tests {
         let v = view_for(&t, QUERY);
         let p = partition_view(&v, 16, 1);
         for (d, term) in v.terms().iter().enumerate() {
-            let global_lo = term.coeffs().iter().cloned().fold(f64::INFINITY, f64::min);
-            let global_hi = term
-                .coeffs()
-                .iter()
-                .cloned()
-                .fold(f64::NEG_INFINITY, f64::max);
+            let coeffs = term.coeffs_vec();
+            let global_lo = coeffs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let global_hi = coeffs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             if global_hi - global_lo <= 0.0 {
                 continue;
             }
@@ -270,12 +296,12 @@ mod tests {
                 let lo = part
                     .members
                     .iter()
-                    .map(|&i| term.coeffs()[i])
+                    .map(|&i| coeffs[i])
                     .fold(f64::INFINITY, f64::min);
                 let hi = part
                     .members
                     .iter()
-                    .map(|&i| term.coeffs()[i])
+                    .map(|&i| coeffs[i])
                     .fold(f64::NEG_INFINITY, f64::max);
                 max_local = max_local.max(hi - lo);
             }
@@ -312,7 +338,7 @@ mod tests {
         let p = partition_view(&v, 8, 3);
         for part in p.partitions() {
             for (d, term) in v.terms().iter().enumerate() {
-                let mean = part.mean_of(term.coeffs());
+                let mean = part.mean_of(&term.coeffs_vec());
                 assert!((part.centroid[d] - mean).abs() < 1e-12);
             }
         }

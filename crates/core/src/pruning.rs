@@ -219,7 +219,7 @@ fn contribution_range(view: &CandidateView, agg: &AggCall) -> Option<Contributio
                 min,
                 max,
                 sum: term.included_sum(),
-                covers_all: term.included_count() == term.coeffs().len() as u64,
+                covers_all: term.included_count() == term.len() as u64,
             });
         }
     }

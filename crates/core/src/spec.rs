@@ -6,6 +6,7 @@ use minidb::{Expr, Table, TupleId};
 use paql::{AnalyzedQuery, GlobalFormula, Objective, PaqlQuery};
 
 use crate::cache::ViewCache;
+use crate::column_store::ColumnPolicy;
 use crate::package::Package;
 use crate::par::ParExec;
 use crate::view::CandidateView;
@@ -90,16 +91,33 @@ impl<'a> PackageSpec<'a> {
     /// [`PackageSpec::build`] with the base-predicate scan and column
     /// materialization fanned out over `par` (see [`crate::par`]); the
     /// engine passes its configured executor here. Bit-identical to the
-    /// sequential build at every thread count.
+    /// sequential build at every thread count. Column storage follows
+    /// [`ColumnPolicy::default`] (environment-derived);
+    /// [`PackageSpec::build_with`] takes an explicit policy.
     pub fn build_par(analyzed: &AnalyzedQuery, table: &'a Table, par: ParExec) -> PbResult<Self> {
+        Self::build_with(analyzed, table, &ColumnPolicy::default(), par)
+    }
+
+    /// [`PackageSpec::build_par`] under an explicit [`ColumnPolicy`]: the
+    /// view's term columns go out-of-core (spill file + buffer pool) when
+    /// their estimated footprint exceeds the policy's resident budget —
+    /// [`crate::config::EngineConfig::column_memory_budget`] arrives here.
+    /// The storage mode never changes results, only where column bytes live.
+    pub fn build_with(
+        analyzed: &AnalyzedQuery,
+        table: &'a Table,
+        policy: &ColumnPolicy,
+        par: ParExec,
+    ) -> PbResult<Self> {
         let query = analyzed.query.clone();
         let candidates = base_candidates_par(table, query.where_clause.as_ref(), par)?;
-        let view = CandidateView::build_par(
+        let view = CandidateView::build_par_with(
             table,
             candidates.clone(),
             query.max_multiplicity(),
             query.such_that.clone(),
             query.objective.clone(),
+            policy,
             par,
         )?;
         Ok(PackageSpec {
@@ -135,8 +153,21 @@ impl<'a> PackageSpec<'a> {
         cache: &ViewCache,
         par: ParExec,
     ) -> PbResult<Self> {
+        Self::build_cached_with(analyzed, table, cache, &ColumnPolicy::default(), par)
+    }
+
+    /// [`PackageSpec::build_cached_par`] under an explicit [`ColumnPolicy`]
+    /// (see [`PackageSpec::build_with`]); cache-miss columns obey the
+    /// policy, banked columns keep the mode they were built with.
+    pub fn build_cached_with(
+        analyzed: &AnalyzedQuery,
+        table: &'a Table,
+        cache: &ViewCache,
+        policy: &ColumnPolicy,
+        par: ParExec,
+    ) -> PbResult<Self> {
         let query = analyzed.query.clone();
-        let view = cache.view_for_par(&query, table, par)?;
+        let view = cache.view_for_with(&query, table, policy, par)?;
         Ok(PackageSpec {
             table,
             candidates: view.candidates().to_vec(),

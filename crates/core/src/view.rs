@@ -21,6 +21,16 @@
 //! random queries, and the property suite in `tests/columnar_oracle.rs`
 //! exercises both paths over every datagen scenario.
 //!
+//! Columns are chunked at a fixed 4096-element width ([`TermColumn`]), and
+//! since the [`crate::column_store`] subsystem landed a column's chunks can
+//! live **out of core**: under a paged [`crate::column_store::ColumnPolicy`]
+//! they are spilled to a temporary file at build time and scanned back
+//! through an LRU buffer pool, chunk by chunk, while the per-chunk
+//! [`ChunkMeta`] summaries stay resident. Consumers iterate
+//! [`TermColumn::chunk`] cursors (or the point accessors
+//! [`TermColumn::coeff_at`] / [`TermColumn::included_at`]) and never learn
+//! where the bytes live; resident and paged builds are bit-identical.
+//!
 //! Since the [`crate::cache`] subsystem landed, a view can also be
 //! *assembled* from previously materialized building blocks
 //! ([`CandidateView::assemble`]): the candidate list, statistics and any
@@ -41,14 +51,23 @@ use paql::{AggCall, AggFunc, CmpOp, GlobalExpr, GlobalFormula, Objective, Object
 
 use crate::budget::Budget;
 use crate::cache::PartitionMemo;
+use crate::column_store::{ColumnPolicy, PageGuard, SpillStore, MASK_WORDS_PER_CHUNK, PAGE_BYTES};
 use crate::package::Package;
-use crate::par::{chunk_count, chunk_range, ParExec};
+use crate::par::{chunk_count, chunk_range, ParExec, CHUNK_WIDTH};
 use crate::partition::Partitioning;
-use crate::PbResult;
+use crate::{PbError, PbResult};
 
 /// Penalty for constraints whose sides cannot be evaluated (NULL aggregate),
 /// identical to the interpreted path's constant.
 const UNEVALUABLE_PENALTY: f64 = 1e9;
+
+/// Chunks per materialization segment in paged-aware builds (~4.3 MB of
+/// coefficient buffer). Segments bound the *transient* memory of building a
+/// column — evaluated chunks are pushed into the [`ColumnSink`] (spilled,
+/// for paged columns) before the next segment is evaluated. Segment starts
+/// are multiples of [`crate::par::CHUNK_WIDTH`], so segmentation never moves
+/// a chunk boundary and results stay bit-identical.
+const BUILD_SEGMENT_CHUNKS: usize = 128;
 
 /// Precomputed aggregates of one [`crate::par::CHUNK_WIDTH`]-wide chunk of a
 /// [`TermColumn`], over the chunk's *included* entries only.
@@ -71,85 +90,342 @@ pub struct ChunkMeta {
     pub included: u32,
 }
 
+/// Where a column's chunk payload lives. Metadata ([`ChunkMeta`]) is always
+/// resident either way — only the coefficient/mask bytes move.
+#[derive(Debug, Clone)]
+enum ColumnData {
+    /// Today's dense in-memory layout: one contiguous coefficient vector and
+    /// a chunk-aligned inclusion bitmask (chunk `c` owns words
+    /// `c · MASK_WORDS_PER_CHUNK ..`, padded at the tail so every chunk's
+    /// words are full-width — the same shape a spill page has).
+    Resident { coeffs: Vec<f64>, mask: Vec<u64> },
+    /// Chunks spilled to a [`SpillStore`]: chunk `c` is page `first_page + c`
+    /// of the (possibly shared) store, faulted in through its buffer pool.
+    Paged {
+        store: Arc<SpillStore>,
+        first_page: u64,
+    },
+}
+
 /// One aggregate term (`SUM(P.calories)`, `COUNT(*) FILTER (WHERE ...)`, …)
 /// lowered to columns over the candidate set.
 ///
 /// # Chunked layout
 ///
-/// The coefficient and inclusion columns are dense, contiguous vectors (the
-/// layout autovectorizers and caches want), logically divided into
-/// fixed-width chunks of [`crate::par::CHUNK_WIDTH`] elements with a [`ChunkMeta`]
-/// (partial sum, min/max, included count over the chunk's included entries)
-/// kept per chunk. Two invariants make this the substrate for deterministic
-/// data parallelism:
+/// A column is a sequence of *chunk handles*: fixed-width chunks of
+/// [`crate::par::CHUNK_WIDTH`] elements with a [`ChunkMeta`] (partial sum,
+/// min/max, included count over the chunk's included entries) kept per chunk,
+/// always in memory. The chunk *payload* (coefficients + inclusion mask)
+/// lives either resident (dense vectors — the zero-cost path) or paged
+/// (spill file + LRU buffer pool, [`crate::column_store`]); consumers access
+/// it uniformly through [`TermColumn::chunk`] cursors or the per-element
+/// [`TermColumn::entry_at`]. Two invariants make this the substrate for
+/// deterministic data parallelism:
 ///
 /// * **Chunk boundaries are fixed** — always `CHUNK_WIDTH` elements, derived
-///   from the candidate count alone, never from the thread count.
+///   from the candidate count alone, never from the thread count or the
+///   storage mode.
 /// * **Reductions combine chunks in chunk order** — so any whole-column
 ///   value derived from the metadata (or from a parallel scan chunked the
-///   same way) is bit-identical at every `num_threads`.
+///   same way) is bit-identical at every `num_threads` — and, since paging
+///   moves bytes without touching values or boundaries, in both storage
+///   modes.
 ///
-/// Columns are immutable after construction ([`TermColumn::new`] computes
-/// the metadata once); the cache shares them by `Arc` across queries.
+/// Columns are immutable after construction (a [`ColumnSink`] computes the
+/// metadata chunk by chunk as the column is materialized; paged chunks are
+/// written to the spill file exactly once and never written back); the cache
+/// shares them by `Arc` across queries.
 #[derive(Debug, Clone)]
 pub struct TermColumn {
     /// The aggregate function.
     pub func: AggFunc,
-    /// Per-candidate contribution: the argument value (1.0 for `COUNT(*)`),
-    /// forced to 0.0 where the candidate is excluded so SUM/COUNT become
-    /// plain dot products with the multiplicity vector.
-    coeffs: Vec<f64>,
-    /// Per-candidate inclusion: the `FILTER` predicate passed and the
-    /// argument was non-NULL (always true for `COUNT(*)` modulo filter).
-    included: Vec<bool>,
+    /// Number of candidates (elements) in the column.
+    len: usize,
+    /// The chunk payload: per-candidate contribution (the argument value,
+    /// 1.0 for `COUNT(*)`, forced to 0.0 where excluded) plus the inclusion
+    /// mask (`FILTER` passed and the argument was non-NULL).
+    data: ColumnData,
     /// Per-chunk partial aggregates over the included entries.
     chunks: Vec<ChunkMeta>,
 }
 
-impl TermColumn {
-    /// Builds a column from its dense coefficient and inclusion vectors,
-    /// computing the per-chunk metadata (the only way to construct one, so
-    /// the metadata can never drift from the columns).
-    pub fn new(func: AggFunc, coeffs: Vec<f64>, included: Vec<bool>) -> Self {
-        assert_eq!(coeffs.len(), included.len());
-        let chunks = (0..chunk_count(coeffs.len()))
-            .map(|c| {
-                let mut meta = ChunkMeta {
-                    sum: 0.0,
-                    min: f64::INFINITY,
-                    max: f64::NEG_INFINITY,
-                    included: 0,
-                };
-                for i in chunk_range(c, coeffs.len()) {
-                    if included[i] {
-                        meta.sum += coeffs[i];
-                        meta.min = meta.min.min(coeffs[i]);
-                        meta.max = meta.max.max(coeffs[i]);
-                        meta.included += 1;
-                    }
-                }
-                meta
-            })
-            .collect();
-        TermColumn {
-            func,
-            coeffs,
-            included,
-            chunks,
+/// One pinned chunk of a [`TermColumn`]: borrowed slices for resident
+/// columns, a buffer-pool [`PageGuard`] for paged ones. The chunk stays
+/// pinned (immune to eviction) for the guard's lifetime — scan loops hold
+/// one of these per chunk, never per element.
+pub enum ColumnChunk<'c> {
+    /// Resident chunk: slices borrowed straight from the column.
+    Resident {
+        /// The chunk's coefficients (exact chunk length).
+        coeffs: &'c [f64],
+        /// The chunk's inclusion-mask words ([`MASK_WORDS_PER_CHUNK`] of them).
+        mask: &'c [u64],
+    },
+    /// Paged chunk: a pinned buffer-pool page.
+    Paged {
+        /// The pinned page.
+        guard: PageGuard,
+        /// The chunk's exact length (tail chunks are shorter than the page).
+        len: usize,
+    },
+}
+
+impl ColumnChunk<'_> {
+    /// Elements in this chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnChunk::Resident { coeffs, .. } => coeffs.len(),
+            ColumnChunk::Paged { len, .. } => *len,
         }
     }
 
-    /// Per-candidate contributions (see the struct docs).
+    /// True when the chunk has no elements (never, for chunks of a
+    /// non-empty column).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunk's coefficients.
+    #[inline]
     pub fn coeffs(&self) -> &[f64] {
-        &self.coeffs
+        match self {
+            ColumnChunk::Resident { coeffs, .. } => coeffs,
+            ColumnChunk::Paged { guard, len } => guard.coeffs(*len),
+        }
     }
 
-    /// Per-candidate inclusion mask (see the struct docs).
-    pub fn included(&self) -> &[bool] {
-        &self.included
+    /// Whether element `i` of this chunk is included.
+    #[inline]
+    pub fn included(&self, i: usize) -> bool {
+        match self {
+            ColumnChunk::Resident { mask, .. } => (mask[i / 64] >> (i % 64)) & 1 == 1,
+            ColumnChunk::Paged { guard, .. } => guard.included(i),
+        }
+    }
+}
+
+#[inline]
+fn mask_bit(mask: &[u64], idx: usize) -> bool {
+    (mask[idx / 64] >> (idx % 64)) & 1 == 1
+}
+
+impl TermColumn {
+    /// Builds a resident column from its dense coefficient and inclusion
+    /// vectors, computing the per-chunk metadata. ([`ColumnSink`] is the
+    /// general constructor; this is the convenience wrapper around it.)
+    pub fn new(func: AggFunc, coeffs: Vec<f64>, included: Vec<bool>) -> Self {
+        assert_eq!(coeffs.len(), included.len());
+        let n = coeffs.len();
+        let mut sink = ColumnSink::resident(func, n);
+        for c in 0..chunk_count(n) {
+            let r = chunk_range(c, n);
+            sink.push_chunk(&coeffs[r.clone()], &included[r])
+                .expect("resident sink cannot fail");
+        }
+        sink.finish()
     }
 
-    /// The per-chunk metadata, one entry per [`crate::par::CHUNK_WIDTH`]-wide chunk.
+    /// Number of candidates (elements) in the column.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the column has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the chunk payload lives in a spill file rather than memory.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.data, ColumnData::Paged { .. })
+    }
+
+    /// Bytes of chunk payload held in memory (0 for paged columns — the
+    /// buffer pool's frames belong to the pool, not the column).
+    pub fn resident_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::Resident { coeffs, mask } => coeffs.len() * 8 + mask.len() * 8,
+            ColumnData::Paged { .. } => 0,
+        }
+    }
+
+    /// Bytes of chunk payload in the spill file (0 for resident columns).
+    pub fn spilled_bytes(&self) -> usize {
+        match &self.data {
+            ColumnData::Resident { .. } => 0,
+            ColumnData::Paged { .. } => self.chunks.len() * PAGE_BYTES,
+        }
+    }
+
+    /// Pins chunk `c` and returns a cursor over its payload. Scan loops call
+    /// this once per chunk and index inside the guard — one buffer-pool
+    /// round-trip per [`crate::par::CHUNK_WIDTH`] elements.
+    #[inline]
+    pub fn chunk(&self, c: usize) -> ColumnChunk<'_> {
+        let r = chunk_range(c, self.len);
+        match &self.data {
+            ColumnData::Resident { coeffs, mask } => ColumnChunk::Resident {
+                coeffs: &coeffs[r],
+                mask: &mask[c * MASK_WORDS_PER_CHUNK..(c + 1) * MASK_WORDS_PER_CHUNK],
+            },
+            ColumnData::Paged { store, first_page } => ColumnChunk::Paged {
+                guard: store.read(first_page + c as u64),
+                len: r.len(),
+            },
+        }
+    }
+
+    /// The coefficient of element `idx` (pins the element's chunk for paged
+    /// columns — prefer [`TermColumn::chunk`] cursors in scan loops).
+    #[inline]
+    pub fn coeff_at(&self, idx: usize) -> f64 {
+        match &self.data {
+            ColumnData::Resident { coeffs, .. } => coeffs[idx],
+            ColumnData::Paged { store, first_page } => {
+                let g = store.read(first_page + (idx / CHUNK_WIDTH) as u64);
+                g.coeffs(CHUNK_WIDTH)[idx % CHUNK_WIDTH]
+            }
+        }
+    }
+
+    /// Whether element `idx` is included.
+    #[inline]
+    pub fn included_at(&self, idx: usize) -> bool {
+        match &self.data {
+            ColumnData::Resident { mask, .. } => mask_bit(mask, idx),
+            ColumnData::Paged { store, first_page } => {
+                let g = store.read(first_page + (idx / CHUNK_WIDTH) as u64);
+                g.included(idx % CHUNK_WIDTH)
+            }
+        }
+    }
+
+    /// `(coefficient, included)` of element `idx` with a single chunk pin —
+    /// the accessor [`ViewState`]'s delta scoring uses.
+    #[inline]
+    pub fn entry_at(&self, idx: usize) -> (f64, bool) {
+        match &self.data {
+            ColumnData::Resident { coeffs, mask } => (coeffs[idx], mask_bit(mask, idx)),
+            ColumnData::Paged { store, first_page } => {
+                let g = store.read(first_page + (idx / CHUNK_WIDTH) as u64);
+                (
+                    g.coeffs(CHUNK_WIDTH)[idx % CHUNK_WIDTH],
+                    g.included(idx % CHUNK_WIDTH),
+                )
+            }
+        }
+    }
+
+    /// The resident coefficient slice, when there is one — the fast path
+    /// scan loops take before falling back to chunk cursors.
+    pub fn resident_coeffs(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Resident { coeffs, .. } => Some(coeffs),
+            ColumnData::Paged { .. } => None,
+        }
+    }
+
+    /// Copies the whole coefficient column out as a dense vector (chunk by
+    /// chunk, in chunk order). Used where a dense row is genuinely required
+    /// — ILP linearization — and by tests.
+    pub fn coeffs_vec(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in 0..self.chunks.len() {
+            out.extend_from_slice(self.chunk(c).coeffs());
+        }
+        out
+    }
+
+    /// Copies the whole inclusion column out as a dense vector.
+    pub fn included_vec(&self) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.len);
+        for c in 0..self.chunks.len() {
+            let chunk = self.chunk(c);
+            out.extend((0..chunk.len()).map(|i| chunk.included(i)));
+        }
+        out
+    }
+
+    /// Gathers `coeffs[indices[p]]` for every `p`, pinning each distinct
+    /// chunk once (positions are visited bucketed by chunk, results land in
+    /// input order). The partitioner's sort keys come through here.
+    pub fn gather_coeffs(&self, indices: &[usize]) -> Vec<f64> {
+        match &self.data {
+            ColumnData::Resident { coeffs, .. } => indices.iter().map(|&i| coeffs[i]).collect(),
+            ColumnData::Paged { .. } => {
+                let mut out = vec![0.0; indices.len()];
+                let mut order: Vec<u32> = (0..indices.len() as u32).collect();
+                order.sort_by_key(|&p| indices[p as usize] / CHUNK_WIDTH);
+                let mut pinned: Option<(usize, ColumnChunk<'_>)> = None;
+                for &p in &order {
+                    let idx = indices[p as usize];
+                    let c = idx / CHUNK_WIDTH;
+                    if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
+                        pinned = Some((c, self.chunk(c)));
+                    }
+                    out[p as usize] = pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
+                }
+                out
+            }
+        }
+    }
+
+    /// Sum of `coeffs[idx]` over `indices`, accumulated **in input order**
+    /// (callers pass ascending member lists, so resident and paged columns
+    /// add in the identical order — bit-identical sums). One chunk pin per
+    /// run of same-chunk indices.
+    pub fn sum_over_sorted(&self, indices: &[usize]) -> f64 {
+        match &self.data {
+            ColumnData::Resident { coeffs, .. } => indices.iter().map(|&i| coeffs[i]).sum(),
+            ColumnData::Paged { .. } => {
+                let mut sum = 0.0;
+                let mut pinned: Option<(usize, ColumnChunk<'_>)> = None;
+                for &idx in indices {
+                    let c = idx / CHUNK_WIDTH;
+                    if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
+                        pinned = Some((c, self.chunk(c)));
+                    }
+                    sum += pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
+                }
+                sum
+            }
+        }
+    }
+
+    /// `(min, max)` of `coeffs[idx]` over `indices` (`(+∞, -∞)` when empty),
+    /// one chunk pin per run of same-chunk indices. Feeds the partitioner's
+    /// spread scan on paged columns.
+    pub fn minmax_over(&self, indices: &[usize]) -> (f64, f64) {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        match &self.data {
+            ColumnData::Resident { coeffs, .. } => {
+                for &idx in indices {
+                    lo = lo.min(coeffs[idx]);
+                    hi = hi.max(coeffs[idx]);
+                }
+            }
+            ColumnData::Paged { .. } => {
+                let mut pinned: Option<(usize, ColumnChunk<'_>)> = None;
+                for &idx in indices {
+                    let c = idx / CHUNK_WIDTH;
+                    if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
+                        pinned = Some((c, self.chunk(c)));
+                    }
+                    let v = pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    /// The per-chunk metadata, one entry per [`crate::par::CHUNK_WIDTH`]-wide
+    /// chunk — always resident, whatever the payload's storage mode, so
+    /// metadata consumers ([`crate::pruning::derive_bounds`], the k-d spread
+    /// scans) never fault a page.
     pub fn chunk_meta(&self) -> &[ChunkMeta] {
         &self.chunks
     }
@@ -182,6 +458,132 @@ impl TermColumn {
                 .iter()
                 .fold(f64::NEG_INFINITY, |a, m| a.max(m.max))
         })
+    }
+}
+
+/// Incremental [`TermColumn`] builder: chunks are pushed in chunk order (all
+/// full-width except possibly the last) and land either in resident vectors
+/// or in a [`SpillStore`]. The per-chunk [`ChunkMeta`] is computed here,
+/// from the chunk buffer, *before* the payload is stored — the same values
+/// in both modes, which is half of the paged-vs-resident determinism
+/// contract (the other half being fixed chunk boundaries).
+pub struct ColumnSink {
+    func: AggFunc,
+    len: usize,
+    chunks: Vec<ChunkMeta>,
+    mode: SinkMode,
+}
+
+enum SinkMode {
+    Resident {
+        coeffs: Vec<f64>,
+        mask: Vec<u64>,
+    },
+    Paged {
+        store: Arc<SpillStore>,
+        first_page: Option<u64>,
+    },
+}
+
+impl ColumnSink {
+    /// A sink building a resident column (capacity hint in elements).
+    pub fn resident(func: AggFunc, capacity: usize) -> Self {
+        ColumnSink {
+            func,
+            len: 0,
+            chunks: Vec::with_capacity(chunk_count(capacity)),
+            mode: SinkMode::Resident {
+                coeffs: Vec::with_capacity(capacity),
+                mask: Vec::with_capacity(chunk_count(capacity) * MASK_WORDS_PER_CHUNK),
+            },
+        }
+    }
+
+    /// A sink spilling chunks to `store` (one view build shares one store
+    /// across all its columns — and its buffer pool with every reader).
+    pub fn paged(func: AggFunc, store: Arc<SpillStore>) -> Self {
+        ColumnSink {
+            func,
+            len: 0,
+            chunks: Vec::new(),
+            mode: SinkMode::Paged {
+                store,
+                first_page: None,
+            },
+        }
+    }
+
+    /// Appends the next chunk (in chunk order; every chunk before the last
+    /// must be exactly [`crate::par::CHUNK_WIDTH`] elements).
+    pub fn push_chunk(&mut self, coeffs: &[f64], included: &[bool]) -> PbResult<()> {
+        assert_eq!(coeffs.len(), included.len());
+        assert!(coeffs.len() <= CHUNK_WIDTH);
+        assert_eq!(
+            self.len % CHUNK_WIDTH,
+            0,
+            "chunks must be pushed in order, full-width except the last"
+        );
+        let mut meta = ChunkMeta {
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            included: 0,
+        };
+        for (i, &inc) in included.iter().enumerate() {
+            if inc {
+                meta.sum += coeffs[i];
+                meta.min = meta.min.min(coeffs[i]);
+                meta.max = meta.max.max(coeffs[i]);
+                meta.included += 1;
+            }
+        }
+        self.chunks.push(meta);
+        self.len += coeffs.len();
+        match &mut self.mode {
+            SinkMode::Resident { coeffs: out, mask } => {
+                out.extend_from_slice(coeffs);
+                let mut words = [0u64; MASK_WORDS_PER_CHUNK];
+                for (i, &inc) in included.iter().enumerate() {
+                    if inc {
+                        words[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+                mask.extend_from_slice(&words);
+            }
+            SinkMode::Paged { store, first_page } => {
+                let page = store
+                    .append_chunk(coeffs, included)
+                    .map_err(|e| PbError::Internal(format!("column spill write: {e}")))?;
+                if first_page.is_none() {
+                    *first_page = Some(page);
+                }
+                debug_assert_eq!(
+                    page,
+                    first_page.unwrap() + (self.chunks.len() - 1) as u64,
+                    "a column's chunks must land on consecutive pages"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the column.
+    pub fn finish(self) -> TermColumn {
+        let data = match self.mode {
+            SinkMode::Resident { coeffs, mask } => ColumnData::Resident { coeffs, mask },
+            SinkMode::Paged { store, first_page } => ColumnData::Paged {
+                // An empty paged column never wrote a page; first_page 0 is
+                // fine — it has no chunks to address.
+                first_page: first_page.unwrap_or(0),
+                store,
+            },
+        };
+        TermColumn {
+            func: self.func,
+            len: self.len,
+            data,
+            chunks: self.chunks,
+        }
     }
 }
 
@@ -297,13 +699,41 @@ impl CandidateView {
     /// `par` ([`crate::par::CHUNK_WIDTH`]-wide chunks of the candidate set per task).
     /// The resulting view is bit-identical at every thread count: chunks
     /// write disjoint fixed ranges and evaluation errors are reported in
-    /// chunk order.
+    /// chunk order. Storage mode follows [`ColumnPolicy::default`] (the
+    /// environment-derived policy); [`CandidateView::build_par_with`] takes
+    /// an explicit one.
     pub fn build_par(
         table: &Table,
         candidates: Vec<TupleId>,
         max_multiplicity: u32,
         formula: Option<GlobalFormula>,
         objective: Option<Objective>,
+        par: ParExec,
+    ) -> PbResult<Self> {
+        Self::build_par_with(
+            table,
+            candidates,
+            max_multiplicity,
+            formula,
+            objective,
+            &ColumnPolicy::default(),
+            par,
+        )
+    }
+
+    /// [`CandidateView::build_par`] under an explicit [`ColumnPolicy`]: the
+    /// view's columns go paged when their estimated footprint exceeds the
+    /// policy's resident budget (the engine threads
+    /// [`crate::config::EngineConfig::column_memory_budget`] through here).
+    /// Storage mode never changes results — only where column bytes live.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_par_with(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        policy: &ColumnPolicy,
         par: ParExec,
     ) -> PbResult<Self> {
         let rows: Vec<&Tuple> = candidates
@@ -322,6 +752,7 @@ impl CandidateView {
             objective,
             |_| None,
             Some(rows),
+            policy,
             par,
         )
     }
@@ -375,6 +806,37 @@ impl CandidateView {
         column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
         par: ParExec,
     ) -> PbResult<Self> {
+        Self::assemble_par_with(
+            table,
+            candidates,
+            stats,
+            max_multiplicity,
+            formula,
+            objective,
+            column_source,
+            &ColumnPolicy::default(),
+            par,
+        )
+    }
+
+    /// [`CandidateView::assemble_par`] under an explicit [`ColumnPolicy`]
+    /// (see [`CandidateView::build_par_with`]). Columns adopted from the
+    /// source keep whatever storage mode they were built with; only the
+    /// columns this assembly materializes are subject to the policy — a
+    /// view may legitimately mix resident (cached) and paged (fresh)
+    /// columns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_par_with(
+        table: &Table,
+        candidates: Vec<TupleId>,
+        stats: TableStats,
+        max_multiplicity: u32,
+        formula: Option<GlobalFormula>,
+        objective: Option<Objective>,
+        column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
+        policy: &ColumnPolicy,
+        par: ParExec,
+    ) -> PbResult<Self> {
         Self::assemble_impl(
             table,
             candidates,
@@ -384,6 +846,7 @@ impl CandidateView {
             objective,
             column_source,
             None,
+            policy,
             par,
         )
     }
@@ -396,8 +859,9 @@ impl CandidateView {
         max_multiplicity: u32,
         formula: Option<GlobalFormula>,
         objective: Option<Objective>,
-        mut column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
+        column_source: impl FnMut(&AggCall) -> Option<TermColumn>,
         prefetched: Option<Vec<&'t Tuple>>,
+        policy: &ColumnPolicy,
         par: ParExec,
     ) -> PbResult<Self> {
         let schema = table.schema();
@@ -466,14 +930,32 @@ impl CandidateView {
         // Materialize one column pair per term, unless the source already
         // has the column (a cache hit on that term). Materialization fans
         // out over fixed-width candidate chunks: each chunk evaluates its
-        // rows into chunk-local buffers, and the buffers are stitched back
-        // in chunk order — disjoint fixed ranges, so the column (and any
-        // evaluation error: first failing chunk, first failing row) is
-        // identical at every thread count.
+        // rows into chunk-local buffers, and the buffers are pushed into a
+        // [`ColumnSink`] in chunk order — disjoint fixed ranges, so the
+        // column (and any evaluation error: first failing chunk, first
+        // failing row) is identical at every thread count and storage mode.
+        //
+        // The storage decision is made once, view-level, over the columns
+        // this assembly actually has to build (source-adopted columns keep
+        // their mode): if their estimated footprint exceeds the policy's
+        // budget, all of them spill to one shared store. Paged builds
+        // materialize in bounded segments so the transient chunk buffers —
+        // not just the finished column — stay small.
+        let sourced: Vec<Option<TermColumn>> =
+            term_keys.iter().map(column_source).collect();
+        let missing = sourced.iter().filter(|s| s.is_none()).count();
+        let store = if policy.wants_paged(missing, candidates.len()) {
+            Some(
+                SpillStore::create(policy.pool_pages)
+                    .map_err(|e| PbError::Internal(format!("column spill file: {e}")))?,
+            )
+        } else {
+            None
+        };
         let mut terms = Vec::with_capacity(term_keys.len());
-        for call in &term_keys {
-            if let Some(column) = column_source(call) {
-                debug_assert_eq!(column.coeffs().len(), candidates.len());
+        for (call, cached) in term_keys.iter().zip(sourced) {
+            if let Some(column) = cached {
+                debug_assert_eq!(column.len(), candidates.len());
                 terms.push(column);
                 continue;
             }
@@ -487,17 +969,26 @@ impl CandidateView {
                     rows.get_or_insert(fetched)
                 }
             };
-            let chunks = par.run_chunks(candidates.len(), |_, range| {
-                materialize_chunk(call, schema, &rows[range])
-            });
-            let mut coeffs = Vec::with_capacity(candidates.len());
-            let mut included = Vec::with_capacity(candidates.len());
-            for chunk in chunks {
-                let (c, inc) = chunk?;
-                coeffs.extend(c);
-                included.extend(inc);
+            let mut sink = match &store {
+                Some(store) => ColumnSink::paged(call.func, Arc::clone(store)),
+                None => ColumnSink::resident(call.func, candidates.len()),
+            };
+            // Segment starts are multiples of CHUNK_WIDTH, so the chunks a
+            // segment fans out are exactly the column's global chunks.
+            let seg = BUILD_SEGMENT_CHUNKS * CHUNK_WIDTH;
+            let mut start = 0;
+            while start < candidates.len() {
+                let end = (start + seg).min(candidates.len());
+                let chunks = par.run_chunks(end - start, |_, range| {
+                    materialize_chunk(call, schema, &rows[start + range.start..start + range.end])
+                });
+                for chunk in chunks {
+                    let (c, inc) = chunk?;
+                    sink.push_chunk(&c, &inc)?;
+                }
+                start = end;
             }
-            terms.push(TermColumn::new(call.func, coeffs, included));
+            terms.push(sink.finish());
         }
 
         Ok(CandidateView {
@@ -599,6 +1090,21 @@ impl CandidateView {
     /// The source aggregate call of each term.
     pub fn term_keys(&self) -> &[AggCall] {
         &self.term_keys
+    }
+
+    /// True when any term column's payload is paged (out-of-core).
+    pub fn is_paged(&self) -> bool {
+        self.terms.iter().any(|t| t.is_paged())
+    }
+
+    /// Total in-memory column-payload bytes across the view's terms.
+    pub fn resident_bytes(&self) -> usize {
+        self.terms.iter().map(|t| t.resident_bytes()).sum()
+    }
+
+    /// Total spill-file column-payload bytes across the view's terms.
+    pub fn spilled_bytes(&self) -> usize {
+        self.terms.iter().map(|t| t.spilled_bytes()).sum()
     }
 
     /// Statistics over the candidate tuples (drives cardinality pruning and
@@ -765,11 +1271,12 @@ impl<'v> ViewState<'v> {
         let applied = new as i64 - old as i64;
         self.cardinality = (self.cardinality as i64 + applied) as u64;
         for (term, accum) in self.view.terms.iter().zip(self.accums.iter_mut()) {
-            if !term.included[idx] {
+            let (coeff, inc) = term.entry_at(idx);
+            if !inc {
                 continue;
             }
             accum.count = (accum.count as i64 + applied) as u64;
-            accum.sum += term.coeffs[idx] * applied as f64;
+            accum.sum += coeff * applied as f64;
             if old == 0 {
                 accum.distinct += 1;
             } else if new == 0 {
@@ -807,10 +1314,10 @@ impl<'v> ViewState<'v> {
         let term = &self.view.terms[term_id];
         let mut best: Option<f64> = None;
         for &idx in self.members.keys() {
-            if !term.included[idx] {
+            let (v, inc) = term.entry_at(idx);
+            if !inc {
                 continue;
             }
-            let v = term.coeffs[idx];
             best = Some(match (best, term.func) {
                 (None, _) => v,
                 (Some(b), AggFunc::Min) => b.min(v),
@@ -970,7 +1477,8 @@ impl Scratch<'_, '_> {
             if self.changes[..pos].iter().any(|&(i, _)| i == idx) {
                 continue;
             }
-            if !term.included[idx] {
+            let (coeff, inc) = term.entry_at(idx);
+            if !inc {
                 continue;
             }
             let old = self.base.multiplicity(idx);
@@ -980,7 +1488,7 @@ impl Scratch<'_, '_> {
                 continue;
             }
             accum.count = (accum.count as i64 + applied) as u64;
-            accum.sum += term.coeffs[idx] * applied as f64;
+            accum.sum += coeff * applied as f64;
             if old == 0 && new > 0 {
                 accum.distinct += 1;
             } else if old > 0 && new == 0 {
@@ -1007,10 +1515,13 @@ impl Scratch<'_, '_> {
         let term = &self.base.view.terms[term_id];
         let mut best: Option<f64> = None;
         let mut consider = |idx: usize, mult: u32| {
-            if mult == 0 || !term.included[idx] {
+            if mult == 0 {
                 return;
             }
-            let v = term.coeffs[idx];
+            let (v, inc) = term.entry_at(idx);
+            if !inc {
+                return;
+            }
             best = Some(match (best, term.func) {
                 (None, _) => v,
                 (Some(b), AggFunc::Min) => b.min(v),

@@ -246,8 +246,8 @@ fn parallel_view_builds_match_sequential_builds() {
             .iter()
             .zip(parallel.view().terms())
         {
-            assert_eq!(s.coeffs(), p.coeffs(), "{threads} threads");
-            assert_eq!(s.included(), p.included(), "{threads} threads");
+            assert_eq!(s.coeffs_vec(), p.coeffs_vec(), "{threads} threads");
+            assert_eq!(s.included_vec(), p.included_vec(), "{threads} threads");
             assert_eq!(s.chunk_meta(), p.chunk_meta(), "{threads} threads");
         }
     }

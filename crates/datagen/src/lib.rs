@@ -12,10 +12,12 @@ pub mod stocks;
 pub mod synthetic;
 pub mod travel;
 
-pub use recipes::recipes;
-pub use stocks::stocks;
-pub use synthetic::{uniform_table, zipf_table};
-pub use travel::{cars, flights, hotels, travel_options};
+pub use recipes::{recipe_rows, recipes};
+pub use stocks::{stock_rows, stocks};
+pub use synthetic::{uniform_rows, uniform_table, zipf_rows, zipf_table};
+pub use travel::{
+    car_rows, cars, flight_rows, flights, hotel_rows, hotels, travel_option_rows, travel_options,
+};
 
 use minidb::Catalog;
 
@@ -91,5 +93,49 @@ mod tests {
         let s = Seed(1);
         assert_ne!(s.derive(1), s.derive(2));
         assert_ne!(s.derive(1).0, 1);
+    }
+
+    #[test]
+    fn row_streams_match_their_collected_tables() {
+        // Every scenario's lazy stream must yield exactly the rows its
+        // table constructor stores — the streaming path is the same
+        // generator, not a reimplementation that could drift.
+        let s = Seed(9);
+        assert_eq!(
+            recipe_rows(40, s).collect::<Vec<_>>().as_slice(),
+            recipes(40, s).rows()
+        );
+        assert_eq!(
+            stock_rows(40, s).collect::<Vec<_>>().as_slice(),
+            stocks(40, s).rows()
+        );
+        assert_eq!(
+            travel_option_rows(10, 12, 14, s)
+                .collect::<Vec<_>>()
+                .as_slice(),
+            travel_options(10, 12, 14, s).rows()
+        );
+        assert_eq!(
+            uniform_rows(40, 1.0, 2.0, s).collect::<Vec<_>>().as_slice(),
+            uniform_table("t", 40, 1.0, 2.0, s).rows()
+        );
+        assert_eq!(
+            zipf_rows(40, 1.1, 1.0, 9.0, s)
+                .collect::<Vec<_>>()
+                .as_slice(),
+            zipf_table("t", 40, 1.1, 1.0, 9.0, s).rows()
+        );
+    }
+
+    #[test]
+    fn row_streams_are_prefix_stable() {
+        // Chunked consumers rely on the first k rows being independent of
+        // the requested total, so a driver can grow n without reshuffling
+        // everything already generated.
+        let s = Seed(10);
+        let prefix: Vec<_> = recipe_rows(1000, s).take(25).collect();
+        assert_eq!(prefix, recipe_rows(25, s).collect::<Vec<_>>());
+        let prefix: Vec<_> = stock_rows(1000, s).take(25).collect();
+        assert_eq!(prefix, stock_rows(25, s).collect::<Vec<_>>());
     }
 }

@@ -100,9 +100,23 @@ pub fn recipe_schema() -> Schema {
 /// 550. Macros (protein/fat/carbs) are correlated with calories so that
 /// "maximize protein subject to a calorie budget" has meaningful structure.
 pub fn recipes(n: usize, seed: Seed) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed.0);
     let mut table = Table::new("recipes", recipe_schema());
-    for i in 0..n {
+    for row in recipe_rows(n, seed) {
+        table
+            .insert(row)
+            .expect("generated tuple matches the recipe schema");
+    }
+    table
+}
+
+/// [`recipes`] as a lazy row stream: yields the same `n` tuples one at a
+/// time, so a consumer can fill a table (or feed a columnar build)
+/// chunk-at-a-time without a second whole-relation buffer in flight.
+/// Generation is prefix-stable — the first `k` rows are identical for every
+/// `n >= k` under the same seed.
+pub fn recipe_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    (0..n).map(move |i| {
         let base = BASES[rng.random_range(0..BASES.len())];
         let style = STYLES[rng.random_range(0..STYLES.len())];
         let course = COURSES[rng.random_range(0..COURSES.len())];
@@ -141,28 +155,25 @@ pub fn recipes(n: usize, seed: Seed) -> Table {
         let price = (rng.random_range(1.5..18.0_f64) * 100.0).round() / 100.0;
         let rating = (rng.random_range(1.0..5.0_f64) * 10.0).round() / 10.0;
 
-        table
-            .insert(Tuple::new(vec![
-                Value::Int(i as i64),
-                Value::Text(name),
-                Value::Text(course.to_string()),
-                Value::Text(cuisine.to_string()),
-                Value::Float(calories.round()),
-                Value::Float(protein),
-                Value::Float(fat),
-                Value::Float(carbs),
-                Value::Float(sugar),
-                Value::Float(sodium),
-                Value::Float(fiber),
-                Value::Text(gluten.to_string()),
-                Value::Bool(vegetarian),
-                Value::Int(prep_minutes),
-                Value::Float(price),
-                Value::Float(rating),
-            ]))
-            .expect("generated tuple matches the recipe schema");
-    }
-    table
+        Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Text(name),
+            Value::Text(course.to_string()),
+            Value::Text(cuisine.to_string()),
+            Value::Float(calories.round()),
+            Value::Float(protein),
+            Value::Float(fat),
+            Value::Float(carbs),
+            Value::Float(sugar),
+            Value::Float(sodium),
+            Value::Float(fiber),
+            Value::Text(gluten.to_string()),
+            Value::Bool(vegetarian),
+            Value::Int(prep_minutes),
+            Value::Float(price),
+            Value::Float(rating),
+        ])
+    })
 }
 
 #[cfg(test)]

@@ -39,9 +39,18 @@ pub fn stock_schema() -> Schema {
 /// 30% in technology" constraint is binding but satisfiable; expected return
 /// is positively correlated with risk so the optimizer has a real trade-off.
 pub fn stocks(n: usize, seed: Seed) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed.0);
     let mut t = Table::new("stocks", stock_schema());
-    for i in 0..n {
+    for row in stock_rows(n, seed) {
+        t.insert(row).expect("stock tuple matches schema");
+    }
+    t
+}
+
+/// [`stocks`] as a lazy row stream (see [`crate::recipes::recipe_rows`] for
+/// the streaming contract: one row buffered at a time, prefix-stable).
+pub fn stock_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    (0..n).map(move |i| {
         let sector = if rng.random_range(0.0..1.0) < 0.30 {
             "technology"
         } else {
@@ -56,7 +65,7 @@ pub fn stocks(n: usize, seed: Seed) -> Table {
         // Expected annual return in dollars: correlated with risk and price.
         let expected_return = (price * (0.02 + risk * rng.random_range(0.1..0.4))).round();
         let dividend_yield = (rng.random_range(0.0..0.05_f64) * 1000.0).round() / 1000.0;
-        t.insert(Tuple::new(vec![
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Text(format!("{ticker}-{i}")),
             Value::Text(sector.to_string()),
@@ -65,10 +74,8 @@ pub fn stocks(n: usize, seed: Seed) -> Table {
             Value::Float(expected_return),
             Value::Float((risk * 100.0).round() / 100.0),
             Value::Float(dividend_yield),
-        ]))
-        .expect("stock tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 #[cfg(test)]

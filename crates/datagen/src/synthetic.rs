@@ -19,44 +19,64 @@ pub fn synthetic_schema() -> Schema {
 
 /// `n` rows with `w ~ U(w_min, w_max)`, `v ~ U(0, 100)`, `u ~ U(0, 1)`.
 pub fn uniform_table(name: &str, n: usize, w_min: f64, w_max: f64, seed: Seed) -> Table {
+    let mut t = Table::new(name, synthetic_schema());
+    for row in uniform_rows(n, w_min, w_max, seed) {
+        t.insert(row).expect("synthetic tuple matches schema");
+    }
+    t
+}
+
+/// [`uniform_table`] as a lazy row stream (one row buffered at a time,
+/// prefix-stable — see [`crate::recipes::recipe_rows`]).
+pub fn uniform_rows(n: usize, w_min: f64, w_max: f64, seed: Seed) -> impl Iterator<Item = Tuple> {
     assert!(w_max > w_min, "w_max must exceed w_min");
     let mut rng = StdRng::seed_from_u64(seed.0);
-    let mut t = Table::new(name, synthetic_schema());
-    for i in 0..n {
-        t.insert(Tuple::new(vec![
+    (0..n).map(move |i| {
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Float(rng.random_range(w_min..w_max)),
             Value::Float(rng.random_range(0.0..100.0)),
             Value::Float(rng.random_range(0.0..1.0)),
-        ]))
-        .expect("synthetic tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 /// `n` rows whose `w` follows an approximate Zipf(α) distribution over
 /// `[w_min, w_max]` — a handful of very heavy tuples and a long light tail,
 /// which stresses the cardinality-pruning bounds (MIN/MAX are extreme).
 pub fn zipf_table(name: &str, n: usize, alpha: f64, w_min: f64, w_max: f64, seed: Seed) -> Table {
+    let mut t = Table::new(name, synthetic_schema());
+    for row in zipf_rows(n, alpha, w_min, w_max, seed) {
+        t.insert(row).expect("synthetic tuple matches schema");
+    }
+    t
+}
+
+/// [`zipf_table`] as a lazy row stream (one row buffered at a time,
+/// prefix-stable — see [`crate::recipes::recipe_rows`]).
+pub fn zipf_rows(
+    n: usize,
+    alpha: f64,
+    w_min: f64,
+    w_max: f64,
+    seed: Seed,
+) -> impl Iterator<Item = Tuple> {
     assert!(alpha > 0.0, "alpha must be positive");
     assert!(w_max > w_min, "w_max must exceed w_min");
     let mut rng = StdRng::seed_from_u64(seed.0);
-    let mut t = Table::new(name, synthetic_schema());
-    for i in 0..n {
+    (0..n).map(move |i| {
         // Power-law skew: raising a uniform sample to the (1 + α) power packs
         // most of the mass near `w_min` and leaves a heavy tail towards
         // `w_max`, which is the shape that stresses MIN/MAX-based pruning.
         let u: f64 = rng.random_range(0.0_f64..1.0).max(1e-12);
         let w = w_min + (w_max - w_min) * u.powf(1.0 + alpha);
-        t.insert(Tuple::new(vec![
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Float(w),
             Value::Float(rng.random_range(0.0..100.0)),
             Value::Float(rng.random_range(0.0..1.0)),
-        ]))
-        .expect("synthetic tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 #[cfg(test)]

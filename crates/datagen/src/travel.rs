@@ -84,57 +84,80 @@ pub fn travel_option_schema() -> Schema {
 
 /// Generates `n` flights.
 pub fn flights(n: usize, seed: Seed) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed.0);
     let mut t = Table::new("flights", flight_schema());
-    for i in 0..n {
+    for row in flight_rows(n, seed) {
+        t.insert(row).expect("flight tuple matches schema");
+    }
+    t
+}
+
+/// [`flights`] as a lazy row stream (one row buffered at a time,
+/// prefix-stable — see [`crate::recipes::recipe_rows`]).
+pub fn flight_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    (0..n).map(move |i| {
         let airline = AIRLINES[rng.random_range(0..AIRLINES.len())];
         let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
         let stops = rng.random_range(0..3_i64);
         let duration = rng.random_range(3.0..18.0_f64) + stops as f64 * 1.5;
         let price =
             (250.0 + duration * rng.random_range(25.0..60.0) - stops as f64 * 80.0).max(120.0);
-        t.insert(Tuple::new(vec![
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Text(format!("{airline} {:03}", rng.random_range(100..999))),
             Value::Text(dest.to_string()),
             Value::Float(price.round()),
             Value::Float((duration * 10.0).round() / 10.0),
             Value::Int(stops),
-        ]))
-        .expect("flight tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 /// Generates `n` hotels (price is for a whole 7-night stay).
 pub fn hotels(n: usize, seed: Seed) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed.0);
     let mut t = Table::new("hotels", hotel_schema());
-    for i in 0..n {
+    for row in hotel_rows(n, seed) {
+        t.insert(row).expect("hotel tuple matches schema");
+    }
+    t
+}
+
+/// [`hotels`] as a lazy row stream (one row buffered at a time,
+/// prefix-stable — see [`crate::recipes::recipe_rows`]).
+pub fn hotel_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    (0..n).map(move |i| {
         let brand = HOTEL_BRANDS[rng.random_range(0..HOTEL_BRANDS.len())];
         let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
         let stars = rng.random_range(2..6_i64);
         let beach = (rng.random_range(0.0..12.0_f64) * 10.0).round() / 10.0;
         // Closer to the beach and more stars → pricier.
         let night = 45.0 + stars as f64 * 40.0 + (12.0 - beach) * 8.0 + rng.random_range(0.0..60.0);
-        t.insert(Tuple::new(vec![
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Text(format!("{brand} {dest} Resort #{i}")),
             Value::Text(dest.to_string()),
             Value::Float(night.round()),
             Value::Float(beach),
             Value::Int(stars),
-        ]))
-        .expect("hotel tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 /// Generates `n` rental cars (price per day).
 pub fn cars(n: usize, seed: Seed) -> Table {
-    let mut rng = StdRng::seed_from_u64(seed.0);
     let mut t = Table::new("cars", car_schema());
-    for i in 0..n {
+    for row in car_rows(n, seed) {
+        t.insert(row).expect("car tuple matches schema");
+    }
+    t
+}
+
+/// [`cars`] as a lazy row stream (one row buffered at a time,
+/// prefix-stable — see [`crate::recipes::recipe_rows`]).
+pub fn car_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    (0..n).map(move |i| {
         let class = CAR_CLASSES[rng.random_range(0..CAR_CLASSES.len())];
         let dest = DESTINATIONS[rng.random_range(0..DESTINATIONS.len())];
         let base = match class {
@@ -144,72 +167,92 @@ pub fn cars(n: usize, seed: Seed) -> Table {
             _ => 90.0,
         };
         let price = base + rng.random_range(0.0..30.0_f64);
-        t.insert(Tuple::new(vec![
+        Tuple::new(vec![
             Value::Int(i as i64),
             Value::Text(class.to_string()),
             Value::Text(dest.to_string()),
             Value::Float(price.round()),
-        ]))
-        .expect("car tuple matches schema");
-    }
-    t
+        ])
+    })
 }
 
 /// Generates the unified `travel_options` relation (see
 /// [`travel_option_schema`]): one row per flight (round trip price), one per
 /// hotel (7-night stay), one per car (7-day rental).
 pub fn travel_options(n_flights: usize, n_hotels: usize, n_cars: usize, seed: Seed) -> Table {
-    let f = flights(n_flights, seed.derive(10));
-    let h = hotels(n_hotels, seed.derive(11));
-    let c = cars(n_cars, seed.derive(12));
-    let mut rng = StdRng::seed_from_u64(seed.derive(13).0);
     let mut t = Table::new("travel_options", travel_option_schema());
-    let mut next_id = 0i64;
-    for row in f.rows() {
-        let s = f.schema();
-        let comfort = (5.0 - row.get_f64(s, "stops").unwrap()) + rng.random_range(0.0..2.0);
-        t.insert(Tuple::new(vec![
-            Value::Int(next_id),
-            Value::Text("flight".into()),
-            row.values()[s.index_of("airline").unwrap()].clone(),
-            row.values()[s.index_of("destination").unwrap()].clone(),
-            Value::Float(2.0 * row.get_f64(s, "price").unwrap()),
-            Value::Float(0.0),
-            Value::Float((comfort * 10.0).round() / 10.0),
-        ]))
-        .expect("travel option tuple matches schema");
-        next_id += 1;
-    }
-    for row in h.rows() {
-        let s = h.schema();
-        let stars = row.get_f64(s, "stars").unwrap();
-        t.insert(Tuple::new(vec![
-            Value::Int(next_id),
-            Value::Text("hotel".into()),
-            row.values()[s.index_of("name").unwrap()].clone(),
-            row.values()[s.index_of("destination").unwrap()].clone(),
-            Value::Float(7.0 * row.get_f64(s, "price_per_night").unwrap()),
-            row.values()[s.index_of("beach_distance_km").unwrap()].clone(),
-            Value::Float(stars * 2.0),
-        ]))
-        .expect("travel option tuple matches schema");
-        next_id += 1;
-    }
-    for row in c.rows() {
-        let s = c.schema();
-        t.insert(Tuple::new(vec![
-            Value::Int(next_id),
-            Value::Text("car".into()),
-            row.values()[s.index_of("class").unwrap()].clone(),
-            row.values()[s.index_of("destination").unwrap()].clone(),
-            Value::Float(7.0 * row.get_f64(s, "price_per_day").unwrap()),
-            Value::Float(0.0),
-            Value::Float(rng.random_range(3.0..9.0_f64).round()),
-        ]))
-        .expect("travel option tuple matches schema");
-        next_id += 1;
+    for row in travel_option_rows(n_flights, n_hotels, n_cars, seed) {
+        t.insert(row).expect("travel option tuple matches schema");
     }
     t
+}
+
+fn as_f64(v: &Value) -> f64 {
+    match v {
+        Value::Float(x) => *x,
+        Value::Int(x) => *x as f64,
+        _ => panic!("numeric column expected"),
+    }
+}
+
+/// [`travel_options`] as a lazy row stream: flights, then hotels, then cars,
+/// each derived on the fly from the corresponding base row stream, so no
+/// intermediate table is materialized — at most one source row is in flight.
+/// Output is identical to collecting the three base tables first.
+pub fn travel_option_rows(
+    n_flights: usize,
+    n_hotels: usize,
+    n_cars: usize,
+    seed: Seed,
+) -> impl Iterator<Item = Tuple> {
+    let mut f = flight_rows(n_flights, seed.derive(10));
+    let mut h = hotel_rows(n_hotels, seed.derive(11));
+    let mut c = car_rows(n_cars, seed.derive(12));
+    let mut rng = StdRng::seed_from_u64(seed.derive(13).0);
+    let mut next_id = 0i64;
+    std::iter::from_fn(move || {
+        let row = if let Some(row) = f.next() {
+            // Flight columns: [id, airline, destination, price, duration, stops].
+            let stops = as_f64(&row.values()[5]);
+            let comfort = (5.0 - stops) + rng.random_range(0.0..2.0);
+            Tuple::new(vec![
+                Value::Int(next_id),
+                Value::Text("flight".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(2.0 * as_f64(&row.values()[3])),
+                Value::Float(0.0),
+                Value::Float((comfort * 10.0).round() / 10.0),
+            ])
+        } else if let Some(row) = h.next() {
+            // Hotel columns: [id, name, destination, price_per_night, beach, stars].
+            let stars = as_f64(&row.values()[5]);
+            Tuple::new(vec![
+                Value::Int(next_id),
+                Value::Text("hotel".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(7.0 * as_f64(&row.values()[3])),
+                row.values()[4].clone(),
+                Value::Float(stars * 2.0),
+            ])
+        } else if let Some(row) = c.next() {
+            // Car columns: [id, class, destination, price_per_day].
+            Tuple::new(vec![
+                Value::Int(next_id),
+                Value::Text("car".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(7.0 * as_f64(&row.values()[3])),
+                Value::Float(0.0),
+                Value::Float(rng.random_range(3.0..9.0_f64).round()),
+            ])
+        } else {
+            return None;
+        };
+        next_id += 1;
+        Some(row)
+    })
 }
 
 #[cfg(test)]
