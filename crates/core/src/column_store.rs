@@ -401,6 +401,9 @@ impl SpillStore {
             // are unique.
             let victim = pool
                 .frames
+                // pb-lint: allow(no-hash-iteration) — LRU victim scan:
+                // min_by_key over *unique* stamps is order-independent, so
+                // map iteration order cannot change which page is evicted.
                 .iter()
                 .filter(|(_, e)| Arc::strong_count(&e.frame) == 1)
                 .min_by_key(|(_, e)| e.stamp)

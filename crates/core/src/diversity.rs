@@ -52,6 +52,8 @@ pub fn select_diverse(candidates: &[Package], k: usize) -> Vec<Package> {
             let score = selected
                 .iter()
                 .map(|s| jaccard_distance(s, cand))
+                // pb-lint: allow(no-nan-unsafe-ordering) — jaccard_distance
+                // is a ratio of finite set sizes in [0, 1]; NaN cannot occur.
                 .fold(f64::INFINITY, f64::min);
             if score > best_score + 1e-12 {
                 best_score = score;

@@ -318,6 +318,8 @@ impl<'v> Searcher<'v> {
 
 /// Enumerates packages for a candidate view.
 pub fn enumerate(view: &CandidateView, opts: EnumerationOptions) -> PbResult<EnumerationOutcome> {
+    // pb-lint: allow(time-containment) — stats clock only: stamps the
+    // outcome's elapsed_ms; pruning deadlines go through the budget.
     let start = std::time::Instant::now();
     if view.candidate_count() > 64 && !opts.prune {
         // 2^64 leaves is never going to finish; refuse instead of spinning.

@@ -181,7 +181,11 @@ impl ExplorationSession {
                 }
             }
             if col.ty.is_numeric() && !numeric.is_empty() {
+                // pb-lint: allow(no-nan-unsafe-ordering) — suggestion text
+                // only: the range feeds a human-readable hint, not an order.
                 let min = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+                // pb-lint: allow(no-nan-unsafe-ordering) — suggestion text
+                // only: the range feeds a human-readable hint, not an order.
                 let max = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 out.push(Suggestion {
                     kind: crate::suggest::SuggestionKind::BaseConstraint,

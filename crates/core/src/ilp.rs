@@ -299,7 +299,14 @@ pub fn linearize_constraint(
         },
         (Some(_), Some(_)) => Err(NonLinearReason::AvgVsNonConstant),
         (None, None) => {
-            let err = lhs.err().or(rhs.err()).expect("direct path failed");
+            // Reaching this arm means the direct path above failed, so at
+            // least one side carries an error; if both somehow linearized,
+            // degrade to the generic obstacle rather than panicking
+            // mid-solve on a user query.
+            let err = lhs
+                .err()
+                .or(rhs.err())
+                .unwrap_or(NonLinearReason::AvgVsNonConstant);
             // An AVG buried inside arithmetic (e.g. `2 * AVG(x) <= 10`) is
             // reported with the precise AVG reason rather than the generic
             // aggregate obstacle.
@@ -468,6 +475,8 @@ pub fn solve_ilp_par(
     budget: &Budget,
     par: ParExec,
 ) -> PbResult<IlpOutcome> {
+    // pb-lint: allow(time-containment) — stats clock only: stamps
+    // solve_time_ms on the outcome; the deadline lives in the budget.
     let start = std::time::Instant::now();
     // An already-spent budget skips even the translation (building one
     // variable and row set per candidate is itself linear in the view).

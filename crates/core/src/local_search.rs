@@ -91,7 +91,8 @@ pub fn local_search(
     view: &CandidateView,
     opts: &LocalSearchOptions,
 ) -> PbResult<LocalSearchOutcome> {
-    // Stats clock only — deadline decisions all go through the budget.
+    // pb-lint: allow(time-containment) — stats clock only: stamps the
+    // outcome's elapsed time; deadline decisions all go through the budget.
     let start = std::time::Instant::now();
     let budget = &opts.budget;
     let mut rng = StdRng::seed_from_u64(opts.seed);

@@ -162,9 +162,16 @@ impl ParExec {
             R: Send,
             F: Fn(usize, Range<usize>) -> R + Sync,
         {
+            // SAFETY: the caller contract above guarantees `ctx` points at a
+            // live `Ctx<R, F>` for the whole fan-out.
             let ctx = unsafe { &*(ctx as *const Ctx<R, F>) };
             let start = c * ctx.width;
+            // SAFETY: `ctx.f` was taken from a live `&F` in
+            // `run_chunks_width`, which blocks until the fan-out completes.
             let r = unsafe { (*ctx.f)(c, start..(start + ctx.width).min(ctx.n)) };
+            // SAFETY: chunk `c` is claimed exactly once (atomic counter in
+            // the pool job), so this thread has exclusive access to slot
+            // `c`; the caller reads it only after the completion barrier.
             unsafe { (*(*ctx.slots.add(c)).0.get()).write(r) };
         }
 
@@ -185,12 +192,17 @@ impl ParExec {
             // mirrors the old scoped executor, where a worker panic
             // propagated out of the scope before any slot was consumed.
             std::mem::forget(slots);
+            // pb-lint: allow(no-panic-in-solver-paths) — deliberate re-raise:
+            // a worker panicked, and propagating on the caller's thread
+            // preserves the pre-pool scoped-executor contract instead of
+            // inventing an error value for a programming bug.
             panic!("parallel chunk worker panicked");
         }
-        // The completion barrier in `run_erased` (Acquire on the done
-        // counter) ordered every slot write before this point.
         slots
             .into_iter()
+            // SAFETY: the completion barrier in `run_erased` (Acquire on the
+            // done counter) ordered every slot write before this point, and
+            // every chunk ran exactly once, so each slot is initialized.
             .map(|s| unsafe { s.0.into_inner().assume_init() })
             .collect()
     }
@@ -283,6 +295,8 @@ mod pool {
         done: AtomicUsize,
         panicked: AtomicBool,
         ctx: *const (),
+        // SAFETY: contract on `run_erased` — only ever called with this
+        // job's `ctx` and a claimed chunk index `c < chunks`.
         run_chunk: unsafe fn(*const (), usize),
         lock: Mutex<()>,
         cv: Condvar,
@@ -291,6 +305,9 @@ mod pool {
     // SAFETY: `ctx` crosses threads by design; the dereference discipline is
     // documented on the module. Everything else in the struct is Sync.
     unsafe impl Send for Job {}
+    // SAFETY: shared access is `&self`-only — atomic claim/latch counters
+    // plus the Mutex/Condvar pair; `ctx` is only ever read, and `run_chunk`
+    // guards its own per-chunk exclusivity via the claim counter.
     unsafe impl Sync for Job {}
 
     impl Job {
@@ -304,6 +321,9 @@ mod pool {
                 }
                 // A panicking chunk still counts as done (otherwise the
                 // caller's latch would hang); the caller re-raises.
+                // SAFETY: `c` came from the claim counter, so it is claimed
+                // exactly once and `< chunks`; `ctx` stays live until the
+                // caller's `wait_done` returns (contract on `run_erased`).
                 let r = catch_unwind(AssertUnwindSafe(|| unsafe {
                     (self.run_chunk)(self.ctx, c)
                 }));
@@ -354,6 +374,8 @@ mod pool {
             let mut workers = 0;
             for _ in 0..want {
                 let sh = Arc::clone(&shared);
+                // This is the contained thread home clippy.toml points at.
+                #[allow(clippy::disallowed_methods)]
                 let spawned = std::thread::Builder::new()
                     .name("pb-par-worker".into())
                     .spawn(move || worker_main(&sh));
@@ -394,6 +416,7 @@ mod pool {
         chunks: usize,
         helpers: usize,
         ctx: *const (),
+        // SAFETY: see the `# Safety (for callers)` contract above.
         run_chunk: unsafe fn(*const (), usize),
     ) -> bool {
         let job = Arc::new(Job {

@@ -94,6 +94,9 @@ pub fn partition_view(view: &CandidateView, max_partition_size: usize, seed: u64
         &crate::budget::Budget::unlimited(),
         ParExec::sequential(),
     )
+    // pb-lint: allow(no-panic-in-solver-paths) — invariant: the only error
+    // path in the budgeted variant is budget expiry, and an unlimited
+    // budget cannot expire.
     .expect("an unlimited budget cannot expire")
 }
 

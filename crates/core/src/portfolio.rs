@@ -161,6 +161,8 @@ impl Solver for PortfolioSolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        // pb-lint: allow(time-containment) — stats clock only: stamps the
+        // portfolio's wall time; worker deadlines go through the budget.
         let start = std::time::Instant::now();
         let solvers: Vec<Box<dyn Solver>> = self
             .workers
@@ -178,6 +180,8 @@ impl Solver for PortfolioSolver {
         // heuristics cannot use (see [`thread_split`]).
         let worker_pars = thread_split(&self.workers, opts.par);
 
+        // This is a contained thread home clippy.toml points at.
+        #[allow(clippy::disallowed_methods)]
         let mut slots: Vec<Option<PbResult<SolveOutcome>>> = thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, PbResult<SolveOutcome>)>();
             for (i, solver) in solvers.iter().enumerate() {

@@ -78,6 +78,8 @@ impl Solver for SketchRefineSolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
+        // pb-lint: allow(time-containment) — stats clock only: stamps
+        // solve_time_ms; refine deadlines go through the budget.
         let start = std::time::Instant::now();
         let rows = linearize_formula(view).map_err(|r| {
             PbError::Unsupported(format!("sketch-refine requires a linearizable query: {r}"))

@@ -249,7 +249,9 @@ impl Solver for GreedySolver {
     }
 
     fn solve(&self, view: &CandidateView, opts: &SolveOptions) -> PbResult<SolveOutcome> {
-        // Stats clock only — deadline decisions all go through the budget.
+        // pb-lint: allow(time-containment) — stats clock only: stamps
+        // solve_time_ms on the outcome; deadline decisions all go through
+        // the budget.
         let start = std::time::Instant::now();
         let budget = &opts.budget;
         let mut rng = StdRng::seed_from_u64(opts.seed);

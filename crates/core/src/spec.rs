@@ -252,6 +252,9 @@ impl<'a> PackageSpec<'a> {
             self.formula.clone(),
             self.objective.clone(),
         )
+        // pb-lint: allow(no-panic-in-solver-paths) — invariant: the parent
+        // view already evaluated these exact tuples; a subset cannot add
+        // new evaluation failures.
         .expect("restricting candidates cannot introduce evaluation errors");
         PackageSpec {
             table: self.table,

@@ -227,7 +227,11 @@ fn suggest_for_values(
     for t in tuples {
         values.push(table.value_f64(*t, column)?);
     }
+    // pb-lint: allow(no-nan-unsafe-ordering) — suggestion text only: the
+    // range feeds a human-readable constraint hint, never solver ordering.
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    // pb-lint: allow(no-nan-unsafe-ordering) — suggestion text only: the
+    // range feeds a human-readable constraint hint, never solver ordering.
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let sum: f64 = values.iter().sum();
     Ok(vec![

@@ -222,6 +222,9 @@ impl TermColumn {
         for c in 0..chunk_count(n) {
             let r = chunk_range(c, n);
             sink.push_chunk(&coeffs[r.clone()], &included[r])
+                // pb-lint: allow(no-panic-in-solver-paths) — invariant: a
+                // resident sink does no I/O, and the error arm exists only
+                // for the paged variant.
                 .expect("resident sink cannot fail");
         }
         sink.finish()
@@ -365,6 +368,8 @@ impl TermColumn {
                     if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
                         pinned = Some((c, self.chunk(c)));
                     }
+                    // pb-lint: allow(no-panic-in-solver-paths) — invariant:
+                    // `pinned` was set for chunk `c` just above.
                     out[p as usize] = pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
                 }
                 out
@@ -387,6 +392,8 @@ impl TermColumn {
                     if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
                         pinned = Some((c, self.chunk(c)));
                     }
+                    // pb-lint: allow(no-panic-in-solver-paths) — invariant:
+                    // `pinned` was set for chunk `c` just above.
                     sum += pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
                 }
                 sum
@@ -413,6 +420,8 @@ impl TermColumn {
                     if pinned.as_ref().map(|(pc, _)| *pc) != Some(c) {
                         pinned = Some((c, self.chunk(c)));
                     }
+                    // pb-lint: allow(no-panic-in-solver-paths) — invariant:
+                    // `pinned` was set for chunk `c` just above.
                     let v = pinned.as_ref().unwrap().1.coeffs()[idx % CHUNK_WIDTH];
                     lo = lo.min(v);
                     hi = hi.max(v);
@@ -559,6 +568,9 @@ impl ColumnSink {
                 }
                 debug_assert_eq!(
                     page,
+                    // pb-lint: allow(no-panic-in-solver-paths) — invariant:
+                    // `first_page` was filled on the first loop iteration;
+                    // debug-build consistency check only.
                     first_page.unwrap() + (self.chunks.len() - 1) as u64,
                     "a column's chunks must land on consecutive pages"
                 );
@@ -941,8 +953,7 @@ impl CandidateView {
         // budget, all of them spill to one shared store. Paged builds
         // materialize in bounded segments so the transient chunk buffers —
         // not just the finished column — stay small.
-        let sourced: Vec<Option<TermColumn>> =
-            term_keys.iter().map(column_source).collect();
+        let sourced: Vec<Option<TermColumn>> = term_keys.iter().map(column_source).collect();
         let missing = sourced.iter().filter(|s| s.is_none()).count();
         let store = if policy.wants_paged(missing, candidates.len()) {
             Some(

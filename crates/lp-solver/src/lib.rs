@@ -122,6 +122,9 @@ impl SolverConfig {
             return true;
         }
         match self.deadline {
+            // pb-lint: allow(time-containment) — this *is* the containment
+            // point: the one poll that turns the caller-supplied deadline
+            // into the cooperative stop signal every iteration checks.
             Some(deadline) => std::time::Instant::now() >= deadline,
             None => false,
         }

@@ -595,6 +595,8 @@ impl Tableau {
                 leaving = Some((pos, hits_lower));
             } else if leaving.is_some() && (limit - t_max).abs() <= 1e-12 {
                 // Tie-break by smallest column index (helps against cycling).
+                // pb-lint: allow(no-panic-in-solver-paths) — invariant:
+                // guarded by `leaving.is_some()` in the branch condition.
                 let (cur_pos, _) = leaving.unwrap();
                 if self.basis[pos] < self.basis[cur_pos] {
                     leaving = Some((pos, hits_lower));
@@ -856,6 +858,9 @@ pub fn solve_lp_warm(
         IterOutcome::Unbounded => {
             return Err(LpError::Numerical("phase-1 reported unbounded".into()))
         }
+        // pb-lint: allow(no-panic-in-solver-paths) — invariant: the
+        // iteration loop only returns Optimal or Unbounded; Continue keeps
+        // iterating and never escapes.
         IterOutcome::Continue => unreachable!(),
     }
     let infeasibility: f64 = (0..tab.m)
@@ -868,6 +873,8 @@ pub fn solve_lp_warm(
             }
         })
         .sum();
+    // pb-lint: allow(no-nan-unsafe-ordering) — `b` entries are finite by
+    // problem validation; max of absolute values builds a tolerance scale.
     let feas_scale = 1.0 + tab.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
     if infeasibility > config.tolerance * feas_scale * 10.0 {
         let mut s = Solution::status_only(Status::Infeasible);

@@ -132,14 +132,35 @@ impl Value {
     }
 
     /// SQL-style comparison: `None` when either side is NULL or the values
-    /// are not comparable (e.g. text vs number).
+    /// are not comparable (e.g. text vs number). Numeric comparison is
+    /// total: a NaN (which a computed expression can produce even though
+    /// loaders never store one) orders after every real number and equal to
+    /// itself, instead of silently turning the comparison into `None` and
+    /// making predicates NaN-sensitive.
     pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
         if self.is_null() || other.is_null() {
             return None;
         }
         match (self, other) {
             (a, b) if a.is_numeric() && b.is_numeric() => {
-                a.as_f64().unwrap().partial_cmp(&b.as_f64().unwrap())
+                let x = a.as_f64().unwrap();
+                let y = b.as_f64().unwrap();
+                Some(match (x.is_nan(), y.is_nan()) {
+                    (true, true) => Ordering::Equal,
+                    (true, false) => Ordering::Greater,
+                    (false, true) => Ordering::Less,
+                    // Plain IEEE compare keeps `-0.0 == 0.0` (which
+                    // `total_cmp` would break for SQL equality).
+                    (false, false) => {
+                        if x < y {
+                            Ordering::Less
+                        } else if x > y {
+                            Ordering::Greater
+                        } else {
+                            Ordering::Equal
+                        }
+                    }
+                })
             }
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
@@ -363,5 +384,23 @@ mod tests {
         assert_eq!(Value::Float(4.0).as_i64(), Some(4));
         assert_eq!(Value::Float(4.5).as_i64(), None);
         assert_eq!(Value::Bool(true).as_i64(), Some(1));
+    }
+
+    #[test]
+    fn sql_cmp_is_total_over_nan() {
+        let nan = Value::Float(f64::NAN);
+        // NaN orders after every real number, equal to itself — the
+        // comparison stays `Some` so predicates and ORDER BY never lose a
+        // row to an undefined comparison.
+        assert_eq!(nan.sql_cmp(&Value::Float(1.0)), Some(Ordering::Greater));
+        assert_eq!(Value::Float(1.0).sql_cmp(&nan), Some(Ordering::Less));
+        assert_eq!(nan.sql_cmp(&Value::Int(i64::MAX)), Some(Ordering::Greater));
+        assert_eq!(nan.sql_cmp(&nan), Some(Ordering::Equal));
+        // IEEE semantics are preserved for real numbers: -0.0 == 0.0.
+        assert_eq!(
+            Value::Float(-0.0).sql_cmp(&Value::Float(0.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(nan.sql_cmp(&Value::Null), None);
     }
 }

@@ -1,0 +1,321 @@
+//! The analysis driver: file walking, annotation handling, suppression.
+//!
+//! [`run_workspace`] walks every `.rs` file in the workspace (skipping
+//! `target/`, VCS metadata and `pb-lint`'s own known-bad fixtures), runs the
+//! [rule registry](crate::rules::registry) over each, applies
+//! `pb-lint: allow(...)` annotations, and appends annotation-hygiene
+//! findings (unjustified / unknown-rule / unused allows) so the suppression
+//! mechanism itself stays honest.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::classify::{classify, FileClass};
+use crate::lexer;
+use crate::rules::{registry, unsafe_sites, FileCtx, Finding, Severity, UnsafeSite};
+
+/// A parsed `pb-lint: allow(rule)` annotation.
+#[derive(Debug)]
+struct Allow {
+    /// 1-based line of the annotation comment itself.
+    at: usize,
+    /// 1-based code line the annotation covers (its own line when it trails
+    /// code, otherwise the next line that has code).
+    covers: usize,
+    rule: String,
+    /// Justification text on the annotation line (after the closing paren).
+    justification: String,
+    used: bool,
+}
+
+/// Result of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Every `unsafe` site in the workspace (covered or not).
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Number of files analyzed.
+    pub files: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+    /// Whether this report fails the build under the given warning policy.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+}
+
+/// Analyzes one file's source text. Exposed for the fixture suite, which
+/// feeds snippets under a forced classification.
+pub fn analyze_source(rel: &str, class: FileClass, src: &str) -> Vec<Finding> {
+    analyze_full(rel, class, src).0
+}
+
+/// Full per-file analysis: suppressed findings + the unsafe inventory.
+pub fn analyze_full(rel: &str, class: FileClass, src: &str) -> (Vec<Finding>, Vec<UnsafeSite>) {
+    let lines = lexer::strip(src);
+    let norm: Vec<String> = lines
+        .iter()
+        .map(|l| l.code.chars().filter(|c| !c.is_whitespace()).collect())
+        .collect();
+    let toks = lexer::tokens(&lines);
+    let in_test = lexer::test_regions(&lines);
+    let ctx = FileCtx {
+        rel,
+        class,
+        lines: &lines,
+        norm: &norm,
+        toks: &toks,
+        in_test: &in_test,
+    };
+
+    let mut raw = Vec::new();
+    for rule in registry() {
+        if rule.applies(&ctx) {
+            rule.check(&ctx, &mut raw);
+        }
+    }
+
+    let mut allows = collect_allows(&lines);
+    let known: Vec<&'static str> = registry().iter().map(|r| r.id()).collect();
+
+    // Suppression: a finding survives unless an allow for its rule covers
+    // its line.
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.covers == f.line && a.rule == f.rule {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Annotation hygiene: the audit trail itself is checked.
+    for a in &allows {
+        if !known.contains(&a.rule.as_str()) {
+            findings.push(hygiene(
+                rel,
+                a.at,
+                format!("allow annotation names unknown rule `{}`", a.rule),
+            ));
+        } else if a.justification.len() < 8 {
+            findings.push(hygiene(
+                rel,
+                a.at,
+                format!(
+                    "allow({}) needs a written justification on the annotation line",
+                    a.rule
+                ),
+            ));
+        } else if !a.used {
+            findings.push(hygiene(
+                rel,
+                a.at,
+                format!(
+                    "allow({}) suppresses nothing — remove the stale annotation",
+                    a.rule
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    (findings, unsafe_sites(&ctx))
+}
+
+fn hygiene(rel: &str, line: usize, message: String) -> Finding {
+    Finding {
+        rule: "allow-hygiene",
+        file: rel.to_string(),
+        line,
+        severity: Severity::Warning,
+        message,
+        hint: "format: `// pb-lint: allow(<rule>) — <why this site is sound>`",
+    }
+}
+
+/// Extracts `pb-lint: allow(rule) — justification` annotations and computes
+/// which code line each one covers.
+fn collect_allows(lines: &[lexer::Line]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        // Anchored at the start of the comment (doc-comment `!` markers
+        // aside) so prose and rustdoc examples that *mention* annotations —
+        // like the ones in this crate's own docs — never parse as one.
+        let text = l.comment.trim_start_matches('!').trim();
+        let Some(rest) = text.strip_prefix("pb-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(open) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = open.find(')') else {
+            continue;
+        };
+        let rule = open[..close].trim().to_string();
+        let justification: String = open[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+            .trim()
+            .to_string();
+        // The annotation covers its own line when that line has code
+        // (trailing comment), otherwise the next line carrying code.
+        let covers = if !l.code.trim().is_empty() {
+            idx + 1
+        } else {
+            lines
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, nl)| !nl.code.trim().is_empty())
+                .map(|(j, _)| j + 1)
+                .unwrap_or(idx + 1)
+        };
+        out.push(Allow {
+            at: idx + 1,
+            covers,
+            rule,
+            justification,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// Walks the workspace and analyzes every `.rs` file.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // pb-lint's fixtures are deliberately rule-violating snippets.
+        if rel.starts_with("crates/pb-lint/tests/fixtures/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        let (findings, sites) = analyze_full(&rel, classify(&rel), &src);
+        report.findings.extend(findings);
+        report.unsafe_sites.extend(sites);
+        report.files += 1;
+    }
+    report.findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    Ok(report)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_and_preceding_allows_cover_the_right_line() {
+        let src = "\
+// pb-lint: allow(no-panic-in-solver-paths) — invariant: slot filled above.
+let x = opt.unwrap();
+let y = opt.unwrap(); // pb-lint: allow(no-panic-in-solver-paths) — same invariant here.
+let z = opt.unwrap();
+";
+        let findings = analyze_source("crates/core/src/ilp.rs", FileClass::SolverPath, src);
+        let panics: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "no-panic-in-solver-paths")
+            .collect();
+        assert_eq!(panics.len(), 1, "{findings:?}");
+        assert_eq!(panics[0].line, 4);
+    }
+
+    #[test]
+    fn unjustified_unknown_and_stale_allows_warn() {
+        let src = "\
+// pb-lint: allow(no-panic-in-solver-paths)
+let x = opt.unwrap();
+// pb-lint: allow(not-a-rule) — some justification text here.
+let y = 1;
+// pb-lint: allow(no-panic-in-solver-paths) — nothing to suppress on the next line.
+let z = 2;
+";
+        let findings = analyze_source("crates/core/src/ilp.rs", FileClass::SolverPath, src);
+        let hygiene: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "allow-hygiene")
+            .collect();
+        assert_eq!(hygiene.len(), 3, "{findings:?}");
+        assert!(hygiene.iter().all(|f| f.severity == Severity::Warning));
+        // The unjustified allow still suppresses; only the hygiene warning
+        // remains for that site.
+        assert!(findings
+            .iter()
+            .all(|f| !(f.rule == "no-panic-in-solver-paths" && f.line == 2)));
+    }
+
+    #[test]
+    fn findings_inside_cfg_test_modules_are_masked() {
+        let src = "\
+pub fn live() -> u32 {
+    0
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+        let t = std::time::Instant::now();
+        let _ = t;
+    }
+}
+";
+        let findings = analyze_source("crates/core/src/ilp.rs", FileClass::SolverPath, src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,51 @@
+//! `pb-lint` — the workspace determinism & soundness analyzer.
+//!
+//! Every scaling PR in this repo rests on one contract: **same query + seed
+//! ⇒ bit-identical `SolveOutcome` at every thread count and storage mode**.
+//! That contract is what lets the parallel branch-and-bound, the paged
+//! column substrate and the sketch→refine hierarchy be verified by identity
+//! against a sequential reference. It is upheld by a handful of coding
+//! invariants (no hash iteration, total float ordering, thread and time
+//! containment, audited `unsafe`, no solver-path panics) that used to live
+//! only in prose and post-hoc property tests. This crate turns them into a
+//! pre-merge static pass.
+//!
+//! The analyzer is deliberately *zero-dependency*: a custom line/token-level
+//! lexer ([`lexer`]) that understands comments, strings, raw strings and
+//! char literals (so rules never fire inside them), a path-based file
+//! classifier ([`mod@classify`]), a rule registry ([`rules`]) and a driver with
+//! allow-annotation and suppression-hygiene handling ([`engine`]).
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p pb-lint                     # report findings
+//! cargo run -p pb-lint -- --deny-warnings  # CI mode: warnings fail too
+//! cargo run -p pb-lint -- --unsafe-report  # audit inventory of unsafe sites
+//! cargo run -p pb-lint -- --list-rules     # rule table
+//! ```
+//!
+//! # Suppressing a finding
+//!
+//! A site that genuinely needs an exception carries an annotation **with a
+//! written justification**, either trailing the flagged line or in the
+//! comment block directly above it:
+//!
+//! ```text
+//! // pb-lint: allow(time-containment) — reporting only: stamps
+//! // solve_time_ms on the outcome; never influences control flow.
+//! let start = std::time::Instant::now();
+//! ```
+//!
+//! Annotations are themselves audited: missing justifications, unknown rule
+//! ids and stale (suppressing-nothing) allows are warnings, and CI runs
+//! with `--deny-warnings`.
+
+pub mod classify;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use classify::{classify, FileClass};
+pub use engine::{analyze_full, analyze_source, run_workspace, Report};
+pub use rules::{registry, Finding, Rule, Severity, UnsafeSite};

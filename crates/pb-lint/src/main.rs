@@ -1,0 +1,124 @@
+//! CLI for the workspace analyzer. See the crate docs for rule semantics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pb_lint::{registry, run_workspace, Severity};
+
+const USAGE: &str = "\
+pb-lint — workspace determinism & soundness analyzer
+
+USAGE:
+    cargo run -p pb-lint [-- OPTIONS]
+
+OPTIONS:
+    --deny-warnings    exit nonzero on warnings too (the CI mode)
+    --unsafe-report    print the unsafe-site inventory and exit 0
+    --list-rules       print the rule table and exit 0
+    --root <PATH>      workspace root to analyze (default: auto-discover)
+    --help             this text
+";
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut unsafe_report = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--unsafe-report" => unsafe_report = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        println!("{:<26} summary", "rule");
+        println!("{:-<26} {:-<50}", "", "");
+        for rule in registry() {
+            println!("{:<26} {}", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(discover_root);
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pb-lint: cannot analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if unsafe_report {
+        println!("# unsafe inventory ({} sites)", report.unsafe_sites.len());
+        println!();
+        println!("| file | line | kind | SAFETY | argument |");
+        println!("|------|------|------|--------|----------|");
+        for s in &report.unsafe_sites {
+            let mark = if s.has_safety { "yes" } else { "**MISSING**" };
+            let note = s.note.replace('|', "\\|");
+            println!(
+                "| {} | {} | {} | {} | {} |",
+                s.file, s.line, s.kind, mark, note
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &report.findings {
+        let sev = match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        println!("{sev}[{}] {}:{}: {}", f.rule, f.file, f.line, f.message);
+        println!("    hint: {}", f.hint);
+    }
+    let uncovered = report.unsafe_sites.iter().filter(|s| !s.has_safety).count();
+    println!(
+        "pb-lint: {} files, {} errors, {} warnings, {} unsafe sites ({} uncovered)",
+        report.files,
+        report.errors(),
+        report.warnings(),
+        report.unsafe_sites.len(),
+        uncovered,
+    );
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Finds the workspace root: the nearest ancestor of the current directory
+/// whose `Cargo.toml` declares `[workspace]` (falling back to `.`).
+fn discover_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+// Known-bad: every hash-table iteration form the rule must catch.
+use std::collections::{HashMap, HashSet};
+
+pub fn total(prices: &HashMap<u64, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in prices {
+        sum += v;
+    }
+    sum
+}
+
+pub fn first_key() -> Option<u64> {
+    let m: HashMap<u64, u64> = HashMap::new();
+    let first = m
+        .keys()
+        .min()
+        .copied();
+    first
+}
+
+pub fn drain_all(seen: &mut HashSet<u64>) -> Vec<u64> {
+    seen.drain().collect()
+}

@@ -1,0 +1,25 @@
+// Known-good: keyed access, ordered maps, and mentions inside comments or
+// strings must never fire.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(prices: &HashMap<u64, f64>, id: u64) -> Option<f64> {
+    // Keyed access is fine; iterating prices.iter() would not be (comment
+    // mentions never fire).
+    prices.get(&id).copied()
+}
+
+pub fn update(prices: &mut HashMap<u64, f64>, id: u64, v: f64) {
+    prices.insert(id, v);
+    prices.entry(id).or_insert(v);
+    prices.remove(&id);
+}
+
+pub fn ordered_total(ordered: &BTreeMap<u64, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (_, v) in ordered {
+        sum += v;
+    }
+    sum
+}
+
+pub const DOC: &str = "for (k, v) in &my_hash_map { } — a string, not code";

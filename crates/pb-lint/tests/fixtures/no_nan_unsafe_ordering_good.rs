@@ -1,0 +1,21 @@
+// Known-good: total comparison, the canonical PartialOrd delegation, the
+// f64::MAX const, and mentions in comments/strings must never fire.
+pub fn ordered(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+impl PartialOrd for Wrapper {
+    // Defining partial_cmp (delegating to the total Ord) is fine; calling
+    // someone else's .partial_cmp(..) is what the rule bans.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+pub fn clamped(x: f64) -> f64 {
+    // Method-form .max(..)/.min(..) are clamp idioms, left to oracle tests.
+    let big = f64::MAX;
+    x.max(0.0).min(big)
+}
+
+pub const DOC: &str = "f64::max, f64::min and partial_cmp in a string";

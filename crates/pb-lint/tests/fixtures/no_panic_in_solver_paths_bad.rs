@@ -1,0 +1,13 @@
+// Known-bad: panicking constructs reachable from Solver::solve.
+pub fn pick(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("caller passed two");
+    if xs.len() > 9 {
+        panic!("too many candidates");
+    }
+    match xs.len() {
+        0 => unreachable!(),
+        _ => {}
+    }
+    *first + *second
+}

@@ -1,0 +1,17 @@
+// Known-good: error propagation, the poison-idiom exemptions, a justified
+// annotation, asserts, and mentions in comments/strings.
+pub fn pick(xs: &[f64], lock: &std::sync::Mutex<u32>) -> Result<f64, String> {
+    let first = xs.first().ok_or("empty view")?;
+    // Poison-idiom exemption: poisoning only follows another thread's
+    // panic, and re-raising is the correct containment.
+    let guard = lock.lock().unwrap();
+    drop(guard);
+    // pb-lint: allow(no-panic-in-solver-paths) — invariant: len checked by
+    // the ok_or above, so index 0 is present.
+    let again = xs.get(0).unwrap();
+    assert!(xs.len() < 1_000_000, "asserts are deliberate checks");
+    // A .unwrap() in a comment never fires, nor does the string below.
+    let doc = "panic!(boom) and .expect(msg) inside a string";
+    drop(doc);
+    Ok(*first + *again)
+}

@@ -1,0 +1,8 @@
+// Known-good: fan-out through ParExec; thread::spawn only in prose/strings.
+pub fn run(par: pb_core::par::ParExec, n: usize) -> Vec<u64> {
+    // A rogue thread::spawn here would fire; routing through the chunk
+    // executor does not (comment mentions never fire).
+    par.run_chunks(n, |c, r| (c + r.len()) as u64)
+}
+
+pub const DOC: &str = "std::thread::spawn inside a string never fires";

@@ -1,0 +1,9 @@
+// Known-bad: clock reads outside budget.rs with no annotation.
+pub fn elapsed_ms() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}
+
+pub fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

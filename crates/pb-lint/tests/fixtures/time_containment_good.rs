@@ -1,0 +1,10 @@
+// Known-good: an annotated reporting-only site, and mentions in
+// comments/strings. Instant::now() in this comment never fires.
+pub fn solve_stats() -> u64 {
+    // pb-lint: allow(time-containment) — reporting only: stamps the
+    // outcome's elapsed time; deadline decisions go through the budget.
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis() as u64
+}
+
+pub const DOC: &str = "Instant::now() inside a string never fires";

@@ -1,0 +1,12 @@
+// Known-bad: unsafe sites with no written safety argument.
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}
+
+pub struct Cell(*const u32);
+
+unsafe impl Sync for Cell {}

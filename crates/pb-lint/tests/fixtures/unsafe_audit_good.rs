@@ -1,0 +1,25 @@
+// Known-good: every accepted safety-argument form.
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer into the arena, which outlives `read`.
+    unsafe { *p }
+}
+
+pub fn read_trailing(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: same arena argument, trailing form.
+}
+
+/// Reads a raw slot.
+///
+/// # Safety
+/// `p` must be valid for reads for the duration of the call.
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}
+
+pub struct Cell(*const u32);
+
+// SAFETY: the pointer is only ever read, and the arena it points into is
+// immutable after construction.
+unsafe impl Sync for Cell {}
+
+pub const DOC: &str = "unsafe { } inside a string never fires";

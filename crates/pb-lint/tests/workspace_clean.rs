@@ -1,0 +1,47 @@
+//! The self-hosting check: the real workspace is lint-clean.
+//!
+//! This is the same invariant CI enforces with
+//! `cargo run -p pb-lint -- --deny-warnings`, expressed as a plain test so
+//! `cargo test -q` alone catches a new violation (or a rotten allow
+//! annotation) before anything reaches CI.
+
+use std::path::PathBuf;
+
+#[test]
+fn the_workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let report = pb_lint::run_workspace(&root).expect("workspace walk succeeds");
+
+    // Sanity: the walker actually saw the tree, not an empty directory.
+    assert!(
+        report.files > 50,
+        "only {} files analyzed — walker miswired?",
+        report.files
+    );
+
+    let rendered: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| format!("[{}] {}:{}: {}", f.rule, f.file, f.line, f.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has lint findings (errors or warnings):\n{}",
+        rendered.join("\n")
+    );
+
+    let uncovered: Vec<String> = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| !s.has_safety)
+        .map(|s| format!("{}:{} ({})", s.file, s.line, s.kind))
+        .collect();
+    assert!(
+        uncovered.is_empty(),
+        "unsafe sites without a SAFETY: comment:\n{}",
+        uncovered.join("\n")
+    );
+}
