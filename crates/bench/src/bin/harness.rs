@@ -10,7 +10,10 @@
 //!
 //! Besides `e1`–`e8`, the named modes `eval`, `portfolio`, `sketch`,
 //! `cache`, `parallel`, `bnb` and `paged` run the PR-baseline experiments
-//! and write the corresponding `BENCH_*.json` files.
+//! and write the corresponding `BENCH_*.json` files. The `gauntlet` mode
+//! (or `gauntlet-smoke` for the smallest-size-only CI leg) runs the
+//! scenario-registry workload gauntlet and exits nonzero when a validity,
+//! cross-thread determinism or objective-gap gate fails.
 
 use std::time::Instant;
 
@@ -102,6 +105,16 @@ fn main() {
         // objectives, or even the evaluation counters) is a real
         // out-of-core correctness regression.
         eprintln!("PAGED experiment: out-of-core results differ from the resident reference");
+        std::process::exit(1);
+    }
+    // `gauntlet` sweeps the full size grid; `gauntlet-smoke` (and the
+    // no-argument run) keeps each family at its smallest size so default
+    // and CI runs stay minutes, not hours.
+    let gauntlet_smoke = args.iter().any(|a| a == "gauntlet-smoke");
+    if (want("gauntlet") || gauntlet_smoke) && !gauntlet(gauntlet_smoke || args.is_empty()) {
+        eprintln!(
+            "GAUNTLET experiment: a validity, cross-thread identity or objective-gap gate failed"
+        );
         std::process::exit(1);
     }
 }
@@ -461,8 +474,9 @@ fn cache_reuse() -> bool {
     );
     let mut json_rows: Vec<String> = Vec::new();
     // Both sizes leave the meal query's gluten-free candidate set (~42% of
-    // n) at or above `sketch_threshold`, so Auto rides the sketch→refine
-    // path and the offline partitioning is part of what the cache amortizes.
+    // n) at or above `sketch_threshold`, so Auto races the portfolio whose
+    // sketch→refine worker runs — the offline partitioning it needs is part
+    // of what the cache amortizes.
     // Smaller inputs fall to the monolithic ILP, whose solve time dwarfs
     // view construction — caching is latency-neutral there by design.
     for n in [12_000usize, 20_000] {
@@ -1477,4 +1491,315 @@ fn e8_explore() {
         }
     }
     println!();
+}
+
+/// GAUNTLET — the adversarial workload gauntlet: every scenario family in
+/// the `datagen` registry × every engine strategy × the family's size grid,
+/// each cell solved at 1 and 2 threads. Three gates make the caller exit
+/// nonzero:
+///
+/// 1. **Validity / honesty**: every returned package must pass the
+///    *interpreted* validity oracle (not the columnar path the solvers
+///    themselves use), and queries registered infeasible must come back
+///    empty from every strategy — honestly infeasible, never silently
+///    invalid.
+/// 2. **Cross-thread identity**: packages, objectives and optimality flags
+///    — plus node/iteration counters outside the timing-raced portfolio —
+///    must be bit-identical at 1 and 2 threads.
+/// 3. **Objective gap**: the gated strategies (`Auto`, `Ilp`, `Portfolio`
+///    — the routes a user lands on without opting into a heuristic) must
+///    stay within the family's documented `ScenarioQuery::max_gap` of the
+///    oracle: the exact optimum where some strategy proved one at this
+///    size, the best known objective across strategies otherwise.
+///    Explicitly-chosen heuristics (`Greedy`, `LocalSearch`,
+///    `SketchRefine`, truncated enumeration) are recorded, not gated —
+///    but `Auto` is gated *everywhere*, so any route it hands a query to
+///    must clear the family threshold at that size.
+///
+/// Cells use deterministic truncation only — node and move caps, see
+/// `pb_bench::gauntlet_config` — because a wall-clock budget would make
+/// gate 2 unenforceable. Exact and enumeration strategies sit out sizes
+/// above the family's `exact_cap`. `smoke` restricts each family to its
+/// smallest size (the CI configuration); the plain `gauntlet` mode runs
+/// the full grid. Writes `BENCH_gauntlet.json`.
+fn gauntlet(smoke: bool) -> bool {
+    use datagen::{scenarios, Seed};
+    use pb_bench::{gauntlet_engine, try_run, BENCH_SEED};
+
+    // Every engine strategy except `Exhaustive`: the engine itself refuses
+    // unpruned enumeration beyond a couple dozen candidates (by design —
+    // a truncated walk of an unordered 2^n space says nothing), so it can
+    // never run at gauntlet sizes.
+    let strategies: &[(&str, Strategy)] = &[
+        ("auto", Strategy::Auto),
+        ("ilp", Strategy::Ilp),
+        ("pruned-enum", Strategy::PrunedEnumeration),
+        ("local-search", Strategy::LocalSearch),
+        ("greedy", Strategy::Greedy),
+        ("sketch-refine", Strategy::SketchRefine),
+        ("portfolio", Strategy::Portfolio),
+    ];
+    let gated = |label: &str| matches!(label, "auto" | "ilp" | "portfolio");
+    let exactish = |label: &str| matches!(label, "ilp" | "portfolio" | "pruned-enum");
+
+    println!(
+        "## GAUNTLET{} — scenario × strategy × n; gates: validity, cross-thread identity, gap\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+
+    struct Cell {
+        label: &'static str,
+        ms: f64,
+        objective: Option<f64>,
+        optimal: bool,
+        empty: bool,
+        identical: bool,
+        nodes: u64,
+        iterations: u64,
+        pool: [u64; 4],
+    }
+
+    for scenario in scenarios() {
+        println!("### {} — {}\n", scenario.name, scenario.summary);
+        let widths = [20, 8, 13, 10, 12, 8, 9, 10];
+        print_header(
+            &[
+                "query",
+                "n",
+                "strategy",
+                "time (ms)",
+                "objective",
+                "gap %",
+                "optimal?",
+                "identical",
+            ],
+            &widths,
+        );
+        let sizes: Vec<usize> = if smoke {
+            vec![scenario.gauntlet_sizes[0]]
+        } else {
+            scenario.gauntlet_sizes.to_vec()
+        };
+        for q in &scenario.queries {
+            for &n in &sizes {
+                // The independent validity oracle for this (query, n). The
+                // engine re-checks results internally, but the gate must not
+                // trust the code path it is gating.
+                let table = (scenario.build)(n, Seed(BENCH_SEED));
+                let spec = match paql::compile(&q.text, table.schema())
+                    .map_err(|e| e.to_string())
+                    .and_then(|a| PackageSpec::build(&a, &table).map_err(|e| e.to_string()))
+                {
+                    Ok(s) => s,
+                    Err(e) => {
+                        failures.push(format!(
+                            "{}/{} n={n}: query rejected: {e}",
+                            scenario.name, q.label
+                        ));
+                        continue;
+                    }
+                };
+
+                let mut cells: Vec<Cell> = Vec::new();
+                for &(label, strategy) in strategies {
+                    if exactish(label) && n > scenario.exact_cap {
+                        continue;
+                    }
+                    let ctx = format!("{}/{} n={n} {label}", scenario.name, q.label);
+                    let solve = |threads: usize| {
+                        let engine = gauntlet_engine(
+                            (scenario.build)(n, Seed(BENCH_SEED)),
+                            strategy,
+                            threads,
+                        );
+                        let t0 = Instant::now();
+                        let r = try_run(&engine, &q.text);
+                        (r, t0.elapsed())
+                    };
+                    let pool_before = packagebuilder::pool_stats();
+                    let (r1, elapsed) = solve(1);
+                    let pool_after = packagebuilder::pool_stats();
+                    let r1 = match r1 {
+                        Ok(r) => r,
+                        Err(e) => {
+                            failures.push(format!("{ctx}: engine error: {e}"));
+                            continue;
+                        }
+                    };
+                    // Gate 1: validity / honesty.
+                    for p in &r1.packages {
+                        match spec.is_valid_interpreted(p) {
+                            Ok(true) => {}
+                            Ok(false) => failures.push(format!("{ctx}: INVALID package returned")),
+                            Err(e) => failures.push(format!("{ctx}: validity oracle error: {e}")),
+                        }
+                    }
+                    if !q.expect_feasible && !r1.is_empty() {
+                        failures.push(format!(
+                            "{ctx}: returned a package on a query registered infeasible"
+                        ));
+                    }
+                    // Gate 2: cross-thread identity.
+                    let (r2, _) = solve(2);
+                    let identical = match r2 {
+                        Err(e) => {
+                            failures.push(format!("{ctx}: engine error at 2 threads: {e}"));
+                            false
+                        }
+                        Ok(r2) => {
+                            let bits = |r: &packagebuilder::PackageResult| {
+                                r.objectives
+                                    .iter()
+                                    .map(|o| o.map(f64::to_bits))
+                                    .collect::<Vec<_>>()
+                            };
+                            let same = r1.packages == r2.packages
+                                && bits(&r1) == bits(&r2)
+                                && r1.optimal == r2.optimal
+                                && (label == "portfolio"
+                                    || (r1.stats.nodes == r2.stats.nodes
+                                        && r1.stats.iterations == r2.stats.iterations));
+                            if !same {
+                                failures
+                                    .push(format!("{ctx}: results differ between 1 and 2 threads"));
+                            }
+                            same
+                        }
+                    };
+                    cells.push(Cell {
+                        label,
+                        ms: elapsed.as_secs_f64() * 1e3,
+                        objective: r1.best_objective(),
+                        optimal: r1.optimal,
+                        empty: r1.is_empty(),
+                        identical,
+                        nodes: r1.stats.nodes,
+                        iterations: r1.stats.iterations,
+                        pool: [
+                            pool_after.hits - pool_before.hits,
+                            pool_after.misses - pool_before.misses,
+                            pool_after.evictions - pool_before.evictions,
+                            pool_after.pages_spilled - pool_before.pages_spilled,
+                        ],
+                    });
+                }
+
+                // The oracle. Every registry gauntlet query MAXIMIZEs, so
+                // "best known" is the maximum across strategies.
+                let proven = cells
+                    .iter()
+                    .filter(|c| c.optimal)
+                    .filter_map(|c| c.objective)
+                    .fold(None, |acc: Option<f64>, o| {
+                        Some(acc.map_or(o, |a| a.max(o)))
+                    });
+                let best_known = cells
+                    .iter()
+                    .filter_map(|c| c.objective)
+                    .fold(None, |acc: Option<f64>, o| {
+                        Some(acc.map_or(o, |a| a.max(o)))
+                    });
+                let oracle = proven.or(best_known);
+
+                // Gate 3 plus reporting.
+                for c in &cells {
+                    let gap = match (oracle, c.objective) {
+                        (Some(o), Some(v)) => Some(((o - v) / o.abs().max(1e-9)).max(0.0)),
+                        _ => None,
+                    };
+                    if q.expect_feasible && gated(c.label) {
+                        match gap {
+                            Some(g) if g <= q.max_gap + 1e-12 => {}
+                            Some(g) => failures.push(format!(
+                                "{}/{} n={n} {}: gap {:.3}% exceeds the family max {:.3}%",
+                                scenario.name,
+                                q.label,
+                                c.label,
+                                g * 100.0,
+                                q.max_gap * 100.0
+                            )),
+                            None if c.empty => failures.push(format!(
+                                "{}/{} n={n} {}: no package on a feasible query",
+                                scenario.name, q.label, c.label
+                            )),
+                            None => {}
+                        }
+                    }
+                    print_row(
+                        &[
+                            q.label.to_string(),
+                            n.to_string(),
+                            c.label.to_string(),
+                            format!("{:.3}", c.ms),
+                            c.objective
+                                .map(|o| format!("{o:.1}"))
+                                .unwrap_or_else(|| "-".into()),
+                            gap.map(|g| format!("{:.2}", g * 100.0))
+                                .unwrap_or_else(|| "-".into()),
+                            if c.optimal { "yes".into() } else { "no".into() },
+                            if c.identical {
+                                "identical".into()
+                            } else {
+                                "DIFFERENT (!)".into()
+                            },
+                        ],
+                        &widths,
+                    );
+                    json_rows.push(format!(
+                        "    {{\"scenario\": \"{}\", \"query\": \"{}\", \"n\": {n}, \
+                         \"strategy\": \"{}\", \"ms\": {:.3}, \"objective\": {}, \
+                         \"gap\": {}, \"max_gap\": {}, \"gated\": {}, \"optimal\": {}, \
+                         \"empty\": {}, \"identical\": {}, \"oracle\": {}, \
+                         \"nodes\": {}, \"iterations\": {}, \
+                         \"pool\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+                         \"pages_spilled\": {}}}}}",
+                        scenario.name,
+                        q.label,
+                        c.label,
+                        c.ms,
+                        c.objective
+                            .map(|o| format!("{o:.3}"))
+                            .unwrap_or_else(|| "null".into()),
+                        gap.map(|g| format!("{g:.6}"))
+                            .unwrap_or_else(|| "null".into()),
+                        q.max_gap,
+                        gated(c.label),
+                        c.optimal,
+                        c.empty,
+                        c.identical,
+                        oracle
+                            .map(|o| format!("{o:.3}"))
+                            .unwrap_or_else(|| "null".into()),
+                        c.nodes,
+                        c.iterations,
+                        c.pool[0],
+                        c.pool[1],
+                        c.pool[2],
+                        c.pool[3],
+                    ));
+                }
+            }
+        }
+        println!();
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"gauntlet\",\n  \"smoke\": {smoke},\n  \"seed\": {BENCH_SEED},\n{}\n  \"rows\": [\n{}\n  ]\n}}\n",
+        resource_json(),
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_gauntlet.json", &json) {
+        Ok(()) => println!("(wrote BENCH_gauntlet.json)\n"),
+        Err(e) => println!("(could not write BENCH_gauntlet.json: {e})\n"),
+    }
+    if !failures.is_empty() {
+        println!("GAUNTLET failures:");
+        for f in &failures {
+            println!("  - {f}");
+        }
+    }
+    failures.is_empty()
 }

@@ -38,6 +38,37 @@ pub fn recipe_table(n: usize) -> Table {
     recipes(n, Seed(BENCH_SEED))
 }
 
+/// Engine configuration for one gauntlet cell: fixed seed, a pinned
+/// portfolio worker set, and **deterministic truncation only** — node and
+/// move caps, never wall-clock budgets — so a truncated cell is still a
+/// pure function of its inputs and the cross-thread identity gate stays
+/// meaningful even where the full solve would be intractable.
+pub fn gauntlet_config(strategy: Strategy, threads: usize) -> EngineConfig {
+    // `with_num_threads(1)` first pins the portfolio worker set to the
+    // sequential default; assigning `num_threads` afterwards then varies
+    // only the execution fan-out, never the raced strategy mix.
+    let mut config = EngineConfig::with_strategy(strategy)
+        .with_seed(BENCH_SEED)
+        .with_num_threads(1);
+    config.num_threads = threads;
+    config.max_enumeration_nodes = 200_000;
+    // One restart and a short move budget: the standalone local-search cell
+    // is informational (never gated), and a move's neighbourhood scan costs
+    // O(package members × candidates) — the high-cardinality `bulk` family
+    // (1 000-member packages) turns a generous move budget into minutes per
+    // cell without changing any verdict.
+    config.max_local_moves = 150;
+    config.local_restarts = 1;
+    config
+}
+
+/// Builds a gauntlet engine over an already-built scenario table.
+pub fn gauntlet_engine(table: Table, strategy: Strategy, threads: usize) -> PackageEngine {
+    let mut catalog = Catalog::new();
+    catalog.register(table);
+    PackageEngine::with_config(catalog, gauntlet_config(strategy, threads))
+}
+
 /// Runs a query on an engine and panics with context on error — benches want
 /// loud failures, not silently skipped measurements.
 pub fn run(engine: &PackageEngine, query: &str) -> PackageResult {

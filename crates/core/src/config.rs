@@ -13,10 +13,14 @@ use lp_solver::SolverConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Let the engine pick: enumeration for tiny candidate sets; for
-    /// linearizable conjunctive queries the ILP, switching to sketch→refine
-    /// at [`EngineConfig::sketch_threshold`] candidates (single-package
-    /// requests); for the rest a solver portfolio at
-    /// [`EngineConfig::portfolio_threshold`] and plain local search below.
+    /// linearizable conjunctive queries the ILP, switching at
+    /// [`EngineConfig::sketch_threshold`] candidates (single-package
+    /// requests) to a portfolio race whose exact worker is node-capped at
+    /// [`EngineConfig::auto_exact_node_cap`] — the race returns the exact
+    /// answer wherever the proof is cheap and a heuristic answer where it
+    /// is not, instead of betting the whole query on either; for the rest
+    /// a solver portfolio at [`EngineConfig::portfolio_threshold`] and
+    /// plain local search below.
     Auto,
     /// Translate to an integer linear program and call the solver.
     Ilp,
@@ -41,7 +45,7 @@ pub enum Strategy {
     /// candidates along the quality-sensitive columns, solve a tiny ILP over
     /// one representative per partition, then refine the picked partitions
     /// with small per-partition sub-ILPs. Near-optimal at a fraction of the
-    /// monolithic ILP's latency; `Auto` prefers it over plain ILP for
+    /// monolithic ILP's latency; `Auto` races it as a portfolio worker for
     /// linearizable queries with at least
     /// [`EngineConfig::sketch_threshold`] candidates.
     SketchRefine,
@@ -94,10 +98,30 @@ pub struct EngineConfig {
     /// half this bound and the bound itself, i.e. roughly `n / size` to
     /// `2n / size` representatives.
     pub sketch_partition_size: usize,
-    /// Candidate-set size at or above which `Auto` prefers sketch→refine
-    /// over the monolithic ILP for linearizable queries. Below it the exact
-    /// ILP is fast enough that approximation buys nothing.
+    /// Candidate-set size at or above which `Auto` stops trusting the
+    /// monolithic ILP's latency for linearizable single-package queries and
+    /// races a [`Strategy::Portfolio`] instead, with the race's exact worker
+    /// node-capped at [`EngineConfig::auto_exact_node_cap`]. Below it the
+    /// exact ILP is fast enough to keep the job outright.
+    ///
+    /// No single size threshold separates cheap ILPs from expensive ones —
+    /// exact cost tracks *branching hardness*, not candidate count (a
+    /// 10^5-row shipment query can prove optimality in milliseconds while a
+    /// 2 000-row correlated-knapsack portfolio takes seconds) — so above
+    /// this size `Auto` hedges with the race rather than guessing.
     pub sketch_threshold: usize,
+    /// Branch-and-bound node cap for the **exact worker inside an
+    /// `Auto`-chosen portfolio race** (the large-`n` linearizable route).
+    /// A branching-hostile instance truncates to its best incumbent after
+    /// this many nodes — deterministically, the cap is a pure function of
+    /// the search tree — instead of holding the whole race open; the
+    /// portfolio then returns the best result across the capped exact
+    /// worker and the heuristic workers. Easy instances still prove
+    /// optimality under the cap and cancel the race early. The cap only
+    /// applies when the *policy* picked the race: a caller forcing
+    /// [`Strategy::Portfolio`] (or [`Strategy::Ilp`]) keeps
+    /// [`EngineConfig::solver`]'s own limits.
+    pub auto_exact_node_cap: usize,
     /// Whether the engine routes view construction through its
     /// [`crate::cache::ViewCache`], reusing materialized columns, candidate
     /// statistics and sketch→refine partitionings across repeated queries on
@@ -200,6 +224,7 @@ impl Default for EngineConfig {
             portfolio_workers: default_portfolio_workers(num_threads),
             sketch_partition_size: 64,
             sketch_threshold: 4096,
+            auto_exact_node_cap: 20_000,
             cache: true,
             view_cache_capacity: crate::cache::DEFAULT_VIEW_CACHE_CAPACITY,
             column_memory_budget: crate::column_store::default_column_memory_budget(),

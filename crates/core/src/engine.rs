@@ -175,10 +175,14 @@ impl PackageEngine {
 
     /// The `Auto` policy: ILP when the query is linear and conjunctive —
     /// unless the candidate set reaches
-    /// [`crate::config::EngineConfig::sketch_threshold`], where the
-    /// partition→sketch→refine solver delivers near-optimal packages at a
-    /// fraction of the monolithic ILP's latency; pruned enumeration for tiny
-    /// candidate sets; and for the rest — queries no ILP can take — a solver
+    /// [`crate::config::EngineConfig::sketch_threshold`], where the policy
+    /// races a portfolio whose exact worker is node-capped at
+    /// [`crate::config::EngineConfig::auto_exact_node_cap`] (exact cost
+    /// tracks branching hardness, not candidate count, so at scale the race
+    /// hedges: a cheap proof still wins outright and cancels the heuristics,
+    /// a hostile instance truncates to its incumbent and the best heuristic
+    /// answer carries the query); pruned enumeration for tiny candidate
+    /// sets; and for the rest — queries no ILP can take — a solver
     /// portfolio when the candidate set is large enough to make racing
     /// worthwhile ([`crate::config::EngineConfig::portfolio_threshold`]),
     /// plain local search below that. (`Greedy` is never auto-selected on
@@ -191,12 +195,12 @@ impl PackageEngine {
                     return Strategy::PrunedEnumeration;
                 }
                 if linearization_obstacle(spec.view()).is_none() {
-                    // Sketch→refine returns a single approximate package, so
-                    // it only replaces the ILP when one package is wanted; a
-                    // top-k request keeps the exact no-good-cut path whatever
-                    // the candidate count.
+                    // The portfolio returns a single best package, so it
+                    // only replaces the ILP when one package is wanted; a
+                    // top-k request keeps the exact no-good-cut path
+                    // whatever the candidate count.
                     if n >= self.config.sketch_threshold && self.config.num_packages <= 1 {
-                        Strategy::SketchRefine
+                        Strategy::Portfolio
                     } else {
                         Strategy::Ilp
                     }
@@ -222,13 +226,13 @@ impl PackageEngine {
         spec: &PackageSpec<'_>,
         strategy: Strategy,
     ) -> PbResult<QueryPlan> {
-        let strategy = match strategy {
+        let (strategy, auto_routed) = match strategy {
             Strategy::Auto => {
                 let forced = self.resolve_strategy(spec);
                 debug_assert_ne!(forced, Strategy::Auto);
-                forced
+                (forced, true)
             }
-            other => other,
+            other => (other, false),
         };
         // Portfolios race the configured worker set; every other strategy
         // maps 1:1 to its solver.
@@ -239,10 +243,23 @@ impl PackageEngine {
         } else {
             solver_for(strategy)?
         };
+        let mut options = SolveOptions::from_config(&self.config);
+        // `Auto` promises bounded latency where a caller-forced `Portfolio`
+        // does not: when the *policy* picked the race, its exact worker is
+        // node-capped so a branching-hostile instance truncates to its best
+        // incumbent deterministically instead of holding the race open. The
+        // cap trades the optimality proof, never validity — the best result
+        // across all workers still wins.
+        if auto_routed && strategy == Strategy::Portfolio {
+            options.solver.max_nodes = options
+                .solver
+                .max_nodes
+                .min(self.config.auto_exact_node_cap);
+        }
         Ok(QueryPlan {
             strategy,
             solver,
-            options: SolveOptions::from_config(&self.config),
+            options,
         })
     }
 

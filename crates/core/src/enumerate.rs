@@ -321,6 +321,28 @@ pub fn enumerate(view: &CandidateView, opts: EnumerationOptions) -> PbResult<Enu
     // pb-lint: allow(time-containment) — stats clock only: stamps the
     // outcome's elapsed_ms; pruning deadlines go through the budget.
     let start = std::time::Instant::now();
+    if opts.budget.expired() {
+        // Bail before Searcher setup: linearizing every constraint reads
+        // all term columns (through the buffer pool when the view is
+        // paged), which an already-expired budget must not pay for.
+        return Ok(EnumerationOutcome {
+            packages: Vec::new(),
+            complete: false,
+            nodes: 0,
+            feasible_found: 0,
+            stats: EvalStats {
+                strategy: if opts.prune {
+                    StrategyUsed::PrunedEnumeration
+                } else {
+                    StrategyUsed::Exhaustive
+                },
+                candidates: view.candidate_count(),
+                nodes: 0,
+                iterations: 0,
+                elapsed: start.elapsed(),
+            },
+        });
+    }
     if view.candidate_count() > 64 && !opts.prune {
         // 2^64 leaves is never going to finish; refuse instead of spinning.
         return Err(PbError::Unsupported(format!(

@@ -319,6 +319,69 @@ pub fn linearize_constraint(
     }
 }
 
+/// Appends the ids of every SUM term reachable from `expr`. SUM shares SQL's
+/// NULL-over-empty semantics with AVG: a SUM whose inclusion set is empty
+/// (all members FILTERed out, or an empty package) is NULL, and a constraint
+/// with a NULL side is *unsatisfied* — never vacuously true. The direct
+/// linearization maps that empty sum to 0, so each of these terms needs a
+/// non-NULL support row. COUNT needs none: it is 0 over the empty set, never
+/// NULL.
+fn collect_sum_terms(view: &CandidateView, expr: &CompiledExpr, out: &mut Vec<usize>) {
+    match expr {
+        CompiledExpr::Literal(_) => {}
+        CompiledExpr::Term(id) => {
+            if view.terms()[*id].func == AggFunc::Sum {
+                out.push(*id);
+            }
+        }
+        CompiledExpr::Binary { lhs, rhs, .. } => {
+            collect_sum_terms(view, lhs, out);
+            collect_sum_terms(view, rhs, out);
+        }
+    }
+}
+
+/// The term id when `expr` is a lone SUM aggregate call.
+fn lone_sum_term(view: &CandidateView, expr: &CompiledExpr) -> Option<usize> {
+    match expr {
+        CompiledExpr::Term(id) if view.terms()[*id].func == AggFunc::Sum => Some(*id),
+        _ => None,
+    }
+}
+
+/// Whether `0 op bound` holds — i.e. whether a SUM whose inclusion set is
+/// empty could still satisfy a lone comparison against `bound` under the
+/// (wrong) 0-for-NULL reading. When it cannot, the comparison row itself
+/// already excludes the empty subset and the term needs no support row —
+/// keeping the common `SUM(x) ≥ large` shapes at one dense row instead of
+/// two matters for LP pivot cost on big candidate sets.
+fn zero_satisfies(op: CmpOp, bound: f64) -> bool {
+    match op {
+        CmpOp::Lt => 0.0 < bound,
+        CmpOp::LtEq => 0.0 <= bound,
+        CmpOp::Gt => 0.0 > bound,
+        CmpOp::GtEq => 0.0 >= bound,
+        CmpOp::Eq => bound == 0.0,
+        CmpOp::NotEq => bound != 0.0,
+    }
+}
+
+/// The non-NULL support row for a term: `Σ included_i · x_i ≥ 1`, i.e. the
+/// package holds at least one member the term's FILTER admits. Mirrors the
+/// support row [`linearize_avg_comparison`] emits for AVG.
+fn support_row(view: &CandidateView, term_id: usize) -> LinearConstraint {
+    let coeffs = view.terms()[term_id]
+        .included_vec()
+        .into_iter()
+        .map(|included| if included { 1.0 } else { 0.0 })
+        .collect();
+    LinearConstraint {
+        coeffs,
+        op: ConstraintOp::Ge,
+        rhs: 1.0,
+    }
+}
+
 /// Collects the atoms of a compiled formula when it is purely conjunctive.
 fn conjunctive_atoms(f: &CompiledFormula) -> Option<Vec<&CompiledConstraint>> {
     fn walk<'a>(f: &'a CompiledFormula, out: &mut Vec<&'a CompiledConstraint>) -> bool {
@@ -337,7 +400,11 @@ fn conjunctive_atoms(f: &CompiledFormula) -> Option<Vec<&CompiledConstraint>> {
 
 /// Linearizes the view's `SUCH THAT` formula (must be conjunctive). Views
 /// without a formula linearize to no constraints; AVG-vs-constant atoms
-/// contribute two rows each (see [`linearize_constraint`]).
+/// contribute two rows each (see [`linearize_constraint`]), and every
+/// distinct SUM term appearing in a constraint contributes one non-NULL
+/// support row (see `collect_sum_terms`) so the linear relaxation cannot
+/// satisfy `SUM(…) FILTER (…) ⋈ c` by emptying the filtered subset — the
+/// engine's SQL semantics make that sum NULL and the constraint unsatisfied.
 pub fn linearize_formula(view: &CandidateView) -> Result<Vec<LinearConstraint>, NonLinearReason> {
     let formula = match view.compiled_formula() {
         None => return Ok(Vec::new()),
@@ -345,8 +412,44 @@ pub fn linearize_formula(view: &CandidateView) -> Result<Vec<LinearConstraint>, 
     };
     let atoms = conjunctive_atoms(formula).ok_or(NonLinearReason::NotConjunctive)?;
     let mut rows = Vec::with_capacity(atoms.len());
+    let mut sum_terms = Vec::new();
+    let mut covered = Vec::new();
     for c in atoms {
         rows.extend(linearize_constraint(view, c)?);
+        collect_sum_terms(view, &c.lhs, &mut sum_terms);
+        collect_sum_terms(view, &c.rhs, &mut sum_terms);
+        // A lone `SUM ⋈ constant` atom that the empty subset fails (e.g.
+        // `SUM(x) ≥ 150000`) already excludes that subset through its own
+        // comparison row; its term needs no separate support row.
+        if let Some(id) = lone_sum_term(view, &c.lhs) {
+            if let Ok(r) = linearize_expr(view, &c.rhs) {
+                if r.is_constant() && !zero_satisfies(c.op, r.constant) {
+                    covered.push(id);
+                }
+            }
+        } else if let Some(id) = lone_sum_term(view, &c.rhs) {
+            if let Ok(l) = linearize_expr(view, &c.lhs) {
+                if l.is_constant() && !zero_satisfies(mirror(c.op), l.constant) {
+                    covered.push(id);
+                }
+            }
+        }
+    }
+    sum_terms.sort_unstable();
+    sum_terms.dedup();
+    sum_terms.retain(|id| !covered.contains(id));
+    // Distinct terms often share one inclusion mask — a wide schema FILTERing
+    // many columns by the same handful of predicates (the `wide` gauntlet
+    // family) would otherwise emit one identical dense row per column. The
+    // support row depends only on the mask, so one row per mask suffices.
+    let mut seen_masks: Vec<Vec<bool>> = Vec::new();
+    for id in sum_terms {
+        let mask = view.terms()[id].included_vec();
+        if seen_masks.contains(&mask) {
+            continue;
+        }
+        rows.push(support_row(view, id));
+        seen_masks.push(mask);
     }
     Ok(rows)
 }
@@ -903,11 +1006,51 @@ mod tests {
              SUCH THAT SUM(P.calories) <= 2000 MAXIMIZE SUM(P.protein)",
         );
         let rows = linearize_formula(spec.view()).unwrap();
-        assert_eq!(rows.len(), 1);
+        // The comparison row plus the SUM term's non-NULL support row.
+        assert_eq!(rows.len(), 2);
         // The SUM(calories) row is the calories column verbatim.
         for (i, &tid) in spec.candidates.iter().enumerate() {
             let cal = t.value_f64(tid, "calories").unwrap();
             assert!((rows[0].coeffs[i] - cal).abs() < 1e-12);
         }
+        // The support row admits every candidate (no FILTER) and demands one.
+        assert_eq!(rows[1].op, ConstraintOp::Ge);
+        assert!((rows[1].rhs - 1.0).abs() < 1e-12);
+        assert!(rows[1].coeffs.iter().all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn filtered_sum_constraints_never_accept_the_empty_subset() {
+        // Regression test from the gauntlet's wide family: with
+        // `SUM(x) FILTER (WHERE …) <= c` the linear relaxation used to treat
+        // an empty filtered subset as 0 <= c and return packages with no
+        // qualifying member — which the engine's SQL NULL semantics reject
+        // (`SUM` over an empty set is NULL, and a NULL side never satisfies
+        // its constraint). The support row makes the ILP's feasible region
+        // exactly the engine-valid packages again.
+        let scenario = datagen::scenario("wide").expect("wide family is registered");
+        let table = (scenario.build)(40, Seed(23));
+        let spec = spec_for(&table, &scenario.exact_query);
+        let out = solve_ilp(
+            spec.view(),
+            &SolverConfig::default(),
+            1,
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        let (pkg, _) = out.packages.first().expect("the window is feasible");
+        assert!(spec.is_valid(pkg).unwrap());
+        assert!(spec.is_valid_interpreted(pkg).unwrap());
+        // The FILTERed term's subset is genuinely non-empty.
+        let schema = table.schema();
+        assert!(pkg.members().any(|(tid, _)| {
+            table
+                .require(tid)
+                .unwrap()
+                .get_named(schema, "grp")
+                .unwrap()
+                .to_string()
+                == "g01"
+        }));
     }
 }

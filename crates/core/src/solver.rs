@@ -259,7 +259,10 @@ impl Solver for GreedySolver {
         let mut moves = 0u64;
         let mut packages = Vec::new();
 
-        if view.candidate_count() > 0 {
+        // An already-expired budget skips even the starting package: the
+        // density scan reads every candidate's terms (through the buffer
+        // pool when the view is paged), which expiry must not pay for.
+        if view.candidate_count() > 0 && !budget.expired() {
             let greedy = starting_package(view, StartHeuristic::Greedy, &mut rng);
             let mut state = view.project(&greedy).ok_or_else(|| {
                 PbError::Internal(

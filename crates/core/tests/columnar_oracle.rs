@@ -5,112 +5,19 @@
 //! precomputed columns. The interpreted expression-tree path
 //! ([`Package::formula_violation`], [`Package::satisfies`],
 //! [`Package::objective_value`]) is kept as the oracle; these properties
-//! assert bit-for-bit-close agreement across random queries over all four
-//! datagen scenarios (recipes, stocks, travel, synthetic) and random
-//! packages, including FILTER terms, non-linear aggregates, REPEAT
-//! multiplicities and empty packages.
+//! assert bit-for-bit-close agreement across random queries and random
+//! packages over **every family in the scenario registry**
+//! (`datagen::scenarios()` — recipes through TPC-H-lite lineitem),
+//! including FILTER terms, non-linear aggregates, REPEAT multiplicities and
+//! empty packages. A family added to the registry is covered here with no
+//! test change.
 
-use minidb::{Table, TupleId};
+use minidb::TupleId;
 use packagebuilder::package::Package;
 use packagebuilder::spec::PackageSpec;
 use proptest::prelude::*;
 
-use datagen::{recipes, stocks, travel_options, uniform_table, zipf_table, Seed};
-
-/// The four datagen scenarios, with a numeric column pool and an optional
-/// categorical filter clause each.
-#[derive(Debug, Clone, Copy)]
-enum Scenario {
-    Recipes,
-    Stocks,
-    Travel,
-    Synthetic,
-}
-
-impl Scenario {
-    fn table(self, seed: u64) -> Table {
-        match self {
-            Scenario::Recipes => recipes(40, Seed(seed)),
-            Scenario::Stocks => stocks(40, Seed(seed)),
-            Scenario::Travel => travel_options(20, 15, 5, Seed(seed)),
-            Scenario::Synthetic => {
-                if seed.is_multiple_of(2) {
-                    uniform_table("t", 30, 2.0, 30.0, Seed(seed))
-                } else {
-                    zipf_table("t", 30, 1.3, 2.0, 30.0, Seed(seed))
-                }
-            }
-        }
-    }
-
-    fn relation(self) -> &'static str {
-        match self {
-            Scenario::Recipes => "recipes",
-            Scenario::Stocks => "stocks",
-            Scenario::Travel => "travel_options",
-            Scenario::Synthetic => "t",
-        }
-    }
-
-    fn columns(self) -> &'static [&'static str] {
-        match self {
-            Scenario::Recipes => &["calories", "protein", "fat", "price"],
-            Scenario::Stocks => &["price", "expected_return", "risk"],
-            Scenario::Travel => &["price", "comfort"],
-            Scenario::Synthetic => &["w", "v"],
-        }
-    }
-
-    /// A categorical FILTER clause, exercised on half the queries.
-    fn filter(self) -> Option<&'static str> {
-        match self {
-            Scenario::Recipes => Some("R.gluten = 'free'"),
-            Scenario::Stocks => Some("R.sector = 'technology'"),
-            Scenario::Travel => Some("R.kind = 'hotel'"),
-            Scenario::Synthetic => None,
-        }
-    }
-}
-
-const SCENARIOS: [Scenario; 4] = [
-    Scenario::Recipes,
-    Scenario::Stocks,
-    Scenario::Travel,
-    Scenario::Synthetic,
-];
-
-/// Builds a random PaQL query text for a scenario from drawn parameters.
-#[allow(clippy::too_many_arguments)]
-fn build_query(
-    scenario: Scenario,
-    count: u64,
-    col_a: usize,
-    col_b: usize,
-    agg_pick: usize,
-    lo: f64,
-    width: f64,
-    use_filter: bool,
-    repeat: Option<u32>,
-    minimize: bool,
-) -> String {
-    let rel = scenario.relation();
-    let cols = scenario.columns();
-    let a = cols[col_a % cols.len()];
-    let b = cols[col_b % cols.len()];
-    let agg = ["SUM", "AVG", "MIN", "MAX"][agg_pick % 4];
-    let repeat = repeat.map(|k| format!(" REPEAT {k}")).unwrap_or_default();
-    let filter = match (use_filter, scenario.filter()) {
-        (true, Some(f)) => format!(" FILTER (WHERE {f})"),
-        _ => String::new(),
-    };
-    let dir = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
-    format!(
-        "SELECT PACKAGE(R) AS P FROM {rel} R{repeat} \
-         SUCH THAT COUNT(*) <= {count} AND {agg}(P.{a}){filter} BETWEEN {lo:.2} AND {:.2} \
-         {dir} SUM(P.{b})",
-        lo + width
-    )
-}
+use datagen::{scenarios, QueryParams, Seed};
 
 /// Draws a random package over the spec's candidates (possibly empty,
 /// possibly with repeated members up to the REPEAT bound).
@@ -137,10 +44,11 @@ proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
 
     /// Columnar objective, violation and validity agree with the interpreted
-    /// oracle on random queries and random packages across every scenario.
+    /// oracle on random queries and random packages across every registered
+    /// scenario family.
     #[test]
     fn columnar_matches_interpreted_oracle(
-        scenario_pick in 0usize..4,
+        scenario_pick in 0usize..64,
         seed in 0u64..5_000,
         count in 1u64..5,
         col_a in 0usize..4,
@@ -154,11 +62,12 @@ proptest! {
         picks in prop::collection::vec(0usize..64, 0..6),
         mults in prop::collection::vec(1u32..4, 6),
     ) {
-        let scenario = SCENARIOS[scenario_pick];
-        let table = scenario.table(seed);
-        let text = build_query(
-            scenario, count, col_a, col_b, agg_pick, lo, width, use_filter, repeat, minimize,
-        );
+        let registry = scenarios();
+        let scenario = &registry[scenario_pick % registry.len()];
+        let table = (scenario.build)(scenario.property_n, Seed(seed));
+        let text = scenario.random_query(&QueryParams {
+            count, col_a, col_b, agg_pick, lo, width, use_filter, repeat, minimize,
+        });
         let analyzed = paql::compile(&text, table.schema()).expect("generated query compiles");
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
         let package = random_package(&spec, &picks, &mults);
@@ -182,13 +91,13 @@ proptest! {
 
         prop_assert!(
             close(view_violation, oracle_violation),
-            "violation mismatch on {:?}: columnar {} vs interpreted {} (query: {})",
-            scenario, view_violation, oracle_violation, text
+            "violation mismatch on {}: columnar {} vs interpreted {} (query: {})",
+            scenario.name, view_violation, oracle_violation, text
         );
         match (view_objective, oracle_objective) {
             (Some(a), Some(b)) => prop_assert!(
                 close(a, b),
-                "objective mismatch on {:?}: {} vs {} (query: {})", scenario, a, b, text
+                "objective mismatch on {}: {} vs {} (query: {})", scenario.name, a, b, text
             ),
             (a, b) => prop_assert_eq!(a, b, "objective NULL-ness mismatch (query: {})", text),
         }
@@ -198,10 +107,10 @@ proptest! {
     }
 
     /// Delta evaluation (`ViewState::score_with`) agrees with a from-scratch
-    /// projection after any single swap, across scenarios.
+    /// projection after any single swap, across every registered scenario.
     #[test]
     fn delta_evaluation_matches_fresh_projection(
-        scenario_pick in 0usize..4,
+        scenario_pick in 0usize..64,
         seed in 0u64..5_000,
         count in 2u64..5,
         col_a in 0usize..4,
@@ -212,11 +121,13 @@ proptest! {
         out_pick in 0usize..8,
         in_pick in 0usize..64,
     ) {
-        let scenario = SCENARIOS[scenario_pick];
-        let table = scenario.table(seed);
-        let text = build_query(
-            scenario, count, col_a, col_b, agg_pick, lo, width, false, None, false,
-        );
+        let registry = scenarios();
+        let scenario = &registry[scenario_pick % registry.len()];
+        let table = (scenario.build)(scenario.property_n, Seed(seed));
+        let text = scenario.random_query(&QueryParams {
+            count, col_a, col_b, agg_pick, lo, width,
+            use_filter: false, repeat: None, minimize: false,
+        });
         let analyzed = paql::compile(&text, table.schema()).unwrap();
         let spec = PackageSpec::build(&analyzed, &table).unwrap();
         let view = spec.view();

@@ -4,20 +4,27 @@
 //! runs from independently built engines return byte-identical packages,
 //! objectives and optimality flags. The portfolio adds threads, so it cannot
 //! promise cross-run timing, but with a single worker it must be a pure
-//! wrapper: exactly the underlying solver's result.
+//! wrapper: exactly the underlying solver's result. The cross-instance
+//! guarantee is additionally pinned on **every family in the scenario
+//! registry** (`datagen::scenarios()`), so a new workload cannot ship
+//! without it.
 
-use datagen::{recipes, Seed};
-use minidb::Catalog;
+use datagen::{recipes, scenarios, Seed};
+use minidb::{Catalog, Table};
 use packagebuilder::config::{EngineConfig, Strategy};
 use packagebuilder::{PackageEngine, PackageResult};
 
-fn engine(n: usize, strategy: Strategy, seed: u64) -> PackageEngine {
+fn engine_for(table: Table, strategy: Strategy, seed: u64) -> PackageEngine {
     let mut catalog = Catalog::new();
-    catalog.register(recipes(n, Seed(7)));
+    catalog.register(table);
     PackageEngine::with_config(
         catalog,
         EngineConfig::with_strategy(strategy).with_seed(seed),
     )
+}
+
+fn engine(n: usize, strategy: Strategy, seed: u64) -> PackageEngine {
+    engine_for(recipes(n, Seed(7)), strategy, seed)
 }
 
 fn run(n: usize, strategy: Strategy, seed: u64, query: &str) -> PackageResult {
@@ -68,6 +75,30 @@ fn sequential_solvers_are_deterministic_across_engine_instances() {
             let first = run(n, strategy, seed, LINEAR_QUERY);
             let second = run(n, strategy, seed, LINEAR_QUERY);
             assert_identical(&first, &second, &format!("{strategy:?} seed {seed}"));
+        }
+    }
+}
+
+/// Every registered scenario family, solved twice by independently built
+/// engines on its own branching-heavy query: identical results, counters
+/// included. Feasibility is irrelevant here — an honestly-infeasible answer
+/// must be just as reproducible as an optimum.
+#[test]
+fn every_registered_scenario_is_deterministic_across_engine_instances() {
+    for scenario in scenarios() {
+        for strategy in [Strategy::Greedy, Strategy::LocalSearch, Strategy::Auto] {
+            let solve = || {
+                engine_for(
+                    (scenario.build)(scenario.property_n, Seed(23)),
+                    strategy,
+                    42,
+                )
+                .execute_paql(&scenario.exact_query)
+                .unwrap_or_else(|e| panic!("{strategy:?}/{} failed: {e}", scenario.name))
+            };
+            let first = solve();
+            let second = solve();
+            assert_identical(&first, &second, &format!("{strategy:?}/{}", scenario.name));
         }
     }
 }

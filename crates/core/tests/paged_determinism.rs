@@ -7,11 +7,12 @@
 //! dense vector. The contract: storage mode is invisible to every consumer —
 //! packages, objectives, optimality flags and evaluation counters never
 //! change, only where the column bytes live. These tests pin that guarantee
-//! across random queries over all four datagen scenarios × threads {1, 8}
-//! with the pool starved to its 2-page minimum, so every scan genuinely
-//! faults pages in and out while solving.
+//! across random queries over **every family in the scenario registry**
+//! (`datagen::scenarios()`) × threads {1, 8} with the pool starved to its
+//! 2-page minimum, so every scan genuinely faults pages in and out while
+//! solving.
 
-use datagen::{recipes, stocks, travel_options, uniform_table, zipf_table, Seed};
+use datagen::{recipes, scenarios, QueryParams, Seed};
 use minidb::{Catalog, Table};
 use packagebuilder::config::{EngineConfig, Strategy};
 use packagebuilder::par::ParExec;
@@ -26,97 +27,6 @@ const THREAD_COUNTS: [usize; 2] = [1, 8];
 /// The starvation pool: the smallest capacity the store accepts, far below
 /// any multi-term view's working set, so scans continuously evict.
 const STARVED_POOL_PAGES: usize = 2;
-
-/// The four datagen scenarios (mirroring the parallel-determinism suite).
-#[derive(Debug, Clone, Copy)]
-enum Scenario {
-    Recipes,
-    Stocks,
-    Travel,
-    Synthetic,
-}
-
-const SCENARIOS: [Scenario; 4] = [
-    Scenario::Recipes,
-    Scenario::Stocks,
-    Scenario::Travel,
-    Scenario::Synthetic,
-];
-
-impl Scenario {
-    fn table(self, seed: u64) -> Table {
-        match self {
-            Scenario::Recipes => recipes(60, Seed(seed)),
-            Scenario::Stocks => stocks(60, Seed(seed)),
-            Scenario::Travel => travel_options(30, 20, 10, Seed(seed)),
-            Scenario::Synthetic => {
-                if seed.is_multiple_of(2) {
-                    uniform_table("t", 50, 2.0, 30.0, Seed(seed))
-                } else {
-                    zipf_table("t", 50, 1.3, 2.0, 30.0, Seed(seed))
-                }
-            }
-        }
-    }
-
-    fn relation(self) -> &'static str {
-        match self {
-            Scenario::Recipes => "recipes",
-            Scenario::Stocks => "stocks",
-            Scenario::Travel => "travel_options",
-            Scenario::Synthetic => "t",
-        }
-    }
-
-    fn columns(self) -> &'static [&'static str] {
-        match self {
-            Scenario::Recipes => &["calories", "protein", "fat", "price"],
-            Scenario::Stocks => &["price", "expected_return", "risk"],
-            Scenario::Travel => &["price", "comfort"],
-            Scenario::Synthetic => &["w", "v"],
-        }
-    }
-
-    fn filter(self) -> Option<&'static str> {
-        match self {
-            Scenario::Recipes => Some("R.gluten = 'free'"),
-            Scenario::Stocks => Some("R.sector = 'technology'"),
-            Scenario::Travel => Some("R.kind = 'hotel'"),
-            Scenario::Synthetic => None,
-        }
-    }
-}
-
-/// Builds a random PaQL query from drawn parameters.
-#[allow(clippy::too_many_arguments)]
-fn build_query(
-    scenario: Scenario,
-    count: u64,
-    col_a: usize,
-    col_b: usize,
-    agg_pick: usize,
-    lo: f64,
-    width: f64,
-    use_filter: bool,
-    minimize: bool,
-) -> String {
-    let rel = scenario.relation();
-    let cols = scenario.columns();
-    let a = cols[col_a % cols.len()];
-    let b = cols[col_b % cols.len()];
-    let agg = ["SUM", "AVG", "MIN", "MAX"][agg_pick % 4];
-    let filter = match (use_filter, scenario.filter()) {
-        (true, Some(f)) => format!(" FILTER (WHERE {f})"),
-        _ => String::new(),
-    };
-    let dir = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
-    format!(
-        "SELECT PACKAGE(R) AS P FROM {rel} R \
-         SUCH THAT COUNT(*) <= {count} AND {agg}(P.{a}){filter} BETWEEN {lo:.2} AND {:.2} \
-         {dir} SUM(P.{b})",
-        lo + width
-    )
-}
 
 /// Evaluates `query` on a fresh engine pinned to the given storage mode and
 /// thread count. Only storage and threads vary between runs — the portfolio
@@ -173,12 +83,13 @@ fn assert_runs_identical(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
 
-    /// Random queries over every scenario: a resident sequential reference
-    /// run versus out-of-core runs through a 2-page starvation pool at 1 and
-    /// 8 threads — identical outcomes, down to the evaluation counters.
+    /// Random queries over every registered scenario: a resident sequential
+    /// reference run versus out-of-core runs through a 2-page starvation
+    /// pool at 1 and 8 threads — identical outcomes, down to the evaluation
+    /// counters.
     #[test]
     fn storage_mode_never_changes_results(
-        scenario_pick in 0usize..4,
+        scenario_pick in 0usize..64,
         strategy_pick in 0usize..3,
         seed in 0u64..5_000,
         count in 1u64..5,
@@ -190,20 +101,27 @@ proptest! {
         use_filter in prop::bool::ANY,
         minimize in prop::bool::ANY,
     ) {
-        let scenario = SCENARIOS[scenario_pick];
+        let registry = scenarios();
+        let scenario = &registry[scenario_pick % registry.len()];
         let strategy = [Strategy::Auto, Strategy::LocalSearch, Strategy::Greedy][strategy_pick];
-        let text = build_query(
-            scenario, count, col_a, col_b, agg_pick, lo, width, use_filter, minimize,
+        let text = scenario.random_query(&QueryParams {
+            count, col_a, col_b, agg_pick, lo, width, use_filter, repeat: None, minimize,
+        });
+        let reference = run_with(
+            (scenario.build)(scenario.property_n, Seed(seed)), strategy, 1, None, &text,
         );
-        let reference = run_with(scenario.table(seed), strategy, 1, None, &text);
         for &threads in &THREAD_COUNTS {
             let paged = run_with(
-                scenario.table(seed), strategy, threads, Some(STARVED_POOL_PAGES), &text,
+                (scenario.build)(scenario.property_n, Seed(seed)),
+                strategy,
+                threads,
+                Some(STARVED_POOL_PAGES),
+                &text,
             );
             assert_runs_identical(
                 &reference,
                 &paged,
-                &format!("{scenario:?}/{strategy:?} paged at {threads} threads (query: {text})"),
+                &format!("{}/{strategy:?} paged at {threads} threads (query: {text})", scenario.name),
             );
         }
     }
@@ -266,6 +184,36 @@ fn exact_ilp_is_storage_mode_invariant() {
             &reference,
             &paged,
             &format!("Ilp paged at {threads} threads, n=2000"),
+        );
+    }
+}
+
+/// The widest registered schema through the starved pool: the wide
+/// scenario's 120-column relation drives a FILTERed multi-term view whose
+/// term columns dwarf the 2-page pool, and the exact solve still matches
+/// the resident reference bit for bit.
+#[test]
+fn wide_filtered_views_are_storage_mode_invariant() {
+    let scenario = datagen::scenario("wide").expect("wide family is registered");
+    let reference = run_with(
+        (scenario.build)(scenario.exact_n, Seed(13)),
+        Strategy::Ilp,
+        1,
+        None,
+        &scenario.exact_query,
+    );
+    for &threads in &THREAD_COUNTS {
+        let paged = run_with(
+            (scenario.build)(scenario.exact_n, Seed(13)),
+            Strategy::Ilp,
+            threads,
+            Some(STARVED_POOL_PAGES),
+            &scenario.exact_query,
+        );
+        assert_runs_identical(
+            &reference,
+            &paged,
+            &format!("Ilp/wide paged at {threads} threads"),
         );
     }
 }

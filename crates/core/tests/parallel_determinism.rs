@@ -7,13 +7,14 @@
 //! boundaries are fixed and reductions combine in chunk order, so the thread
 //! count may only change wall-clock — never packages, objectives, optimality
 //! flags or even the evaluation counters. These tests pin that guarantee
-//! across random queries over all four datagen scenarios × thread counts
-//! {1, 2, 8}, and separately pin the anytime contract (budget expiry checked
-//! per chunk) under an 8-way fan-out.
+//! across random queries over **every family in the scenario registry**
+//! (`datagen::scenarios()`) × thread counts {1, 2, 8}, and separately pin
+//! the anytime contract (budget expiry checked per chunk) under an 8-way
+//! fan-out.
 
 use std::time::{Duration, Instant};
 
-use datagen::{recipes, stocks, travel_options, uniform_table, zipf_table, Seed};
+use datagen::{recipes, scenarios, QueryParams, Seed};
 use minidb::{Catalog, Table};
 use packagebuilder::budget::Budget;
 use packagebuilder::config::{EngineConfig, Strategy};
@@ -26,97 +27,6 @@ use proptest::prelude::*;
 /// The thread counts every case is evaluated at; 1 is the sequential
 /// reference the parallel runs must match bit for bit.
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
-
-/// The four datagen scenarios (mirroring the columnar-oracle suite).
-#[derive(Debug, Clone, Copy)]
-enum Scenario {
-    Recipes,
-    Stocks,
-    Travel,
-    Synthetic,
-}
-
-const SCENARIOS: [Scenario; 4] = [
-    Scenario::Recipes,
-    Scenario::Stocks,
-    Scenario::Travel,
-    Scenario::Synthetic,
-];
-
-impl Scenario {
-    fn table(self, seed: u64) -> Table {
-        match self {
-            Scenario::Recipes => recipes(60, Seed(seed)),
-            Scenario::Stocks => stocks(60, Seed(seed)),
-            Scenario::Travel => travel_options(30, 20, 10, Seed(seed)),
-            Scenario::Synthetic => {
-                if seed.is_multiple_of(2) {
-                    uniform_table("t", 50, 2.0, 30.0, Seed(seed))
-                } else {
-                    zipf_table("t", 50, 1.3, 2.0, 30.0, Seed(seed))
-                }
-            }
-        }
-    }
-
-    fn relation(self) -> &'static str {
-        match self {
-            Scenario::Recipes => "recipes",
-            Scenario::Stocks => "stocks",
-            Scenario::Travel => "travel_options",
-            Scenario::Synthetic => "t",
-        }
-    }
-
-    fn columns(self) -> &'static [&'static str] {
-        match self {
-            Scenario::Recipes => &["calories", "protein", "fat", "price"],
-            Scenario::Stocks => &["price", "expected_return", "risk"],
-            Scenario::Travel => &["price", "comfort"],
-            Scenario::Synthetic => &["w", "v"],
-        }
-    }
-
-    fn filter(self) -> Option<&'static str> {
-        match self {
-            Scenario::Recipes => Some("R.gluten = 'free'"),
-            Scenario::Stocks => Some("R.sector = 'technology'"),
-            Scenario::Travel => Some("R.kind = 'hotel'"),
-            Scenario::Synthetic => None,
-        }
-    }
-}
-
-/// Builds a random PaQL query from drawn parameters.
-#[allow(clippy::too_many_arguments)]
-fn build_query(
-    scenario: Scenario,
-    count: u64,
-    col_a: usize,
-    col_b: usize,
-    agg_pick: usize,
-    lo: f64,
-    width: f64,
-    use_filter: bool,
-    minimize: bool,
-) -> String {
-    let rel = scenario.relation();
-    let cols = scenario.columns();
-    let a = cols[col_a % cols.len()];
-    let b = cols[col_b % cols.len()];
-    let agg = ["SUM", "AVG", "MIN", "MAX"][agg_pick % 4];
-    let filter = match (use_filter, scenario.filter()) {
-        (true, Some(f)) => format!(" FILTER (WHERE {f})"),
-        _ => String::new(),
-    };
-    let dir = if minimize { "MINIMIZE" } else { "MAXIMIZE" };
-    format!(
-        "SELECT PACKAGE(R) AS P FROM {rel} R \
-         SUCH THAT COUNT(*) <= {count} AND {agg}(P.{a}){filter} BETWEEN {lo:.2} AND {:.2} \
-         {dir} SUM(P.{b})",
-        lo + width
-    )
-}
 
 /// Evaluates `query` on a fresh engine whose thread budget is `threads`.
 /// Only `num_threads` varies between runs — the portfolio worker set is
@@ -164,12 +74,12 @@ fn assert_runs_identical(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
-    /// Random queries over every scenario, solved at 1/2/8 threads with the
-    /// Auto planner and both heuristic solvers: identical outcomes, down to
-    /// the evaluation counters.
+    /// Random queries over every registered scenario, solved at 1/2/8
+    /// threads with the Auto planner and both heuristic solvers: identical
+    /// outcomes, down to the evaluation counters.
     #[test]
     fn thread_count_never_changes_results(
-        scenario_pick in 0usize..4,
+        scenario_pick in 0usize..64,
         strategy_pick in 0usize..3,
         seed in 0u64..5_000,
         count in 1u64..5,
@@ -181,18 +91,29 @@ proptest! {
         use_filter in prop::bool::ANY,
         minimize in prop::bool::ANY,
     ) {
-        let scenario = SCENARIOS[scenario_pick];
+        let registry = scenarios();
+        let scenario = &registry[scenario_pick % registry.len()];
         let strategy = [Strategy::Auto, Strategy::LocalSearch, Strategy::Greedy][strategy_pick];
-        let text = build_query(
-            scenario, count, col_a, col_b, agg_pick, lo, width, use_filter, minimize,
+        let text = scenario.random_query(&QueryParams {
+            count, col_a, col_b, agg_pick, lo, width, use_filter, repeat: None, minimize,
+        });
+        let reference = run_at(
+            (scenario.build)(scenario.property_n, Seed(seed)),
+            strategy,
+            THREAD_COUNTS[0],
+            &text,
         );
-        let reference = run_at(scenario.table(seed), strategy, THREAD_COUNTS[0], &text);
         for &threads in &THREAD_COUNTS[1..] {
-            let run = run_at(scenario.table(seed), strategy, threads, &text);
+            let run = run_at(
+                (scenario.build)(scenario.property_n, Seed(seed)),
+                strategy,
+                threads,
+                &text,
+            );
             assert_runs_identical(
                 &reference,
                 &run,
-                &format!("{scenario:?}/{strategy:?} at {threads} threads (query: {text})"),
+                &format!("{}/{strategy:?} at {threads} threads (query: {text})", scenario.name),
             );
         }
     }
@@ -275,49 +196,31 @@ fn exact_ilp_is_thread_count_invariant() {
     }
 }
 
-/// Same pin across all four datagen scenarios at a width past the parallel
-/// threshold, with branching-heavy equality/band constraints so branch and
-/// bound explores a real frontier (an integral root relaxation would make
-/// the parallel path trivially identical).
+/// Same pin across **every registered scenario** at that scenario's
+/// branching-heavy exact query (`Scenario::exact_query` at
+/// `Scenario::exact_n` rows), so branch and bound explores a real frontier
+/// on every family — an integral root relaxation would make the parallel
+/// path trivially identical.
 #[test]
 fn exact_ilp_is_thread_count_invariant_across_scenarios() {
-    let cases: [(Scenario, &str); 4] = [
-        (
-            Scenario::Recipes,
-            "SELECT PACKAGE(R) AS P FROM recipes R \
-             SUCH THAT COUNT(*) = 4 AND SUM(P.calories) BETWEEN 2400 AND 2600 \
-             MAXIMIZE SUM(P.protein)",
-        ),
-        (
-            Scenario::Stocks,
-            "SELECT PACKAGE(R) AS P FROM stocks R \
-             SUCH THAT COUNT(*) = 3 AND SUM(P.price) <= 260 MAXIMIZE SUM(P.expected_return)",
-        ),
-        (
-            Scenario::Travel,
-            "SELECT PACKAGE(R) AS P FROM travel_options R \
-             SUCH THAT COUNT(*) <= 4 AND SUM(P.price) <= 900 MAXIMIZE SUM(P.comfort)",
-        ),
-        (
-            Scenario::Synthetic,
-            "SELECT PACKAGE(R) AS P FROM t R \
-             SUCH THAT COUNT(*) = 5 AND SUM(P.w) <= 70 MAXIMIZE SUM(P.v)",
-        ),
-    ];
-    for (scenario, query) in cases {
-        let table = |seed| match scenario {
-            Scenario::Recipes => recipes(700, Seed(seed)),
-            Scenario::Stocks => stocks(700, Seed(seed)),
-            Scenario::Travel => travel_options(300, 250, 150, Seed(seed)),
-            Scenario::Synthetic => uniform_table("t", 700, 2.0, 30.0, Seed(seed)),
-        };
-        let reference = run_at(table(17), Strategy::Ilp, 1, query);
+    for scenario in scenarios() {
+        let reference = run_at(
+            (scenario.build)(scenario.exact_n, Seed(17)),
+            Strategy::Ilp,
+            1,
+            &scenario.exact_query,
+        );
         for threads in [2usize, 8] {
-            let run = run_at(table(17), Strategy::Ilp, threads, query);
+            let run = run_at(
+                (scenario.build)(scenario.exact_n, Seed(17)),
+                Strategy::Ilp,
+                threads,
+                &scenario.exact_query,
+            );
             assert_runs_identical(
                 &reference,
                 &run,
-                &format!("Ilp/{scenario:?} at {threads} threads"),
+                &format!("Ilp/{} at {threads} threads", scenario.name),
             );
         }
     }

@@ -11,9 +11,10 @@
 //! * **determinism** — same seed ⇒ identical partitioning and identical
 //!   package, across independently built engines.
 //!
-//! Plus the planner policy: `Auto` prefers sketch→refine over the monolithic
-//! ILP for linearizable queries at or above
-//! [`EngineConfig::sketch_threshold`], and over the portfolio.
+//! Plus the planner policy: at or above [`EngineConfig::sketch_threshold`],
+//! `Auto` stops trusting the monolithic ILP's latency for linearizable
+//! single-package queries and races a portfolio (whose workers include
+//! sketch→refine, with the exact worker node-capped).
 
 use datagen::{recipes, stocks, travel_options, uniform_table, Seed};
 use minidb::{Catalog, Table};
@@ -150,7 +151,7 @@ fn same_seed_means_identical_partitioning_and_package() {
 }
 
 #[test]
-fn auto_prefers_sketch_refine_for_large_linearizable_queries() {
+fn auto_races_a_portfolio_for_large_linearizable_queries() {
     let table = recipes(900, Seed(11));
     let mut catalog = Catalog::new();
     catalog.register(table);
@@ -166,9 +167,9 @@ fn auto_prefers_sketch_refine_for_large_linearizable_queries() {
     )
     .unwrap();
     let spec = engine.build_spec(&query).unwrap();
-    assert_eq!(engine.resolve_strategy(&spec), Strategy::SketchRefine);
+    assert_eq!(engine.resolve_strategy(&spec), Strategy::Portfolio);
     let result = engine.execute_spec(&spec).unwrap();
-    assert_eq!(result.stats.strategy, StrategyUsed::SketchRefine);
+    assert_eq!(result.stats.strategy, StrategyUsed::Portfolio);
     assert!(!result.is_empty());
     // Below the threshold the exact ILP keeps the job.
     let config = EngineConfig {

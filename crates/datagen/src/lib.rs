@@ -7,17 +7,32 @@
 //! realistic value ranges. All generators are deterministic given a
 //! [`Seed`], which keeps benchmarks and tests reproducible.
 
+pub mod bulk;
+pub mod correlated;
+pub mod knapsack;
+pub mod lineitem;
+pub mod metrics;
 pub mod recipes;
+pub mod scenarios;
 pub mod stocks;
 pub mod synthetic;
 pub mod travel;
+pub mod wide;
 
+pub use bulk::{bulk_orders, bulk_rows};
+pub use correlated::{asset_rows, assets};
+pub use knapsack::{knapsack_items, knapsack_rows};
+pub use lineitem::{lineitem, lineitem_rows};
+pub use metrics::{metric_names, metrics_rows, metrics_table, METRIC_COLUMNS};
 pub use recipes::{recipe_rows, recipes};
+pub use scenarios::{scenario, scenarios, QueryParams, Scenario, ScenarioQuery};
 pub use stocks::{stock_rows, stocks};
 pub use synthetic::{uniform_rows, uniform_table, zipf_rows, zipf_table};
 pub use travel::{
-    car_rows, cars, flight_rows, flights, hotel_rows, hotels, travel_option_rows, travel_options,
+    car_rows, cars, flight_rows, flights, hotel_rows, hotels, travel_mix, travel_mix_rows,
+    travel_option_rows, travel_options,
 };
+pub use wide::{wide_names, wide_rows, wide_table, WIDE_COLUMNS, WIDE_GROUPS};
 
 use minidb::Catalog;
 
@@ -125,17 +140,50 @@ mod tests {
                 .as_slice(),
             zipf_table("t", 40, 1.1, 1.0, 9.0, s).rows()
         );
+        assert_eq!(
+            knapsack_rows(40, s).collect::<Vec<_>>().as_slice(),
+            knapsack_items(40, s).rows()
+        );
+        assert_eq!(
+            bulk_rows(40, s).collect::<Vec<_>>().as_slice(),
+            bulk_orders(40, s).rows()
+        );
+        assert_eq!(
+            metrics_rows(40, s).collect::<Vec<_>>().as_slice(),
+            metrics_table(40, s).rows()
+        );
+        assert_eq!(
+            wide_rows(40, s).collect::<Vec<_>>().as_slice(),
+            wide_table(40, s).rows()
+        );
+        assert_eq!(
+            asset_rows(40, s).collect::<Vec<_>>().as_slice(),
+            assets(40, s).rows()
+        );
+        assert_eq!(
+            lineitem_rows(40, s).collect::<Vec<_>>().as_slice(),
+            lineitem(40, s).rows()
+        );
+        assert_eq!(
+            travel_mix_rows(40, s).collect::<Vec<_>>().as_slice(),
+            travel_mix(40, s).rows()
+        );
     }
 
     #[test]
     fn row_streams_are_prefix_stable() {
         // Chunked consumers rely on the first k rows being independent of
         // the requested total, so a driver can grow n without reshuffling
-        // everything already generated.
+        // everything already generated. (The registry test in
+        // `scenarios` re-checks this via every registered builder.)
         let s = Seed(10);
         let prefix: Vec<_> = recipe_rows(1000, s).take(25).collect();
         assert_eq!(prefix, recipe_rows(25, s).collect::<Vec<_>>());
         let prefix: Vec<_> = stock_rows(1000, s).take(25).collect();
         assert_eq!(prefix, stock_rows(25, s).collect::<Vec<_>>());
+        let prefix: Vec<_> = knapsack_rows(1000, s).take(25).collect();
+        assert_eq!(prefix, knapsack_rows(25, s).collect::<Vec<_>>());
+        let prefix: Vec<_> = lineitem_rows(1000, s).take(25).collect();
+        assert_eq!(prefix, lineitem_rows(25, s).collect::<Vec<_>>());
     }
 }

@@ -255,6 +255,67 @@ pub fn travel_option_rows(
     })
 }
 
+/// A single-parameter, **prefix-stable** travel relation for the scenario
+/// registry: kinds follow the fixed cycle flight, flight, hotel, hotel,
+/// car, so the first `k` rows are identical for every `n ≥ k` — unlike
+/// [`travel_options`], whose three segments shift when any count changes.
+pub fn travel_mix(n: usize, seed: Seed) -> Table {
+    let mut t = Table::new("travel_options", travel_option_schema());
+    for row in travel_mix_rows(n, seed) {
+        t.insert(row).expect("travel option tuple matches schema");
+    }
+    t
+}
+
+/// [`travel_mix`] as a lazy row stream.
+pub fn travel_mix_rows(n: usize, seed: Seed) -> impl Iterator<Item = Tuple> {
+    let mut f = flight_rows(n, seed.derive(10));
+    let mut h = hotel_rows(n, seed.derive(11));
+    let mut c = car_rows(n, seed.derive(12));
+    let mut rng = StdRng::seed_from_u64(seed.derive(13).0);
+    (0..n).map(move |i| match i % 5 {
+        0 | 1 => {
+            let row = f.next().expect("flight stream sized to n");
+            let stops = as_f64(&row.values()[5]);
+            let comfort = (5.0 - stops) + rng.random_range(0.0..2.0);
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Text("flight".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(2.0 * as_f64(&row.values()[3])),
+                Value::Float(0.0),
+                Value::Float((comfort * 10.0).round() / 10.0),
+            ])
+        }
+        2 | 3 => {
+            let row = h.next().expect("hotel stream sized to n");
+            let stars = as_f64(&row.values()[5]);
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Text("hotel".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(7.0 * as_f64(&row.values()[3])),
+                row.values()[4].clone(),
+                Value::Float(stars * 2.0),
+            ])
+        }
+        _ => {
+            let row = c.next().expect("car stream sized to n");
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Text("car".into()),
+                row.values()[1].clone(),
+                row.values()[2].clone(),
+                Value::Float(7.0 * as_f64(&row.values()[3])),
+                Value::Float(0.0),
+                Value::Float(rng.random_range(3.0..9.0_f64).round()),
+            ])
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
