@@ -68,7 +68,9 @@ use paql::{AggCall, PaqlQuery};
 
 use crate::budget::Budget;
 use crate::par::ParExec;
-use crate::partition::{partition_view_budgeted, Partitioning};
+use crate::partition::{
+    build_partition_tree, partition_view_budgeted, PartitionTree, Partitioning,
+};
 use crate::spec::base_candidates_par;
 use crate::view::{CandidateView, TermColumn};
 use crate::PbResult;
@@ -78,18 +80,19 @@ use crate::PbResult;
 /// [`crate::config::EngineConfig::view_cache_capacity`]).
 pub const DEFAULT_VIEW_CACHE_CAPACITY: usize = 16;
 
-/// Default byte budget for column payload across every bank (resident +
-/// spilled bytes combined): 256 MiB. Enforced byte-accurately after each
+/// Default byte budget for cached payload across every bank (resident +
+/// spilled column bytes plus partition-memo bytes): 256 MiB. Enforced after each
 /// write-back — least-recently-used banks are evicted until the cache fits,
 /// and if the freshest bank alone overflows, it is reset to the current
 /// query's columns (memos go with it — their signatures index the old column
 /// order). Resets and evictions only cost a rebuild, never correctness.
 pub const DEFAULT_CACHE_BYTE_BUDGET: usize = 256 << 20;
 
-/// Growth bound on each bank's partition-memo table. Columns are bounded by
-/// bytes ([`DEFAULT_CACHE_BYTE_BUDGET`]); memos are tiny but unbounded in
-/// *count* (one per term signature), so a count cap remains. An overflowing
-/// memo table is simply cleared.
+/// Growth bound on each bank's partition-memo table. Memo contents now weigh
+/// into the byte budget ([`DEFAULT_CACHE_BYTE_BUDGET`], via
+/// [`PartitionMemo::approx_bytes`]); this count cap remains as a backstop
+/// against pathological workloads that accumulate many near-empty memos (one
+/// per term signature). An overflowing memo table is simply cleared.
 const MAX_BANK_MEMOS: usize = 32;
 
 /// A shared memo of sketch→refine partitionings for one view's columns.
@@ -107,11 +110,17 @@ const MAX_BANK_MEMOS: usize = 32;
 #[derive(Clone, Default)]
 pub struct PartitionMemo {
     inner: Arc<Mutex<MemoMap>>,
+    trees: Arc<Mutex<TreeMap>>,
     subs: Arc<Mutex<SubMap>>,
 }
 
 /// `(max_partition_size, seed)` → the memoized partitioning.
 type MemoMap = HashMap<(usize, u64), Arc<Partitioning>>;
+
+/// `(leaf_size, fanout, seed)` → the memoized partition tree (progressive
+/// shading). The leaf layer is the `(leaf_size, seed)` entry of [`MemoMap`]
+/// (one shared `Arc`), so a tree memo only adds the grouping layers.
+type TreeMap = HashMap<(usize, usize, u64), Arc<PartitionTree>>;
 
 /// Bit-exact sub-ILP key → its proven-optimal solution.
 type SubMap = HashMap<Vec<u64>, Arc<SubIlpSolution>>;
@@ -173,14 +182,70 @@ impl PartitionMemo {
         Some(self.lock().entry(key).or_insert(fresh).clone())
     }
 
+    fn lock_trees(&self) -> MutexGuard<'_, TreeMap> {
+        self.trees.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The memoized partition tree for `(leaf_size, fanout, seed)`, growing
+    /// it on first request: the leaf partitioning comes through
+    /// [`PartitionMemo::get_or_compute`] (so it is the *same* `Arc` the flat
+    /// sketch→refine path memoizes for `(leaf_size, seed)`), then
+    /// [`build_partition_tree`] stacks the grouping layers. Returns `None` —
+    /// memoizing nothing — when `budget` expires mid-computation. Like the
+    /// flat memo, entries computed at different `par` values are
+    /// interchangeable (tree construction is chunk-order deterministic).
+    pub fn tree_or_compute(
+        &self,
+        view: &CandidateView,
+        leaf_size: usize,
+        fanout: usize,
+        seed: u64,
+        budget: &Budget,
+        par: ParExec,
+    ) -> Option<Arc<PartitionTree>> {
+        // Normalized exactly like `build_partition_tree` clamps it, so
+        // degenerate fanouts share one memo slot instead of duplicating.
+        let fanout = fanout.max(2);
+        let key = (leaf_size, fanout, seed);
+        if let Some(t) = self.lock_trees().get(&key) {
+            return Some(t.clone());
+        }
+        let leaves = self.get_or_compute(view, leaf_size, seed, budget, par)?;
+        let fresh = Arc::new(build_partition_tree(leaves, fanout, seed, budget, par)?);
+        Some(self.lock_trees().entry(key).or_insert(fresh).clone())
+    }
+
     /// Number of memoized partitionings.
     pub fn len(&self) -> usize {
         self.lock().len()
     }
 
+    /// Number of memoized partition trees.
+    pub fn tree_len(&self) -> usize {
+        self.lock_trees().len()
+    }
+
     /// True when nothing has been memoized yet.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.lock().is_empty() && self.lock_trees().is_empty() && self.lock_subs().is_empty()
+    }
+
+    /// Rough heap footprint of everything this memo retains — flat
+    /// partitionings, partition-tree layers and sub-ILP solutions — so the
+    /// view cache can weigh memos into its byte budget (a 10^7-candidate
+    /// partitioning is ~100 MB of assignment + member indices, far from the
+    /// rounding error the pre-shading accounting treated it as). Tree leaf
+    /// layers are shared `Arc`s with the flat map and deliberately not
+    /// double-counted.
+    pub fn approx_bytes(&self) -> usize {
+        let parts: usize = self.lock().values().map(|p| p.approx_bytes()).sum();
+        let trees: usize = self.lock_trees().values().map(|t| t.approx_bytes()).sum();
+        let subs: usize = self
+            .lock_subs()
+            .iter()
+            .map(|(k, s)| (k.len() + 2 * s.assignment.len()) * 8 + 64)
+            .sum();
+        parts + trees + subs
     }
 
     fn lock_subs(&self) -> MutexGuard<'_, SubMap> {
@@ -282,6 +347,17 @@ impl TermBank {
     fn spilled_bytes(&self) -> usize {
         self.columns.iter().map(|c| c.spilled_bytes()).sum()
     }
+
+    /// Approximate heap bytes of the bank's partition/tree/sub-ILP memos.
+    /// Counted against the cache byte budget alongside the columns: a large
+    /// view's partitioning rivals a column in size, so leaving memos outside
+    /// the accounting (as before progressive shading) would let the cache
+    /// silently exceed its budget by whole partitionings.
+    fn memo_bytes(&self) -> usize {
+        // pb-lint: allow(no-hash-iteration) — a commutative sum over the
+        // values; the iteration order cannot reach the total.
+        self.memos.values().map(|m| m.approx_bytes()).sum()
+    }
 }
 
 /// Counters describing a cache's activity (see [`ViewCache::stats`]).
@@ -308,6 +384,11 @@ pub struct CacheStats {
     /// because the two compete for different resources (RAM vs disk), but
     /// both count against the cache's byte budget.
     pub spilled_bytes: usize,
+    /// Approximate heap bytes of banked partition memos (flat partitionings,
+    /// partition trees and sub-ILP solutions), across all entries. Also
+    /// counted against the byte budget — a 10^7-candidate partitioning is
+    /// column-sized, not free.
+    pub memo_bytes: usize,
 }
 
 struct CacheInner {
@@ -326,7 +407,7 @@ impl CacheInner {
     fn total_bytes(&self) -> usize {
         self.entries
             .iter()
-            .map(|(_, b)| b.resident_bytes() + b.spilled_bytes())
+            .map(|(_, b)| b.resident_bytes() + b.spilled_bytes() + b.memo_bytes())
             .sum()
     }
 }
@@ -580,6 +661,7 @@ impl ViewCache {
             columns_built: inner.columns_built,
             resident_bytes: inner.entries.iter().map(|(_, b)| b.resident_bytes()).sum(),
             spilled_bytes: inner.entries.iter().map(|(_, b)| b.spilled_bytes()).sum(),
+            memo_bytes: inner.entries.iter().map(|(_, b)| b.memo_bytes()).sum(),
         }
     }
 

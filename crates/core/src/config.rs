@@ -49,6 +49,17 @@ pub enum Strategy {
     /// linearizable queries with at least
     /// [`EngineConfig::sketch_threshold`] candidates.
     SketchRefine,
+    /// Hierarchical sketch→refine over a partition *tree*
+    /// ([`crate::shading::ProgressiveShadingSolver`], after Progressive
+    /// Shading, Mai et al. 2023): sketch the coarsest layer's
+    /// representatives, expand only the selected nodes into their children,
+    /// re-sketch down the layers, and refine the shaded leaf partitions with
+    /// the flat solver's warm-hinted sub-ILPs. Every ILP stays small
+    /// regardless of the candidate count, so this is the
+    /// 10^6–10^8-candidate route; `Auto` switches to it at
+    /// [`EngineConfig::shade_threshold`] candidates, where the flat sketch
+    /// itself becomes the bottleneck.
+    ProgressiveShading,
 }
 
 /// Tunable engine parameters.
@@ -110,6 +121,25 @@ pub struct EngineConfig {
     /// 2 000-row correlated-knapsack portfolio takes seconds) — so above
     /// this size `Auto` hedges with the race rather than guessing.
     pub sketch_threshold: usize,
+    /// Candidate-set size at or above which `Auto` (and the portfolio's
+    /// sketch worker) routes linearizable single-package queries to
+    /// [`Strategy::ProgressiveShading`] instead of the flat sketch→refine
+    /// race. Below it the flat path's single sketch ILP is still small
+    /// enough to win outright; above it that sketch — one integer variable
+    /// per partition, ~`n / sketch_partition_size` of them — becomes the
+    /// dominant cost and the hierarchical descent takes over. Defaults to
+    /// 500 000 candidates (~8 000 flat sketch variables at the default
+    /// partition size).
+    pub shade_threshold: usize,
+    /// Maximum children per [`crate::partition::PartitionTree`] node (and
+    /// maximum node count of the coarsest layer): bounds every intermediate
+    /// sketch ILP progressive shading solves during its descent.
+    pub shade_fanout: usize,
+    /// Leaf partition size for [`Strategy::ProgressiveShading`] — the same
+    /// bound [`EngineConfig::sketch_partition_size`] puts on the flat path's
+    /// refinement sub-ILPs. Kept equal to it by default so the two solvers
+    /// share leaf partitionings and sub-ILP memos through the view cache.
+    pub shade_leaf_size: usize,
     /// Branch-and-bound node cap for the **exact worker inside an
     /// `Auto`-chosen portfolio race** (the large-`n` linearizable route).
     /// A branching-hostile instance truncates to its best incumbent after
@@ -224,6 +254,9 @@ impl Default for EngineConfig {
             portfolio_workers: default_portfolio_workers(num_threads),
             sketch_partition_size: 64,
             sketch_threshold: 4096,
+            shade_threshold: 500_000,
+            shade_fanout: 64,
+            shade_leaf_size: 64,
             auto_exact_node_cap: 20_000,
             cache: true,
             view_cache_capacity: crate::cache::DEFAULT_VIEW_CACHE_CAPACITY,

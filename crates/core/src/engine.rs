@@ -181,8 +181,11 @@ impl PackageEngine {
     /// tracks branching hardness, not candidate count, so at scale the race
     /// hedges: a cheap proof still wins outright and cancels the heuristics,
     /// a hostile instance truncates to its incumbent and the best heuristic
-    /// answer carries the query); pruned enumeration for tiny candidate
-    /// sets; and for the rest — queries no ILP can take — a solver
+    /// answer carries the query); at
+    /// [`crate::config::EngineConfig::shade_threshold`] candidates the race
+    /// itself stops paying and the policy routes straight to
+    /// [`Strategy::ProgressiveShading`]'s hierarchical descent; pruned
+    /// enumeration for tiny candidate sets; and for the rest — queries no ILP can take — a solver
     /// portfolio when the candidate set is large enough to make racing
     /// worthwhile ([`crate::config::EngineConfig::portfolio_threshold`]),
     /// plain local search below that. (`Greedy` is never auto-selected on
@@ -198,8 +201,14 @@ impl PackageEngine {
                     // The portfolio returns a single best package, so it
                     // only replaces the ILP when one package is wanted; a
                     // top-k request keeps the exact no-good-cut path
-                    // whatever the candidate count.
-                    if n >= self.config.sketch_threshold && self.config.num_packages <= 1 {
+                    // whatever the candidate count. At `shade_threshold` and
+                    // beyond, even the race stops paying — the flat sketch
+                    // worker's own ILP is the bottleneck and the exact
+                    // worker has no hope — so the policy hands the query
+                    // straight to the hierarchical descent.
+                    if n >= self.config.shade_threshold && self.config.num_packages <= 1 {
+                        Strategy::ProgressiveShading
+                    } else if n >= self.config.sketch_threshold && self.config.num_packages <= 1 {
                         Strategy::Portfolio
                     } else {
                         Strategy::Ilp
@@ -394,6 +403,29 @@ mod tests {
                 .unwrap();
             assert!(spec.is_valid(best).unwrap());
         }
+    }
+
+    #[test]
+    fn auto_routes_shade_threshold_candidates_to_progressive_shading() {
+        // Above `shade_threshold` the race itself stops paying: the policy
+        // hands linearizable single-package queries straight to the
+        // hierarchical descent. Lower the threshold so a test-sized
+        // relation crosses it.
+        let mut catalog = Catalog::new();
+        catalog.register(recipes(600, Seed(9)));
+        let config = EngineConfig {
+            shade_threshold: 100,
+            ..EngineConfig::default()
+        };
+        let engine = PackageEngine::with_config(catalog, config);
+        let query = paql::parse(MEAL_QUERY).unwrap();
+        let spec = engine.build_spec(&query).unwrap();
+        assert_eq!(engine.resolve_strategy(&spec), Strategy::ProgressiveShading);
+        let result = engine.execute_spec(&spec).unwrap();
+        assert_eq!(result.stats.strategy, StrategyUsed::ProgressiveShading);
+        assert!(!result.is_empty());
+        let best = result.best().unwrap();
+        assert!(spec.is_valid(best).unwrap());
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! The result is deterministic given a seed: the seed only rotates the scan
 //! order used to break ties between equally-wide columns.
 
+use std::borrow::Cow;
+use std::sync::Arc;
+
 use crate::par::ParExec;
 use crate::view::CandidateView;
 
@@ -64,6 +67,19 @@ impl Partitioning {
     /// The partitions, ordered by their smallest member index (stable ids).
     pub fn partitions(&self) -> &[Partition] {
         &self.partitions
+    }
+
+    /// Rough heap footprint in bytes (assignment, member lists, centroids),
+    /// for cache byte accounting — at 10^7 candidates a partitioning weighs
+    /// on the order of the columns it splits, so the view cache must count
+    /// it against its byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.assignment.len() * 8
+            + self
+                .partitions
+                .iter()
+                .map(|p| (p.members.len() + p.centroid.len()) * 8 + 48)
+                .sum::<usize>()
     }
 
     /// Partition id of a candidate index.
@@ -119,6 +135,25 @@ pub fn partition_view_budgeted(
     let n = view.candidate_count();
     let max_size = max_partition_size.max(1);
     let terms = view.terms();
+    if budget.expired() {
+        return None;
+    }
+    // The split recursion reads members in *value* order, so once subsets
+    // scatter across the column a paged view would fault the buffer pool on
+    // nearly every access (at 10^7 candidates this thrash, not the solve,
+    // dominated the wall clock: ~10^8 pool misses). Materialize each key
+    // column once with a sequential chunk scan instead — transient
+    // O(n · #terms) scratch, the same order as the member worklists this
+    // function already holds — and run the resident algorithm against the
+    // snapshot; chunk-order copies are bit-identical to the resident bytes,
+    // so the resulting partitioning is too.
+    let cols: Vec<Cow<'_, [f64]>> = terms
+        .iter()
+        .map(|t| match t.resident_coeffs() {
+            Some(col) => Cow::Borrowed(col),
+            None => Cow::Owned(t.coeffs_vec()),
+        })
+        .collect();
 
     let mut leaves: Vec<Vec<usize>> = Vec::new();
     let mut work: Vec<Vec<usize>> = if n == 0 {
@@ -144,51 +179,30 @@ pub fn partition_view_budgeted(
         let dims = terms.len();
         for k in 0..dims {
             let d = (k + seed as usize) % dims;
-            // Resident columns keep the direct-slice chunk fan-out; paged
-            // columns scan through chunk-bucketed pins (min/max combination
-            // is order-independent, so both give the identical spread).
-            let (lo, hi) = match terms[d].resident_coeffs() {
-                Some(col) => par
-                    .fold_chunks(
-                        members.len(),
-                        |_, range| {
-                            let mut lo = f64::INFINITY;
-                            let mut hi = f64::NEG_INFINITY;
-                            for &i in &members[range] {
-                                lo = lo.min(col[i]);
-                                hi = hi.max(col[i]);
-                            }
-                            (lo, hi)
-                        },
-                        |a, b| (a.0.min(b.0), a.1.max(b.1)),
-                    )
-                    .unwrap_or((f64::INFINITY, f64::NEG_INFINITY)),
-                None => terms[d].minmax_over(&members),
-            };
+            let col = &cols[d];
+            let (lo, hi) = par
+                .fold_chunks(
+                    members.len(),
+                    |_, range| {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        for &i in &members[range] {
+                            lo = lo.min(col[i]);
+                            hi = hi.max(col[i]);
+                        }
+                        (lo, hi)
+                    },
+                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                )
+                .unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
             let spread = hi - lo;
             if spread > best.map(|(_, s)| s).unwrap_or(0.0) {
                 best = Some((d, spread));
             }
         }
         if let Some((d, _)) = best {
-            match terms[d].resident_coeffs() {
-                Some(col) => {
-                    members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
-                }
-                None => {
-                    // Gather the sort keys once (one pool pin per distinct
-                    // chunk) and sort a permutation — the comparator mirrors
-                    // the resident one exactly, so the split is identical.
-                    let keys = terms[d].gather_coeffs(&members);
-                    let mut order: Vec<u32> = (0..members.len() as u32).collect();
-                    order.sort_by(|&x, &y| {
-                        keys[x as usize]
-                            .total_cmp(&keys[y as usize])
-                            .then(members[x as usize].cmp(&members[y as usize]))
-                    });
-                    members = order.iter().map(|&p| members[p as usize]).collect();
-                }
-            }
+            let col = &cols[d];
+            members.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
         }
         // No splittable column (no terms, or all values identical): the
         // members are still in ascending index order, so halving by position
@@ -202,17 +216,9 @@ pub fn partition_view_budgeted(
         .into_iter()
         .map(|mut members| {
             members.sort_unstable();
-            // Members are ascending, so the paged path's in-order chunk
-            // cursor accumulates in the same order the resident slice scan
-            // does — bit-identical centroids.
-            let centroid = terms
+            let centroid = cols
                 .iter()
-                .map(|t| match t.resident_coeffs() {
-                    Some(col) => {
-                        members.iter().map(|&i| col[i]).sum::<f64>() / members.len() as f64
-                    }
-                    None => t.sum_over_sorted(&members) / members.len() as f64,
-                })
+                .map(|col| members.iter().map(|&i| col[i]).sum::<f64>() / members.len() as f64)
                 .collect();
             Partition { members, centroid }
         })
@@ -229,6 +235,212 @@ pub fn partition_view_budgeted(
         partitions,
         assignment,
     })
+}
+
+/// One internal node of a [`PartitionTree`] layer.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Ids of this node's children in the layer below — leaf partition ids
+    /// for the lowest internal layer, node indices into the previous
+    /// [`PartitionTree::layers`] entry above that. Always ascending.
+    pub children: Vec<usize>,
+    /// Total number of underlying candidates below this node.
+    pub weight: usize,
+    /// The node's representative row: per-term weighted mean of the
+    /// children's centroids, which (by induction over the layers) equals the
+    /// plain mean over every underlying candidate — the same quantity a leaf
+    /// [`Partition::centroid`] holds, one aggregation level up.
+    pub centroid: Vec<f64>,
+}
+
+impl TreeNode {
+    /// Total multiplicity capacity of the node's subtree: how many package
+    /// slots its underlying candidates can fill under the `REPEAT` bound.
+    pub fn capacity(&self, view: &CandidateView) -> u64 {
+        self.weight as u64 * view.max_multiplicity() as u64
+    }
+}
+
+/// A hierarchical partitioning: the flat leaf [`Partitioning`] plus a stack
+/// of progressively coarser grouping layers, as in Progressive Shading
+/// (Mai et al., 2023). The shading solver sketches over the coarsest layer's
+/// representatives and descends, so no ILP it ever builds has more than
+/// roughly `fanout²` variables regardless of the candidate count.
+///
+/// # Invariants
+///
+/// * **Exact cover per layer.** The leaves partition the candidate set
+///   (every candidate in exactly one leaf), and each layer's nodes partition
+///   the layer below: every child id appears in exactly one node's
+///   `children`, and `children` lists are ascending.
+/// * **Fine → coarse order.** `layers[0]` groups the leaf partitions;
+///   `layers[i]` groups `layers[i-1]`. The last entry is the coarsest layer
+///   and has at most `fanout` nodes; every node has at most `fanout`
+///   children (and, by the median split, at least `fanout/2` except in a
+///   degenerate last group). `layers` is empty when the leaf count is
+///   already ≤ `fanout`.
+/// * **Exact aggregates.** A node's `weight` is the sum of its descendants'
+///   member counts and its `centroid` the weight-proportional mean of its
+///   children's centroids, accumulated in ascending child order — so the
+///   representatives are a pure function of the leaf layer, independent of
+///   thread count or storage mode. The leaf layer itself is built by
+///   [`partition_view_budgeted`], whose scans stream through
+///   `TermColumn::chunk` cursors on paged views; the upper layers only ever
+///   touch the (small, resident) centroid matrix derived from it.
+/// * **Determinism.** Given the same view, `fanout`, and `seed`, the tree is
+///   bit-identical at every thread count: the grouping reuses the same
+///   widest-column median split as the leaf layer (seed-rotated tie scan,
+///   `total_cmp` ordering, position-stable halving).
+#[derive(Debug, Clone)]
+pub struct PartitionTree {
+    leaves: Arc<Partitioning>,
+    layers: Vec<Vec<TreeNode>>,
+}
+
+impl PartitionTree {
+    /// The leaf partitioning the tree was grown from.
+    pub fn leaves(&self) -> &Partitioning {
+        &self.leaves
+    }
+
+    /// The shared handle to the leaf partitioning (the same `Arc` the flat
+    /// sketch→refine memo holds when leaf size and seed match).
+    pub fn leaves_arc(&self) -> &Arc<Partitioning> {
+        &self.leaves
+    }
+
+    /// Grouping layers, finest first, coarsest last (see the type docs).
+    pub fn layers(&self) -> &[Vec<TreeNode>] {
+        &self.layers
+    }
+
+    /// Number of grouping layers above the leaves.
+    pub fn height(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Rough heap footprint in bytes, for cache byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .flatten()
+            .map(|n| (n.children.len() + n.centroid.len()) * 8 + 48)
+            .sum()
+    }
+}
+
+/// Grows the grouping layers of a [`PartitionTree`] over an already-built
+/// leaf partitioning. Returns `None` on budget expiry. The centroid matrix
+/// of each layer is small (one row per node), so this never touches the
+/// columns again — paged views pay their I/O in the leaf build only.
+pub fn build_partition_tree(
+    leaves: Arc<Partitioning>,
+    fanout: usize,
+    seed: u64,
+    budget: &crate::budget::Budget,
+    par: ParExec,
+) -> Option<PartitionTree> {
+    let fanout = fanout.max(2);
+    let mut layers: Vec<Vec<TreeNode>> = Vec::new();
+    let mut points: Vec<(usize, Vec<f64>)> = leaves
+        .partitions()
+        .iter()
+        .map(|p| (p.members.len(), p.centroid.clone()))
+        .collect();
+    while points.len() > fanout {
+        let groups = split_points(&points, fanout, seed, budget, par)?;
+        let nodes: Vec<TreeNode> = groups
+            .into_iter()
+            .map(|children| {
+                let weight: usize = children.iter().map(|&c| points[c].0).sum();
+                let dims = points.first().map(|p| p.1.len()).unwrap_or(0);
+                let mut centroid = vec![0.0; dims];
+                for &c in &children {
+                    let (w, cent) = &points[c];
+                    for (d, v) in cent.iter().enumerate() {
+                        centroid[d] += *v * *w as f64;
+                    }
+                }
+                for v in &mut centroid {
+                    *v /= weight as f64;
+                }
+                TreeNode {
+                    children,
+                    weight,
+                    centroid,
+                }
+            })
+            .collect();
+        points = nodes
+            .iter()
+            .map(|n| (n.weight, n.centroid.clone()))
+            .collect();
+        layers.push(nodes);
+    }
+    Some(PartitionTree { leaves, layers })
+}
+
+/// The same worklist median split as [`partition_view_budgeted`], over an
+/// in-memory point set (`(weight, centroid)` rows) instead of the view's
+/// columns. Groups come back with ascending members, ordered by smallest
+/// member — the stable-id convention the flat partitioning uses.
+fn split_points(
+    points: &[(usize, Vec<f64>)],
+    max_size: usize,
+    seed: u64,
+    budget: &crate::budget::Budget,
+    par: ParExec,
+) -> Option<Vec<Vec<usize>>> {
+    let n = points.len();
+    let dims = points.first().map(|p| p.1.len()).unwrap_or(0);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut work: Vec<Vec<usize>> = if n == 0 {
+        Vec::new()
+    } else {
+        vec![(0..n).collect()]
+    };
+    while let Some(mut members) = work.pop() {
+        if budget.expired() {
+            return None;
+        }
+        if members.len() <= max_size {
+            members.sort_unstable();
+            groups.push(members);
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for k in 0..dims {
+            let d = (k + seed as usize) % dims;
+            let (lo, hi) = par
+                .fold_chunks(
+                    members.len(),
+                    |_, range| {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        for &i in &members[range] {
+                            let v = points[i].1[d];
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (lo, hi)
+                    },
+                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                )
+                .unwrap_or((f64::INFINITY, f64::NEG_INFINITY));
+            let spread = hi - lo;
+            if spread > best.map(|(_, s)| s).unwrap_or(0.0) {
+                best = Some((d, spread));
+            }
+        }
+        if let Some((d, _)) = best {
+            members.sort_by(|&a, &b| points[a].1[d].total_cmp(&points[b].1[d]).then(a.cmp(&b)));
+        }
+        let right = members.split_off(members.len() / 2);
+        work.push(right);
+        work.push(members);
+    }
+    groups.sort_by_key(|g| g[0]);
+    Some(groups)
 }
 
 #[cfg(test)]
@@ -345,5 +557,112 @@ mod tests {
                 assert!((part.centroid[d] - mean).abs() < 1e-12);
             }
         }
+    }
+
+    fn tree_for(n: usize, leaf: usize, fanout: usize, seed: u64) -> (Table, PartitionTree) {
+        let t = recipes(n, Seed(11));
+        let v = view_for(&t, QUERY);
+        let leaves = Arc::new(partition_view(&v, leaf, seed));
+        let tree = build_partition_tree(
+            leaves,
+            fanout,
+            seed,
+            &crate::budget::Budget::unlimited(),
+            ParExec::sequential(),
+        )
+        .unwrap();
+        (t, tree)
+    }
+
+    #[test]
+    fn tree_layers_cover_each_level_exactly_once() {
+        let (_t, tree) = tree_for(1200, 8, 4, 7);
+        assert!(tree.height() >= 2, "1200/8 leaves at fanout 4 must stack");
+        let mut below = tree.leaves().len();
+        for layer in tree.layers() {
+            assert!(layer.len() <= below);
+            let mut seen = vec![false; below];
+            for node in layer {
+                assert!(!node.children.is_empty());
+                assert!(node.children.len() <= 4);
+                assert!(node.children.windows(2).all(|w| w[0] < w[1]));
+                for &c in &node.children {
+                    assert!(!seen[c], "child {c} grouped twice");
+                    seen[c] = true;
+                }
+            }
+            assert!(
+                seen.iter().all(|&s| s),
+                "some child of the layer unassigned"
+            );
+            below = layer.len();
+        }
+        let top = tree.layers().last().unwrap();
+        assert!(top.len() <= 4, "coarsest layer exceeds the fanout");
+    }
+
+    #[test]
+    fn tree_node_aggregates_match_their_descendants() {
+        let (t, tree) = tree_for(800, 8, 4, 3);
+        let v = view_for(&t, QUERY);
+        // Walk each layer and check weight / centroid against the exact
+        // member set reachable below the node.
+        let leaf_members: Vec<&[usize]> = tree
+            .leaves()
+            .partitions()
+            .iter()
+            .map(|p| p.members.as_slice())
+            .collect();
+        let mut below: Vec<Vec<usize>> = leaf_members.iter().map(|m| m.to_vec()).collect();
+        for layer in tree.layers() {
+            let mut next: Vec<Vec<usize>> = Vec::new();
+            for node in layer {
+                let mut members: Vec<usize> = node
+                    .children
+                    .iter()
+                    .flat_map(|&c| below[c].iter().copied())
+                    .collect();
+                members.sort_unstable();
+                assert_eq!(node.weight, members.len());
+                for (d, term) in v.terms().iter().enumerate() {
+                    let coeffs = term.coeffs_vec();
+                    let mean =
+                        members.iter().map(|&i| coeffs[i]).sum::<f64>() / members.len() as f64;
+                    assert!(
+                        (node.centroid[d] - mean).abs() < 1e-9,
+                        "layer node centroid drifts from the descendant mean"
+                    );
+                }
+                next.push(members);
+            }
+            below = next;
+        }
+    }
+
+    #[test]
+    fn tree_construction_is_deterministic_and_thread_invariant() {
+        let t = recipes(1000, Seed(12));
+        let v = view_for(&t, QUERY);
+        let leaves = Arc::new(partition_view(&v, 8, 5));
+        let budget = crate::budget::Budget::unlimited();
+        let a = build_partition_tree(leaves.clone(), 4, 5, &budget, ParExec::sequential()).unwrap();
+        let par = ParExec::new(4);
+        let b = build_partition_tree(leaves, 4, 5, &budget, par).unwrap();
+        assert_eq!(a.height(), b.height());
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(la.len(), lb.len());
+            for (x, y) in la.iter().zip(lb) {
+                assert_eq!(x.children, y.children);
+                assert_eq!(x.weight, y.weight);
+                assert_eq!(x.centroid, y.centroid);
+            }
+        }
+    }
+
+    #[test]
+    fn small_leaf_sets_need_no_layers() {
+        let (_t, tree) = tree_for(60, 16, 8, 0);
+        assert!(tree.leaves().len() <= 8);
+        assert_eq!(tree.height(), 0);
     }
 }

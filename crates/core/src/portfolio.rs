@@ -113,7 +113,12 @@ fn thread_split(workers: &[Strategy], par: ParExec) -> Vec<ParExec> {
     let total = par.threads();
     let wide: Vec<bool> = workers
         .iter()
-        .map(|w| matches!(w, Strategy::Ilp | Strategy::SketchRefine))
+        .map(|w| {
+            matches!(
+                w,
+                Strategy::Ilp | Strategy::SketchRefine | Strategy::ProgressiveShading
+            )
+        })
         .collect();
     let n_wide = wide.iter().filter(|&&w| w).count();
     if n_wide == 0 || total <= workers.len() {
@@ -164,8 +169,22 @@ impl Solver for PortfolioSolver {
         // pb-lint: allow(time-containment) — stats clock only: stamps the
         // portfolio's wall time; worker deadlines go through the budget.
         let start = std::time::Instant::now();
-        let solvers: Vec<Box<dyn Solver>> = self
+        // Above the shading threshold the flat sketch worker's own sketch
+        // ILP is the bottleneck Progressive Shading removes, so the race
+        // upgrades that slot to the hierarchical solver. Deterministic: the
+        // swap is a pure function of the candidate count.
+        let workers: Vec<Strategy> = self
             .workers
+            .iter()
+            .map(|&w| {
+                if w == Strategy::SketchRefine && view.candidate_count() >= opts.shade_threshold {
+                    Strategy::ProgressiveShading
+                } else {
+                    w
+                }
+            })
+            .collect();
+        let solvers: Vec<Box<dyn Solver>> = workers
             .iter()
             .map(|&w| solver_for(w))
             .collect::<PbResult<_>>()?;
@@ -178,7 +197,7 @@ impl Solver for PortfolioSolver {
         // grants never oversubscribe what the caller granted, and the split
         // is weighted so the exact workers get the cores the sequential
         // heuristics cannot use (see [`thread_split`]).
-        let worker_pars = thread_split(&self.workers, opts.par);
+        let worker_pars = thread_split(&workers, opts.par);
 
         // This is a contained thread home clippy.toml points at.
         #[allow(clippy::disallowed_methods)]

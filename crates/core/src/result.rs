@@ -27,6 +27,10 @@ pub enum StrategyUsed {
     /// Partition → sketch → refine (the stats aggregate the greedy baseline,
     /// the sketch ILP and every per-partition sub-ILP).
     SketchRefine,
+    /// Hierarchical sketch→refine over a partition tree (the stats
+    /// aggregate the greedy baseline, every per-layer sketch ILP of the
+    /// descent and every leaf sub-ILP).
+    ProgressiveShading,
 }
 
 impl fmt::Display for StrategyUsed {
@@ -39,6 +43,7 @@ impl fmt::Display for StrategyUsed {
             StrategyUsed::Greedy => "greedy",
             StrategyUsed::Portfolio => "portfolio",
             StrategyUsed::SketchRefine => "sketch-refine",
+            StrategyUsed::ProgressiveShading => "progressive-shading",
         };
         write!(f, "{s}")
     }

@@ -136,10 +136,11 @@ impl Solver for SketchRefineSolver {
     }
 }
 
-/// Aggregated LP work across the sketch and every sub-ILP.
-struct Counters {
-    nodes: u64,
-    iterations: u64,
+/// Aggregated LP work across the sketch and every sub-ILP. Shared with the
+/// progressive-shading solver, which runs several sketches per solve.
+pub(crate) struct Counters {
+    pub(crate) nodes: u64,
+    pub(crate) iterations: u64,
 }
 
 /// How many partitions one chunk of the representative-means computation
@@ -181,40 +182,15 @@ fn sketch_and_refine(
     if parts.is_empty() {
         return Ok(None);
     }
-    // Representative coefficients: the partition mean of every constraint row
-    // and of the objective. `means[c][p]` is row `c` aggregated over
-    // partition `p` — per-partition values computed independently (no
-    // cross-partition reduction), so the chunk fan-out is trivially
-    // bit-identical at every thread count.
-    let partition_means = |coeffs: &[f64]| -> Option<Vec<f64>> {
-        let chunks =
-            opts.par
-                .run_chunks_width(parts.len(), MEANS_PARTITIONS_PER_CHUNK, |_, range| {
-                    if opts.budget.expired() {
-                        return None;
-                    }
-                    Some(
-                        parts[range]
-                            .iter()
-                            .map(|p| p.mean_of(coeffs))
-                            .collect::<Vec<f64>>(),
-                    )
-                });
-        let mut means = Vec::with_capacity(parts.len());
-        for chunk in chunks {
-            means.extend(chunk?);
-        }
-        Some(means)
-    };
     let mut means: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
     for row in rows {
-        match partition_means(&row.coeffs) {
+        match partition_means(parts, &row.coeffs, opts) {
             Some(m) => means.push(m),
             None => return Ok(None),
         }
     }
     let obj_means: Option<Vec<f64>> = match obj_coeffs {
-        Some(o) => match partition_means(o) {
+        Some(o) => match partition_means(parts, o, opts) {
             Some(m) => Some(m),
             None => return Ok(None),
         },
@@ -225,52 +201,20 @@ fn sketch_and_refine(
     }
 
     // Phase 2 — the sketch ILP over one variable per partition.
-    let sense = match view.direction() {
-        ObjectiveDirection::Maximize => Sense::Maximize,
-        ObjectiveDirection::Minimize => Sense::Minimize,
+    let capacities: Vec<u64> = parts.iter().map(|p| p.capacity(view)).collect();
+    let means_rows: Vec<&[f64]> = means.iter().map(|m| m.as_slice()).collect();
+    let counts = match solve_sketch(
+        view,
+        &capacities,
+        rows,
+        &means_rows,
+        obj_means.as_deref(),
+        opts,
+        counters,
+    ) {
+        Some(c) => c,
+        None => return Ok(None),
     };
-    let mut problem = Problem::new(sense);
-    let vars: Vec<VarId> = parts
-        .iter()
-        .enumerate()
-        .map(|(p, part)| {
-            problem.add_var(
-                format!("y_{p}"),
-                VarType::Integer,
-                0.0,
-                part.capacity(view) as f64,
-            )
-        })
-        .collect();
-    for (c, row) in rows.iter().enumerate() {
-        let terms: Vec<(VarId, f64)> = means[c]
-            .iter()
-            .enumerate()
-            .filter(|(_, &m)| m != 0.0)
-            .map(|(p, &m)| (vars[p], m))
-            .collect();
-        problem.add_constraint_terms(format!("g{c}"), &terms, row.op, row.rhs);
-    }
-    if let Some(om) = &obj_means {
-        for (p, &m) in om.iter().enumerate() {
-            if m != 0.0 {
-                problem.set_objective_coeff(vars[p], m);
-            }
-        }
-    }
-    let mut config = opts.solver.clone();
-    opts.budget.apply_to_solver(&mut config);
-    let sketch = match lp_solver::solve(&problem, &config) {
-        Ok(s) if s.status.has_solution() => s,
-        _ => return Ok(None),
-    };
-    counters.nodes += sketch.nodes as u64;
-    counters.iterations += sketch.iterations as u64;
-    let counts: Vec<u64> = parts
-        .iter()
-        .enumerate()
-        .map(|(p, part)| (sketch.value_rounded(vars[p]).max(0) as u64).min(part.capacity(view)))
-        .collect();
 
     // Phase 3 — refine picked partitions, most-loaded first (deterministic:
     // ties break on partition id).
@@ -292,7 +236,109 @@ fn sketch_and_refine(
         means: &means,
         counts: &counts,
         opts,
+        partition_sig: opts.sketch_partition_size as u64,
     };
+    refine_with_backtracking(&ctx, order, counters)
+}
+
+/// Representative coefficients: the partition mean of one coefficient
+/// column, per partition. `partition_means(parts, coeffs, opts)[p]` is the
+/// column aggregated over partition `p` — per-partition values computed
+/// independently (no cross-partition reduction), so the chunk fan-out is
+/// trivially bit-identical at every thread count. `None` on budget expiry.
+pub(crate) fn partition_means(
+    parts: &[Partition],
+    coeffs: &[f64],
+    opts: &SolveOptions,
+) -> Option<Vec<f64>> {
+    let chunks = opts
+        .par
+        .run_chunks_width(parts.len(), MEANS_PARTITIONS_PER_CHUNK, |_, range| {
+            if opts.budget.expired() {
+                return None;
+            }
+            Some(
+                parts[range]
+                    .iter()
+                    .map(|p| p.mean_of(coeffs))
+                    .collect::<Vec<f64>>(),
+            )
+        });
+    let mut means = Vec::with_capacity(parts.len());
+    for chunk in chunks {
+        means.extend(chunk?);
+    }
+    Some(means)
+}
+
+/// Builds and solves one sketch ILP: one integer variable per group with the
+/// given multiplicity `capacities`, constraint rows aggregated to the given
+/// per-group representative coefficients (`means_rows[c][j]` pairs with
+/// `capacities[j]`). Returns the per-group draw counts clamped to capacity,
+/// or `None` when the sketch is infeasible, truncated without a solution, or
+/// the budget expired. Shared by the flat sketch→refine path (one sketch
+/// over all partitions) and progressive shading (one sketch per tree layer).
+pub(crate) fn solve_sketch(
+    view: &CandidateView,
+    capacities: &[u64],
+    rows: &[LinearConstraint],
+    means_rows: &[&[f64]],
+    obj_means: Option<&[f64]>,
+    opts: &SolveOptions,
+    counters: &mut Counters,
+) -> Option<Vec<u64>> {
+    let sense = match view.direction() {
+        ObjectiveDirection::Maximize => Sense::Maximize,
+        ObjectiveDirection::Minimize => Sense::Minimize,
+    };
+    let mut problem = Problem::new(sense);
+    let vars: Vec<VarId> = capacities
+        .iter()
+        .enumerate()
+        .map(|(p, &cap)| problem.add_var(format!("y_{p}"), VarType::Integer, 0.0, cap as f64))
+        .collect();
+    for (c, row) in rows.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = means_rows[c]
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m != 0.0)
+            .map(|(p, &m)| (vars[p], m))
+            .collect();
+        problem.add_constraint_terms(format!("g{c}"), &terms, row.op, row.rhs);
+    }
+    if let Some(om) = obj_means {
+        for (p, &m) in om.iter().enumerate() {
+            if m != 0.0 {
+                problem.set_objective_coeff(vars[p], m);
+            }
+        }
+    }
+    let mut config = opts.solver.clone();
+    opts.budget.apply_to_solver(&mut config);
+    let sketch = match lp_solver::solve(&problem, &config) {
+        Ok(s) if s.status.has_solution() => s,
+        _ => return None,
+    };
+    counters.nodes += sketch.nodes as u64;
+    counters.iterations += sketch.iterations as u64;
+    Some(
+        capacities
+            .iter()
+            .enumerate()
+            .map(|(p, &cap)| (sketch.value_rounded(vars[p]).max(0) as u64).min(cap))
+            .collect(),
+    )
+}
+
+/// Phase 3 driver: refines `order`'s partitions with the paper's
+/// failed-partition backtracking, then repairs any residual infeasibility.
+/// `Ok(None)` when no feasible package came out (the caller's greedy
+/// baseline stands).
+pub(crate) fn refine_with_backtracking(
+    ctx: &RefineCtx<'_>,
+    mut order: Vec<usize>,
+    counters: &mut Counters,
+) -> crate::PbResult<Option<(Package, Option<f64>)>> {
     // Last successful sub-ILP assignment per partition, across backtracking
     // passes of *this* query. A re-refined partition hints its previous
     // assignment into `solve_milp_hinted` as the starting incumbent — the
@@ -304,18 +350,18 @@ fn sketch_and_refine(
     let mut hints: HashMap<usize, Vec<(usize, u32)>> = HashMap::new();
     let mut backtracks = 0;
     let mut state = loop {
-        match refine_pass(&ctx, &order, true, &mut hints, counters) {
+        match refine_pass(ctx, &order, true, &mut hints, counters) {
             Ok(state) => break state,
             Err(failed) => {
                 backtracks += 1;
                 let already_first = order.first() == Some(&failed);
-                if backtracks >= MAX_BACKTRACKS || already_first || opts.budget.expired() {
+                if backtracks >= MAX_BACKTRACKS || already_first || ctx.opts.budget.expired() {
                     // Backtracking exhausted: a non-strict pass greedy-fills
                     // whatever still fails instead of giving up. Such a pass
                     // cannot report a failed partition by construction — if
                     // one ever does, surface it as an internal error (PR-2
                     // convention) instead of panicking mid-solve.
-                    break refine_pass(&ctx, &order, false, &mut hints, counters).map_err(|p| {
+                    break refine_pass(ctx, &order, false, &mut hints, counters).map_err(|p| {
                         PbError::Internal(format!(
                             "non-strict refine pass reported failed partition {p}"
                         ))
@@ -331,7 +377,7 @@ fn sketch_and_refine(
     };
 
     if !state.is_feasible() {
-        let (evals, _) = repair_to_feasibility(&mut state, &opts.budget, opts.par);
+        let (evals, _) = repair_to_feasibility(&mut state, &ctx.opts.budget, ctx.opts.par);
         counters.iterations += evals;
     }
     Ok(state
@@ -339,15 +385,23 @@ fn sketch_and_refine(
         .then(|| (state.to_package(), state.objective_value())))
 }
 
-/// Shared inputs of one refinement pass.
-struct RefineCtx<'a> {
-    view: &'a CandidateView,
-    rows: &'a [LinearConstraint],
-    obj_coeffs: Option<&'a [f64]>,
-    parts: &'a [Partition],
-    means: &'a [Vec<f64>],
-    counts: &'a [u64],
-    opts: &'a SolveOptions,
+/// Shared inputs of one refinement pass. Built by the flat sketch→refine
+/// path over its whole partitioning, and by progressive shading over the
+/// tree's leaf layer (with counts zero outside the shaded leaves).
+pub(crate) struct RefineCtx<'a> {
+    pub(crate) view: &'a CandidateView,
+    pub(crate) rows: &'a [LinearConstraint],
+    pub(crate) obj_coeffs: Option<&'a [f64]>,
+    pub(crate) parts: &'a [Partition],
+    pub(crate) means: &'a [Vec<f64>],
+    pub(crate) counts: &'a [u64],
+    pub(crate) opts: &'a SolveOptions,
+    /// Partition-identity component of the sub-ILP memo key: the size bound
+    /// the leaf partitioning was built with (`sketch_partition_size` on the
+    /// flat path, `shade_leaf_size` under shading). Equal bounds mean equal
+    /// leaf partitionings, so sharing memo entries across the two solvers is
+    /// exactly right.
+    pub(crate) partition_sig: u64,
 }
 
 /// One refinement pass over `order`. Strict passes report the first
@@ -433,7 +487,7 @@ fn sub_ilp_key(ctx: &RefineCtx<'_>, p: usize, fixed: &[f64], rem: &[f64]) -> Vec
     let members = &ctx.parts[p].members;
     let cfg = &ctx.opts.solver;
     let mut key = Vec::with_capacity(9 + ctx.rows.len() * (members.len() + 2) + members.len() + 1);
-    key.push(ctx.opts.sketch_partition_size as u64);
+    key.push(ctx.partition_sig);
     key.push(ctx.opts.seed);
     key.push(p as u64);
     key.push(members.len() as u64);

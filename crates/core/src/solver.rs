@@ -53,6 +53,15 @@ pub struct SolveOptions {
     /// Sketch→refine: maximum partition size (bounds each refinement
     /// sub-ILP).
     pub sketch_partition_size: usize,
+    /// Progressive shading: maximum children per partition-tree node, which
+    /// bounds every intermediate sketch ILP of the descent.
+    pub shade_fanout: usize,
+    /// Progressive shading: leaf partition size (bounds the leaf sub-ILPs,
+    /// like `sketch_partition_size` does on the flat path).
+    pub shade_leaf_size: usize,
+    /// Candidate count at which the portfolio's sketch worker upgrades to
+    /// progressive shading (see [`EngineConfig::shade_threshold`]).
+    pub shade_threshold: usize,
     /// Seed for randomized components.
     pub seed: u64,
     /// Wall-clock budget and cancellation flag for this evaluation. The
@@ -80,6 +89,9 @@ impl SolveOptions {
             max_local_moves: config.max_local_moves,
             local_restarts: config.local_restarts,
             sketch_partition_size: config.sketch_partition_size,
+            shade_fanout: config.shade_fanout,
+            shade_leaf_size: config.shade_leaf_size,
+            shade_threshold: config.shade_threshold,
             seed: config.seed,
             budget: Budget::starting_now(config.time_budget),
             par: ParExec::new(config.num_threads),
@@ -307,6 +319,7 @@ pub fn solver_for(strategy: Strategy) -> PbResult<Box<dyn Solver>> {
         Strategy::LocalSearch => Box::new(LocalSearchSolver),
         Strategy::Greedy => Box::new(GreedySolver),
         Strategy::SketchRefine => Box::new(crate::sketch_refine::SketchRefineSolver),
+        Strategy::ProgressiveShading => Box::new(crate::shading::ProgressiveShadingSolver),
         Strategy::Portfolio => Box::new(crate::portfolio::PortfolioSolver::default()),
         Strategy::Auto => {
             return Err(crate::error::PbError::Internal(
@@ -398,6 +411,7 @@ mod tests {
             Strategy::LocalSearch,
             Strategy::Greedy,
             Strategy::SketchRefine,
+            Strategy::ProgressiveShading,
             Strategy::Portfolio,
         ] {
             assert!(solver_for(s).is_ok());

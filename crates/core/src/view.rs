@@ -1038,6 +1038,25 @@ impl CandidateView {
             .get_or_compute(self, max_partition_size, seed, budget, par)
     }
 
+    /// The progressive-shading partition tree over this view's candidates,
+    /// memoized per `(leaf_size, fanout, seed)` beside the flat
+    /// partitionings — and *sharing* the `(leaf_size, seed)` leaf
+    /// partitioning with them (one `Arc`), so with `shade_leaf_size` equal
+    /// to `sketch_partition_size` the flat and hierarchical solvers pay for
+    /// the leaves once between them. `None` on budget expiry (nothing is
+    /// memoized), like [`CandidateView::partitioning`].
+    pub fn partition_tree(
+        &self,
+        leaf_size: usize,
+        fanout: usize,
+        seed: u64,
+        budget: &Budget,
+        par: ParExec,
+    ) -> Option<Arc<crate::partition::PartitionTree>> {
+        self.partition_memo
+            .tree_or_compute(self, leaf_size, fanout, seed, budget, par)
+    }
+
     /// Replaces the partition memo (the cache wires in the shared, per-column
     /// -signature memo after assembly — see [`crate::cache::ViewCache`]).
     pub(crate) fn set_partition_memo(&mut self, memo: PartitionMemo) {

@@ -143,6 +143,7 @@ fn multi_chunk_solves_are_storage_mode_invariant() {
     for strategy in [
         Strategy::Greedy,
         Strategy::SketchRefine,
+        Strategy::ProgressiveShading,
         Strategy::LocalSearch,
     ] {
         let reference = run_with(recipes(5_000, Seed(11)), strategy, 1, None, WIDE_QUERY);

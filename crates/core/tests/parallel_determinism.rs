@@ -21,7 +21,7 @@ use packagebuilder::config::{EngineConfig, Strategy};
 use packagebuilder::par::ParExec;
 use packagebuilder::solver::{GreedySolver, IlpSolver, LocalSearchSolver, SolveOptions, Solver};
 use packagebuilder::spec::PackageSpec;
-use packagebuilder::{PackageEngine, PackageResult, SketchRefineSolver};
+use packagebuilder::{PackageEngine, PackageResult, ProgressiveShadingSolver, SketchRefineSolver};
 use proptest::prelude::*;
 
 /// The thread counts every case is evaluated at; 1 is the sequential
@@ -131,6 +131,7 @@ fn multi_chunk_candidate_sets_are_thread_count_invariant() {
     for strategy in [
         Strategy::Greedy,
         Strategy::SketchRefine,
+        Strategy::ProgressiveShading,
         Strategy::LocalSearch,
     ] {
         let reference = run_at(recipes(5_000, Seed(11)), strategy, 1, WIDE_QUERY);
@@ -280,6 +281,7 @@ fn budget_expiry_inside_a_parallel_chunk_scan_degrades_gracefully() {
         ("greedy", Box::new(GreedySolver)),
         ("local-search", Box::new(LocalSearchSolver)),
         ("sketch-refine", Box::new(SketchRefineSolver)),
+        ("progressive-shading", Box::new(ProgressiveShadingSolver)),
     ];
     for (name, solver) in solvers {
         let opts = SolveOptions {

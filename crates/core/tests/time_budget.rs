@@ -19,7 +19,7 @@ use packagebuilder::solver::{
     EnumerationSolver, GreedySolver, IlpSolver, LocalSearchSolver, SolveOptions, Solver,
 };
 use packagebuilder::spec::PackageSpec;
-use packagebuilder::{PackageEngine, SketchRefineSolver};
+use packagebuilder::{PackageEngine, ProgressiveShadingSolver, SketchRefineSolver};
 use paql::compile;
 
 /// The budget every solver must honour.
@@ -72,6 +72,7 @@ fn every_solver_terminates_within_twice_the_time_limit() {
         ("local-search", Box::new(LocalSearchSolver)),
         ("greedy", Box::new(GreedySolver)),
         ("sketch-refine", Box::new(SketchRefineSolver)),
+        ("progressive-shading", Box::new(ProgressiveShadingSolver)),
         ("portfolio", Box::new(PortfolioSolver::default())),
     ];
     for (name, solver) in solvers {
@@ -161,6 +162,7 @@ fn expired_budgets_return_immediately_with_best_so_far() {
         Box::new(LocalSearchSolver),
         Box::new(GreedySolver),
         Box::new(SketchRefineSolver),
+        Box::new(ProgressiveShadingSolver),
     ] {
         let start = Instant::now();
         let out = solver.solve(spec.view(), &opts).unwrap();
@@ -191,6 +193,7 @@ fn expired_budgets_bail_out_on_every_registered_scenario() {
             Box::new(LocalSearchSolver),
             Box::new(GreedySolver),
             Box::new(SketchRefineSolver),
+            Box::new(ProgressiveShadingSolver),
         ] {
             let start = Instant::now();
             let out = solver.solve(spec.view(), &opts).unwrap();
@@ -205,6 +208,35 @@ fn expired_budgets_bail_out_on_every_registered_scenario() {
                 assert!(spec.is_valid(p).unwrap());
             }
         }
+    }
+}
+
+#[test]
+fn expired_budget_entry_bails_the_shading_descent() {
+    // Progressive shading's descent solves one sketch per tree layer; an
+    // already-expired budget must bail before growing the tree at all, even
+    // under a configuration that would build a genuinely deep one.
+    let table = hostile_table();
+    let spec = spec_for(&table, HOSTILE_QUERY);
+    let opts = SolveOptions {
+        budget: Budget::with_limit(Duration::ZERO),
+        shade_leaf_size: 8,
+        shade_fanout: 4,
+        ..SolveOptions::default()
+    };
+    let start = Instant::now();
+    let out = ProgressiveShadingSolver.solve(spec.view(), &opts).unwrap();
+    assert!(!out.optimal);
+    assert!(
+        start.elapsed() < allowed(Duration::ZERO),
+        "shading did not bail out of an already-expired budget"
+    );
+    assert!(
+        spec.view().partition_memo().tree_len() == 0,
+        "an expired budget must not grow (or memoize) the partition tree"
+    );
+    for (p, _) in &out.packages {
+        assert!(spec.is_valid(p).unwrap());
     }
 }
 
